@@ -1,0 +1,85 @@
+//! Criterion benches that time reduced-size versions of each figure's
+//! full regeneration pipeline (simulate → trace → analyze). One bench per
+//! evaluation figure; the `fig*` binaries produce the actual numbers.
+
+use abdex::compare::{compare_policies, ComparisonConfig};
+use abdex::dvs::EdvsConfig;
+use abdex::nepsim::Benchmark;
+use abdex::traffic::{DiurnalModel, TrafficLevel};
+use abdex::{sweep_tdvs, Experiment, PolicyConfig, TdvsGrid};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Reduced run length so `cargo bench` completes quickly; the binaries use
+/// the paper's 8M cycles.
+const CYCLES: u64 = 100_000;
+
+fn fig02_traffic(c: &mut Criterion) {
+    c.bench_function("fig02_day_series", |b| {
+        b.iter(|| DiurnalModel::nlanr_like(42).day_series(std::hint::black_box(300.0)));
+    });
+}
+
+fn fig06_07_tdvs_cell(c: &mut Criterion) {
+    c.bench_function("fig06_07_one_tdvs_cell", |b| {
+        b.iter(|| {
+            let grid = TdvsGrid {
+                thresholds_mbps: vec![1000.0],
+                windows_cycles: vec![40_000],
+            };
+            sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, CYCLES, 42)
+        });
+    });
+}
+
+fn fig08_09_surface(c: &mut Criterion) {
+    c.bench_function("fig08_09_2x2_surface", |b| {
+        b.iter(|| {
+            let grid = TdvsGrid {
+                thresholds_mbps: vec![1000.0, 1400.0],
+                windows_cycles: vec![20_000, 80_000],
+            };
+            let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, CYCLES, 42);
+            (
+                abdex::sweep::power_surface(&cells),
+                abdex::sweep::throughput_surface(&cells),
+            )
+        });
+    });
+}
+
+fn fig10_edvs(c: &mut Criterion) {
+    c.bench_function("fig10_edvs_experiment", |b| {
+        b.iter(|| {
+            Experiment {
+                benchmark: Benchmark::Ipfwdr,
+                traffic: TrafficLevel::High,
+                policy: PolicyConfig::Edvs(EdvsConfig::default()),
+                cycles: CYCLES,
+                seed: 42,
+            }
+            .run()
+        });
+    });
+}
+
+fn fig11_comparison(c: &mut Criterion) {
+    c.bench_function("fig11_one_benchmark_row", |b| {
+        b.iter(|| {
+            let cfg = ComparisonConfig {
+                cycles: CYCLES,
+                ..ComparisonConfig::default()
+            };
+            compare_policies(&[Benchmark::Ipfwdr], &[TrafficLevel::High], &cfg)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    fig02_traffic,
+    fig06_07_tdvs_cell,
+    fig08_09_surface,
+    fig10_edvs,
+    fig11_comparison
+);
+criterion_main!(benches);

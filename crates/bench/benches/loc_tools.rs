@@ -1,0 +1,89 @@
+//! Criterion benches for the LOC toolchain: parser, checker and
+//! distribution-analyzer throughput.
+
+use abdex::formulas::{power_distribution, throughput_distribution};
+use abdex::loc::{parse, Analyzer, Annotations, Checker, Trace, TraceRecord};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn synthetic_trace(records: usize) -> Trace {
+    (0..records)
+        .map(|k| {
+            let annots = Annotations {
+                cycle: k as u64 * 1000,
+                time: k as f64 * 2.5,
+                energy: k as f64 * 3.2,
+                total_pkt: k as u64,
+                total_bit: k as u64 * 2722,
+                extra: Vec::new(),
+            };
+            TraceRecord::new("forward", annots)
+        })
+        .collect()
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let sources = [
+        "cycle(deq[i]) - cycle(enq[i]) <= 50",
+        "(energy(forward[i+100]) - energy(forward[i])) / \
+         (time(forward[i+100]) - time(forward[i])) dist== (0.5, 2.25, 0.01)",
+        "((total_bit(forward[i+100]) - total_bit(forward[i])) / 1e6) / \
+         (time(forward[i+100]) - time(forward[i])) dist== (100, 3300, 10)",
+    ];
+    let mut g = c.benchmark_group("parser");
+    for (k, src) in sources.iter().enumerate() {
+        g.bench_function(format!("formula_{k}"), |b| {
+            b.iter(|| parse(std::hint::black_box(src)).expect("valid formula"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let trace = synthetic_trace(10_000);
+    let mut g = c.benchmark_group("analyzer");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("formula2_power_10k_records", |b| {
+        b.iter_batched(
+            || Analyzer::from_formula(&power_distribution(100)).expect("valid"),
+            |a| a.analyze(std::hint::black_box(&trace)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("formula3_throughput_10k_records", |b| {
+        b.iter_batched(
+            || Analyzer::from_formula(&throughput_distribution(100)).expect("valid"),
+            |a| a.analyze(std::hint::black_box(&trace)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let trace = synthetic_trace(10_000);
+    let formula = parse("time(forward[i+100]) - time(forward[i]) <= 10000").expect("valid");
+    let mut g = c.benchmark_group("checker");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("latency_10k_records", |b| {
+        b.iter_batched(
+            || Checker::from_formula(&formula).expect("valid"),
+            |ch| ch.check(std::hint::black_box(&trace)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_trace_text(c: &mut Criterion) {
+    let trace = synthetic_trace(5_000);
+    let text = trace.to_text();
+    let mut g = c.benchmark_group("trace_text");
+    g.bench_function("to_text_5k", |b| b.iter(|| std::hint::black_box(&trace).to_text()));
+    g.bench_function("from_text_5k", |b| {
+        b.iter(|| Trace::from_text(std::hint::black_box(&text)).expect("valid"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parser, bench_analyzer, bench_checker, bench_trace_text);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the DVS policy automata — these run once per
+//! monitor window inside the platform, so their cost bounds the monitor
+//! overhead.
+
+use abdex::dvs::{Edvs, EdvsConfig, ScalingDecision, Tdvs, TdvsConfig, VfLadder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_tdvs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_decisions");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("tdvs_1k_windows", |b| {
+        b.iter(|| {
+            let mut policy = Tdvs::new(TdvsConfig::default(), VfLadder::xscale_npu());
+            let mut acc = 0u64;
+            for k in 0..1_000u32 {
+                let observed = 600.0 + f64::from(k % 17) * 60.0;
+                if policy.on_window(std::hint::black_box(observed)) != ScalingDecision::Hold { acc += 1; }
+            }
+            acc
+        });
+    });
+    g.bench_function("edvs_1k_windows", |b| {
+        b.iter(|| {
+            let mut policy = Edvs::new(EdvsConfig::default(), VfLadder::xscale_npu());
+            let mut acc = 0u64;
+            for k in 0..1_000u32 {
+                let idle = f64::from(k % 10) / 20.0;
+                if policy.on_window(std::hint::black_box(idle)) != ScalingDecision::Hold { acc += 1; }
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tdvs);
+criterion_main!(benches);

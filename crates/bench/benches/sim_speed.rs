@@ -1,0 +1,66 @@
+//! Criterion benches for the simulator itself: simulated cycles per
+//! wall-clock second for each benchmark application and policy.
+
+use abdex::dvs::{EdvsConfig, TdvsConfig};
+use abdex::nepsim::{Benchmark, NpuConfig, PolicyConfig, Simulator};
+use abdex::traffic::TrafficLevel;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const CYCLES: u64 = 200_000;
+
+fn bench_benchmarks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_by_benchmark");
+    g.throughput(Throughput::Elements(CYCLES));
+    for bench in Benchmark::ALL {
+        g.bench_function(bench.to_string(), |b| {
+            b.iter(|| {
+                let config = NpuConfig::builder()
+                    .benchmark(bench)
+                    .traffic(TrafficLevel::High)
+                    .seed(7)
+                    .build();
+                Simulator::new(config).run_cycles(std::hint::black_box(CYCLES))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_by_policy");
+    g.throughput(Throughput::Elements(CYCLES));
+    for (name, policy) in [
+        ("nodvs", PolicyConfig::NoDvs),
+        ("tdvs", PolicyConfig::Tdvs(TdvsConfig::default())),
+        ("edvs", PolicyConfig::Edvs(EdvsConfig::default())),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let config = NpuConfig::builder()
+                    .benchmark(Benchmark::Ipfwdr)
+                    .traffic(TrafficLevel::High)
+                    .policy(policy.clone())
+                    .seed(7)
+                    .build();
+                Simulator::new(config).run_cycles(std::hint::black_box(CYCLES))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_traffic_stream(c: &mut Criterion) {
+    use abdex::traffic::{ArrivalConfig, PacketStream};
+    let mut g = c.benchmark_group("traffic");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("generate_10k_packets", |b| {
+        b.iter(|| {
+            let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 3));
+            stream.take(10_000).map(|p| u64::from(p.size_bytes)).sum::<u64>()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_benchmarks, bench_policies, bench_traffic_stream);
+criterion_main!(benches);

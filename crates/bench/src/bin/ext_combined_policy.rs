@@ -1,0 +1,60 @@
+//! Extension: the combined traffic+idle policy (TEDVS) the paper declines
+//! to build on monitor-cost grounds (§4). Measures whether the conservative
+//! composition buys anything over TDVS and EDVS alone.
+
+use abdex::dvs::{CombinedConfig, EdvsConfig, TdvsConfig};
+use abdex::nepsim::Benchmark;
+use abdex::traffic::TrafficLevel;
+use abdex::{Experiment, PolicyConfig};
+use abdex_bench::{cycles_from_args, FIG_SEED};
+
+fn main() {
+    let cycles = cycles_from_args();
+    let window = 40_000;
+    let tdvs = TdvsConfig {
+        top_threshold_mbps: 1400.0,
+        window_cycles: window,
+    };
+    let edvs = EdvsConfig {
+        idle_threshold: 0.10,
+        window_cycles: window,
+    };
+    let policies: Vec<(&str, PolicyConfig)> = vec![
+        ("noDVS", PolicyConfig::NoDvs),
+        ("TDVS", PolicyConfig::Tdvs(tdvs)),
+        ("EDVS", PolicyConfig::Edvs(edvs)),
+        ("TEDVS", PolicyConfig::Combined(CombinedConfig { tdvs, edvs })),
+    ];
+
+    println!("combined-policy extension (TEDVS), ipfwdr, {cycles} cycles per cell:\n");
+    println!(
+        "{:>7} {:>8} {:>12} {:>14} {:>9} {:>10}",
+        "traffic", "policy", "mean_power_w", "tput_mbps", "switches", "monitor_uj"
+    );
+    for traffic in TrafficLevel::ALL {
+        for (name, policy) in &policies {
+            let r = Experiment {
+                benchmark: Benchmark::Ipfwdr,
+                traffic,
+                policy: policy.clone(),
+                cycles,
+                seed: FIG_SEED,
+            }
+            .run();
+            println!(
+                "{:>7} {:>8} {:>12.3} {:>14.1} {:>9} {:>10.4}",
+                traffic.to_string(),
+                name,
+                r.sim.mean_power_w(),
+                r.sim.throughput_mbps(),
+                r.sim.total_switches,
+                r.sim.monitor_energy_uj,
+            );
+        }
+        println!();
+    }
+    println!(
+        "TEDVS scales a ME down only when traffic is light AND the ME is idle,\n\
+         and pays the TDVS monitor-adder energy on every arriving packet."
+    );
+}

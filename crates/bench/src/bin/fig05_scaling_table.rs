@@ -1,0 +1,35 @@
+//! Paper Fig. 5: the detailed VF scaling values and per-level traffic
+//! thresholds for a 1000 Mbps top threshold.
+
+use abdex::dvs::{Tdvs, TdvsConfig, VfLadder};
+
+fn main() {
+    let ladder = VfLadder::xscale_npu();
+    let tdvs = Tdvs::new(
+        TdvsConfig {
+            top_threshold_mbps: 1000.0,
+            window_cycles: 40_000,
+        },
+        ladder.clone(),
+    );
+
+    println!("Fig. 5 — The detailed scaling values (top threshold 1000 Mbps)");
+    print!("{:<24}", "Frequency (MHz)");
+    for p in ladder.iter().rev() {
+        print!(" {:>6}", p.freq_mhz);
+    }
+    print!("\n{:<24}", "Voltage (V)");
+    for p in ladder.iter().rev() {
+        print!(" {:>6.2}", p.voltage());
+    }
+    print!("\n{:<24}", "Traffic Threshold (Mbps)");
+    for idx in (0..ladder.len()).rev() {
+        print!(" {:>6.0}", tdvs.threshold_at(idx));
+    }
+    println!();
+    println!(
+        "\nswitch penalty: 10 us ({} cycles at 600 MHz); \
+         monitor adder: one 32-bit add per arriving packet",
+        abdex::desim::Frequency::from_mhz(600).time_to_cycles(abdex::dvs::SWITCH_PENALTY)
+    );
+}

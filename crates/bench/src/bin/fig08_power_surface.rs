@@ -1,0 +1,20 @@
+//! Paper Fig. 8: the 3-D surface of the power value below which 80 % of
+//! formula-(2) instances fall, over the threshold × window grid.
+
+use abdex::nepsim::Benchmark;
+use abdex::sweep::power_surface;
+use abdex::tables::render_surface;
+use abdex::traffic::TrafficLevel;
+use abdex::{sweep_tdvs, TdvsGrid};
+use abdex_bench::{cycles_from_args, FIG_SEED};
+
+fn main() {
+    let cycles = cycles_from_args();
+    let grid = TdvsGrid::default();
+    eprintln!("fig08: sweeping {} cells at {cycles} cycles each...", grid.len());
+    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, cycles, FIG_SEED);
+    println!(
+        "Fig. 8 — {}",
+        render_surface(&power_surface(&cells), "80th-percentile power (W)")
+    );
+}

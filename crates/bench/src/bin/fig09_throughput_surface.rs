@@ -1,0 +1,35 @@
+//! Paper Fig. 9: the 3-D surface of the throughput above which 80 % of
+//! formula-(3) instances fall, over the threshold × window grid.
+
+use abdex::nepsim::Benchmark;
+use abdex::sweep::throughput_surface;
+use abdex::tables::render_surface;
+use abdex::traffic::TrafficLevel;
+use abdex::{optimal_tdvs, sweep_tdvs, DesignPriority, TdvsGrid};
+use abdex_bench::{cycles_from_args, FIG_SEED};
+
+fn main() {
+    let cycles = cycles_from_args();
+    let grid = TdvsGrid::default();
+    eprintln!("fig09: sweeping {} cells at {cycles} cycles each...", grid.len());
+    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, cycles, FIG_SEED);
+    println!(
+        "Fig. 9 — {}",
+        render_surface(
+            &throughput_surface(&cells),
+            "80th-percentile throughput (Mbps)"
+        )
+    );
+
+    for (priority, label) in [
+        (DesignPriority::Performance, "performance"),
+        (DesignPriority::Power, "power"),
+    ] {
+        let best = optimal_tdvs(&cells, priority).expect("non-empty sweep");
+        println!(
+            "optimal ({label} priority): threshold {:.0} Mbps, window {}k cycles",
+            best.threshold_mbps,
+            best.window_cycles / 1000
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Paper Fig. 10: power and throughput distributions under EDVS on
+//! `ipfwdr`, for window sizes 20k–80k, against the noDVS baseline.
+
+use abdex::dvs::EdvsConfig;
+use abdex::nepsim::Benchmark;
+use abdex::traffic::TrafficLevel;
+use abdex::{Experiment, ExperimentResult, PolicyConfig};
+use abdex_bench::{cycles_from_args, FIG_SEED};
+
+fn run(policy: PolicyConfig, cycles: u64) -> ExperimentResult {
+    Experiment {
+        benchmark: Benchmark::Ipfwdr,
+        traffic: TrafficLevel::High,
+        policy,
+        cycles,
+        seed: FIG_SEED,
+    }
+    .run()
+}
+
+fn main() {
+    let cycles = cycles_from_args();
+    let windows = [20_000u64, 40_000, 60_000, 80_000];
+    eprintln!("fig10: running {} EDVS windows + baseline at {cycles} cycles each...", windows.len());
+
+    let baseline = run(PolicyConfig::NoDvs, cycles);
+    let runs: Vec<(u64, ExperimentResult)> = windows
+        .iter()
+        .map(|&w| {
+            let cfg = EdvsConfig {
+                idle_threshold: 0.10,
+                window_cycles: w,
+            };
+            (w, run(PolicyConfig::Edvs(cfg), cycles))
+        })
+        .collect();
+
+    println!("Power (fraction of formula-(2) instances <= x W)");
+    print!("{:>8}", "x(W)");
+    for (w, _) in &runs {
+        print!(" {:>7}k", w / 1000);
+    }
+    println!(" {:>8}", "noDVS");
+    for k in 0..=10 {
+        let x = 0.7 + 0.1 * f64::from(k);
+        print!("{x:>8.2}");
+        for (_, r) in &runs {
+            print!(" {:>8.3}", r.power.fraction_le(x));
+        }
+        println!(" {:>8.3}", baseline.power.fraction_le(x));
+    }
+
+    println!("\nThroughput (fraction of formula-(3) instances >= x Mbps)");
+    print!("{:>8}", "x(Mbps)");
+    for (w, _) in &runs {
+        print!(" {:>7}k", w / 1000);
+    }
+    println!(" {:>8}", "noDVS");
+    for k in 0..=8 {
+        let x = 600.0 + 100.0 * f64::from(k);
+        print!("{x:>8.0}");
+        for (_, r) in &runs {
+            print!(" {:>8.3}", r.throughput.fraction_ge(x));
+        }
+        println!(" {:>8.3}", baseline.throughput.fraction_ge(x));
+    }
+
+    println!("\nsummary (paper: ~23% power saving, no performance loss):");
+    println!(
+        "  noDVS : {:>6.3} W  {:>7.1} Mbps",
+        baseline.sim.mean_power_w(),
+        baseline.sim.throughput_mbps()
+    );
+    for (w, r) in &runs {
+        let saving = 1.0 - r.sim.mean_power_w() / baseline.sim.mean_power_w();
+        println!(
+            "  {:>4}k : {:>6.3} W  {:>7.1} Mbps  (saves {:>4.1}%, {} switches)",
+            w / 1000,
+            r.sim.mean_power_w(),
+            r.sim.throughput_mbps(),
+            saving * 100.0,
+            r.sim.total_switches
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * the **EDVS idle threshold** (the paper picks 10 % after inspecting
+//!   the idle-time distribution — §4.2),
+//! * **TDVS hysteresis** (the paper's plain-threshold rule oscillates and
+//!   burns 6000-cycle penalties at small windows — §4.1),
+//! * the **VF-switch penalty** magnitude (the 10 µs figure NePSim assumes).
+
+use dvs::{EdvsConfig, TdvsConfig};
+use nepsim::{Benchmark, PolicyConfig};
+use traffic::TrafficLevel;
+
+use crate::experiment::{Experiment, ExperimentResult};
+
+/// One evaluated ablation point: the varied parameter and the result.
+#[derive(Debug, Clone)]
+pub struct AblationCell {
+    /// The value of the varied parameter.
+    pub parameter: f64,
+    /// The evaluated experiment.
+    pub result: ExperimentResult,
+}
+
+/// Sweeps the EDVS idle threshold: how sensitive are savings and
+/// throughput to the paper's 10 % choice?
+///
+/// # Example
+///
+/// ```
+/// use abdex::ablation::sweep_edvs_idle_threshold;
+/// use abdex::nepsim::Benchmark;
+/// use abdex::traffic::TrafficLevel;
+///
+/// let cells = sweep_edvs_idle_threshold(
+///     Benchmark::Ipfwdr, TrafficLevel::High, &[0.05, 0.10], 40_000, 200_000, 1);
+/// assert_eq!(cells.len(), 2);
+/// ```
+#[must_use]
+pub fn sweep_edvs_idle_threshold(
+    benchmark: Benchmark,
+    traffic: TrafficLevel,
+    thresholds: &[f64],
+    window_cycles: u64,
+    cycles: u64,
+    seed: u64,
+) -> Vec<AblationCell> {
+    thresholds
+        .iter()
+        .map(|&idle_threshold| AblationCell {
+            parameter: idle_threshold,
+            result: Experiment {
+                benchmark,
+                traffic,
+                policy: PolicyConfig::Edvs(EdvsConfig {
+                    idle_threshold,
+                    window_cycles,
+                }),
+                cycles,
+                seed,
+            }
+            .run(),
+        })
+        .collect()
+}
+
+/// Sweeps a TDVS hysteresis band at a fixed threshold/window: quantifies
+/// how much of the small-window throughput cliff is oscillation-induced.
+#[must_use]
+pub fn sweep_tdvs_hysteresis(
+    benchmark: Benchmark,
+    traffic: TrafficLevel,
+    base: TdvsConfig,
+    bands: &[f64],
+    cycles: u64,
+    seed: u64,
+) -> Vec<AblationCell> {
+    bands
+        .iter()
+        .map(|&hysteresis| {
+            let policy = if hysteresis == 0.0 {
+                PolicyConfig::Tdvs(base)
+            } else {
+                PolicyConfig::TdvsHysteresis(base.with_hysteresis(hysteresis))
+            };
+            AblationCell {
+                parameter: hysteresis,
+                result: Experiment {
+                    benchmark,
+                    traffic,
+                    policy,
+                    cycles,
+                    seed,
+                }
+                .run(),
+            }
+        })
+        .collect()
+}
+
+/// Renders ablation cells as a table keyed by the varied parameter.
+#[must_use]
+pub fn render_ablation(cells: &[AblationCell], parameter_label: &str) -> String {
+    let mut out = format!(
+        "{parameter_label:>14} {:>12} {:>14} {:>9} {:>9}\n",
+        "mean_power_w", "tput_mbps", "switches", "rx_idle"
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:>14.3} {:>12.3} {:>14.1} {:>9} {:>9.3}\n",
+            c.parameter,
+            c.result.sim.mean_power_w(),
+            c.result.sim.throughput_mbps(),
+            c.result.sim.total_switches,
+            c.result.sim.rx_idle_fraction(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CYCLES: u64 = 1_200_000;
+
+    #[test]
+    fn edvs_threshold_sweep_monotone_in_aggressiveness() {
+        // A lower idle threshold scales down more eagerly => less power.
+        let cells = sweep_edvs_idle_threshold(
+            Benchmark::Ipfwdr,
+            TrafficLevel::High,
+            &[0.05, 0.40],
+            40_000,
+            CYCLES,
+            42,
+        );
+        assert_eq!(cells.len(), 2);
+        let eager = cells[0].result.sim.mean_power_w();
+        let lazy = cells[1].result.sim.mean_power_w();
+        assert!(eager < lazy, "eager {eager:.3} !< lazy {lazy:.3}");
+    }
+
+    #[test]
+    fn hysteresis_reduces_switching() {
+        let base = TdvsConfig {
+            top_threshold_mbps: 1000.0,
+            window_cycles: 20_000,
+        };
+        let cells = sweep_tdvs_hysteresis(
+            Benchmark::Ipfwdr,
+            TrafficLevel::High,
+            base,
+            &[0.0, 0.15],
+            CYCLES,
+            42,
+        );
+        let plain = cells[0].result.sim.total_switches;
+        let damped = cells[1].result.sim.total_switches;
+        assert!(
+            damped < plain,
+            "hysteresis did not reduce switching: {damped} !< {plain}"
+        );
+    }
+
+    #[test]
+    fn render_lists_all_cells() {
+        let cells = sweep_edvs_idle_threshold(
+            Benchmark::Nat,
+            TrafficLevel::Low,
+            &[0.10],
+            40_000,
+            200_000,
+            1,
+        );
+        let text = render_ablation(&cells, "idle_threshold");
+        assert!(text.contains("0.100"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

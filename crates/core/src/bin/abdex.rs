@@ -1,0 +1,291 @@
+//! `abdex` — command-line front end for the design-exploration library.
+//!
+//! ```text
+//! abdex run     --benchmark ipfwdr --traffic high --policy edvs [--cycles N] [--seed S]
+//! abdex sweep   --benchmark ipfwdr --traffic high [--cycles N] [--seed S]
+//! abdex compare [--cycles N] [--seed S]
+//! abdex trace   --benchmark url --traffic medium [--cycles N] [--out FILE]
+//! abdex check   --formula "cycle(deq[i]) - cycle(enq[i]) <= 50" --trace FILE
+//! abdex analyze --formula "... dist== (a, b, s)" --trace FILE
+//! abdex codegen --formula "..."
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use abdex::compare::{compare_policies, ComparisonConfig};
+use abdex::dvs::{EdvsConfig, TdvsConfig};
+use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
+use abdex::tables::{render_comparison, render_surface, render_sweep};
+use abdex::traffic::TrafficLevel;
+use abdex::{
+    optimal_tdvs, sweep_tdvs, DesignPriority, Experiment, PolicyConfig, TdvsGrid,
+    PAPER_RUN_CYCLES,
+};
+use loc::{parse, Analyzer, Checker, Trace};
+
+const USAGE: &str = "\
+abdex — assertion-based design exploration of DVS in NPU architectures
+
+USAGE:
+    abdex <run|sweep|compare|trace|check|analyze|codegen> [OPTIONS]
+
+OPTIONS (where applicable):
+    --benchmark <ipfwdr|url|nat|md4>   benchmark application [ipfwdr]
+    --traffic   <low|medium|high>      traffic level [high]
+    --policy    <nodvs|tdvs|edvs>      DVS policy (run) [nodvs]
+    --threshold <Mbps>                 TDVS top threshold [1000]
+    --window    <cycles>               monitor window [40000]
+    --cycles    <N>                    cycles per configuration [8000000]
+    --seed      <N>                    experiment seed [42]
+    --formula   <text>                 LOC formula (check/analyze/codegen)
+    --trace     <file>                 trace file in NePSim text format
+    --out       <file>                 output path (trace)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "compare" => cmd_compare(&opts),
+        "trace" => cmd_trace(&opts),
+        "check" => cmd_check(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "codegen" => cmd_codegen(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, found '{flag}'"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        opts.insert(name.to_owned(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn benchmark(opts: &Opts) -> Result<Benchmark, String> {
+    match opts.get("benchmark").map(String::as_str) {
+        None | Some("ipfwdr") => Ok(Benchmark::Ipfwdr),
+        Some("url") => Ok(Benchmark::Url),
+        Some("nat") => Ok(Benchmark::Nat),
+        Some("md4") => Ok(Benchmark::Md4),
+        Some(other) => Err(format!("unknown benchmark '{other}'")),
+    }
+}
+
+fn traffic(opts: &Opts) -> Result<TrafficLevel, String> {
+    match opts.get("traffic").map(String::as_str) {
+        Some("low") => Ok(TrafficLevel::Low),
+        Some("medium") => Ok(TrafficLevel::Medium),
+        None | Some("high") => Ok(TrafficLevel::High),
+        Some(other) => Err(format!("unknown traffic level '{other}'")),
+    }
+}
+
+fn number<T: std::str::FromStr>(opts: &Opts, name: &str, default: T) -> Result<T, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad value '{v}'")),
+    }
+}
+
+fn policy(opts: &Opts) -> Result<PolicyConfig, String> {
+    let threshold: f64 = number(opts, "threshold", 1000.0)?;
+    let window: u64 = number(opts, "window", 40_000)?;
+    match opts.get("policy").map(String::as_str) {
+        None | Some("nodvs") => Ok(PolicyConfig::NoDvs),
+        Some("tdvs") => Ok(PolicyConfig::Tdvs(TdvsConfig {
+            top_threshold_mbps: threshold,
+            window_cycles: window,
+        })),
+        Some("edvs") => Ok(PolicyConfig::Edvs(EdvsConfig {
+            idle_threshold: 0.10,
+            window_cycles: window,
+        })),
+        Some(other) => Err(format!("unknown policy '{other}'")),
+    }
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let experiment = Experiment {
+        benchmark: benchmark(opts)?,
+        traffic: traffic(opts)?,
+        policy: policy(opts)?,
+        cycles: number(opts, "cycles", PAPER_RUN_CYCLES)?,
+        seed: number(opts, "seed", 42)?,
+    };
+    let r = experiment.run();
+    println!(
+        "{} @ {} under {} for {} cycles (seed {})",
+        experiment.benchmark,
+        experiment.traffic,
+        r.sim.policy,
+        experiment.cycles,
+        experiment.seed
+    );
+    println!("  offered        : {:9.1} Mbps", r.sim.offered_mbps());
+    println!("  throughput     : {:9.1} Mbps", r.sim.throughput_mbps());
+    println!("  mean power     : {:9.3} W", r.sim.mean_power_w());
+    println!("  p80 power      : {:9.3} W", r.p80_power_w());
+    println!("  p80 throughput : {:9.1} Mbps", r.p80_throughput_mbps());
+    println!("  loss ratio     : {:9.4}", r.sim.loss_ratio());
+    println!("  rx idle        : {:9.3}", r.sim.rx_idle_fraction());
+    println!("  VF switches    : {:9}", r.sim.total_switches);
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let cells = sweep_tdvs(
+        benchmark(opts)?,
+        traffic(opts)?,
+        &TdvsGrid::default(),
+        number(opts, "cycles", PAPER_RUN_CYCLES)?,
+        number(opts, "seed", 42)?,
+    );
+    println!("{}", render_sweep(&cells));
+    println!(
+        "{}",
+        render_surface(&abdex::sweep::power_surface(&cells), "p80 power (W)")
+    );
+    println!(
+        "{}",
+        render_surface(
+            &abdex::sweep::throughput_surface(&cells),
+            "p80 throughput (Mbps)"
+        )
+    );
+    for (p, label) in [
+        (DesignPriority::Performance, "performance"),
+        (DesignPriority::Power, "power"),
+    ] {
+        if let Some(best) = optimal_tdvs(&cells, p) {
+            println!(
+                "optimal ({label}): threshold {} Mbps, window {} cycles",
+                best.threshold_mbps, best.window_cycles
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare(opts: &Opts) -> Result<(), String> {
+    let cfg = ComparisonConfig {
+        cycles: number(opts, "cycles", PAPER_RUN_CYCLES)?,
+        seed: number(opts, "seed", 42)?,
+        ..ComparisonConfig::default()
+    };
+    let cmp = compare_policies(&Benchmark::ALL, &TrafficLevel::ALL, &cfg);
+    println!("{}", render_comparison(&cmp));
+    Ok(())
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let config = NpuConfig::builder()
+        .benchmark(benchmark(opts)?)
+        .seed(number(opts, "seed", 42)?)
+        .traffic(traffic(opts)?)
+        .trace(TraceConfig {
+            emit_fifo: true,
+            emit_pipeline: false,
+        })
+        .build();
+    let mut sim = Simulator::new(config);
+    let _ = sim.run_cycles(number(opts, "cycles", 1_000_000)?);
+    let text = sim.into_trace().to_text();
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {} bytes to {path}", text.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn load_trace(opts: &Opts) -> Result<Trace, String> {
+    let path = opts
+        .get("trace")
+        .ok_or_else(|| "--trace <file> is required".to_owned())?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Trace::from_text(&text)
+}
+
+fn formula(opts: &Opts) -> Result<loc::Formula, String> {
+    let text = opts
+        .get("formula")
+        .ok_or_else(|| "--formula <text> is required".to_owned())?;
+    parse(text).map_err(|e| e.to_string())
+}
+
+fn cmd_check(opts: &Opts) -> Result<(), String> {
+    let formula = formula(opts)?;
+    let trace = load_trace(opts)?;
+    let report = Checker::from_formula(&formula)
+        .map_err(|e| e.to_string())?
+        .check(&trace);
+    println!("formula    : {formula}");
+    println!("instances  : {}", report.instances);
+    println!("violations : {}", report.violation_count);
+    if report.passed() {
+        println!("PASS");
+        Ok(())
+    } else {
+        for v in report.violations.iter().take(10) {
+            println!("  violated at i = {}", v.index);
+        }
+        Err("assertion violated".to_owned())
+    }
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    let formula = formula(opts)?;
+    let trace = load_trace(opts)?;
+    let report = Analyzer::from_formula(&formula)
+        .map_err(|e| e.to_string())?
+        .analyze(&trace);
+    println!("formula   : {formula}");
+    println!("instances : {}", report.total_instances());
+    print!("{}", report.to_table());
+    Ok(())
+}
+
+fn cmd_codegen(opts: &Opts) -> Result<(), String> {
+    let formula = formula(opts)?;
+    print!("{}", loc::codegen::generate(&formula));
+    Ok(())
+}

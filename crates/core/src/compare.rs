@@ -1,0 +1,223 @@
+//! Policy comparison across benchmarks and traffic levels (paper §4.3,
+//! Fig. 11).
+
+use dvs::{EdvsConfig, PolicyKind, TdvsConfig};
+use nepsim::{Benchmark, PolicyConfig};
+use serde::{Deserialize, Serialize};
+use traffic::TrafficLevel;
+
+use crate::experiment::{Experiment, ExperimentResult};
+
+/// One row of the Fig. 11 grid: a benchmark × traffic level × policy
+/// combination with its measured result.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Benchmark application.
+    pub benchmark: Benchmark,
+    /// Traffic level.
+    pub traffic: TrafficLevel,
+    /// Policy family that ran.
+    pub policy: PolicyKind,
+    /// The evaluated experiment.
+    pub result: ExperimentResult,
+}
+
+/// The full Fig. 11 comparison: every benchmark × traffic level, each run
+/// under noDVS, TDVS and EDVS.
+#[derive(Debug, Clone)]
+pub struct PolicyComparison {
+    /// All rows, ordered benchmark-major, then traffic, then policy in
+    /// `[NoDvs, Tdvs, Edvs]` order.
+    pub rows: Vec<ComparisonRow>,
+}
+
+/// The optimal configurations found by the §4.1/§4.2 sweeps, used as the
+/// fixed policy parameters of the §4.3 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonConfig {
+    /// TDVS parameters (the paper's power-priority pick: 1400 Mbps, 40 k).
+    pub tdvs: TdvsConfig,
+    /// EDVS parameters (10 % idle threshold, 40 k window).
+    pub edvs: EdvsConfig,
+    /// Run length per cell, base-clock cycles.
+    pub cycles: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for ComparisonConfig {
+    fn default() -> Self {
+        ComparisonConfig {
+            tdvs: TdvsConfig {
+                top_threshold_mbps: 1400.0,
+                window_cycles: 40_000,
+            },
+            edvs: EdvsConfig::default(),
+            cycles: crate::experiment::PAPER_RUN_CYCLES,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs the Fig. 11 grid: `benchmarks × levels × {noDVS, TDVS, EDVS}`.
+///
+/// # Example
+///
+/// ```
+/// use abdex::compare::{compare_policies, ComparisonConfig};
+/// use abdex::nepsim::Benchmark;
+/// use abdex::traffic::TrafficLevel;
+///
+/// let cfg = ComparisonConfig { cycles: 150_000, ..ComparisonConfig::default() };
+/// let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
+/// assert_eq!(cmp.rows.len(), 3); // one per policy
+/// ```
+#[must_use]
+pub fn compare_policies(
+    benchmarks: &[Benchmark],
+    levels: &[TrafficLevel],
+    config: &ComparisonConfig,
+) -> PolicyComparison {
+    let mut rows = Vec::new();
+    for &benchmark in benchmarks {
+        for &traffic in levels {
+            for policy in [
+                PolicyConfig::NoDvs,
+                PolicyConfig::Tdvs(config.tdvs),
+                PolicyConfig::Edvs(config.edvs),
+            ] {
+                let kind = policy.kind();
+                let result = Experiment {
+                    benchmark,
+                    traffic,
+                    policy,
+                    cycles: config.cycles,
+                    seed: config.seed,
+                }
+                .run();
+                rows.push(ComparisonRow {
+                    benchmark,
+                    traffic,
+                    policy: kind,
+                    result,
+                });
+            }
+        }
+    }
+    PolicyComparison { rows }
+}
+
+impl PolicyComparison {
+    /// Finds the row for an exact combination.
+    #[must_use]
+    pub fn row(
+        &self,
+        benchmark: Benchmark,
+        traffic: TrafficLevel,
+        policy: PolicyKind,
+    ) -> Option<&ComparisonRow> {
+        self.rows
+            .iter()
+            .find(|r| r.benchmark == benchmark && r.traffic == traffic && r.policy == policy)
+    }
+
+    /// Power saving of `policy` relative to the noDVS baseline for a
+    /// combination, as a fraction of baseline mean power. `None` when
+    /// either row is missing.
+    #[must_use]
+    pub fn power_saving(
+        &self,
+        benchmark: Benchmark,
+        traffic: TrafficLevel,
+        policy: PolicyKind,
+    ) -> Option<f64> {
+        let base = self.row(benchmark, traffic, PolicyKind::NoDvs)?;
+        let with = self.row(benchmark, traffic, policy)?;
+        let b = base.result.sim.mean_power_w();
+        let w = with.result.sim.mean_power_w();
+        (b > 0.0).then(|| (b - w) / b)
+    }
+
+    /// Throughput loss of `policy` relative to noDVS, as a fraction of the
+    /// baseline throughput. `None` when either row is missing.
+    #[must_use]
+    pub fn throughput_loss(
+        &self,
+        benchmark: Benchmark,
+        traffic: TrafficLevel,
+        policy: PolicyKind,
+    ) -> Option<f64> {
+        let base = self.row(benchmark, traffic, PolicyKind::NoDvs)?;
+        let with = self.row(benchmark, traffic, policy)?;
+        let b = base.result.sim.throughput_mbps();
+        let w = with.result.sim.throughput_mbps();
+        (b > 0.0).then(|| (b - w) / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cmp(benchmarks: &[Benchmark], levels: &[TrafficLevel]) -> PolicyComparison {
+        let cfg = ComparisonConfig {
+            cycles: 1_200_000,
+            ..ComparisonConfig::default()
+        };
+        compare_policies(benchmarks, levels, &cfg)
+    }
+
+    #[test]
+    fn grid_has_all_rows() {
+        let cmp = quick_cmp(
+            &[Benchmark::Ipfwdr, Benchmark::Nat],
+            &[TrafficLevel::Low, TrafficLevel::High],
+        );
+        assert_eq!(cmp.rows.len(), 2 * 2 * 3);
+        for kind in [PolicyKind::NoDvs, PolicyKind::Tdvs, PolicyKind::Edvs] {
+            assert!(cmp.row(Benchmark::Nat, TrafficLevel::Low, kind).is_some());
+        }
+    }
+
+    #[test]
+    fn nat_gets_no_edvs_savings() {
+        // Paper §4.3: "nat shows no power savings from EDVS under every
+        // traffic pattern".
+        let cmp = quick_cmp(&[Benchmark::Nat], &[TrafficLevel::High]);
+        let saving = cmp
+            .power_saving(Benchmark::Nat, TrafficLevel::High, PolicyKind::Edvs)
+            .unwrap();
+        assert!(saving < 0.03, "nat EDVS saving {saving:.3}");
+    }
+
+    #[test]
+    fn ipfwdr_gets_edvs_savings_at_high_traffic() {
+        let cmp = quick_cmp(&[Benchmark::Ipfwdr], &[TrafficLevel::High]);
+        let saving = cmp
+            .power_saving(Benchmark::Ipfwdr, TrafficLevel::High, PolicyKind::Edvs)
+            .unwrap();
+        assert!(saving > 0.05, "ipfwdr EDVS saving only {saving:.3}");
+    }
+
+    #[test]
+    fn tdvs_saves_more_at_low_traffic() {
+        // Paper §4.3: TDVS's savings shrink as traffic rises.
+        let cmp = quick_cmp(&[Benchmark::Ipfwdr], &[TrafficLevel::Low, TrafficLevel::High]);
+        let low = cmp
+            .power_saving(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyKind::Tdvs)
+            .unwrap();
+        let high = cmp
+            .power_saving(Benchmark::Ipfwdr, TrafficLevel::High, PolicyKind::Tdvs)
+            .unwrap();
+        assert!(low > high, "low-traffic saving {low:.3} !> high {high:.3}");
+    }
+
+    #[test]
+    fn missing_rows_return_none() {
+        let cmp = quick_cmp(&[Benchmark::Nat], &[TrafficLevel::Low]);
+        assert!(cmp.row(Benchmark::Md4, TrafficLevel::Low, PolicyKind::NoDvs).is_none());
+        assert!(cmp
+            .power_saving(Benchmark::Md4, TrafficLevel::Low, PolicyKind::Tdvs)
+            .is_none());
+    }
+}

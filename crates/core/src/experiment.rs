@@ -1,0 +1,178 @@
+//! Single-configuration experiments: simulate, trace, analyze.
+
+use loc::{AnalyzerBank, DistributionReport};
+use nepsim::{Benchmark, NpuConfig, PolicyConfig, SimReport, Simulator};
+use serde::{Deserialize, Serialize};
+use traffic::TrafficLevel;
+
+use crate::formulas::{power_distribution, throughput_distribution, PACKET_WINDOW};
+
+/// The paper's simulation length: 8×10⁶ cycles of the 600 MHz base clock
+/// per configuration (§4.1).
+pub const PAPER_RUN_CYCLES: u64 = 8_000_000;
+
+/// One point in the design space: a benchmark, a traffic level, a DVS
+/// policy, a run length and a seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Benchmark application (§3.1).
+    pub benchmark: Benchmark,
+    /// Traffic sampling period (§3.2).
+    pub traffic: TrafficLevel,
+    /// DVS policy and parameters.
+    pub policy: PolicyConfig,
+    /// Base-clock cycles to simulate ([`PAPER_RUN_CYCLES`] in the paper).
+    pub cycles: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// A paper-length experiment with the given policy on `ipfwdr`.
+    #[must_use]
+    pub fn paper_default(policy: PolicyConfig) -> Self {
+        Experiment {
+            benchmark: Benchmark::Ipfwdr,
+            traffic: TrafficLevel::High,
+            policy,
+            cycles: PAPER_RUN_CYCLES,
+            seed: 42,
+        }
+    }
+
+    /// Builds the simulator configuration for this experiment.
+    #[must_use]
+    pub fn npu_config(&self) -> NpuConfig {
+        NpuConfig::builder()
+            .benchmark(self.benchmark)
+            .seed(self.seed)
+            .traffic(self.traffic)
+            .policy(self.policy.clone())
+            .build()
+    }
+
+    /// Runs the simulation and both paper distribution analyzers.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the canonical paper formulas fail to compile into
+    /// analyzers, which would be a bug in this crate.
+    #[must_use]
+    pub fn run(&self) -> ExperimentResult {
+        let mut sim = Simulator::new(self.npu_config());
+        let report = sim.run_cycles(self.cycles);
+
+        // Both paper formulas evaluate in one pass over the trace.
+        let mut bank = AnalyzerBank::new();
+        let power = bank
+            .add_analyzer(&power_distribution(PACKET_WINDOW))
+            .expect("paper formula (2) is a valid distribution formula");
+        let throughput = bank
+            .add_analyzer(&throughput_distribution(PACKET_WINDOW))
+            .expect("paper formula (3) is a valid distribution formula");
+        let mut results = bank.analyze(sim.trace());
+        // Pop in reverse registration order to move without cloning.
+        debug_assert_eq!((power, throughput), (0, 1));
+        let throughput = results.distributions.pop().expect("two analyzers ran");
+        let power = results.distributions.pop().expect("two analyzers ran");
+        ExperimentResult {
+            experiment: self.clone(),
+            sim: report,
+            power,
+            throughput,
+        }
+    }
+}
+
+/// A simulated configuration together with its analyzed distributions.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The experiment that produced this result.
+    pub experiment: Experiment,
+    /// The simulator's end-of-run summary.
+    pub sim: SimReport,
+    /// Paper formula (2): power per 100 forwarded packets (W).
+    pub power: DistributionReport,
+    /// Paper formula (3): throughput per 100 forwarded packets (Mbps).
+    pub throughput: DistributionReport,
+}
+
+impl ExperimentResult {
+    /// The paper's Fig. 8 quantity: the power below which 80 % of
+    /// formula-(2) instances fall. Falls back to the run's mean power when
+    /// the trace is too short for any 100-packet window.
+    #[must_use]
+    pub fn p80_power_w(&self) -> f64 {
+        self.power.quantile(0.8).unwrap_or_else(|| self.sim.mean_power_w())
+    }
+
+    /// The paper's Fig. 9 quantity: the throughput above which 80 % of
+    /// formula-(3) instances fall. Falls back to the run's mean throughput
+    /// when the trace is too short.
+    #[must_use]
+    pub fn p80_throughput_mbps(&self) -> f64 {
+        self.throughput
+            .quantile_above(0.8)
+            .unwrap_or_else(|| self.sim.throughput_mbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs::TdvsConfig;
+
+    fn quick(policy: PolicyConfig) -> ExperimentResult {
+        Experiment {
+            benchmark: Benchmark::Ipfwdr,
+            traffic: TrafficLevel::High,
+            policy,
+            cycles: 1_500_000,
+            seed: 9,
+        }
+        .run()
+    }
+
+    #[test]
+    fn no_dvs_run_produces_distributions() {
+        let r = quick(PolicyConfig::NoDvs);
+        assert!(r.power.total_instances() > 100, "too few instances");
+        assert!(r.throughput.total_instances() > 100);
+        // noDVS power sits in the paper's analysis period.
+        let p80 = r.p80_power_w();
+        assert!((0.5..2.25).contains(&p80), "p80 power {p80}");
+        let t80 = r.p80_throughput_mbps();
+        assert!((100.0..3300.0).contains(&t80), "p80 throughput {t80}");
+    }
+
+    #[test]
+    fn tdvs_shifts_power_distribution_left() {
+        let base = quick(PolicyConfig::NoDvs);
+        let tdvs = quick(PolicyConfig::Tdvs(TdvsConfig {
+            top_threshold_mbps: 1400.0,
+            window_cycles: 40_000,
+        }));
+        assert!(
+            tdvs.p80_power_w() < base.p80_power_w(),
+            "TDVS {:.3} W !< noDVS {:.3} W",
+            tdvs.p80_power_w(),
+            base.p80_power_w()
+        );
+    }
+
+    #[test]
+    fn experiment_is_reproducible() {
+        let a = quick(PolicyConfig::NoDvs);
+        let b = quick(PolicyConfig::NoDvs);
+        assert_eq!(a.sim.forwarded_packets, b.sim.forwarded_packets);
+        assert_eq!(a.power.total_instances(), b.power.total_instances());
+        assert_eq!(a.p80_power_w().to_bits(), b.p80_power_w().to_bits());
+    }
+
+    #[test]
+    fn paper_default_uses_paper_cycles() {
+        let e = Experiment::paper_default(PolicyConfig::NoDvs);
+        assert_eq!(e.cycles, PAPER_RUN_CYCLES);
+        assert_eq!(e.benchmark, Benchmark::Ipfwdr);
+    }
+}

@@ -1,0 +1,62 @@
+//! **abdex** — assertion-based design exploration of DVS in network
+//! processor architectures.
+//!
+//! This crate is the top of the workspace reproducing Yu et al.,
+//! *"Assertion-Based Design Exploration of DVS in Network Processor
+//! Architectures"* (DATE 2005). It ties together:
+//!
+//! * [`nepsim`] — the IXP1200-style NPU simulator with power estimation,
+//! * [`loc`] — the Logic-of-Constraints assertion language with the
+//!   paper's distribution operators and auto-generated analyzers,
+//! * [`dvs`] — the TDVS/EDVS policies and the XScale VF ladder,
+//! * [`traffic`] — the synthetic NLANR-style IP traffic models,
+//!
+//! and exposes the paper's experiment flow: run a simulation, collect the
+//! trace, apply the LOC distribution formulas (2) and (3), and sweep the
+//! design space to find optimal DVS configurations (§4).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use abdex::{Experiment, PolicyConfig};
+//! use abdex::nepsim::Benchmark;
+//! use abdex::traffic::TrafficLevel;
+//!
+//! let result = Experiment {
+//!     benchmark: Benchmark::Ipfwdr,
+//!     traffic: TrafficLevel::Medium,
+//!     policy: PolicyConfig::NoDvs,
+//!     cycles: 300_000, // the paper runs 8_000_000
+//!     seed: 1,
+//! }
+//! .run();
+//! assert!(result.sim.forwarded_packets > 0);
+//! // Fraction of 100-packet windows with average power below 1.5 W:
+//! let frac = result.power.fraction_le(1.5);
+//! assert!((0.0..=1.0).contains(&frac));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod compare;
+pub mod experiment;
+pub mod formulas;
+pub mod optimal;
+pub mod reference;
+pub mod sweep;
+pub mod tables;
+
+pub use compare::{compare_policies, ComparisonRow, PolicyComparison};
+pub use experiment::{Experiment, ExperimentResult, PAPER_RUN_CYCLES};
+pub use nepsim::PolicyConfig;
+pub use optimal::{optimal_tdvs, DesignPriority};
+pub use sweep::{sweep_tdvs, GridCell, TdvsGrid};
+
+// Re-export the substrate crates so downstream users need only `abdex`.
+pub use desim;
+pub use dvs;
+pub use loc;
+pub use nepsim;
+pub use traffic;

@@ -1,0 +1,182 @@
+//! TDVS design-space sweeps (paper §4.1, Figures 6–9).
+
+use dvs::TdvsConfig;
+use nepsim::{Benchmark, PolicyConfig};
+use serde::{Deserialize, Serialize};
+use traffic::TrafficLevel;
+
+use crate::experiment::{Experiment, ExperimentResult};
+
+/// The grid of TDVS parameters to explore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdvsGrid {
+    /// Top traffic thresholds (Mbps) — the paper compares 800, 1000,
+    /// 1200 and 1400 for `ipfwdr`.
+    pub thresholds_mbps: Vec<f64>,
+    /// Monitor window sizes in base-clock cycles — the paper compares
+    /// 20 k to 80 k.
+    pub windows_cycles: Vec<u64>,
+}
+
+impl Default for TdvsGrid {
+    /// The exact grid of paper Figures 6–9.
+    fn default() -> Self {
+        TdvsGrid {
+            thresholds_mbps: vec![800.0, 1000.0, 1200.0, 1400.0],
+            windows_cycles: vec![20_000, 40_000, 60_000, 80_000],
+        }
+    }
+}
+
+impl TdvsGrid {
+    /// Number of grid cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.thresholds_mbps.len() * self.windows_cycles.len()
+    }
+
+    /// `true` when either axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.thresholds_mbps.is_empty() || self.windows_cycles.is_empty()
+    }
+}
+
+/// One evaluated cell of a TDVS sweep.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// The top threshold of this cell, Mbps.
+    pub threshold_mbps: f64,
+    /// The window size of this cell, cycles.
+    pub window_cycles: u64,
+    /// The evaluated experiment.
+    pub result: ExperimentResult,
+}
+
+/// Runs a full TDVS sweep: one simulation per `(threshold, window)` cell,
+/// all with the same benchmark, traffic, run length and seed.
+///
+/// The paper runs this for `ipfwdr` at 8×10⁶ cycles per cell; pass a
+/// smaller `cycles` for quick exploration.
+///
+/// # Example
+///
+/// ```
+/// use abdex::{sweep_tdvs, TdvsGrid};
+/// use abdex::nepsim::Benchmark;
+/// use abdex::traffic::TrafficLevel;
+///
+/// let grid = TdvsGrid {
+///     thresholds_mbps: vec![1000.0],
+///     windows_cycles: vec![40_000],
+/// };
+/// let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, 200_000, 1);
+/// assert_eq!(cells.len(), 1);
+/// ```
+#[must_use]
+pub fn sweep_tdvs(
+    benchmark: Benchmark,
+    traffic: TrafficLevel,
+    grid: &TdvsGrid,
+    cycles: u64,
+    seed: u64,
+) -> Vec<GridCell> {
+    let mut cells = Vec::with_capacity(grid.len());
+    for &threshold in &grid.thresholds_mbps {
+        for &window in &grid.windows_cycles {
+            let result = Experiment {
+                benchmark,
+                traffic,
+                policy: PolicyConfig::Tdvs(TdvsConfig {
+                    top_threshold_mbps: threshold,
+                    window_cycles: window,
+                }),
+                cycles,
+                seed,
+            }
+            .run();
+            cells.push(GridCell {
+                threshold_mbps: threshold,
+                window_cycles: window,
+                result,
+            });
+        }
+    }
+    cells
+}
+
+/// The Fig. 8 surface: for each cell, the power value below which 80 % of
+/// formula-(2) instances fall. Returned as `(threshold, window, power)`
+/// triples in sweep order.
+#[must_use]
+pub fn power_surface(cells: &[GridCell]) -> Vec<(f64, u64, f64)> {
+    cells
+        .iter()
+        .map(|c| (c.threshold_mbps, c.window_cycles, c.result.p80_power_w()))
+        .collect()
+}
+
+/// The Fig. 9 surface: for each cell, the throughput above which 80 % of
+/// formula-(3) instances fall, as `(threshold, window, mbps)` triples.
+#[must_use]
+pub fn throughput_surface(cells: &[GridCell]) -> Vec<(f64, u64, f64)> {
+    cells
+        .iter()
+        .map(|c| {
+            (
+                c.threshold_mbps,
+                c.window_cycles,
+                c.result.p80_throughput_mbps(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_matches_paper() {
+        let g = TdvsGrid::default();
+        assert_eq!(g.thresholds_mbps, vec![800.0, 1000.0, 1200.0, 1400.0]);
+        assert_eq!(g.windows_cycles, vec![20_000, 40_000, 60_000, 80_000]);
+        assert_eq!(g.len(), 16);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn sweep_covers_every_cell() {
+        let grid = TdvsGrid {
+            thresholds_mbps: vec![1000.0, 1400.0],
+            windows_cycles: vec![20_000, 80_000],
+        };
+        let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::Medium, &grid, 400_000, 3);
+        assert_eq!(cells.len(), 4);
+        let combos: Vec<(f64, u64)> = cells
+            .iter()
+            .map(|c| (c.threshold_mbps, c.window_cycles))
+            .collect();
+        assert!(combos.contains(&(1000.0, 20_000)));
+        assert!(combos.contains(&(1400.0, 80_000)));
+    }
+
+    #[test]
+    fn surfaces_have_one_point_per_cell() {
+        let grid = TdvsGrid {
+            thresholds_mbps: vec![1200.0],
+            windows_cycles: vec![40_000, 60_000],
+        };
+        let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, 400_000, 3);
+        let power = power_surface(&cells);
+        let tput = throughput_surface(&cells);
+        assert_eq!(power.len(), 2);
+        assert_eq!(tput.len(), 2);
+        for &(_, _, w) in &power {
+            assert!(w > 0.2 && w < 3.0, "implausible power {w}");
+        }
+        for &(_, _, t) in &tput {
+            assert!(t > 0.0, "implausible throughput {t}");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Text rendering of figures and tables — the workspace's stand-in for
+//! the paper's gnuplot output.
+
+use loc::DistributionReport;
+
+use crate::compare::PolicyComparison;
+use crate::sweep::GridCell;
+
+/// Renders a cumulative "fraction of instances ≤ x" curve (Fig. 6 style)
+/// sampled at `points` evenly spaced x values over `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `lo >= hi`.
+#[must_use]
+pub fn render_cdf(report: &DistributionReport, lo: f64, hi: f64, points: usize) -> String {
+    assert!(points >= 2, "need at least two sample points");
+    assert!(lo < hi, "lo must be below hi");
+    let mut out = String::from("x fraction_le\n");
+    for k in 0..points {
+        let x = lo + (hi - lo) * k as f64 / (points - 1) as f64;
+        out.push_str(&format!("{x:.4} {:.4}\n", report.fraction_le(x)));
+    }
+    out
+}
+
+/// Renders a complementary "fraction of instances ≥ x" curve (Fig. 7
+/// style).
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `lo >= hi`.
+#[must_use]
+pub fn render_ccdf(report: &DistributionReport, lo: f64, hi: f64, points: usize) -> String {
+    assert!(points >= 2, "need at least two sample points");
+    assert!(lo < hi, "lo must be below hi");
+    let mut out = String::from("x fraction_ge\n");
+    for k in 0..points {
+        let x = lo + (hi - lo) * k as f64 / (points - 1) as f64;
+        out.push_str(&format!("{x:.4} {:.4}\n", report.fraction_ge(x)));
+    }
+    out
+}
+
+/// Renders a Fig. 8/9-style surface as a table: one row per threshold, one
+/// column per window size.
+///
+/// `surface` is `(threshold, window, value)` triples as produced by
+/// [`crate::sweep::power_surface`] / [`crate::sweep::throughput_surface`].
+#[must_use]
+pub fn render_surface(surface: &[(f64, u64, f64)], value_label: &str) -> String {
+    let mut thresholds: Vec<f64> = surface.iter().map(|s| s.0).collect();
+    thresholds.dedup();
+    let mut windows: Vec<u64> = surface.iter().map(|s| s.1).collect();
+    windows.sort_unstable();
+    windows.dedup();
+
+    let mut out = format!("{value_label} by threshold (rows) x window (cols)\n");
+    out.push_str("threshold\\window");
+    for w in &windows {
+        out.push_str(&format!(" {w:>9}"));
+    }
+    out.push('\n');
+    for &t in &thresholds {
+        out.push_str(&format!("{t:>16.0}"));
+        for &w in &windows {
+            let v = surface
+                .iter()
+                .find(|s| s.0 == t && s.1 == w)
+                .map_or(f64::NAN, |s| s.2);
+            out.push_str(&format!(" {v:>9.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 11 comparison as a table of mean power (W) per
+/// benchmark × traffic × policy, with savings vs. noDVS.
+#[must_use]
+pub fn render_comparison(cmp: &PolicyComparison) -> String {
+    let mut out = String::from(
+        "benchmark traffic policy mean_power_w saving_vs_nodvs throughput_mbps\n",
+    );
+    for row in &cmp.rows {
+        let saving = cmp
+            .power_saving(row.benchmark, row.traffic, row.policy)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:>9} {:>7} {:>6} {:>12.3} {:>15.1}% {:>15.1}\n",
+            row.benchmark.to_string(),
+            row.traffic.to_string(),
+            row.policy.to_string(),
+            row.result.sim.mean_power_w(),
+            saving * 100.0,
+            row.result.sim.throughput_mbps(),
+        ));
+    }
+    out
+}
+
+/// Renders a sweep's per-cell summary (thresholds, windows, p80 power and
+/// throughput, switch counts).
+#[must_use]
+pub fn render_sweep(cells: &[GridCell]) -> String {
+    let mut out =
+        String::from("threshold_mbps window_cycles p80_power_w p80_tput_mbps switches\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{:>14.0} {:>13} {:>11.3} {:>13.1} {:>8}\n",
+            c.threshold_mbps,
+            c.window_cycles,
+            c.result.p80_power_w(),
+            c.result.p80_throughput_mbps(),
+            c.result.sim.total_switches,
+        ));
+    }
+    out
+}
+
+/// Renders a distribution's cumulative curve as CSV (`x,fraction`), ready
+/// for gnuplot/matplotlib — the workspace's equivalent of the paper's
+/// plotted series.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `lo >= hi`.
+#[must_use]
+pub fn render_cdf_csv(report: &DistributionReport, lo: f64, hi: f64, points: usize) -> String {
+    assert!(points >= 2, "need at least two sample points");
+    assert!(lo < hi, "lo must be below hi");
+    let mut out = String::from("x,fraction_le\n");
+    for k in 0..points {
+        let x = lo + (hi - lo) * k as f64 / (points - 1) as f64;
+        out.push_str(&format!("{x},{}\n", report.fraction_le(x)));
+    }
+    out
+}
+
+/// Renders a Fig. 8/9-style surface as CSV (`threshold,window,value`).
+#[must_use]
+pub fn render_surface_csv(surface: &[(f64, u64, f64)], value_label: &str) -> String {
+    let mut out = format!("threshold_mbps,window_cycles,{value_label}\n");
+    for &(t, w, v) in surface {
+        out.push_str(&format!("{t},{w},{v}\n"));
+    }
+    out
+}
+
+/// Renders the Fig. 11 comparison as CSV.
+#[must_use]
+pub fn render_comparison_csv(cmp: &PolicyComparison) -> String {
+    let mut out = String::from(
+        "benchmark,traffic,policy,mean_power_w,saving_vs_nodvs,throughput_mbps\n",
+    );
+    for row in &cmp.rows {
+        let saving = cmp
+            .power_saving(row.benchmark, row.traffic, row.policy)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            row.benchmark,
+            row.traffic,
+            row.policy,
+            row.result.sim.mean_power_w(),
+            saving,
+            row.result.sim.throughput_mbps(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::{compare_policies, ComparisonConfig};
+    use crate::formulas::power_distribution;
+    use loc::{Analyzer, Annotations, TraceRecord};
+    use nepsim::Benchmark;
+    use traffic::TrafficLevel;
+
+    fn tiny_report() -> DistributionReport {
+        let mut a = Analyzer::from_formula(&power_distribution(1)).unwrap();
+        for k in 0..50u64 {
+            let annots = Annotations {
+                time: k as f64,
+                energy: k as f64 * 1.2, // constant 1.2 W
+                ..Annotations::default()
+            };
+            a.push(&TraceRecord::new("forward", annots));
+        }
+        a.finish()
+    }
+
+    #[test]
+    fn cdf_rendering_is_monotone() {
+        let text = render_cdf(&tiny_report(), 0.5, 2.25, 10);
+        let fracs: Vec<f64> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(fracs.len(), 10);
+        assert!(fracs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ccdf_rendering_is_antitone() {
+        let text = render_ccdf(&tiny_report(), 0.5, 2.25, 10);
+        let fracs: Vec<f64> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(fracs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn surface_table_lists_all_cells() {
+        let surface = vec![
+            (800.0, 20_000, 1.0),
+            (800.0, 40_000, 1.1),
+            (1000.0, 20_000, 1.2),
+            (1000.0, 40_000, 1.3),
+        ];
+        let text = render_surface(&surface, "power");
+        assert!(text.contains("800"));
+        assert!(text.contains("1000"));
+        assert!(text.contains("1.300"));
+        assert_eq!(text.lines().count(), 2 + 2);
+    }
+
+    #[test]
+    fn comparison_table_renders() {
+        let cfg = ComparisonConfig {
+            cycles: 150_000,
+            ..ComparisonConfig::default()
+        };
+        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
+        let text = render_comparison(&cmp);
+        assert!(text.contains("nat"));
+        assert!(text.contains("noDVS"));
+        assert!(text.contains("TDVS"));
+        assert!(text.contains("EDVS"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sample points")]
+    fn cdf_rejects_single_point() {
+        let _ = render_cdf(&tiny_report(), 0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn csv_renderers_produce_parsable_rows() {
+        let csv = render_cdf_csv(&tiny_report(), 0.5, 2.25, 5);
+        assert_eq!(csv.lines().count(), 6);
+        for line in csv.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 2);
+            let _: f64 = cols[0].parse().unwrap();
+            let _: f64 = cols[1].parse().unwrap();
+        }
+
+        let surface = vec![(800.0, 20_000u64, 1.1), (1000.0, 40_000, 1.2)];
+        let csv = render_surface_csv(&surface, "p80_power_w");
+        assert!(csv.starts_with("threshold_mbps,window_cycles,p80_power_w\n"));
+        assert!(csv.contains("800,20000,1.1"));
+
+        let cfg = ComparisonConfig {
+            cycles: 150_000,
+            ..ComparisonConfig::default()
+        };
+        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
+        let csv = render_comparison_csv(&cmp);
+        assert_eq!(csv.lines().count(), 4); // header + 3 policies
+        assert!(csv.contains("nat,low,noDVS,"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the `abdex` command-line binary.
+
+use std::process::Command;
+
+fn abdex() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_abdex"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = abdex().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("sweep"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = abdex().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = abdex().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn run_reports_metrics() {
+    let out = abdex()
+        .args([
+            "run",
+            "--benchmark",
+            "nat",
+            "--traffic",
+            "low",
+            "--cycles",
+            "200000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mean power"));
+    assert!(text.contains("throughput"));
+}
+
+#[test]
+fn run_rejects_bad_benchmark() {
+    let out = abdex()
+        .args(["run", "--benchmark", "quake"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn trace_check_analyze_pipeline() {
+    let dir = std::env::temp_dir().join(format!("abdex-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let trace_path = dir.join("trace.txt");
+
+    let out = abdex()
+        .args([
+            "trace",
+            "--cycles",
+            "200000",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace_path.exists());
+
+    // A true assertion passes (exit 0)...
+    let out = abdex()
+        .args([
+            "check",
+            "--formula",
+            "energy(forward[i+1]) - energy(forward[i]) >= 0",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+
+    // ...a false one fails (exit 1).
+    let out = abdex()
+        .args([
+            "check",
+            "--formula",
+            "energy(forward[i+1]) - energy(forward[i]) < 0",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    // The analyzer prints a distribution table.
+    let out = abdex()
+        .args([
+            "analyze",
+            "--formula",
+            "time(forward[i+10]) - time(forward[i]) dist== (0, 200, 20)",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("%"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn codegen_emits_rust_source() {
+    let out = abdex()
+        .args([
+            "codegen",
+            "--formula",
+            "cycle(deq[i]) - cycle(enq[i]) <= 50",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fn main()"));
+}

@@ -1,0 +1,111 @@
+//! Dynamic voltage scaling (DVS) policies for the NPU model.
+//!
+//! This crate implements the two policies studied in the paper as *pure*
+//! state machines, independent of the simulator that drives them:
+//!
+//! * **TDVS** ([`Tdvs`]) — traffic-based DVS: the aggregate traffic volume
+//!   observed at the device ports over a monitor window is compared with a
+//!   per-level threshold (paper Fig. 5) and the whole processor's
+//!   voltage/frequency (VF) steps down or up by one level.
+//! * **EDVS** ([`Edvs`]) — execution-based DVS: each microengine compares
+//!   its own idle-time fraction over the window with a threshold (10 % in
+//!   the paper) and scales its VF independently.
+//!
+//! Both operate on the XScale-style VF ladder of [`VfLadder::xscale_npu`]:
+//! 400–600 MHz in 50 MHz steps, 1.1–1.3 V, and both pay the paper's
+//! [`SWITCH_PENALTY`] of 10 µs (6000 cycles at 600 MHz) per VF change.
+//!
+//! # Example
+//!
+//! ```
+//! use dvs::{ScalingDecision, Tdvs, TdvsConfig, VfLadder};
+//!
+//! let ladder = VfLadder::xscale_npu();
+//! let mut tdvs = Tdvs::new(TdvsConfig {
+//!     top_threshold_mbps: 1000.0,
+//!     window_cycles: 40_000,
+//! }, ladder.clone());
+//!
+//! // Light traffic: the policy steps the processor down.
+//! assert_eq!(tdvs.on_window(500.0), ScalingDecision::Down);
+//! assert_eq!(tdvs.level().freq_mhz, 550);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod combined;
+mod edvs;
+mod tdvs;
+mod vf;
+
+pub use combined::{Combined, CombinedConfig};
+pub use edvs::{Edvs, EdvsConfig};
+pub use tdvs::{HysteresisTdvsConfig, Tdvs, TdvsConfig};
+pub use vf::{VfLadder, VfPoint};
+
+use desim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock stall paid by an affected microengine on every VF switch
+/// (paper §4.1: 10 µs, i.e. 6000 cycles at the normal 600 MHz frequency).
+pub const SWITCH_PENALTY: SimTime = SimTime::from_us(10);
+
+/// Energy overhead of the TDVS traffic monitor per arriving packet, in
+/// microjoules: one 32-bit add + compare per packet (paper §4.1 reports the
+/// total monitor overhead as < 1 % of chip power; a 32-bit adder event at
+/// 0.13 µm is on the order of a few picojoules).
+pub const MONITOR_ADDER_ENERGY_UJ: f64 = 8.0e-6;
+
+/// What a DVS policy asks the platform to do at a window boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalingDecision {
+    /// Step one VF level up (higher frequency/voltage).
+    Up,
+    /// Step one VF level down (lower frequency/voltage).
+    Down,
+    /// Stay at the current level (also returned when a step is requested
+    /// but the ladder bound is already reached).
+    Hold,
+}
+
+/// Identifies which policy an experiment runs — `NoDvs` is the paper's
+/// baseline NPU with scaling disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No DVS: the processor stays at the top VF level.
+    NoDvs,
+    /// Traffic-based DVS.
+    Tdvs,
+    /// Execution-based DVS.
+    Edvs,
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PolicyKind::NoDvs => "noDVS",
+            PolicyKind::Tdvs => "TDVS",
+            PolicyKind::Edvs => "EDVS",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_penalty_matches_paper() {
+        // 10us at 600MHz = 6000 cycles.
+        let f = desim::Frequency::from_mhz(600);
+        assert_eq!(f.time_to_cycles(SWITCH_PENALTY), 6000);
+    }
+
+    #[test]
+    fn policy_kind_display() {
+        assert_eq!(PolicyKind::NoDvs.to_string(), "noDVS");
+        assert_eq!(PolicyKind::Tdvs.to_string(), "TDVS");
+        assert_eq!(PolicyKind::Edvs.to_string(), "EDVS");
+    }
+}

@@ -1,0 +1,193 @@
+//! Single-pass evaluation of many formulas over one trace.
+//!
+//! Design exploration runs several analyses per simulation (the paper
+//! applies formulas (2) and (3) to every trace, plus ad-hoc assertions).
+//! [`AnalyzerBank`] feeds each record to every registered checker and
+//! analyzer in one pass, so the trace is traversed once however many
+//! formulas are attached.
+
+use crate::analyzer::{Analyzer, DistributionReport};
+use crate::ast::Formula;
+use crate::checker::{CheckReport, Checker};
+use crate::error::EvalError;
+use crate::trace::{Trace, TraceRecord};
+
+/// A set of checkers and analyzers evaluated together.
+///
+/// # Example
+///
+/// ```
+/// use loc::bank::AnalyzerBank;
+/// use loc::{parse, Annotations, TraceRecord};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut bank = AnalyzerBank::new();
+/// let power = bank.add_analyzer(&parse("energy(fw[i+1]) - energy(fw[i]) dist== (0, 10, 1)")?)?;
+/// let mono = bank.add_checker(&parse("energy(fw[i+1]) - energy(fw[i]) >= 0")?)?;
+///
+/// for k in 0..50u64 {
+///     let a = Annotations { energy: k as f64 * 2.0, ..Annotations::default() };
+///     bank.push(&TraceRecord::new("fw", a));
+/// }
+/// let results = bank.finish();
+/// assert!(results.check_reports[mono].passed());
+/// assert_eq!(results.distributions[power].total_instances(), 49);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct AnalyzerBank {
+    analyzers: Vec<Analyzer>,
+    checkers: Vec<Checker>,
+}
+
+/// The combined output of a bank run, indexed by the handles returned at
+/// registration time.
+#[derive(Debug)]
+pub struct BankResults {
+    /// Distribution reports, in [`AnalyzerBank::add_analyzer`] order.
+    pub distributions: Vec<DistributionReport>,
+    /// Check reports, in [`AnalyzerBank::add_checker`] order.
+    pub check_reports: Vec<CheckReport>,
+}
+
+impl AnalyzerBank {
+    /// Creates an empty bank.
+    #[must_use]
+    pub fn new() -> Self {
+        AnalyzerBank::default()
+    }
+
+    /// Registers a distribution formula; returns its index into
+    /// [`BankResults::distributions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Analyzer::from_formula`] errors.
+    pub fn add_analyzer(&mut self, formula: &Formula) -> Result<usize, EvalError> {
+        self.analyzers.push(Analyzer::from_formula(formula)?);
+        Ok(self.analyzers.len() - 1)
+    }
+
+    /// Registers an assertion formula; returns its index into
+    /// [`BankResults::check_reports`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Checker::from_formula`] errors.
+    pub fn add_checker(&mut self, formula: &Formula) -> Result<usize, EvalError> {
+        self.checkers.push(Checker::from_formula(formula)?);
+        Ok(self.checkers.len() - 1)
+    }
+
+    /// Number of registered tools.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.analyzers.len() + self.checkers.len()
+    }
+
+    /// `true` when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.analyzers.is_empty() && self.checkers.is_empty()
+    }
+
+    /// Feeds one record to every registered tool.
+    pub fn push(&mut self, record: &TraceRecord) {
+        for a in &mut self.analyzers {
+            a.push(record);
+        }
+        for c in &mut self.checkers {
+            c.push(record);
+        }
+    }
+
+    /// Runs the whole trace through the bank and returns all results.
+    #[must_use]
+    pub fn analyze(mut self, trace: &Trace) -> BankResults {
+        for record in trace {
+            self.push(record);
+        }
+        self.finish()
+    }
+
+    /// Finalises every tool.
+    #[must_use]
+    pub fn finish(self) -> BankResults {
+        BankResults {
+            distributions: self.analyzers.into_iter().map(Analyzer::finish).collect(),
+            check_reports: self.checkers.into_iter().map(Checker::finish).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::trace::Annotations;
+
+    fn trace() -> Trace {
+        (0..100u64)
+            .map(|k| {
+                TraceRecord::new(
+                    "fw",
+                    Annotations {
+                        cycle: k * 10,
+                        time: k as f64,
+                        energy: k as f64 * 1.5,
+                        ..Annotations::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bank_matches_individual_tools() {
+        let dist_f = parse("time(fw[i+10]) - time(fw[i]) dist== (0, 20, 1)").unwrap();
+        let check_f = parse("cycle(fw[i+1]) - cycle(fw[i]) == 10").unwrap();
+
+        let mut bank = AnalyzerBank::new();
+        let d = bank.add_analyzer(&dist_f).unwrap();
+        let c = bank.add_checker(&check_f).unwrap();
+        assert_eq!(bank.len(), 2);
+        let results = bank.analyze(&trace());
+
+        let solo_dist = Analyzer::from_formula(&dist_f).unwrap().analyze(&trace());
+        let solo_check = Checker::from_formula(&check_f).unwrap().check(&trace());
+        assert_eq!(results.distributions[d], solo_dist);
+        assert_eq!(results.check_reports[c], solo_check);
+    }
+
+    #[test]
+    fn empty_bank_is_fine() {
+        let bank = AnalyzerBank::new();
+        assert!(bank.is_empty());
+        let results = bank.analyze(&trace());
+        assert!(results.distributions.is_empty());
+        assert!(results.check_reports.is_empty());
+    }
+
+    #[test]
+    fn kind_mismatches_are_rejected() {
+        let mut bank = AnalyzerBank::new();
+        let dist_f = parse("time(fw[i]) dist== (0, 1, 0.5)").unwrap();
+        let check_f = parse("time(fw[i]) >= 0").unwrap();
+        assert!(bank.add_analyzer(&check_f).is_err());
+        assert!(bank.add_checker(&dist_f).is_err());
+        assert!(bank.is_empty());
+    }
+
+    #[test]
+    fn handles_index_in_registration_order() {
+        let mut bank = AnalyzerBank::new();
+        let a = bank
+            .add_analyzer(&parse("time(fw[i]) dist== (0, 1, 0.5)").unwrap())
+            .unwrap();
+        let b = bank
+            .add_analyzer(&parse("energy(fw[i]) dist== (0, 1, 0.5)").unwrap())
+            .unwrap();
+        assert_eq!((a, b), (0, 1));
+    }
+}

@@ -1,0 +1,281 @@
+//! Ergonomic programmatic construction of LOC formulas.
+//!
+//! The text syntax ([`crate::parse`]) is convenient for configuration
+//! files; this builder is convenient for Rust code that assembles formulas
+//! from runtime parameters (e.g. the paper's parameter sweeps, where the
+//! analysis period depends on the experiment).
+//!
+//! # Example
+//!
+//! ```
+//! use loc::builder::{annot, con};
+//! use loc::AnnotKey;
+//!
+//! // Paper formula (2): average power per 100 forwarded packets.
+//! let de = annot(AnnotKey::Energy, "forward", 100) - annot(AnnotKey::Energy, "forward", 0);
+//! let dt = annot(AnnotKey::Time, "forward", 100) - annot(AnnotKey::Time, "forward", 0);
+//! let formula = (de / dt).dist_eq(0.5, 2.25, 0.01);
+//! assert_eq!(formula.events(), vec!["forward".to_owned()]);
+//! # let _ = con(1.0);
+//! ```
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::ast::{AnnotKey, BinOp, BoolExpr, CmpOp, DistRel, Expr, Formula};
+
+/// A buildable expression: a thin wrapper over [`Expr`] with operator
+/// overloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExprBuilder(pub Expr);
+
+/// An annotation access `key(event[i + offset])`.
+#[must_use]
+pub fn annot(key: AnnotKey, event: impl Into<String>, offset: i64) -> ExprBuilder {
+    ExprBuilder(Expr::annot(key, event, offset))
+}
+
+/// A numeric constant.
+#[must_use]
+pub fn con(value: f64) -> ExprBuilder {
+    ExprBuilder(Expr::Const(value))
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl $trait for ExprBuilder {
+            type Output = ExprBuilder;
+            fn $method(self, rhs: ExprBuilder) -> ExprBuilder {
+                ExprBuilder(Expr::Binary {
+                    op: $op,
+                    lhs: Box::new(self.0),
+                    rhs: Box::new(rhs.0),
+                })
+            }
+        }
+        impl $trait<f64> for ExprBuilder {
+            type Output = ExprBuilder;
+            fn $method(self, rhs: f64) -> ExprBuilder {
+                self.$method(con(rhs))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, BinOp::Add);
+impl_binop!(Sub, sub, BinOp::Sub);
+impl_binop!(Mul, mul, BinOp::Mul);
+impl_binop!(Div, div, BinOp::Div);
+
+impl Neg for ExprBuilder {
+    type Output = ExprBuilder;
+    fn neg(self) -> ExprBuilder {
+        ExprBuilder(Expr::Neg(Box::new(self.0)))
+    }
+}
+
+impl ExprBuilder {
+    /// Extracts the built [`Expr`].
+    #[must_use]
+    pub fn into_expr(self) -> Expr {
+        self.0
+    }
+
+    fn cmp(self, op: CmpOp, rhs: ExprBuilder) -> BoolBuilder {
+        BoolBuilder(BoolExpr::Cmp {
+            op,
+            lhs: self.0,
+            rhs: rhs.0,
+        })
+    }
+
+    /// `self <= rhs` assertion.
+    #[must_use]
+    pub fn le(self, rhs: impl IntoExprBuilder) -> BoolBuilder {
+        self.cmp(CmpOp::Le, rhs.into_builder())
+    }
+
+    /// `self < rhs` assertion.
+    #[must_use]
+    pub fn lt(self, rhs: impl IntoExprBuilder) -> BoolBuilder {
+        self.cmp(CmpOp::Lt, rhs.into_builder())
+    }
+
+    /// `self >= rhs` assertion.
+    #[must_use]
+    pub fn ge(self, rhs: impl IntoExprBuilder) -> BoolBuilder {
+        self.cmp(CmpOp::Ge, rhs.into_builder())
+    }
+
+    /// `self > rhs` assertion.
+    #[must_use]
+    pub fn gt(self, rhs: impl IntoExprBuilder) -> BoolBuilder {
+        self.cmp(CmpOp::Gt, rhs.into_builder())
+    }
+
+    /// `self == rhs` assertion (exact floating-point equality).
+    #[must_use]
+    pub fn eq(self, rhs: impl IntoExprBuilder) -> BoolBuilder {
+        self.cmp(CmpOp::Eq, rhs.into_builder())
+    }
+
+    /// `self != rhs` assertion.
+    #[must_use]
+    pub fn ne(self, rhs: impl IntoExprBuilder) -> BoolBuilder {
+        self.cmp(CmpOp::Ne, rhs.into_builder())
+    }
+
+    /// Builds a `dist==` distribution formula over `(min, max, step)`.
+    #[must_use]
+    pub fn dist_eq(self, min: f64, max: f64, step: f64) -> Formula {
+        self.dist(DistRel::Eq, min, max, step)
+    }
+
+    /// Builds a `dist<=` distribution formula over `(min, max, step)`.
+    #[must_use]
+    pub fn dist_le(self, min: f64, max: f64, step: f64) -> Formula {
+        self.dist(DistRel::Le, min, max, step)
+    }
+
+    /// Builds a `dist>=` distribution formula over `(min, max, step)`.
+    #[must_use]
+    pub fn dist_ge(self, min: f64, max: f64, step: f64) -> Formula {
+        self.dist(DistRel::Ge, min, max, step)
+    }
+
+    fn dist(self, rel: DistRel, min: f64, max: f64, step: f64) -> Formula {
+        Formula::Dist {
+            expr: self.0,
+            rel,
+            min,
+            max,
+            step,
+        }
+    }
+}
+
+/// Values convertible into an [`ExprBuilder`] — builders themselves and
+/// bare `f64` constants.
+pub trait IntoExprBuilder {
+    /// Performs the conversion.
+    fn into_builder(self) -> ExprBuilder;
+}
+
+impl IntoExprBuilder for ExprBuilder {
+    fn into_builder(self) -> ExprBuilder {
+        self
+    }
+}
+
+impl IntoExprBuilder for f64 {
+    fn into_builder(self) -> ExprBuilder {
+        con(self)
+    }
+}
+
+/// A buildable boolean constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoolBuilder(pub BoolExpr);
+
+impl BoolBuilder {
+    /// Logical conjunction.
+    #[must_use]
+    pub fn and(self, rhs: BoolBuilder) -> BoolBuilder {
+        BoolBuilder(BoolExpr::And(Box::new(self.0), Box::new(rhs.0)))
+    }
+
+    /// Logical disjunction.
+    #[must_use]
+    pub fn or(self, rhs: BoolBuilder) -> BoolBuilder {
+        BoolBuilder(BoolExpr::Or(Box::new(self.0), Box::new(rhs.0)))
+    }
+
+    /// Logical negation.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // `!` on a builder reads worse
+    pub fn not(self) -> BoolBuilder {
+        BoolBuilder(BoolExpr::Not(Box::new(self.0)))
+    }
+
+    /// Finishes the assertion formula.
+    #[must_use]
+    pub fn assert(self) -> Formula {
+        Formula::Assert(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn builder_matches_parsed_formula_2() {
+        let de = annot(AnnotKey::Energy, "forward", 100) - annot(AnnotKey::Energy, "forward", 0);
+        let dt = annot(AnnotKey::Time, "forward", 100) - annot(AnnotKey::Time, "forward", 0);
+        let built = (de / dt).dist_eq(0.5, 2.25, 0.01);
+        let parsed = parse(
+            "(energy(forward[i+100]) - energy(forward[i])) / \
+             (time(forward[i+100]) - time(forward[i])) dist== (0.5, 2.25, 0.01)",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn builder_matches_parsed_latency_assertion() {
+        let built = (annot(AnnotKey::Cycle, "deq", 0) - annot(AnnotKey::Cycle, "enq", 0))
+            .le(50.0)
+            .assert();
+        let parsed = parse("cycle(deq[i]) - cycle(enq[i]) <= 50").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn all_comparison_builders() {
+        let a = || annot(AnnotKey::Time, "e", 0);
+        for (b, text) in [
+            (a().le(1.0), "time(e[i]) <= 1"),
+            (a().lt(1.0), "time(e[i]) < 1"),
+            (a().ge(1.0), "time(e[i]) >= 1"),
+            (a().gt(1.0), "time(e[i]) > 1"),
+            (a().eq(1.0), "time(e[i]) == 1"),
+            (a().ne(1.0), "time(e[i]) != 1"),
+        ] {
+            assert_eq!(b.assert(), parse(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn boolean_connectives_and_arithmetic() {
+        let a = || annot(AnnotKey::Time, "e", 0);
+        let built = a().ge(0.0).and(a().le(5.0)).or(a().eq(9.0).not()).assert();
+        let parsed = parse("(time(e[i]) >= 0 && time(e[i]) <= 5) || !(time(e[i]) == 9)").unwrap();
+        assert_eq!(built, parsed);
+
+        let arith = ((con(2.0) * a() + 1.0 - 0.5) / 2.0).into_expr();
+        let parsed = parse("(2 * time(e[i]) + 1 - 0.5) / 2 >= 0").unwrap();
+        let crate::Formula::Assert(crate::BoolExpr::Cmp { lhs, .. }) = parsed else {
+            unreachable!()
+        };
+        assert_eq!(arith, lhs);
+    }
+
+    #[test]
+    fn negation_builder() {
+        let built = (-annot(AnnotKey::Energy, "e", 0)).into_expr();
+        assert_eq!(built.to_string(), "-(energy(e[i]))");
+    }
+
+    #[test]
+    fn dist_variants() {
+        let a = || annot(AnnotKey::Time, "e", 0);
+        assert!(matches!(
+            a().dist_le(0.0, 1.0, 0.1),
+            Formula::Dist { rel: DistRel::Le, .. }
+        ));
+        assert!(matches!(
+            a().dist_ge(0.0, 1.0, 0.1),
+            Formula::Dist { rel: DistRel::Ge, .. }
+        ));
+    }
+}

@@ -1,0 +1,285 @@
+//! Streaming instance evaluation shared by the checker and the analyzer.
+//!
+//! A formula quantifies over the index variable `i`. Instance `i` is
+//! evaluable once, for every event `e` it references, the `(i + max_offset(e))`-th
+//! instance of `e` has been observed. This module buffers just enough of
+//! each referenced event stream (a sliding window of `max_offset - min_offset + 1`
+//! annotations) to evaluate instances in order while the trace streams
+//! through — memory use is O(window), not O(trace).
+
+use std::collections::VecDeque;
+
+use crate::ast::{AnnotKey, BinOp, BoolExpr, Expr, Formula};
+use crate::error::EvalError;
+use crate::trace::{Annotations, TraceRecord};
+
+/// Per-event sliding window of annotations.
+#[derive(Debug)]
+struct EventBuf {
+    name: String,
+    min_off: i64,
+    max_off: i64,
+    /// Instance index of the front of `buf`.
+    base: i64,
+    buf: VecDeque<Annotations>,
+    /// Total instances of this event seen so far.
+    count: i64,
+}
+
+/// Buffers referenced event streams and yields evaluable instances in
+/// index order.
+#[derive(Debug)]
+pub(crate) struct EventWindow {
+    events: Vec<EventBuf>,
+    next_i: i64,
+}
+
+impl EventWindow {
+    /// Builds a window from a formula's annotation references.
+    ///
+    /// Returns [`EvalError::NoEvents`] if the formula references no events.
+    pub(crate) fn from_formula(formula: &Formula) -> Result<Self, EvalError> {
+        let mut events: Vec<EventBuf> = Vec::new();
+        formula.visit_annots(&mut |_, ev, off| {
+            match events.iter_mut().find(|e| e.name == ev) {
+                Some(e) => {
+                    e.min_off = e.min_off.min(off);
+                    e.max_off = e.max_off.max(off);
+                }
+                None => events.push(EventBuf {
+                    name: ev.to_owned(),
+                    min_off: off,
+                    max_off: off,
+                    base: 0,
+                    buf: VecDeque::new(),
+                    count: 0,
+                }),
+            }
+        });
+        if events.is_empty() {
+            return Err(EvalError::NoEvents);
+        }
+        // The first evaluable instance: all accessed indices i+off must be >= 0.
+        let first_i = events
+            .iter()
+            .map(|e| (-e.min_off).max(0))
+            .max()
+            .unwrap_or(0);
+        Ok(EventWindow {
+            events,
+            next_i: first_i,
+        })
+    }
+
+    /// Offers a record to the window. Returns `true` if the record's event
+    /// is referenced by the formula (and was therefore buffered).
+    pub(crate) fn push(&mut self, record: &TraceRecord) -> bool {
+        match self.events.iter_mut().find(|e| e.name == record.event) {
+            Some(e) => {
+                e.buf.push_back(record.annots.clone());
+                e.count += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` when instance `next_i` has all of its referenced event
+    /// instances available.
+    pub(crate) fn ready(&self) -> bool {
+        self.events
+            .iter()
+            .all(|e| e.count > self.next_i + e.max_off)
+    }
+
+    /// The index of the next instance to evaluate.
+    pub(crate) fn next_index(&self) -> i64 {
+        self.next_i
+    }
+
+    /// Reads annotation `key` of `event[next_i + offset]`.
+    ///
+    /// Returns `NaN` for events or instances the window does not hold —
+    /// which cannot happen for accesses that appear in the formula the
+    /// window was built from, provided [`EventWindow::ready`] is `true`.
+    pub(crate) fn annot(&self, key: &AnnotKey, event: &str, offset: i64) -> f64 {
+        let Some(e) = self.events.iter().find(|e| e.name == event) else {
+            return f64::NAN;
+        };
+        let idx = self.next_i + offset - e.base;
+        if idx < 0 {
+            return f64::NAN;
+        }
+        e.buf.get(idx as usize).map_or(f64::NAN, |a| a.get(key))
+    }
+
+    /// Moves past instance `next_i`, dropping buffered annotations that can
+    /// no longer be referenced.
+    pub(crate) fn advance(&mut self) {
+        self.next_i += 1;
+        for e in &mut self.events {
+            // The earliest instance any future evaluation can touch.
+            let keep_from = (self.next_i + e.min_off).max(0);
+            while e.base < keep_from && !e.buf.is_empty() {
+                e.buf.pop_front();
+                e.base += 1;
+            }
+        }
+    }
+}
+
+/// Evaluates an arithmetic expression at the window's current instance.
+pub(crate) fn eval_expr(expr: &Expr, win: &EventWindow) -> f64 {
+    match expr {
+        Expr::Const(c) => *c,
+        Expr::Annot { key, event, offset } => win.annot(key, event, *offset),
+        Expr::Neg(e) => -eval_expr(e, win),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_expr(lhs, win);
+            let r = eval_expr(rhs, win);
+            match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => l / r,
+            }
+        }
+    }
+}
+
+/// Evaluates a boolean constraint at the window's current instance.
+pub(crate) fn eval_bool(b: &BoolExpr, win: &EventWindow) -> bool {
+    match b {
+        BoolExpr::Cmp { op, lhs, rhs } => op.apply(eval_expr(lhs, win), eval_expr(rhs, win)),
+        BoolExpr::And(a, b) => eval_bool(a, win) && eval_bool(b, win),
+        BoolExpr::Or(a, b) => eval_bool(a, win) || eval_bool(b, win),
+        BoolExpr::Not(a) => !eval_bool(a, win),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn record(event: &str, time: f64) -> TraceRecord {
+        TraceRecord::new(
+            event,
+            Annotations {
+                time,
+                ..Annotations::default()
+            },
+        )
+    }
+
+    #[test]
+    fn window_streams_instances_in_order() {
+        let f = parse("time(fw[i+2]) - time(fw[i]) dist== (0, 10, 1)").unwrap();
+        let mut win = EventWindow::from_formula(&f).unwrap();
+        let mut evaluated = Vec::new();
+        for k in 0..6 {
+            win.push(&record("fw", k as f64));
+            while win.ready() {
+                let Formula::Dist { expr, .. } = &f else { unreachable!() };
+                evaluated.push((win.next_index(), eval_expr(expr, &win)));
+                win.advance();
+            }
+        }
+        // i = 0..=3; each difference is exactly 2.0.
+        assert_eq!(evaluated.len(), 4);
+        for (i, v) in &evaluated {
+            assert!(*i >= 0 && *i <= 3);
+            assert_eq!(*v, 2.0);
+        }
+    }
+
+    #[test]
+    fn negative_offset_delays_first_instance() {
+        let f = parse("time(fw[i]) - time(fw[i-2]) >= 0").unwrap();
+        let mut win = EventWindow::from_formula(&f).unwrap();
+        win.push(&record("fw", 0.0));
+        win.push(&record("fw", 1.0));
+        assert!(!win.ready(), "i=2 needs the third instance");
+        win.push(&record("fw", 2.0));
+        assert!(win.ready());
+        assert_eq!(win.next_index(), 2);
+    }
+
+    #[test]
+    fn multi_event_formula_waits_for_both_streams() {
+        let f = parse("cycle(deq[i]) - cycle(enq[i]) <= 50").unwrap();
+        let mut win = EventWindow::from_formula(&f).unwrap();
+        win.push(&record("enq", 0.0));
+        assert!(!win.ready());
+        win.push(&record("deq", 0.0));
+        assert!(win.ready());
+        win.advance();
+        assert!(!win.ready());
+    }
+
+    #[test]
+    fn irrelevant_events_are_ignored() {
+        let f = parse("time(fw[i]) >= 0").unwrap();
+        let mut win = EventWindow::from_formula(&f).unwrap();
+        assert!(!win.push(&record("other", 1.0)));
+        assert!(win.push(&record("fw", 1.0)));
+    }
+
+    #[test]
+    fn buffers_stay_bounded() {
+        let f = parse("time(fw[i+100]) - time(fw[i]) dist== (0, 1, 0.1)").unwrap();
+        let mut win = EventWindow::from_formula(&f).unwrap();
+        for k in 0..10_000 {
+            win.push(&record("fw", k as f64));
+            while win.ready() {
+                win.advance();
+            }
+        }
+        let buffered: usize = win.events.iter().map(|e| e.buf.len()).sum();
+        assert!(buffered <= 101, "window kept {buffered} records");
+    }
+
+    #[test]
+    fn eval_expr_arithmetic() {
+        let f = parse("(time(fw[i]) + 3) * 2 - 1 == 0").unwrap();
+        let mut win = EventWindow::from_formula(&f).unwrap();
+        win.push(&record("fw", 2.0));
+        let Formula::Assert(BoolExpr::Cmp { lhs, .. }) = &f else {
+            unreachable!()
+        };
+        assert_eq!(eval_expr(lhs, &win), 9.0);
+    }
+
+    #[test]
+    fn eval_bool_connectives() {
+        let f = parse("(time(fw[i]) >= 1 && time(fw[i]) <= 3) || !(time(fw[i]) == 2)").unwrap();
+        let mut win = EventWindow::from_formula(&f).unwrap();
+        win.push(&record("fw", 2.0));
+        let Formula::Assert(b) = &f else { unreachable!() };
+        assert!(eval_bool(b, &win));
+    }
+
+    #[test]
+    fn division_by_zero_yields_non_finite() {
+        let f = parse("time(fw[i]) / time(fw[i]) <= 1").unwrap();
+        let mut win = EventWindow::from_formula(&f).unwrap();
+        win.push(&record("fw", 0.0));
+        let Formula::Assert(BoolExpr::Cmp { lhs, .. }) = &f else {
+            unreachable!()
+        };
+        assert!(eval_expr(lhs, &win).is_nan());
+    }
+
+    #[test]
+    fn no_events_formula_is_rejected() {
+        let f = Formula::Assert(BoolExpr::Cmp {
+            op: crate::ast::CmpOp::Le,
+            lhs: Expr::Const(1.0),
+            rhs: Expr::Const(2.0),
+        });
+        assert_eq!(
+            EventWindow::from_formula(&f).unwrap_err(),
+            EvalError::NoEvents
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Tokenizer for the LOC formula text syntax.
+
+use crate::error::ParseError;
+
+/// A lexical token with its source byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds for the formula grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    Number(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    /// `dist==`, `dist<=`, `dist>=` — the distribution operators.
+    Dist(DistTok),
+    Eof,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DistTok {
+    Eq,
+    Le,
+    Ge,
+}
+
+/// Tokenizes the full input.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, pos: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, pos: i });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { kind: TokenKind::LBracket, pos: i });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokenKind::RBracket, pos: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, pos: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, pos: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, pos: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, pos: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, pos: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ne, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Bang, pos: i });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Le, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ge, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::EqEq, pos: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "single '=' (did you mean '=='?)"));
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token { kind: TokenKind::AndAnd, pos: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "single '&' (did you mean '&&'?)"));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token { kind: TokenKind::OrOr, pos: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "single '|' (did you mean '||'?)"));
+                }
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut seen_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    let is_num_char = d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || (seen_exp
+                            && (d == '+' || d == '-')
+                            && matches!(bytes[i - 1] as char, 'e' | 'E'));
+                    if d == 'e' || d == 'E' {
+                        seen_exp = true;
+                    }
+                    if !is_num_char {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(start, format!("invalid number '{text}'")))?;
+                out.push(Token {
+                    kind: TokenKind::Number(value),
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                if word == "dist" {
+                    // must be followed by ==, <= or >=
+                    let rest = &bytes[i..];
+                    let dist = if rest.starts_with(b"==") {
+                        DistTok::Eq
+                    } else if rest.starts_with(b"<=") {
+                        DistTok::Le
+                    } else if rest.starts_with(b">=") {
+                        DistTok::Ge
+                    } else {
+                        return Err(ParseError::new(
+                            i,
+                            "'dist' must be followed by '==', '<=' or '>='",
+                        ));
+                    };
+                    i += 2;
+                    out.push(Token {
+                        kind: TokenKind::Dist(dist),
+                        pos: start,
+                    });
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Ident(word.to_owned()),
+                        pos: start,
+                    });
+                }
+            }
+            other => {
+                return Err(ParseError::new(i, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_annotation_access() {
+        let ks = kinds("time(forward[i+100])");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("time".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("forward".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("i".into()),
+                TokenKind::Plus,
+                TokenKind::Number(100.0),
+                TokenKind::RBracket,
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_dist_operators() {
+        assert!(matches!(kinds("dist==")[0], TokenKind::Dist(DistTok::Eq)));
+        assert!(matches!(kinds("dist<=")[0], TokenKind::Dist(DistTok::Le)));
+        assert!(matches!(kinds("dist>=")[0], TokenKind::Dist(DistTok::Ge)));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("2.25")[0], TokenKind::Number(2.25));
+        assert_eq!(kinds("1e6")[0], TokenKind::Number(1e6));
+        assert_eq!(kinds("1.5e-3")[0], TokenKind::Number(1.5e-3));
+    }
+
+    #[test]
+    fn lexes_comparison_and_logic() {
+        assert_eq!(
+            kinds("<= < >= > == != && || !"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Ge,
+                TokenKind::Gt,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a | b").is_err());
+        assert!(tokenize("dist startswith").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let err = tokenize("ab $").unwrap_err();
+        assert_eq!(err.position, 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! Property-based tests for the LOC language and tools.
+
+use loc::builder::{annot, con, ExprBuilder};
+use loc::{parse, Analyzer, AnnotKey, Annotations, Checker, Formula, TraceRecord};
+use proptest::prelude::*;
+
+const EVENTS: [&str; 3] = ["forward", "enq", "deq"];
+const KEYS: [AnnotKey; 5] = [
+    AnnotKey::Cycle,
+    AnnotKey::Time,
+    AnnotKey::Energy,
+    AnnotKey::TotalPkt,
+    AnnotKey::TotalBit,
+];
+
+/// A strategy for random arithmetic expressions (non-negative constants so
+/// display/parse round-trips are structural identities).
+fn expr_strategy() -> impl Strategy<Value = ExprBuilder> {
+    let leaf = prop_oneof![
+        (0usize..5, 0usize..3, -3i64..5).prop_map(|(k, e, off)| {
+            annot(KEYS[k].clone(), EVENTS[e], off)
+        }),
+        (0u32..1000).prop_map(|c| con(f64::from(c) / 8.0)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (inner.clone(), inner, 0usize..5).prop_map(|(a, b, op)| match op {
+            0 => a + b,
+            1 => a - b,
+            2 => a * b,
+            3 => a / b,
+            _ => -a,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display output of any buildable formula re-parses to the same AST.
+    #[test]
+    fn display_parse_round_trip_dist(
+        expr in expr_strategy(),
+        min in -100.0f64..100.0,
+        width in 1.0f64..100.0,
+        step in 0.25f64..10.0,
+    ) {
+        let formula = expr.dist_eq(min, min + width, step);
+        let text = formula.to_string();
+        let reparsed = parse(&text);
+        prop_assert!(reparsed.is_ok(), "failed to reparse `{text}`: {reparsed:?}");
+        prop_assert_eq!(reparsed.unwrap(), formula);
+    }
+
+    /// Same for assertion formulas through each comparison operator.
+    #[test]
+    fn display_parse_round_trip_assert(
+        lhs in expr_strategy(),
+        rhs in expr_strategy(),
+        op in 0usize..6,
+    ) {
+        let formula = match op {
+            0 => lhs.le(rhs),
+            1 => lhs.lt(rhs),
+            2 => lhs.ge(rhs),
+            3 => lhs.gt(rhs),
+            4 => lhs.eq(rhs),
+            _ => lhs.ne(rhs),
+        }
+        .assert();
+        let text = formula.to_string();
+        let reparsed = parse(&text);
+        prop_assert!(reparsed.is_ok(), "failed to reparse `{text}`: {reparsed:?}");
+        prop_assert_eq!(reparsed.unwrap(), formula);
+    }
+
+    /// The analyzer evaluates exactly the number of instances the window
+    /// semantics promise: with a single event and offsets in
+    /// [min_off, max_off], instances run from max(0, -min_off) while
+    /// i + max_off < count.
+    #[test]
+    fn instance_count_matches_window_semantics(
+        count in 0usize..300,
+        max_off in 0i64..150,
+    ) {
+        let f = parse(&format!(
+            "time(forward[i+{max_off}]) - time(forward[i]) dist== (0, 10, 1)"
+        )).unwrap();
+        let mut analyzer = Analyzer::from_formula(&f).unwrap();
+        for k in 0..count {
+            let a = Annotations { time: k as f64, ..Annotations::default() };
+            analyzer.push(&TraceRecord::new("forward", a));
+        }
+        let report = analyzer.finish();
+        let expected = (count as i64 - max_off).max(0) as u64;
+        prop_assert_eq!(report.total_instances(), expected);
+    }
+
+    /// Bin fractions always sum to 1 (within float error) when any
+    /// instance exists, and every quantile is an observed value.
+    #[test]
+    fn bins_partition_and_quantiles_are_observed(
+        values in prop::collection::vec(-50.0f64..50.0, 1..200),
+        p in 0.0f64..=1.0,
+    ) {
+        let f = parse("time(ev[i]) dist== (-20, 20, 2.5)").unwrap();
+        let mut analyzer = Analyzer::from_formula(&f).unwrap();
+        for &v in &values {
+            let a = Annotations { time: v, ..Annotations::default() };
+            analyzer.push(&TraceRecord::new("ev", a));
+        }
+        let report = analyzer.finish();
+        let sum: f64 = report.bins().iter().map(|b| b.fraction).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        let q = report.quantile(p).unwrap();
+        prop_assert!(values.contains(&q), "quantile {q} not observed");
+        // fraction_le at the quantile must reach p.
+        prop_assert!(report.fraction_le(q) + 1e-12 >= p);
+    }
+
+    /// `fraction_le` and `fraction_ge` are consistent: for any x not equal
+    /// to an observed value they sum to exactly 1.
+    #[test]
+    fn le_ge_fractions_are_complementary(
+        values in prop::collection::vec(0i32..100, 1..100),
+        probe in 0i32..100,
+    ) {
+        let f = parse("time(ev[i]) dist== (0, 100, 10)").unwrap();
+        let mut analyzer = Analyzer::from_formula(&f).unwrap();
+        for &v in &values {
+            let a = Annotations { time: f64::from(v) + 0.5, ..Annotations::default() };
+            analyzer.push(&TraceRecord::new("ev", a));
+        }
+        let report = analyzer.finish();
+        let x = f64::from(probe); // never equals any v + 0.5
+        let le = report.fraction_le(x);
+        let ge = report.fraction_ge(x);
+        prop_assert!((le + ge - 1.0).abs() < 1e-12, "le {le} + ge {ge} != 1");
+    }
+
+    /// A checker over a trivially true assertion passes on any trace, and
+    /// over a trivially false one fails on every instance.
+    #[test]
+    fn checker_extremes(count in 1usize..200) {
+        let records: Vec<TraceRecord> = (0..count)
+            .map(|k| {
+                let a = Annotations { cycle: k as u64, ..Annotations::default() };
+                TraceRecord::new("ev", a)
+            })
+            .collect();
+        let always = parse("cycle(ev[i]) >= 0").unwrap();
+        let never = parse("cycle(ev[i]) < 0").unwrap();
+        let mut pass = Checker::from_formula(&always).unwrap();
+        let mut fail = Checker::from_formula(&never).unwrap();
+        for r in &records {
+            pass.push(r);
+            fail.push(r);
+        }
+        let pass = pass.finish();
+        let fail = fail.finish();
+        prop_assert!(pass.passed());
+        prop_assert_eq!(pass.instances, count as u64);
+        prop_assert_eq!(fail.violation_count, count as u64);
+    }
+
+    /// Text serialisation of arbitrary traces round-trips the annotations
+    /// the analyzers read (to the text format's printed precision).
+    #[test]
+    fn trace_text_round_trip(records in prop::collection::vec(
+        (0u64..1_000_000, 0.0f64..1e6, 0u64..10_000, 0u64..10_000_000),
+        0..50,
+    )) {
+        let mut trace = loc::Trace::new();
+        for (cycle, time, pkt, bit) in records {
+            trace.push(TraceRecord::new("forward", Annotations {
+                cycle,
+                time,
+                energy: time * 1.5,
+                total_pkt: pkt,
+                total_bit: bit,
+                extra: Vec::new(),
+            }));
+        }
+        let parsed = loc::Trace::from_text(&trace.to_text()).unwrap();
+        prop_assert_eq!(parsed.len(), trace.len());
+        for (a, b) in trace.iter().zip(parsed.iter()) {
+            prop_assert_eq!(a.annots.cycle, b.annots.cycle);
+            prop_assert_eq!(a.annots.total_pkt, b.annots.total_pkt);
+            prop_assert_eq!(a.annots.total_bit, b.annots.total_bit);
+            prop_assert!((a.annots.time - b.annots.time).abs() < 1e-3);
+        }
+    }
+}
+
+/// Non-proptest sanity check that the generated strategies produce
+/// multi-event formulas too (coverage of the window logic).
+#[test]
+fn multi_event_instance_counting() {
+    let f = parse("cycle(deq[i]) - cycle(enq[i]) <= 50").unwrap();
+    assert_eq!(f.events().len(), 2);
+    let mut checker = Checker::from_formula(&f).unwrap();
+    // 3 enq, 2 deq -> 2 instances.
+    for k in 0..3u64 {
+        checker.push(&TraceRecord::new(
+            "enq",
+            Annotations { cycle: k * 100, ..Annotations::default() },
+        ));
+    }
+    for k in 0..2u64 {
+        checker.push(&TraceRecord::new(
+            "deq",
+            Annotations { cycle: k * 100 + 10, ..Annotations::default() },
+        ));
+    }
+    let report = checker.finish();
+    assert_eq!(report.instances, 2);
+    assert!(report.passed());
+}
+
+/// Ensures the `Formula` type supports serde round-trips (config files).
+#[test]
+fn formula_serde_round_trip() {
+    let f = parse(
+        "(energy(forward[i+100]) - energy(forward[i])) / \
+         (time(forward[i+100]) - time(forward[i])) dist== (0.5, 2.25, 0.01)",
+    )
+    .unwrap();
+    let json = serde_json_like(&f);
+    assert!(json.contains("Dist"));
+}
+
+// serde_json is not in the dependency set; smoke the Serialize impl via
+// the debug of serde's derive through bincode-like manual check: we just
+// ensure Serialize is implemented by bounding a generic function.
+fn serde_json_like<T: serde::Serialize + std::fmt::Debug>(value: &T) -> String {
+    format!("{value:?}")
+}
+
+#[allow(dead_code)]
+fn assert_formula_types_are_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Formula>();
+    check::<loc::Trace>();
+    check::<loc::DistributionReport>();
+    check::<loc::CheckReport>();
+}

@@ -1,0 +1,340 @@
+//! Simulator configuration.
+
+use desim::Frequency;
+use dvs::{CombinedConfig, EdvsConfig, HysteresisTdvsConfig, PolicyKind, TdvsConfig, VfLadder};
+use serde::{Deserialize, Serialize};
+use traffic::{ArrivalConfig, TrafficLevel};
+
+use crate::memory::MemoryParams;
+use crate::workload::Benchmark;
+
+/// Which DVS policy the simulated NPU runs, with its parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyConfig {
+    /// Baseline: all MEs pinned at the top VF level.
+    NoDvs,
+    /// Traffic-based DVS (global, §4.1).
+    Tdvs(TdvsConfig),
+    /// TDVS with a hysteresis dead band — an ablation of the paper's
+    /// plain threshold rule (see [`dvs::Tdvs::with_hysteresis`]).
+    TdvsHysteresis(HysteresisTdvsConfig),
+    /// Execution-based DVS (per-ME, §4.2).
+    Edvs(EdvsConfig),
+    /// Combined traffic + idle policy (TEDVS) — the extension the paper
+    /// declines on monitor-cost grounds (§4); both monitor overheads are
+    /// charged when it runs.
+    Combined(CombinedConfig),
+}
+
+impl PolicyConfig {
+    /// The policy family this configuration belongs to.
+    #[must_use]
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            PolicyConfig::NoDvs => PolicyKind::NoDvs,
+            PolicyConfig::Tdvs(_) | PolicyConfig::TdvsHysteresis(_) => PolicyKind::Tdvs,
+            PolicyConfig::Edvs(_) => PolicyKind::Edvs,
+            // The combined policy reports as EDVS: it is per-ME and its
+            // performance profile follows the idle signal.
+            PolicyConfig::Combined(_) => PolicyKind::Edvs,
+        }
+    }
+
+    /// The monitor window in base-frequency cycles (`None` for no DVS).
+    #[must_use]
+    pub fn window_cycles(&self) -> Option<u64> {
+        match self {
+            PolicyConfig::NoDvs => None,
+            PolicyConfig::Tdvs(c) => Some(c.window_cycles),
+            PolicyConfig::TdvsHysteresis(c) => Some(c.base.window_cycles),
+            PolicyConfig::Edvs(c) => Some(c.window_cycles),
+            PolicyConfig::Combined(c) => Some(c.tdvs.window_cycles),
+        }
+    }
+}
+
+/// Calibration constants of the activity-based power model, all referenced
+/// to the top VF level (600 MHz / 1.3 V). Scaling to other levels follows
+/// `P ∝ V²f` for active power and energy/access constants for memories.
+///
+/// The defaults are calibrated so the modelled chip dissipates ≈1.4–1.5 W
+/// under full load with no DVS, matching the region the paper's Figures
+/// 6–11 span (0.5–2.25 W analysis period).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Dynamic power of one fully active ME at the top VF level, in watts.
+    pub me_active_w: f64,
+    /// Idle (all threads memory-blocked) power as a fraction of active.
+    pub idle_factor: f64,
+    /// Static + always-on power (StrongARM core, clocks, pads), in watts.
+    pub static_w: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            me_active_w: 0.18,
+            idle_factor: 0.28,
+            static_w: 0.30,
+        }
+    }
+}
+
+/// Trace-emission options. `forward` events are always emitted (the LOC
+/// formulas need them); `fifo` and the very chatty per-instruction-bundle
+/// `pipeline` events are optional.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Emit a `fifo` event whenever a packet enters the processing queue.
+    pub emit_fifo: bool,
+    /// Emit `mN_pipeline` events for every execution bundle (costly).
+    pub emit_pipeline: bool,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpuConfig {
+    /// The benchmark application loaded on the processing MEs (§3.1).
+    pub benchmark: Benchmark,
+    /// Packet arrival process (§3.2).
+    pub arrivals: ArrivalConfig,
+    /// Number of receive/processing microengines.
+    pub rx_mes: usize,
+    /// Number of transmit microengines.
+    pub tx_mes: usize,
+    /// Hardware threads per microengine.
+    pub threads_per_me: usize,
+    /// The VF ladder available to DVS.
+    pub ladder: VfLadder,
+    /// The DVS policy under study.
+    pub policy: PolicyConfig,
+    /// SRAM/SDRAM timing and energy.
+    pub memory: MemoryParams,
+    /// IX-bus transmit bandwidth in Mbps (1.3 Gbps: IXP1200's 1 Gbps media
+    /// bandwidth scaled 1.3× like the memories, §4.1).
+    pub bus_rate_mbps: f64,
+    /// Receive FIFO capacity in packets (drops beyond this are the trace's
+    /// packet-loss counter).
+    pub rx_fifo_cap: usize,
+    /// Processed-packet queue capacity in packets.
+    pub tx_queue_cap: usize,
+    /// Power-model calibration.
+    pub power: PowerParams,
+    /// Trace-emission options.
+    pub trace: TraceConfig,
+    /// Statistics window used when the policy defines none (noDVS runs):
+    /// per-ME idle fractions are sampled at this granularity.
+    pub stats_window_cycles: u64,
+    /// Experiment seed (drives arrivals).
+    pub seed: u64,
+}
+
+impl NpuConfig {
+    /// Starts a builder with the paper's reference platform.
+    #[must_use]
+    pub fn builder() -> NpuConfigBuilder {
+        NpuConfigBuilder::new()
+    }
+
+    /// The base (normal) core frequency — the top of the ladder.
+    #[must_use]
+    pub fn base_freq(&self) -> Frequency {
+        self.ladder.top().frequency()
+    }
+
+    /// Total number of microengines.
+    #[must_use]
+    pub fn total_mes(&self) -> usize {
+        self.rx_mes + self.tx_mes
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration cannot describe a runnable machine
+    /// (no MEs, no threads, zero-capacity FIFOs, non-positive bus rate).
+    pub fn validate(&self) {
+        assert!(self.rx_mes > 0, "need at least one receive ME");
+        assert!(self.tx_mes > 0, "need at least one transmit ME");
+        assert!(self.threads_per_me > 0, "need at least one thread per ME");
+        assert!(self.rx_fifo_cap > 0, "rx fifo must hold packets");
+        assert!(self.tx_queue_cap > 0, "tx queue must hold packets");
+        assert!(
+            self.bus_rate_mbps.is_finite() && self.bus_rate_mbps > 0.0,
+            "bus rate must be positive"
+        );
+        assert!(self.stats_window_cycles > 0, "stats window must be non-empty");
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        NpuConfig::builder().build()
+    }
+}
+
+/// Builder for [`NpuConfig`] (the IXP1200 reference platform by default).
+#[derive(Debug, Clone)]
+pub struct NpuConfigBuilder {
+    config: NpuConfig,
+}
+
+impl NpuConfigBuilder {
+    /// Creates a builder seeded with the reference platform: 4 rx + 2 tx
+    /// MEs, 4 threads each, XScale ladder, no DVS, medium traffic, ipfwdr.
+    #[must_use]
+    pub fn new() -> Self {
+        NpuConfigBuilder {
+            config: NpuConfig {
+                benchmark: Benchmark::Ipfwdr,
+                arrivals: ArrivalConfig::for_level(TrafficLevel::Medium, 0),
+                rx_mes: 4,
+                tx_mes: 2,
+                threads_per_me: 4,
+                ladder: VfLadder::xscale_npu(),
+                policy: PolicyConfig::NoDvs,
+                memory: MemoryParams::ixp1200_scaled(),
+                bus_rate_mbps: 1300.0,
+                rx_fifo_cap: 2048,
+                tx_queue_cap: 2048,
+                power: PowerParams::default(),
+                trace: TraceConfig::default(),
+                stats_window_cycles: 40_000,
+                seed: 0,
+            },
+        }
+    }
+
+    /// Sets the benchmark application.
+    #[must_use]
+    pub fn benchmark(mut self, benchmark: Benchmark) -> Self {
+        self.config.benchmark = benchmark;
+        self
+    }
+
+    /// Uses the canonical arrival process for a paper traffic level.
+    #[must_use]
+    pub fn traffic(mut self, level: TrafficLevel) -> Self {
+        let seed = self.config.seed;
+        self.config.arrivals = ArrivalConfig::for_level(level, seed);
+        self
+    }
+
+    /// Sets a fully custom arrival process.
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: ArrivalConfig) -> Self {
+        self.config.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the DVS policy.
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the experiment seed (also re-seeds the arrival process).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self.config.arrivals.seed = seed;
+        self
+    }
+
+    /// Sets trace-emission options.
+    #[must_use]
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Sets the power-model calibration.
+    #[must_use]
+    pub fn power(mut self, power: PowerParams) -> Self {
+        self.config.power = power;
+        self
+    }
+
+    /// Sets the memory timing/energy parameters.
+    #[must_use]
+    pub fn memory(mut self, memory: MemoryParams) -> Self {
+        self.config.memory = memory;
+        self
+    }
+
+    /// Sets the ME topology.
+    #[must_use]
+    pub fn topology(mut self, rx_mes: usize, tx_mes: usize, threads_per_me: usize) -> Self {
+        self.config.rx_mes = rx_mes;
+        self.config.tx_mes = tx_mes;
+        self.config.threads_per_me = threads_per_me;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not runnable (see
+    /// [`NpuConfig::validate`]).
+    #[must_use]
+    pub fn build(self) -> NpuConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+impl Default for NpuConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reference_platform() {
+        let c = NpuConfig::default();
+        assert_eq!(c.rx_mes, 4);
+        assert_eq!(c.tx_mes, 2);
+        assert_eq!(c.total_mes(), 6);
+        assert_eq!(c.threads_per_me, 4);
+        assert_eq!(c.base_freq().as_mhz(), 600.0);
+        assert_eq!(c.policy.kind(), PolicyKind::NoDvs);
+    }
+
+    #[test]
+    fn builder_seed_reseeds_arrivals() {
+        let c = NpuConfig::builder().seed(99).build();
+        assert_eq!(c.arrivals.seed, 99);
+    }
+
+    #[test]
+    fn policy_window_cycles() {
+        assert_eq!(PolicyConfig::NoDvs.window_cycles(), None);
+        let t = PolicyConfig::Tdvs(TdvsConfig {
+            top_threshold_mbps: 1000.0,
+            window_cycles: 20_000,
+        });
+        assert_eq!(t.window_cycles(), Some(20_000));
+        let e = PolicyConfig::Edvs(EdvsConfig::default());
+        assert_eq!(e.window_cycles(), Some(40_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "receive ME")]
+    fn build_rejects_no_rx_mes() {
+        let _ = NpuConfig::builder().topology(0, 2, 4).build();
+    }
+
+    #[test]
+    fn trace_defaults_are_quiet() {
+        let t = TraceConfig::default();
+        assert!(!t.emit_fifo);
+        assert!(!t.emit_pipeline);
+    }
+}

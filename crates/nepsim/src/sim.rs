@@ -1,0 +1,936 @@
+//! The event-driven simulation core.
+//!
+//! # Model
+//!
+//! The simulator advances in discrete events over picosecond time:
+//!
+//! * **Arrivals** come from a [`traffic::PacketStream`] and enter the
+//!   bounded receive FIFO (overflow = packet loss).
+//! * Each **microengine** executes one thread at a time. Compute segments
+//!   advance the ME's clock in bulk (one event per segment); memory
+//!   accesses block the issuing thread and the ME context-switches to the
+//!   next ready thread. When *all* threads are blocked on memory the ME is
+//!   **idle** (the EDVS signal); when threads are waiting for packets or
+//!   the transmit bus the ME **busy-polls** (active power, not idle) —
+//!   exactly the §4.2 distinction.
+//! * **DVS windows** fire every `window_cycles` of the base 600 MHz clock;
+//!   the configured policy observes the window (traffic volume for TDVS,
+//!   per-ME idle fraction for EDVS) and VF switches stall the affected MEs
+//!   for the 10 µs penalty.
+//!
+//! A VF change takes effect from the next segment the ME issues; a compute
+//! segment already in flight completes at its issue-time frequency. At the
+//! segment granularity of this model the deferral is at most a few hundred
+//! cycles and is dwarfed by the 6000-cycle switch penalty.
+
+use std::collections::VecDeque;
+
+use desim::{EventQueue, SimTime};
+use dvs::{Combined, Edvs, ScalingDecision, Tdvs, MONITOR_ADDER_ENERGY_UJ, SWITCH_PENALTY};
+use loc::{Annotations, Trace};
+use traffic::{Packet, PacketStream, RecordedTrace};
+
+use crate::config::{NpuConfig, PolicyConfig};
+use crate::engine::{MeMode, MeRole, Microengine, ThreadState};
+use crate::memory::{MemoryController, TxBus};
+use crate::power::EnergyMeter;
+use crate::report::{MeReport, SimReport, WindowIdleSample};
+use crate::trace_out::TraceCollector;
+use crate::workload::Segment;
+
+/// Simulation events.
+#[derive(Debug)]
+enum Ev {
+    /// A packet arrives at a device port.
+    Arrival(Packet),
+    /// A memory access or bus transfer issued by `(me, thread)` completed.
+    Done { me: usize, thread: usize },
+    /// A microengine's scheduled continuation (compute end, stall end).
+    MeStep { me: usize, token: u64 },
+    /// DVS monitor-window boundary.
+    Window,
+}
+
+/// Where arrivals come from: the live generator or a recorded trace.
+#[derive(Debug)]
+enum ArrivalSource {
+    Stream(PacketStream),
+    Replay(std::vec::IntoIter<Packet>),
+}
+
+impl Iterator for ArrivalSource {
+    type Item = Packet;
+    fn next(&mut self) -> Option<Packet> {
+        match self {
+            ArrivalSource::Stream(s) => s.next(),
+            ArrivalSource::Replay(r) => r.next(),
+        }
+    }
+}
+
+/// One DVS policy instance wired to the platform.
+#[derive(Debug)]
+enum Policy {
+    None,
+    Tdvs(Tdvs),
+    Edvs(Vec<Edvs>),
+    Combined(Vec<Combined>),
+}
+
+/// The NePSim-style simulator. See the [crate docs](crate) for the model
+/// and [`NpuConfig`] for the knobs.
+///
+/// # Example
+///
+/// ```
+/// use nepsim::{Benchmark, NpuConfig, Simulator};
+///
+/// let mut sim = Simulator::new(NpuConfig::builder().benchmark(Benchmark::Nat).build());
+/// let report = sim.run_cycles(100_000);
+/// assert!(report.arrived_packets > 0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: NpuConfig,
+    queue: EventQueue<Ev>,
+    mes: Vec<Microengine>,
+    sram: MemoryController,
+    sdram: MemoryController,
+    bus: TxBus,
+    rx_fifo: VecDeque<Packet>,
+    tx_queue: VecDeque<Packet>,
+    arrivals: ArrivalSource,
+    policy: Policy,
+    meter: EnergyMeter,
+    trace: TraceCollector,
+    window_dur: SimTime,
+    window_bits: u64,
+    windows: u64,
+    window_idle: Vec<WindowIdleSample>,
+    arrived_packets: u64,
+    arrived_bits: u64,
+    dropped_packets: u64,
+    dropped_tx_packets: u64,
+    forwarded_packets: u64,
+    forwarded_bits: u64,
+    end: SimTime,
+    started: bool,
+}
+
+impl Simulator {
+    /// Builds a simulator from a validated configuration.
+    #[must_use]
+    pub fn new(config: NpuConfig) -> Self {
+        config.validate();
+        let top = config.ladder.top_index();
+        let mes: Vec<Microengine> = (0..config.total_mes())
+            .map(|i| {
+                let role = if i < config.rx_mes { MeRole::Rx } else { MeRole::Tx };
+                Microengine::new(role, config.threads_per_me, top)
+            })
+            .collect();
+        let policy = match &config.policy {
+            PolicyConfig::NoDvs => Policy::None,
+            PolicyConfig::Tdvs(c) => Policy::Tdvs(Tdvs::new(*c, config.ladder.clone())),
+            PolicyConfig::TdvsHysteresis(c) => {
+                Policy::Tdvs(Tdvs::with_hysteresis(*c, config.ladder.clone()))
+            }
+            PolicyConfig::Edvs(c) => Policy::Edvs(
+                (0..config.total_mes())
+                    .map(|_| Edvs::new(*c, config.ladder.clone()))
+                    .collect(),
+            ),
+            PolicyConfig::Combined(c) => Policy::Combined(
+                (0..config.total_mes())
+                    .map(|_| Combined::new(*c, config.ladder.clone()))
+                    .collect(),
+            ),
+        };
+        // Windows always fire: the policy's window if it has one, the
+        // statistics window otherwise (idle sampling under noDVS).
+        let window_dur = config.base_freq().cycles_to_time(
+            config
+                .policy
+                .window_cycles()
+                .unwrap_or(config.stats_window_cycles),
+        );
+        let mem = config.memory;
+        Simulator {
+            queue: EventQueue::new(),
+            mes,
+            sram: MemoryController::new(mem.sram_latency, mem.sram_service, mem.sram_energy_uj),
+            sdram: MemoryController::new(
+                mem.sdram_latency,
+                mem.sdram_service,
+                mem.sdram_energy_uj,
+            ),
+            bus: TxBus::new(config.bus_rate_mbps),
+            rx_fifo: VecDeque::new(),
+            tx_queue: VecDeque::new(),
+            arrivals: ArrivalSource::Stream(PacketStream::new(config.arrivals.clone())),
+            policy,
+            meter: EnergyMeter::new(),
+            trace: TraceCollector::new(config.trace),
+            window_dur,
+            window_bits: 0,
+            windows: 0,
+            window_idle: Vec::new(),
+            arrived_packets: 0,
+            arrived_bits: 0,
+            dropped_packets: 0,
+            dropped_tx_packets: 0,
+            forwarded_packets: 0,
+            forwarded_bits: 0,
+            end: SimTime::ZERO,
+            started: false,
+            config,
+        }
+    }
+
+    /// The configuration this simulator runs.
+    #[must_use]
+    pub fn config(&self) -> &NpuConfig {
+        &self.config
+    }
+
+    /// Replaces the live arrival generator with a recorded trace — the
+    /// paper's replay-a-sampled-trace workflow (§3.2). The configured
+    /// `arrivals` field is ignored; every other knob applies unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already run.
+    #[must_use]
+    pub fn with_replay(mut self, trace: RecordedTrace) -> Self {
+        assert!(!self.started, "cannot swap arrivals after running");
+        self.arrivals = ArrivalSource::Replay(trace.into_iter());
+        self
+    }
+
+    /// Runs for `cycles` of the base (600 MHz) clock — the paper runs
+    /// 8×10⁶ cycles per configuration — and returns the report.
+    pub fn run_cycles(&mut self, cycles: u64) -> SimReport {
+        let dur = self.config.base_freq().cycles_to_time(cycles);
+        self.run_for(dur)
+    }
+
+    /// Runs for a span of simulated time and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice — a simulator instance models one run.
+    pub fn run_for(&mut self, dur: SimTime) -> SimReport {
+        assert!(!self.started, "a Simulator instance runs exactly once");
+        self.started = true;
+        self.end = dur;
+
+        // Bootstrap: first arrival, first window, and a step for every ME
+        // (which parks them polling their empty input queues).
+        if let Some(p) = self.arrivals.next() {
+            self.queue.schedule(p.arrival, Ev::Arrival(p));
+        }
+        self.queue.schedule(self.window_dur, Ev::Window);
+        for m in 0..self.mes.len() {
+            let token = self.mes[m].step_token;
+            self.queue.schedule(SimTime::ZERO, Ev::MeStep { me: m, token });
+        }
+
+        while let Some(t) = self.queue.peek_time() {
+            if t > self.end {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event exists");
+            self.handle(ev, now);
+        }
+
+        // Close all accounting intervals at the horizon.
+        for m in 0..self.mes.len() {
+            self.mes[m].account(self.end, &self.config.ladder, &self.config.power);
+        }
+        self.build_report()
+    }
+
+    /// The trace collected so far (borrow).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        self.trace.trace()
+    }
+
+    /// Mean end-to-end SDRAM access time observed so far (queueing +
+    /// latency) — the quantity the paper quotes as "as much as 100 clock
+    /// cycles".
+    #[must_use]
+    pub fn sdram_mean_access_time(&self) -> SimTime {
+        self.sdram.mean_access_time()
+    }
+
+    /// Mean end-to-end SRAM access time observed so far.
+    #[must_use]
+    pub fn sram_mean_access_time(&self) -> SimTime {
+        self.sram.mean_access_time()
+    }
+
+    /// Consumes the simulator and returns the collected trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace.into_trace()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev, now: SimTime) {
+        match ev {
+            Ev::Arrival(p) => self.on_arrival(p, now),
+            Ev::Done { me, thread } => self.on_done(me, thread, now),
+            Ev::MeStep { me, token } => {
+                if self.mes[me].step_token == token {
+                    self.run_me(me, now);
+                }
+            }
+            Ev::Window => self.on_window(now),
+        }
+    }
+
+    fn on_arrival(&mut self, p: Packet, now: SimTime) {
+        self.arrived_packets += 1;
+        self.arrived_bits += p.size_bits();
+        self.window_bits += p.size_bits();
+        if matches!(self.policy, Policy::Tdvs(_) | Policy::Combined(_)) {
+            self.meter.add_monitor(MONITOR_ADDER_ENERGY_UJ);
+        }
+
+        // Schedule the next arrival.
+        if let Some(next) = self.arrivals.next() {
+            if next.arrival <= self.end {
+                self.queue.schedule(next.arrival.max(now), Ev::Arrival(next));
+            }
+        }
+
+        if self.rx_fifo.len() < self.config.rx_fifo_cap {
+            self.rx_fifo.push_back(p);
+            let annots = self.fifo_annotations(now);
+            self.trace.fifo(annots);
+            self.wake_role(MeRole::Rx, now);
+        } else {
+            self.dropped_packets += 1;
+        }
+    }
+
+    fn on_done(&mut self, me: usize, thread: usize, now: SimTime) {
+        self.mes[me].threads[thread].state = ThreadState::Ready;
+        if self.mes[me].parked {
+            self.run_me(me, now);
+        }
+    }
+
+    fn on_window(&mut self, now: SimTime) {
+        let window_dur = self.window_dur;
+        self.windows += 1;
+        // Close accounting so window buckets are complete.
+        for m in 0..self.mes.len() {
+            self.mes[m].account(now, &self.config.ladder, &self.config.power);
+        }
+        // Sample per-ME idle fractions (the §4.2 observation data).
+        for (m, me) in self.mes.iter().enumerate() {
+            let idle = (me.window_acc.get(MeMode::Idle).as_secs() / window_dur.as_secs())
+                .clamp(0.0, 1.0);
+            self.window_idle.push(WindowIdleSample {
+                window: self.windows - 1,
+                me: m,
+                role: me.role,
+                idle,
+            });
+        }
+
+        enum Change {
+            All(usize),
+            PerMe(Vec<Option<usize>>),
+        }
+        let change = match &mut self.policy {
+            Policy::None => None,
+            Policy::Tdvs(tdvs) => {
+                let mbps = self.window_bits as f64 / window_dur.as_us();
+                match tdvs.on_window(mbps) {
+                    ScalingDecision::Hold => None,
+                    _ => Some(Change::All(tdvs.level_index())),
+                }
+            }
+            Policy::Edvs(per_me) => {
+                let mut levels = Vec::with_capacity(self.mes.len());
+                for (m, policy) in per_me.iter_mut().enumerate() {
+                    let idle = self.mes[m].window_acc.get(MeMode::Idle).as_secs()
+                        / window_dur.as_secs();
+                    let idle = idle.clamp(0.0, 1.0);
+                    levels.push(match policy.on_window(idle) {
+                        ScalingDecision::Hold => None,
+                        _ => Some(policy.level_index()),
+                    });
+                }
+                Some(Change::PerMe(levels))
+            }
+            Policy::Combined(per_me) => {
+                let mbps = self.window_bits as f64 / window_dur.as_us();
+                let mut levels = Vec::with_capacity(self.mes.len());
+                for (m, policy) in per_me.iter_mut().enumerate() {
+                    let idle = self.mes[m].window_acc.get(MeMode::Idle).as_secs()
+                        / window_dur.as_secs();
+                    let idle = idle.clamp(0.0, 1.0);
+                    levels.push(match policy.on_window(mbps, idle) {
+                        ScalingDecision::Hold => None,
+                        _ => Some(policy.level_index()),
+                    });
+                }
+                Some(Change::PerMe(levels))
+            }
+        };
+
+        match change {
+            Some(Change::All(level)) => {
+                for m in 0..self.mes.len() {
+                    self.apply_vf(m, level, now);
+                }
+            }
+            Some(Change::PerMe(levels)) => {
+                for (m, level) in levels.into_iter().enumerate() {
+                    if let Some(level) = level {
+                        self.apply_vf(m, level, now);
+                    }
+                }
+            }
+            None => {}
+        }
+
+        for m in 0..self.mes.len() {
+            self.mes[m].window_acc.reset();
+        }
+        self.window_bits = 0;
+        self.queue.schedule(now + window_dur, Ev::Window);
+    }
+
+    /// Applies a VF change to one ME: switch level, start the 10 µs stall.
+    fn apply_vf(&mut self, m: usize, new_level: usize, now: SimTime) {
+        let me = &mut self.mes[m];
+        if me.level_idx == new_level {
+            return;
+        }
+        me.account(now, &self.config.ladder, &self.config.power);
+        me.level_idx = new_level;
+        me.switches += 1;
+        me.stalled_until = now + SWITCH_PENALTY;
+        if me.parked {
+            me.mode = MeMode::Stalled;
+            me.step_token += 1;
+            let token = me.step_token;
+            let until = me.stalled_until;
+            self.queue.schedule(until, Ev::MeStep { me: m, token });
+        }
+        // If the ME is mid-compute, its continuation MeStep will observe
+        // `stalled_until` and serve the stall before executing further.
+    }
+
+    /// Marks threads waiting for packets as ready and wakes parked MEs of
+    /// the given role.
+    fn wake_role(&mut self, role: MeRole, now: SimTime) {
+        for m in 0..self.mes.len() {
+            if self.mes[m].role != role {
+                continue;
+            }
+            let mut woke = false;
+            for th in &mut self.mes[m].threads {
+                if th.state == ThreadState::WaitingPacket {
+                    th.state = ThreadState::Ready;
+                    woke = true;
+                }
+            }
+            if woke && self.mes[m].parked {
+                self.run_me(m, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Microengine execution
+    // ------------------------------------------------------------------
+
+    /// Runs microengine `m` forward from `now` until it parks or schedules
+    /// a timed continuation.
+    fn run_me(&mut self, m: usize, now: SimTime) {
+        self.mes[m].parked = false;
+        self.mes[m].step_token += 1;
+
+        // Serve a pending VF-switch stall first.
+        if self.mes[m].stalled_until > now {
+            let until = self.mes[m].stalled_until;
+            self.set_mode(m, now, MeMode::Stalled);
+            self.mes[m].parked = true;
+            let token = self.mes[m].step_token;
+            self.queue.schedule(until, Ev::MeStep { me: m, token });
+            return;
+        }
+
+        loop {
+            let Some(ti) = self.pick_ready_thread(m) else {
+                // Nothing runnable: park. Memory-blocked-only = idle;
+                // anything waiting on packets or the bus busy-polls.
+                let threads = &self.mes[m].threads;
+                let polling = threads.iter().any(|t| {
+                    matches!(
+                        t.state,
+                        ThreadState::WaitingPacket | ThreadState::BlockedBus
+                    )
+                });
+                let mode = if polling { MeMode::Polling } else { MeMode::Idle };
+                self.set_mode(m, now, mode);
+                self.mes[m].parked = true;
+                return;
+            };
+
+            if self.step_thread(m, ti, now) {
+                return; // a timed continuation was scheduled
+            }
+        }
+    }
+
+    /// Round-robin selection of the next ready thread.
+    fn pick_ready_thread(&mut self, m: usize) -> Option<usize> {
+        let n = self.mes[m].threads.len();
+        let start = self.mes[m].next_thread;
+        for k in 0..n {
+            let ti = (start + k) % n;
+            if self.mes[m].threads[ti].state == ThreadState::Ready {
+                self.mes[m].next_thread = (ti + 1) % n;
+                return Some(ti);
+            }
+        }
+        None
+    }
+
+    /// Executes instantaneous work for thread `ti` and either schedules a
+    /// timed continuation (returns `true`) or blocks the thread (returns
+    /// `false`, caller picks the next thread).
+    fn step_thread(&mut self, m: usize, ti: usize, now: SimTime) -> bool {
+        // Fetch / deliver at program boundaries.
+        if self.mes[m].threads[ti].needs_fetch() {
+            if let Some(done) = self.mes[m].threads[ti].packet.take() {
+                self.deliver(m, done, now);
+                self.mes[m].packets_done += 1;
+            }
+            let role = self.mes[m].role;
+            let popped = match role {
+                MeRole::Rx => self.rx_fifo.pop_front(),
+                MeRole::Tx => self.tx_queue.pop_front(),
+            };
+            match popped {
+                Some(pkt) => {
+                    let program = match role {
+                        MeRole::Rx => self.config.benchmark.rx_program(pkt.size_bytes),
+                        MeRole::Tx => self.config.benchmark.tx_program(pkt.size_bytes),
+                    };
+                    let th = &mut self.mes[m].threads[ti];
+                    th.program = program;
+                    th.pc = 0;
+                    th.packet = Some(pkt);
+                }
+                None => {
+                    self.mes[m].threads[ti].state = ThreadState::WaitingPacket;
+                    return false;
+                }
+            }
+        }
+
+        let seg = self.mes[m].threads[ti].program[self.mes[m].threads[ti].pc];
+        self.mes[m].threads[ti].pc += 1;
+        match seg {
+            Segment::Compute(n) => {
+                let freq = self.mes[m].level(&self.config.ladder).frequency();
+                let dt = freq.cycles_to_time(u64::from(n));
+                self.set_mode(m, now, MeMode::Busy);
+                let token = self.mes[m].step_token;
+                self.queue.schedule(now + dt, Ev::MeStep { me: m, token });
+                if self.config.trace.emit_pipeline {
+                    let annots = self.fifo_annotations(now);
+                    self.trace.pipeline(m, annots);
+                }
+                true
+            }
+            Segment::Sram => {
+                let done = self.sram.issue(now);
+                self.block_on(m, ti, ThreadState::BlockedMem, done);
+                false
+            }
+            Segment::Sdram => {
+                let done = self.sdram.issue(now);
+                self.block_on(m, ti, ThreadState::BlockedMem, done);
+                false
+            }
+            Segment::BusTx(bits) => {
+                let done = self.bus.issue(now, bits);
+                self.block_on(m, ti, ThreadState::BlockedBus, done);
+                false
+            }
+        }
+    }
+
+    fn block_on(&mut self, m: usize, ti: usize, state: ThreadState, wake: SimTime) {
+        self.mes[m].threads[ti].state = state;
+        self.queue.schedule(wake, Ev::Done { me: m, thread: ti });
+    }
+
+    /// Hands a finished packet to the next stage.
+    fn deliver(&mut self, m: usize, pkt: Packet, now: SimTime) {
+        match self.mes[m].role {
+            MeRole::Rx => {
+                if self.tx_queue.len() < self.config.tx_queue_cap {
+                    self.tx_queue.push_back(pkt);
+                    self.wake_role(MeRole::Tx, now);
+                } else {
+                    self.dropped_tx_packets += 1;
+                }
+            }
+            MeRole::Tx => {
+                self.forwarded_packets += 1;
+                self.forwarded_bits += pkt.size_bits();
+                let annots = self.forward_annotations(now);
+                self.trace.forward(annots);
+            }
+        }
+    }
+
+    fn set_mode(&mut self, m: usize, now: SimTime, mode: MeMode) {
+        self.mes[m].set_mode(now, mode, &self.config.ladder, &self.config.power);
+    }
+
+    // ------------------------------------------------------------------
+    // Annotations & reporting
+    // ------------------------------------------------------------------
+
+    /// Chip energy consumed up to `now`, µJ — exact at event boundaries.
+    fn total_energy_uj(&self, now: SimTime) -> f64 {
+        let me: f64 = self
+            .mes
+            .iter()
+            .map(|m| m.energy_uj + m.pending_energy_uj(now, &self.config.ladder, &self.config.power))
+            .sum();
+        me + self.sram.energy_uj()
+            + self.sdram.energy_uj()
+            + EnergyMeter::static_uj(self.config.power.static_w, now)
+            + self.meter.monitor_uj
+    }
+
+    fn forward_annotations(&self, now: SimTime) -> Annotations {
+        Annotations {
+            cycle: self.config.base_freq().time_to_cycles(now),
+            time: now.as_us(),
+            energy: self.total_energy_uj(now),
+            total_pkt: self.forwarded_packets,
+            total_bit: self.forwarded_bits,
+            extra: Vec::new(),
+        }
+    }
+
+    fn fifo_annotations(&self, now: SimTime) -> Annotations {
+        Annotations {
+            cycle: self.config.base_freq().time_to_cycles(now),
+            time: now.as_us(),
+            energy: self.total_energy_uj(now),
+            total_pkt: self.arrived_packets,
+            total_bit: self.arrived_bits,
+            extra: Vec::new(),
+        }
+    }
+
+    fn build_report(&self) -> SimReport {
+        let mes: Vec<MeReport> = self
+            .mes
+            .iter()
+            .map(|m| MeReport {
+                role: m.role,
+                acc: m.acc,
+                energy_uj: m.energy_uj,
+                switches: m.switches,
+                final_level: m.level_idx,
+                packets_done: m.packets_done,
+                level_time: m.level_acc.clone(),
+            })
+            .collect();
+        SimReport {
+            policy: self.config.policy.kind(),
+            duration: self.end,
+            arrived_packets: self.arrived_packets,
+            arrived_bits: self.arrived_bits,
+            dropped_packets: self.dropped_packets,
+            dropped_tx_packets: self.dropped_tx_packets,
+            forwarded_packets: self.forwarded_packets,
+            forwarded_bits: self.forwarded_bits,
+            me_energy_uj: self.mes.iter().map(|m| m.energy_uj).sum(),
+            sram_energy_uj: self.sram.energy_uj(),
+            sdram_energy_uj: self.sdram.energy_uj(),
+            static_energy_uj: EnergyMeter::static_uj(self.config.power.static_w, self.end),
+            monitor_energy_uj: self.meter.monitor_uj,
+            sram_accesses: self.sram.accesses(),
+            sdram_accesses: self.sdram.accesses(),
+            total_switches: self.mes.iter().map(|m| m.switches).sum(),
+            windows: self.windows,
+            bus_bits: self.bus.bits_sent(),
+            bus_rate_mbps: self.bus.rate_mbps(),
+            window_idle: self.window_idle.clone(),
+            mes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TraceConfig;
+    use crate::workload::Benchmark;
+    use dvs::{EdvsConfig, TdvsConfig};
+    use traffic::TrafficLevel;
+
+    fn base_config() -> NpuConfig {
+        NpuConfig::builder()
+            .benchmark(Benchmark::Ipfwdr)
+            .traffic(TrafficLevel::Medium)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn smoke_run_forwards_packets() {
+        let mut sim = Simulator::new(base_config());
+        let r = sim.run_cycles(500_000);
+        assert!(r.arrived_packets > 50, "arrived {}", r.arrived_packets);
+        assert!(r.forwarded_packets > 0, "forwarded nothing");
+        assert!(r.forwarded_bits > 0);
+        assert!(r.mean_power_w() > 0.3, "power {}", r.mean_power_w());
+        assert!(r.mean_power_w() < 3.0, "power {}", r.mean_power_w());
+    }
+
+    #[test]
+    fn packet_conservation() {
+        let mut sim = Simulator::new(base_config());
+        let r = sim.run_cycles(500_000);
+        // arrived = forwarded + dropped + still in flight (bounded).
+        let in_flight_max =
+            (r.arrived_packets - r.forwarded_packets - r.dropped_packets - r.dropped_tx_packets)
+                as usize;
+        let bound = 512 + 1024 + 6 * 4; // fifos + one per thread
+        assert!(
+            in_flight_max <= bound,
+            "{in_flight_max} packets unaccounted for"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(base_config());
+            let r = sim.run_cycles(300_000);
+            (
+                r.arrived_packets,
+                r.forwarded_packets,
+                r.total_energy_uj().to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn forward_events_have_monotone_annotations() {
+        let mut sim = Simulator::new(base_config());
+        let _ = sim.run_cycles(400_000);
+        let trace = sim.trace();
+        let fwd: Vec<&loc::TraceRecord> =
+            trace.iter().filter(|r| r.event == "forward").collect();
+        assert!(fwd.len() > 10, "only {} forward events", fwd.len());
+        for w in fwd.windows(2) {
+            assert!(w[0].annots.time <= w[1].annots.time);
+            assert!(w[0].annots.energy <= w[1].annots.energy);
+            assert!(w[0].annots.total_pkt < w[1].annots.total_pkt);
+            assert!(w[0].annots.total_bit < w[1].annots.total_bit);
+        }
+    }
+
+    #[test]
+    fn tdvs_scales_down_under_light_traffic() {
+        let config = NpuConfig::builder()
+            .benchmark(Benchmark::Ipfwdr)
+            .traffic(TrafficLevel::Low)
+            .policy(PolicyConfig::Tdvs(TdvsConfig {
+                top_threshold_mbps: 1400.0,
+                window_cycles: 40_000,
+            }))
+            .seed(3)
+            .build();
+        let mut sim = Simulator::new(config);
+        let r = sim.run_cycles(2_000_000);
+        assert!(r.total_switches > 0, "TDVS never switched");
+        assert!(r.windows > 10);
+        // All MEs share the global level under TDVS.
+        let levels: Vec<usize> = r.mes.iter().map(|m| m.final_level).collect();
+        assert!(levels.windows(2).all(|w| w[0] == w[1]), "levels {levels:?}");
+    }
+
+    #[test]
+    fn tdvs_saves_power_vs_no_dvs() {
+        let run = |policy: PolicyConfig| {
+            let config = NpuConfig::builder()
+                .benchmark(Benchmark::Ipfwdr)
+                .traffic(TrafficLevel::Low)
+                .policy(policy)
+                .seed(11)
+                .build();
+            Simulator::new(config).run_cycles(2_000_000).mean_power_w()
+        };
+        let baseline = run(PolicyConfig::NoDvs);
+        let tdvs = run(PolicyConfig::Tdvs(TdvsConfig {
+            top_threshold_mbps: 1400.0,
+            window_cycles: 40_000,
+        }));
+        assert!(
+            tdvs < baseline * 0.95,
+            "TDVS {tdvs:.3} W vs noDVS {baseline:.3} W"
+        );
+    }
+
+    #[test]
+    fn edvs_scales_mes_independently() {
+        let config = NpuConfig::builder()
+            .benchmark(Benchmark::Ipfwdr)
+            .traffic(TrafficLevel::High)
+            .policy(PolicyConfig::Edvs(EdvsConfig::default()))
+            .seed(5)
+            .build();
+        let mut sim = Simulator::new(config);
+        let r = sim.run_cycles(2_000_000);
+        assert!(r.windows > 10);
+        // The rx MEs see memory idle; tx MEs busy-poll the bus. Their
+        // final levels are free to differ (per-ME policy).
+        let rx_switches: u64 = r
+            .mes
+            .iter()
+            .filter(|m| m.role == MeRole::Rx)
+            .map(|m| m.switches)
+            .sum();
+        assert!(rx_switches > 0, "no rx ME ever switched under EDVS");
+    }
+
+    #[test]
+    fn monitor_overhead_below_one_percent() {
+        let config = NpuConfig::builder()
+            .traffic(TrafficLevel::High)
+            .policy(PolicyConfig::Tdvs(TdvsConfig::default()))
+            .seed(2)
+            .build();
+        let mut sim = Simulator::new(config);
+        let r = sim.run_cycles(1_000_000);
+        assert!(r.monitor_energy_uj > 0.0);
+        assert!(
+            r.monitor_overhead_fraction() < 0.01,
+            "monitor overhead {:.4}",
+            r.monitor_overhead_fraction()
+        );
+    }
+
+    #[test]
+    fn nat_has_negligible_idle() {
+        let config = NpuConfig::builder()
+            .benchmark(Benchmark::Nat)
+            .traffic(TrafficLevel::High)
+            .seed(17)
+            .build();
+        let mut sim = Simulator::new(config);
+        let r = sim.run_cycles(1_000_000);
+        assert!(
+            r.rx_idle_fraction() < 0.05,
+            "nat rx idle {:.3}",
+            r.rx_idle_fraction()
+        );
+    }
+
+    #[test]
+    fn tx_mes_rarely_idle() {
+        let config = base_config();
+        let mut sim = Simulator::new(config);
+        let r = sim.run_cycles(1_000_000);
+        assert!(
+            r.tx_idle_fraction() < 0.08,
+            "tx idle {:.3}",
+            r.tx_idle_fraction()
+        );
+    }
+
+    #[test]
+    fn fifo_and_pipeline_events_obey_config() {
+        let config = NpuConfig::builder()
+            .seed(1)
+            .trace(TraceConfig {
+                emit_fifo: true,
+                emit_pipeline: false,
+            })
+            .build();
+        let mut sim = Simulator::new(config);
+        let _ = sim.run_cycles(200_000);
+        assert!(sim.trace().count_of("fifo") > 0);
+        assert_eq!(sim.trace().count_of("m0_pipeline"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly once")]
+    fn running_twice_panics() {
+        let mut sim = Simulator::new(base_config());
+        let _ = sim.run_cycles(1_000);
+        let _ = sim.run_cycles(1_000);
+    }
+
+    #[test]
+    fn replaying_a_recorded_trace_reproduces_the_live_run() {
+        use desim::SimTime;
+        use traffic::{PacketStream, RecordedTrace};
+
+        let config = base_config();
+        let horizon = config.base_freq().cycles_to_time(300_000);
+        // Record the exact packets the live run would see...
+        let trace = RecordedTrace::record(
+            PacketStream::new(config.arrivals.clone()),
+            horizon + SimTime::from_us(1),
+        );
+
+        let live = Simulator::new(config.clone()).run_cycles(300_000);
+        let replay = Simulator::new(config)
+            .with_replay(trace)
+            .run_cycles(300_000);
+
+        assert_eq!(live.arrived_packets, replay.arrived_packets);
+        assert_eq!(live.forwarded_packets, replay.forwarded_packets);
+        assert_eq!(live.forwarded_bits, replay.forwarded_bits);
+        assert!((live.mean_power_w() - replay.mean_power_w()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_of_empty_trace_is_an_idle_chip() {
+        use traffic::RecordedTrace;
+        let report = Simulator::new(base_config())
+            .with_replay(RecordedTrace::default())
+            .run_cycles(100_000);
+        assert_eq!(report.arrived_packets, 0);
+        assert_eq!(report.forwarded_packets, 0);
+        // The MEs poll the whole time: full active power, no idle.
+        assert_eq!(report.rx_idle_fraction(), 0.0);
+        assert!(report.mean_power_w() > 1.0);
+    }
+
+    #[test]
+    fn energy_components_are_all_positive() {
+        let mut sim = Simulator::new(base_config());
+        let r = sim.run_cycles(500_000);
+        assert!(r.me_energy_uj > 0.0);
+        assert!(r.sram_energy_uj > 0.0);
+        assert!(r.sdram_energy_uj > 0.0);
+        assert!(r.static_energy_uj > 0.0);
+        assert_eq!(r.monitor_energy_uj, 0.0, "no monitor without TDVS");
+        assert!(r.total_energy_uj() > 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Trace emission in the NePSim format (paper Figs. 3 and 4).
+
+use loc::{Annotations, Trace, TraceRecord};
+
+use crate::config::TraceConfig;
+
+/// Collects trace events during simulation.
+#[derive(Debug)]
+pub(crate) struct TraceCollector {
+    config: TraceConfig,
+    trace: Trace,
+}
+
+impl TraceCollector {
+    pub(crate) fn new(config: TraceConfig) -> Self {
+        TraceCollector {
+            config,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Emits a `forward` event (an IP packet was forwarded). Always on.
+    pub(crate) fn forward(&mut self, annots: Annotations) {
+        self.trace.push(TraceRecord::new("forward", annots));
+    }
+
+    /// Emits a `fifo` event (a packet entered the processing queue).
+    pub(crate) fn fifo(&mut self, annots: Annotations) {
+        if self.config.emit_fifo {
+            self.trace.push(TraceRecord::new("fifo", annots));
+        }
+    }
+
+    /// Emits an `mN_pipeline` event (an execution bundle entered ME `n`'s
+    /// pipeline).
+    pub(crate) fn pipeline(&mut self, me: usize, annots: Annotations) {
+        if self.config.emit_pipeline {
+            self.trace
+                .push(TraceRecord::new(format!("m{me}_pipeline"), annots));
+        }
+    }
+
+    pub(crate) fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    pub(crate) fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_always_emitted() {
+        let mut c = TraceCollector::new(TraceConfig::default());
+        c.forward(Annotations::default());
+        assert_eq!(c.trace().count_of("forward"), 1);
+    }
+
+    #[test]
+    fn optional_events_respect_config() {
+        let mut quiet = TraceCollector::new(TraceConfig {
+            emit_fifo: false,
+            emit_pipeline: false,
+        });
+        quiet.fifo(Annotations::default());
+        quiet.pipeline(2, Annotations::default());
+        assert_eq!(quiet.trace().len(), 0);
+
+        let mut loud = TraceCollector::new(TraceConfig {
+            emit_fifo: true,
+            emit_pipeline: true,
+        });
+        loud.fifo(Annotations::default());
+        loud.pipeline(2, Annotations::default());
+        assert_eq!(loud.trace().count_of("fifo"), 1);
+        assert_eq!(loud.trace().count_of("m2_pipeline"), 1);
+    }
+
+    #[test]
+    fn into_trace_hands_over_records() {
+        let mut c = TraceCollector::new(TraceConfig::default());
+        c.forward(Annotations::default());
+        let t = c.into_trace();
+        assert_eq!(t.len(), 1);
+    }
+}

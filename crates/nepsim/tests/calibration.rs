@@ -1,0 +1,204 @@
+//! Calibration tests: the quantitative anchors that tie the behavioural
+//! model to the paper's reported operating points (see DESIGN.md §2).
+//!
+//! These use 2M-cycle runs (a quarter of the paper's) — long enough for
+//! the anchors below to be stable at the asserted tolerances.
+
+use dvs::EdvsConfig;
+use nepsim::{Benchmark, MeMode, MeRole, NpuConfig, PolicyConfig, SimReport, Simulator};
+use traffic::TrafficLevel;
+
+const CYCLES: u64 = 2_000_000;
+
+fn run(benchmark: Benchmark, traffic: TrafficLevel, policy: PolicyConfig) -> SimReport {
+    let config = NpuConfig::builder()
+        .benchmark(benchmark)
+        .traffic(traffic)
+        .policy(policy)
+        .seed(42)
+        .build();
+    Simulator::new(config).run_cycles(CYCLES)
+}
+
+/// The noDVS chip dissipates ~1.2–1.5 W under load — the region the
+/// paper's distribution plots (0.5–2.25 W analysis period) centre on.
+#[test]
+fn nodvs_power_in_paper_band() {
+    for benchmark in Benchmark::ALL {
+        let r = run(benchmark, TrafficLevel::High, PolicyConfig::NoDvs);
+        let p = r.mean_power_w();
+        assert!((1.0..1.6).contains(&p), "{benchmark}: noDVS power {p:.3} W");
+    }
+}
+
+/// ipfwdr receive MEs at high traffic idle 25–45 % of the time — the
+/// paper's upper bimodal mode (§4.2).
+#[test]
+fn ipfwdr_rx_idle_band_at_high_traffic() {
+    let r = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let idle = r.rx_idle_fraction();
+    assert!((0.20..0.50).contains(&idle), "rx idle {idle:.3}");
+}
+
+/// ...and at low traffic they poll instead: idle under 5 %.
+#[test]
+fn ipfwdr_rx_polls_at_low_traffic() {
+    let r = run(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyConfig::NoDvs);
+    assert!(r.rx_idle_fraction() < 0.05, "rx idle {:.3}", r.rx_idle_fraction());
+    // Polling keeps the MEs on active power: total active fraction high.
+    let rx_active: f64 = r
+        .mes
+        .iter()
+        .filter(|m| m.role == MeRole::Rx)
+        .map(|m| m.active_fraction())
+        .sum::<f64>()
+        / 4.0;
+    assert!(rx_active > 0.90, "rx active {rx_active:.3}");
+}
+
+/// Transmitting MEs are transmission-constrained but almost never idle
+/// (bus waits are busy-polls): idle < 5 % at every traffic level.
+#[test]
+fn tx_idle_below_five_percent_everywhere() {
+    for traffic in TrafficLevel::ALL {
+        let r = run(Benchmark::Ipfwdr, traffic, PolicyConfig::NoDvs);
+        assert!(
+            r.tx_idle_fraction() < 0.05,
+            "{traffic}: tx idle {:.3}",
+            r.tx_idle_fraction()
+        );
+    }
+}
+
+/// The paper's §4.2 window bimodality: ~90 % of rx windows are either
+/// under 5 % idle or between 20 % and 45 %.
+#[test]
+fn rx_window_idle_is_bimodal() {
+    let r = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let rx: Vec<f64> = r
+        .window_idle
+        .iter()
+        .filter(|s| s.role == MeRole::Rx)
+        .map(|s| s.idle)
+        .collect();
+    assert!(rx.len() > 100, "only {} window samples", rx.len());
+    let in_modes = rx
+        .iter()
+        .filter(|&&x| x < 0.05 || (0.20..0.50).contains(&x))
+        .count() as f64
+        / rx.len() as f64;
+    assert!(in_modes > 0.75, "only {:.0}% of windows in the two modes", in_modes * 100.0);
+    // Both modes are populated.
+    let low = rx.iter().filter(|&&x| x < 0.05).count();
+    let high = rx.iter().filter(|&&x| (0.20..0.50).contains(&x)).count();
+    assert!(low > 0, "no low-idle windows");
+    assert!(high > 0, "no high-idle windows");
+}
+
+/// The effective SDRAM access time stays in the paper's "as much as 100
+/// clock cycles" regime: between the 108-cycle base latency and ~200
+/// cycles with queueing.
+#[test]
+fn sdram_access_time_matches_paper_quote() {
+    let config = NpuConfig::builder()
+        .benchmark(Benchmark::Ipfwdr)
+        .traffic(TrafficLevel::High)
+        .seed(42)
+        .build();
+    let mut sim = Simulator::new(config);
+    let _ = sim.run_cycles(CYCLES);
+    let mean = sim.sdram_mean_access_time();
+    let cycles = desim::Frequency::from_mhz(600).time_to_cycles(mean);
+    assert!(
+        (100..260).contains(&cycles),
+        "mean SDRAM access {cycles} base-clock cycles"
+    );
+}
+
+/// Benchmark ordering of EDVS opportunity: ipfwdr and url expose idle,
+/// md4 a little, nat none (paper §3.1 characterisation and §4.3 results).
+#[test]
+fn benchmark_idle_ordering() {
+    let idle = |b| {
+        run(b, TrafficLevel::High, PolicyConfig::NoDvs).rx_idle_fraction()
+    };
+    let ipfwdr = idle(Benchmark::Ipfwdr);
+    let url = idle(Benchmark::Url);
+    let nat = idle(Benchmark::Nat);
+    let md4 = idle(Benchmark::Md4);
+    assert!(nat < 0.02, "nat idle {nat:.3}");
+    assert!(ipfwdr > 0.15, "ipfwdr idle {ipfwdr:.3}");
+    assert!(url > 0.05, "url idle {url:.3}");
+    assert!(nat < md4 && md4 < ipfwdr, "ordering: nat {nat:.3} md4 {md4:.3} ipfwdr {ipfwdr:.3}");
+}
+
+/// EDVS on ipfwdr at high traffic: the receive MEs settle at low VF
+/// levels and total savings land in the paper's ~20 % region.
+#[test]
+fn edvs_savings_magnitude() {
+    let base = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let edvs = run(
+        Benchmark::Ipfwdr,
+        TrafficLevel::High,
+        PolicyConfig::Edvs(EdvsConfig::default()),
+    );
+    let saving = 1.0 - edvs.mean_power_w() / base.mean_power_w();
+    assert!(
+        (0.10..0.35).contains(&saving),
+        "EDVS saving {:.1}% outside the expected band",
+        saving * 100.0
+    );
+    for me in edvs.mes.iter().filter(|m| m.role == MeRole::Rx) {
+        assert!(me.final_level <= 2, "an rx ME ended at level {}", me.final_level);
+        // Level occupancy: most of the run is spent at the bottom two
+        // levels once EDVS engages.
+        let low_share = me.level_fraction(0) + me.level_fraction(1);
+        assert!(low_share > 0.5, "rx ME spent only {low_share:.2} at low VF");
+    }
+    // Tx MEs never leave the top level.
+    for me in edvs.mes.iter().filter(|m| m.role == MeRole::Tx) {
+        assert!(me.level_fraction(4) > 0.99, "tx ME left the top level");
+    }
+}
+
+/// Energy accounting closes: the per-ME mode times sum to the run
+/// duration, and component energies sum to the total.
+#[test]
+fn accounting_closure() {
+    let r = run(Benchmark::Url, TrafficLevel::Medium, PolicyConfig::NoDvs);
+    for (k, me) in r.mes.iter().enumerate() {
+        let total = me.acc.total();
+        let diff = if total > r.duration {
+            total - r.duration
+        } else {
+            r.duration - total
+        };
+        assert!(
+            diff.as_ps() < 1_000_000, // < 1us slack
+            "me{k}: accounted {total} vs duration {}",
+            r.duration
+        );
+    }
+    let components = r.me_energy_uj
+        + r.sram_energy_uj
+        + r.sdram_energy_uj
+        + r.static_energy_uj
+        + r.monitor_energy_uj;
+    assert!((components - r.total_energy_uj()).abs() < 1e-9);
+    // Mode sanity: nobody is stalled without DVS.
+    for me in &r.mes {
+        assert_eq!(me.acc.get(MeMode::Stalled), desim::SimTime::ZERO);
+    }
+}
+
+/// Throughput tracks offered load when the system keeps up (low traffic,
+/// any benchmark).
+#[test]
+fn low_traffic_is_lossless() {
+    for benchmark in Benchmark::ALL {
+        let r = run(benchmark, TrafficLevel::Low, PolicyConfig::NoDvs);
+        assert_eq!(r.dropped_packets, 0, "{benchmark} dropped packets");
+        let deficit = 1.0 - r.throughput_mbps() / r.offered_mbps();
+        assert!(deficit < 0.03, "{benchmark}: deficit {:.3}", deficit);
+    }
+}

@@ -1,0 +1,104 @@
+//! Synthetic IP traffic models for the NPU experiments.
+//!
+//! The paper drives NePSim with packet arrivals sampled from a real NLANR
+//! edge-router trace (its Fig. 2). The NLANR archive is no longer
+//! available, so this crate provides the closest synthetic equivalent:
+//!
+//! * [`DiurnalModel`] — a day-long arrival-rate profile with max/median/min
+//!   envelopes shaped like the paper's Fig. 2,
+//! * [`TrafficLevel`] — the paper's "high / medium / low" sampling of that
+//!   profile (§3.2, §4.3),
+//! * [`PacketStream`] — a bursty (Markov-modulated Poisson) packet arrival
+//!   process over 16 device ports with an IMIX-style packet-size mix.
+//!
+//! The property the DVS study depends on — *unbalanced* load with burst
+//! and lull phases long enough to span several monitor windows — is
+//! preserved by the two-state modulation of [`PacketStream`].
+//!
+//! # Example
+//!
+//! ```
+//! use desim::SimTime;
+//! use traffic::{ArrivalConfig, PacketStream, TrafficLevel};
+//!
+//! let config = ArrivalConfig::for_level(TrafficLevel::Medium, 7);
+//! let mut stream = PacketStream::new(config);
+//! let horizon = SimTime::from_ms(1);
+//! let packets: Vec<_> = stream.by_ref()
+//!     .take_while(|p| p.arrival < horizon)
+//!     .collect();
+//! assert!(!packets.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arrivals;
+mod diurnal;
+mod packet;
+mod replay;
+
+pub use arrivals::{ArrivalConfig, PacketStream};
+pub use diurnal::{DiurnalModel, DiurnalSample};
+pub use packet::{Packet, SizeMix};
+pub use replay::RecordedTrace;
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three traffic-volume sampling periods (§3.2: "We sample a
+/// few seconds of real traffic in high, medium and low arriving rates").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficLevel {
+    /// Night-time lull traffic.
+    Low,
+    /// Shoulder-period traffic.
+    Medium,
+    /// Mid-day peak traffic.
+    High,
+}
+
+impl TrafficLevel {
+    /// All levels, lowest first.
+    pub const ALL: [TrafficLevel; 3] = [TrafficLevel::Low, TrafficLevel::Medium, TrafficLevel::High];
+
+    /// Target aggregate arrival rate across all 16 ports, in Mbps.
+    ///
+    /// Chosen so the TDVS thresholds explored in the paper (800–1400 Mbps)
+    /// straddle the offered load: high traffic sits above the lowest
+    /// thresholds and low traffic below all of them.
+    #[must_use]
+    pub fn mean_rate_mbps(self) -> f64 {
+        match self {
+            TrafficLevel::Low => 450.0,
+            TrafficLevel::Medium => 850.0,
+            TrafficLevel::High => 1150.0,
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrafficLevel::Low => "low",
+            TrafficLevel::Medium => "medium",
+            TrafficLevel::High => "high",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TrafficLevel::Low.mean_rate_mbps() < TrafficLevel::Medium.mean_rate_mbps());
+        assert!(TrafficLevel::Medium.mean_rate_mbps() < TrafficLevel::High.mean_rate_mbps());
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = TrafficLevel::ALL.iter().map(|l| l.to_string()).collect();
+        assert_eq!(names, vec!["low", "medium", "high"]);
+    }
+}

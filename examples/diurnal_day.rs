@@ -1,0 +1,57 @@
+//! A day in the life of the NPU: sample the diurnal traffic profile at
+//! several times of day (paper Fig. 2 → §3.2 flow), run the simulator
+//! under each policy, and show how the preferred policy changes with the
+//! time of day.
+//!
+//! Run with: `cargo run --release -p abdex --example diurnal_day`
+
+use abdex::dvs::{EdvsConfig, TdvsConfig};
+use abdex::nepsim::{Benchmark, NpuConfig, PolicyConfig, Simulator};
+use abdex::traffic::{ArrivalConfig, DiurnalModel};
+
+fn main() {
+    let model = DiurnalModel::nlanr_like(42);
+    let hours = [2.0, 6.0, 10.0, 14.0, 18.0, 22.0];
+    let cycles = 1_500_000;
+
+    println!(
+        "{:>5} {:>9} {:>22} {:>22}",
+        "time", "offered", "TDVS power (saving)", "EDVS power (saving)"
+    );
+    for &h in &hours {
+        let sample = model.sample(h * 3600.0);
+        // Aggregate NPU load = 5x the profiled link's median.
+        let arrivals = ArrivalConfig::from_diurnal(&sample, 5.0, 42);
+
+        let run = |policy: PolicyConfig| {
+            let config = NpuConfig::builder()
+                .benchmark(Benchmark::Ipfwdr)
+                .arrivals(arrivals.clone())
+                .policy(policy)
+                .seed(42)
+                .build();
+            Simulator::new(config).run_cycles(cycles)
+        };
+        let base = run(PolicyConfig::NoDvs);
+        let tdvs = run(PolicyConfig::Tdvs(TdvsConfig {
+            top_threshold_mbps: 1400.0,
+            window_cycles: 40_000,
+        }));
+        let edvs = run(PolicyConfig::Edvs(EdvsConfig::default()));
+
+        let saving = |r: &abdex::nepsim::SimReport| 1.0 - r.mean_power_w() / base.mean_power_w();
+        println!(
+            "{h:>4}h {:>7.0}Mb {:>12.3}W ({:>4.1}%) {:>12.3}W ({:>4.1}%)",
+            base.offered_mbps(),
+            tdvs.mean_power_w(),
+            saving(&tdvs) * 100.0,
+            edvs.mean_power_w(),
+            saving(&edvs) * 100.0,
+        );
+    }
+    println!(
+        "\nthe paper's conclusion in motion: TDVS dominates in the night-time\n\
+         lull, while EDVS's memory-idle savings only appear once daytime load\n\
+         saturates the receive microengines."
+    );
+}

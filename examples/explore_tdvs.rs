@@ -1,0 +1,49 @@
+//! TDVS design-space exploration (paper §4.1, Figures 6–9): sweep the
+//! threshold × window grid, print the 80th-percentile power/throughput
+//! surfaces, and report the optimal configuration under both priorities.
+//!
+//! Run with: `cargo run --release -p abdex --example explore_tdvs`
+
+use abdex::nepsim::Benchmark;
+use abdex::tables::{render_surface, render_sweep};
+use abdex::traffic::TrafficLevel;
+use abdex::{optimal_tdvs, sweep_tdvs, DesignPriority, TdvsGrid};
+
+fn main() {
+    let grid = TdvsGrid::default(); // 800..1400 Mbps x 20k..80k cycles
+    let cycles = 2_000_000; // paper: 8_000_000
+    println!(
+        "sweeping {} TDVS configurations of ipfwdr at high traffic ({} cycles each)...\n",
+        grid.len(),
+        cycles
+    );
+    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, cycles, 42);
+
+    println!("{}", render_sweep(&cells));
+    println!(
+        "{}",
+        render_surface(&abdex::sweep::power_surface(&cells), "fig8: p80 power (W)")
+    );
+    println!(
+        "{}",
+        render_surface(
+            &abdex::sweep::throughput_surface(&cells),
+            "fig9: p80 throughput (Mbps)"
+        )
+    );
+
+    for (priority, label) in [
+        (DesignPriority::Performance, "performance priority"),
+        (DesignPriority::Power, "power priority"),
+    ] {
+        let best = optimal_tdvs(&cells, priority).expect("sweep is non-empty");
+        println!(
+            "optimal under {label}: threshold {} Mbps, window {} cycles \
+             (p80 power {:.3} W, p80 throughput {:.1} Mbps)",
+            best.threshold_mbps,
+            best.window_cycles,
+            best.result.p80_power_w(),
+            best.result.p80_throughput_mbps(),
+        );
+    }
+}

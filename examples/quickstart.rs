@@ -1,0 +1,59 @@
+//! Quickstart: simulate the NPU under EDVS and analyze the power
+//! distribution with the paper's LOC formula (2).
+//!
+//! Run with: `cargo run --release -p abdex --example quickstart`
+
+use abdex::dvs::EdvsConfig;
+use abdex::nepsim::Benchmark;
+use abdex::traffic::TrafficLevel;
+use abdex::{Experiment, PolicyConfig};
+
+fn main() {
+    // One design point: ipfwdr under EDVS at medium traffic, a quarter of
+    // the paper's 8M-cycle run for a fast first contact.
+    let experiment = Experiment {
+        benchmark: Benchmark::Ipfwdr,
+        traffic: TrafficLevel::Medium,
+        policy: PolicyConfig::Edvs(EdvsConfig::default()),
+        cycles: 2_000_000,
+        seed: 42,
+    };
+    println!(
+        "simulating {} at {} traffic under EDVS ({} cycles)...",
+        experiment.benchmark, experiment.traffic, experiment.cycles
+    );
+    let result = experiment.run();
+
+    println!("\n-- run summary ------------------------------------------");
+    println!("  arrived packets   : {}", result.sim.arrived_packets);
+    println!("  forwarded packets : {}", result.sim.forwarded_packets);
+    println!("  offered load      : {:8.1} Mbps", result.sim.offered_mbps());
+    println!("  throughput        : {:8.1} Mbps", result.sim.throughput_mbps());
+    println!("  mean chip power   : {:8.3} W", result.sim.mean_power_w());
+    println!("  rx-ME idle        : {:8.1} %", result.sim.rx_idle_fraction() * 100.0);
+    println!("  tx-ME idle        : {:8.1} %", result.sim.tx_idle_fraction() * 100.0);
+    println!("  VF switches       : {:8}", result.sim.total_switches);
+
+    println!("\n-- LOC formula (2): power per 100 forwarded packets ------");
+    println!(
+        "  instances: {} (NaN: {})",
+        result.power.total_instances(),
+        result.power.nan_instances()
+    );
+    for x in [0.8, 1.0, 1.2, 1.4, 1.6] {
+        println!(
+            "  fraction of windows below {x:.1} W : {:5.1} %",
+            result.power.fraction_le(x) * 100.0
+        );
+    }
+    println!(
+        "  80% of windows are below       : {:5.3} W",
+        result.p80_power_w()
+    );
+
+    println!("\n-- LOC formula (3): throughput per 100 packets -----------");
+    println!(
+        "  80% of windows are above       : {:5.1} Mbps",
+        result.p80_throughput_mbps()
+    );
+}
