@@ -6,7 +6,7 @@ use abdex::compare::{compare_policies, ComparisonConfig};
 use abdex::dvs::EdvsConfig;
 use abdex::nepsim::Benchmark;
 use abdex::traffic::{DiurnalModel, TrafficLevel};
-use abdex::{sweep_tdvs, Experiment, PolicyConfig, TdvsGrid};
+use abdex::{sweep_tdvs, Experiment, PolicySpec, TdvsGrid};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 /// Reduced run length so `cargo bench` completes quickly; the binaries use
@@ -53,7 +53,7 @@ fn fig10_edvs(c: &mut Criterion) {
             Experiment {
                 benchmark: Benchmark::Ipfwdr,
                 traffic: TrafficLevel::High,
-                policy: PolicyConfig::Edvs(EdvsConfig::default()),
+                policy: PolicySpec::Edvs(EdvsConfig::default()),
                 cycles: CYCLES,
                 seed: 42,
             }

@@ -78,12 +78,20 @@ fn bench_trace_text(c: &mut Criterion) {
     let trace = synthetic_trace(5_000);
     let text = trace.to_text();
     let mut g = c.benchmark_group("trace_text");
-    g.bench_function("to_text_5k", |b| b.iter(|| std::hint::black_box(&trace).to_text()));
+    g.bench_function("to_text_5k", |b| {
+        b.iter(|| std::hint::black_box(&trace).to_text())
+    });
     g.bench_function("from_text_5k", |b| {
         b.iter(|| Trace::from_text(std::hint::black_box(&text)).expect("valid"));
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_parser, bench_analyzer, bench_checker, bench_trace_text);
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_analyzer,
+    bench_checker,
+    bench_trace_text
+);
 criterion_main!(benches);

@@ -1,8 +1,11 @@
-//! Criterion benches for the DVS policy automata — these run once per
-//! monitor window inside the platform, so their cost bounds the monitor
-//! overhead.
+//! Criterion benches for the DVS policy automata and the trait-object
+//! dispatch path — these run once per monitor window inside the platform,
+//! so their cost bounds the monitor overhead.
 
-use abdex::dvs::{Edvs, EdvsConfig, ScalingDecision, Tdvs, TdvsConfig, VfLadder};
+use abdex::dvs::{
+    Edvs, EdvsConfig, MeObservation, PolicySpec, QueueObservation, ScalingDecision, Tdvs,
+    TdvsConfig, VfLadder,
+};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_tdvs(c: &mut Criterion) {
@@ -14,7 +17,9 @@ fn bench_tdvs(c: &mut Criterion) {
             let mut acc = 0u64;
             for k in 0..1_000u32 {
                 let observed = 600.0 + f64::from(k % 17) * 60.0;
-                if policy.on_window(std::hint::black_box(observed)) != ScalingDecision::Hold { acc += 1; }
+                if policy.on_window(std::hint::black_box(observed)) != ScalingDecision::Hold {
+                    acc += 1;
+                }
             }
             acc
         });
@@ -25,11 +30,63 @@ fn bench_tdvs(c: &mut Criterion) {
             let mut acc = 0u64;
             for k in 0..1_000u32 {
                 let idle = f64::from(k % 10) / 20.0;
-                if policy.on_window(std::hint::black_box(idle)) != ScalingDecision::Hold { acc += 1; }
+                if policy.on_window(std::hint::black_box(idle)) != ScalingDecision::Hold {
+                    acc += 1;
+                }
             }
             acc
         });
     });
+    // The platform-facing path: boxed trait object fed full observations,
+    // for every registered policy.
+    for name in ["tdvs", "edvs", "combined", "queue", "proportional"] {
+        g.bench_function(format!("trait_{name}_1k_windows"), |b| {
+            let ladder = VfLadder::xscale_npu();
+            let spec = PolicySpec::parse(name).expect("builtin");
+            b.iter(|| {
+                let mut policy = spec.build(&ladder);
+                let mut mes = vec![
+                    MeObservation {
+                        idle_fraction: 0.0,
+                        level: 4
+                    };
+                    6
+                ];
+                let mut moves = 0u64;
+                for k in 0..1_000u64 {
+                    for (m, me) in mes.iter_mut().enumerate() {
+                        me.idle_fraction = f64::from((k as u32 + m as u32) % 10) / 20.0;
+                    }
+                    let obs = abdex::dvs::PolicyObservation {
+                        window: k,
+                        window_us: 66.6,
+                        aggregate_mbps: 600.0 + (k % 17) as f64 * 60.0,
+                        mes: &mes,
+                        rx_fifo: QueueObservation {
+                            occupancy: (k % 2048) as usize,
+                            capacity: 2048,
+                            dropped: 0,
+                        },
+                        tx_queue: QueueObservation {
+                            occupancy: 0,
+                            capacity: 2048,
+                            dropped: 0,
+                        },
+                    };
+                    let response = policy.on_window(std::hint::black_box(&obs));
+                    for (me, d) in mes.iter_mut().zip(&response.decisions) {
+                        match d {
+                            ScalingDecision::Up => me.level = (me.level + 1).min(4),
+                            ScalingDecision::Down => me.level = me.level.saturating_sub(1),
+                            ScalingDecision::Hold => {}
+                        }
+                        moves += u64::from(*d != ScalingDecision::Hold);
+                    }
+                }
+                moves
+            });
+        });
+    }
     g.finish();
 }
 

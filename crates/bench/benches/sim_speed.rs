@@ -2,7 +2,7 @@
 //! wall-clock second for each benchmark application and policy.
 
 use abdex::dvs::{EdvsConfig, TdvsConfig};
-use abdex::nepsim::{Benchmark, NpuConfig, PolicyConfig, Simulator};
+use abdex::nepsim::{Benchmark, NpuConfig, PolicySpec, Simulator};
 use abdex::traffic::TrafficLevel;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -30,9 +30,9 @@ fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_by_policy");
     g.throughput(Throughput::Elements(CYCLES));
     for (name, policy) in [
-        ("nodvs", PolicyConfig::NoDvs),
-        ("tdvs", PolicyConfig::Tdvs(TdvsConfig::default())),
-        ("edvs", PolicyConfig::Edvs(EdvsConfig::default())),
+        ("nodvs", PolicySpec::NoDvs),
+        ("tdvs", PolicySpec::Tdvs(TdvsConfig::default())),
+        ("edvs", PolicySpec::Edvs(EdvsConfig::default())),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
@@ -56,11 +56,19 @@ fn bench_traffic_stream(c: &mut Criterion) {
     g.bench_function("generate_10k_packets", |b| {
         b.iter(|| {
             let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 3));
-            stream.take(10_000).map(|p| u64::from(p.size_bytes)).sum::<u64>()
+            stream
+                .take(10_000)
+                .map(|p| u64::from(p.size_bytes))
+                .sum::<u64>()
         });
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_benchmarks, bench_policies, bench_traffic_stream);
+criterion_group!(
+    benches,
+    bench_benchmarks,
+    bench_policies,
+    bench_traffic_stream
+);
 criterion_main!(benches);

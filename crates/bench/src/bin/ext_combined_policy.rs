@@ -5,7 +5,7 @@
 use abdex::dvs::{CombinedConfig, EdvsConfig, TdvsConfig};
 use abdex::nepsim::Benchmark;
 use abdex::traffic::TrafficLevel;
-use abdex::{Experiment, PolicyConfig};
+use abdex::{Experiment, PolicySpec};
 use abdex_bench::{cycles_from_args, FIG_SEED};
 
 fn main() {
@@ -19,11 +19,11 @@ fn main() {
         idle_threshold: 0.10,
         window_cycles: window,
     };
-    let policies: Vec<(&str, PolicyConfig)> = vec![
-        ("noDVS", PolicyConfig::NoDvs),
-        ("TDVS", PolicyConfig::Tdvs(tdvs)),
-        ("EDVS", PolicyConfig::Edvs(edvs)),
-        ("TEDVS", PolicyConfig::Combined(CombinedConfig { tdvs, edvs })),
+    let policies: Vec<(&str, PolicySpec)> = vec![
+        ("noDVS", PolicySpec::NoDvs),
+        ("TDVS", PolicySpec::Tdvs(tdvs)),
+        ("EDVS", PolicySpec::Edvs(edvs)),
+        ("TEDVS", PolicySpec::Combined(CombinedConfig { tdvs, edvs })),
     ];
 
     println!("combined-policy extension (TEDVS), ipfwdr, {cycles} cycles per cell:\n");

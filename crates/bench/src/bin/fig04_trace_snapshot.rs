@@ -24,7 +24,10 @@ fn main() {
     let _ = sim.run_cycles(20_000);
     let trace = sim.into_trace();
 
-    println!("Fig. 4 — a snapshot of a NePSim simulation trace ({} records total)", trace.len());
+    println!(
+        "Fig. 4 — a snapshot of a NePSim simulation trace ({} records total)",
+        trace.len()
+    );
     let text = trace.to_text();
     for line in text.lines().take(24) {
         println!("  {line}");

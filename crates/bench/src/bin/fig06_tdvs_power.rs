@@ -4,7 +4,7 @@
 
 use abdex::nepsim::Benchmark;
 use abdex::traffic::TrafficLevel;
-use abdex::{sweep_tdvs, Experiment, PolicyConfig, TdvsGrid};
+use abdex::{sweep_tdvs, Experiment, PolicySpec, TdvsGrid};
 use abdex_bench::{bar, cycles_from_args, FIG_SEED};
 
 fn main() {
@@ -14,11 +14,17 @@ fn main() {
         "fig06: sweeping {} TDVS cells of ipfwdr/high at {cycles} cycles each...",
         grid.len()
     );
-    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, cycles, FIG_SEED);
+    let cells = sweep_tdvs(
+        Benchmark::Ipfwdr,
+        TrafficLevel::High,
+        &grid,
+        cycles,
+        FIG_SEED,
+    );
     let baseline = Experiment {
         benchmark: Benchmark::Ipfwdr,
         traffic: TrafficLevel::High,
-        policy: PolicyConfig::NoDvs,
+        policy: PolicySpec::NoDvs,
         cycles,
         seed: FIG_SEED,
     }
@@ -45,7 +51,10 @@ fn main() {
         }
     }
 
-    println!("\nsummary: p80 power (W) per cell (noDVS {:.3}):", baseline.p80_power_w());
+    println!(
+        "\nsummary: p80 power (W) per cell (noDVS {:.3}):",
+        baseline.p80_power_w()
+    );
     for c in &cells {
         let p = c.result.p80_power_w();
         println!(

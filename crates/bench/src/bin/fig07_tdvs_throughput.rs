@@ -4,7 +4,7 @@
 
 use abdex::nepsim::Benchmark;
 use abdex::traffic::TrafficLevel;
-use abdex::{sweep_tdvs, Experiment, PolicyConfig, TdvsGrid};
+use abdex::{sweep_tdvs, Experiment, PolicySpec, TdvsGrid};
 use abdex_bench::{bar, cycles_from_args, FIG_SEED};
 
 fn main() {
@@ -14,11 +14,17 @@ fn main() {
         "fig07: sweeping {} TDVS cells of ipfwdr/high at {cycles} cycles each...",
         grid.len()
     );
-    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, cycles, FIG_SEED);
+    let cells = sweep_tdvs(
+        Benchmark::Ipfwdr,
+        TrafficLevel::High,
+        &grid,
+        cycles,
+        FIG_SEED,
+    );
     let baseline = Experiment {
         benchmark: Benchmark::Ipfwdr,
         traffic: TrafficLevel::High,
-        policy: PolicyConfig::NoDvs,
+        policy: PolicySpec::NoDvs,
         cycles,
         seed: FIG_SEED,
     }
@@ -26,9 +32,7 @@ fn main() {
 
     let xs: Vec<f64> = (0..=10).map(|k| 400.0 + 100.0 * k as f64).collect();
     for &threshold in &grid.thresholds_mbps {
-        println!(
-            "\nThroughput -- threshold {threshold:.0} Mbps (fraction of instances >= x Mbps)"
-        );
+        println!("\nThroughput -- threshold {threshold:.0} Mbps (fraction of instances >= x Mbps)");
         print!("{:>8}", "x(Mbps)");
         for &w in &grid.windows_cycles {
             print!(" {:>7}k", w / 1000);

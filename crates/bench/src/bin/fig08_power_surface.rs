@@ -11,8 +11,17 @@ use abdex_bench::{cycles_from_args, FIG_SEED};
 fn main() {
     let cycles = cycles_from_args();
     let grid = TdvsGrid::default();
-    eprintln!("fig08: sweeping {} cells at {cycles} cycles each...", grid.len());
-    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, cycles, FIG_SEED);
+    eprintln!(
+        "fig08: sweeping {} cells at {cycles} cycles each...",
+        grid.len()
+    );
+    let cells = sweep_tdvs(
+        Benchmark::Ipfwdr,
+        TrafficLevel::High,
+        &grid,
+        cycles,
+        FIG_SEED,
+    );
     println!(
         "Fig. 8 — {}",
         render_surface(&power_surface(&cells), "80th-percentile power (W)")

@@ -11,8 +11,17 @@ use abdex_bench::{cycles_from_args, FIG_SEED};
 fn main() {
     let cycles = cycles_from_args();
     let grid = TdvsGrid::default();
-    eprintln!("fig09: sweeping {} cells at {cycles} cycles each...", grid.len());
-    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, cycles, FIG_SEED);
+    eprintln!(
+        "fig09: sweeping {} cells at {cycles} cycles each...",
+        grid.len()
+    );
+    let cells = sweep_tdvs(
+        Benchmark::Ipfwdr,
+        TrafficLevel::High,
+        &grid,
+        cycles,
+        FIG_SEED,
+    );
     println!(
         "Fig. 9 — {}",
         render_surface(

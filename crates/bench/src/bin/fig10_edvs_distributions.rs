@@ -4,10 +4,10 @@
 use abdex::dvs::EdvsConfig;
 use abdex::nepsim::Benchmark;
 use abdex::traffic::TrafficLevel;
-use abdex::{Experiment, ExperimentResult, PolicyConfig};
+use abdex::{Experiment, ExperimentResult, PolicySpec};
 use abdex_bench::{cycles_from_args, FIG_SEED};
 
-fn run(policy: PolicyConfig, cycles: u64) -> ExperimentResult {
+fn run(policy: PolicySpec, cycles: u64) -> ExperimentResult {
     Experiment {
         benchmark: Benchmark::Ipfwdr,
         traffic: TrafficLevel::High,
@@ -21,9 +21,12 @@ fn run(policy: PolicyConfig, cycles: u64) -> ExperimentResult {
 fn main() {
     let cycles = cycles_from_args();
     let windows = [20_000u64, 40_000, 60_000, 80_000];
-    eprintln!("fig10: running {} EDVS windows + baseline at {cycles} cycles each...", windows.len());
+    eprintln!(
+        "fig10: running {} EDVS windows + baseline at {cycles} cycles each...",
+        windows.len()
+    );
 
-    let baseline = run(PolicyConfig::NoDvs, cycles);
+    let baseline = run(PolicySpec::NoDvs, cycles);
     let runs: Vec<(u64, ExperimentResult)> = windows
         .iter()
         .map(|&w| {
@@ -31,7 +34,7 @@ fn main() {
                 idle_threshold: 0.10,
                 window_cycles: w,
             };
-            (w, run(PolicyConfig::Edvs(cfg), cycles))
+            (w, run(PolicySpec::Edvs(cfg), cycles))
         })
         .collect();
 

@@ -7,7 +7,7 @@
 //! * the **VF-switch penalty** magnitude (the 10 µs figure NePSim assumes).
 
 use dvs::{EdvsConfig, TdvsConfig};
-use nepsim::{Benchmark, PolicyConfig};
+use nepsim::{Benchmark, PolicySpec};
 use traffic::TrafficLevel;
 
 use crate::experiment::{Experiment, ExperimentResult};
@@ -51,7 +51,7 @@ pub fn sweep_edvs_idle_threshold(
             result: Experiment {
                 benchmark,
                 traffic,
-                policy: PolicyConfig::Edvs(EdvsConfig {
+                policy: PolicySpec::Edvs(EdvsConfig {
                     idle_threshold,
                     window_cycles,
                 }),
@@ -78,9 +78,9 @@ pub fn sweep_tdvs_hysteresis(
         .iter()
         .map(|&hysteresis| {
             let policy = if hysteresis == 0.0 {
-                PolicyConfig::Tdvs(base)
+                PolicySpec::Tdvs(base)
             } else {
-                PolicyConfig::TdvsHysteresis(base.with_hysteresis(hysteresis))
+                PolicySpec::TdvsHysteresis(base.with_hysteresis(hysteresis))
             };
             AblationCell {
                 parameter: hysteresis,

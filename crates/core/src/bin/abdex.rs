@@ -1,26 +1,31 @@
 //! `abdex` — command-line front end for the design-exploration library.
 //!
 //! ```text
-//! abdex run     --benchmark ipfwdr --traffic high --policy edvs [--cycles N] [--seed S]
-//! abdex sweep   --benchmark ipfwdr --traffic high [--cycles N] [--seed S]
-//! abdex compare [--cycles N] [--seed S]
-//! abdex trace   --benchmark url --traffic medium [--cycles N] [--out FILE]
-//! abdex check   --formula "cycle(deq[i]) - cycle(enq[i]) <= 50" --trace FILE
-//! abdex analyze --formula "... dist== (a, b, s)" --trace FILE
-//! abdex codegen --formula "..."
+//! abdex run      --benchmark ipfwdr --traffic high --policy queue:high=0.8 [--cycles N]
+//! abdex sweep    --benchmark ipfwdr --traffic high [--cycles N] [--seed S]
+//! abdex sweep    --policies "nodvs;tdvs:threshold=1400;proportional:kp=6"
+//! abdex compare  [--cycles N] [--seed S]
+//! abdex policies
+//! abdex trace    --benchmark url --traffic medium [--cycles N] [--out FILE]
+//! abdex check    --formula "cycle(deq[i]) - cycle(enq[i]) <= 50" --trace FILE
+//! abdex analyze  --formula "... dist== (a, b, s)" --trace FILE
+//! abdex codegen  --formula "..."
 //! ```
+//!
+//! `--policy` accepts the full spec grammar `name[:key=val,...]` of
+//! [`PolicySpec::parse`]; `abdex policies` lists every registered policy
+//! with its parameters.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use abdex::compare::{compare_policies, ComparisonConfig};
-use abdex::dvs::{EdvsConfig, TdvsConfig};
 use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
-use abdex::tables::{render_comparison, render_surface, render_sweep};
+use abdex::tables::{render_comparison, render_spec_sweep, render_surface, render_sweep};
 use abdex::traffic::TrafficLevel;
 use abdex::{
-    optimal_tdvs, sweep_tdvs, DesignPriority, Experiment, PolicyConfig, TdvsGrid,
-    PAPER_RUN_CYCLES,
+    optimal_tdvs, sweep_specs, sweep_tdvs, DesignPriority, Experiment, PolicyRegistry, PolicySpec,
+    TdvsGrid, PAPER_RUN_CYCLES,
 };
 use loc::{parse, Analyzer, Checker, Trace};
 
@@ -28,14 +33,20 @@ const USAGE: &str = "\
 abdex — assertion-based design exploration of DVS in NPU architectures
 
 USAGE:
-    abdex <run|sweep|compare|trace|check|analyze|codegen> [OPTIONS]
+    abdex <run|sweep|compare|policies|trace|check|analyze|codegen> [OPTIONS]
 
 OPTIONS (where applicable):
     --benchmark <ipfwdr|url|nat|md4>   benchmark application [ipfwdr]
     --traffic   <low|medium|high>      traffic level [high]
-    --policy    <nodvs|tdvs|edvs>      DVS policy (run) [nodvs]
-    --threshold <Mbps>                 TDVS top threshold [1000]
-    --window    <cycles>               monitor window [40000]
+    --policy    <spec>                 DVS policy spec (run) [nodvs]
+                                       grammar: name[:key=val,...], e.g.
+                                       tdvs:threshold=1400,window=40000
+                                       (see `abdex policies` for names/keys)
+    --policies  <spec;spec;...>        policy-spec sweep list (sweep)
+    --threshold <Mbps>                 legacy: TDVS top threshold, only with
+                                       bare --policy tdvs [1000]
+    --window    <cycles>               legacy: monitor window, only with bare
+                                       --policy tdvs|edvs [40000]
     --cycles    <N>                    cycles per configuration [8000000]
     --seed      <N>                    experiment seed [42]
     --formula   <text>                 LOC formula (check/analyze/codegen)
@@ -57,14 +68,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Every command rejects options it would otherwise silently ignore
+    // (`sweep --policy ...` must not quietly run the default TDVS grid).
     let result = match command.as_str() {
-        "run" => cmd_run(&opts),
-        "sweep" => cmd_sweep(&opts),
-        "compare" => cmd_compare(&opts),
-        "trace" => cmd_trace(&opts),
-        "check" => cmd_check(&opts),
-        "analyze" => cmd_analyze(&opts),
-        "codegen" => cmd_codegen(&opts),
+        "run" => check_opts(
+            &opts,
+            &[
+                "benchmark",
+                "traffic",
+                "policy",
+                "threshold",
+                "window",
+                "cycles",
+                "seed",
+            ],
+        )
+        .and_then(|()| cmd_run(&opts)),
+        "sweep" => check_opts(
+            &opts,
+            &["benchmark", "traffic", "policies", "cycles", "seed"],
+        )
+        .and_then(|()| cmd_sweep(&opts)),
+        "compare" => check_opts(&opts, &["cycles", "seed"]).and_then(|()| cmd_compare(&opts)),
+        "policies" => check_opts(&opts, &[]).and_then(|()| cmd_policies()),
+        "trace" => check_opts(&opts, &["benchmark", "traffic", "cycles", "seed", "out"])
+            .and_then(|()| cmd_trace(&opts)),
+        "check" => check_opts(&opts, &["formula", "trace"]).and_then(|()| cmd_check(&opts)),
+        "analyze" => check_opts(&opts, &["formula", "trace"]).and_then(|()| cmd_analyze(&opts)),
+        "codegen" => check_opts(&opts, &["formula"]).and_then(|()| cmd_codegen(&opts)),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -89,12 +120,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, found '{flag}'"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         opts.insert(name.to_owned(), value.clone());
     }
     Ok(opts)
+}
+
+fn check_opts(opts: &Opts, allowed: &[&str]) -> Result<(), String> {
+    let mut stray: Vec<&str> = opts
+        .keys()
+        .map(String::as_str)
+        .filter(|key| !allowed.contains(key))
+        .collect();
+    stray.sort_unstable();
+    match stray.first() {
+        None => Ok(()),
+        Some(key) => Err(format!(
+            "--{key} is not an option of this command (see `abdex help`)"
+        )),
+    }
 }
 
 fn benchmark(opts: &Opts) -> Result<Benchmark, String> {
@@ -123,20 +167,39 @@ fn number<T: std::str::FromStr>(opts: &Opts, name: &str, default: T) -> Result<T
     }
 }
 
-fn policy(opts: &Opts) -> Result<PolicyConfig, String> {
-    let threshold: f64 = number(opts, "threshold", 1000.0)?;
-    let window: u64 = number(opts, "window", 40_000)?;
-    match opts.get("policy").map(String::as_str) {
-        None | Some("nodvs") => Ok(PolicyConfig::NoDvs),
-        Some("tdvs") => Ok(PolicyConfig::Tdvs(TdvsConfig {
-            top_threshold_mbps: threshold,
-            window_cycles: window,
-        })),
-        Some("edvs") => Ok(PolicyConfig::Edvs(EdvsConfig {
-            idle_threshold: 0.10,
-            window_cycles: window,
-        })),
-        Some(other) => Err(format!("unknown policy '{other}'")),
+fn policy(opts: &Opts) -> Result<PolicySpec, String> {
+    // Bare `tdvs`/`edvs` keep honouring the legacy standalone flags they
+    // actually use; any other combination would silently ignore a flag,
+    // so it is rejected — a run must never execute with a different
+    // configuration than the user asked for.
+    let (spec, consumed): (Option<String>, &[&str]) = match opts.get("policy").map(String::as_str) {
+        None => (None, &[]),
+        Some("tdvs") => {
+            let threshold: f64 = number(opts, "threshold", 1000.0)?;
+            let window: u64 = number(opts, "window", 40_000)?;
+            (
+                Some(format!("tdvs:threshold={threshold},window={window}")),
+                &["threshold", "window"],
+            )
+        }
+        Some("edvs") => {
+            let window: u64 = number(opts, "window", 40_000)?;
+            (Some(format!("edvs:window={window}")), &["window"])
+        }
+        Some(other) => (Some(other.to_owned()), &[]),
+    };
+    if let Some(stray) = ["threshold", "window"]
+        .into_iter()
+        .find(|f| opts.contains_key(*f) && !consumed.contains(f))
+    {
+        return Err(format!(
+            "--{stray} does not apply to this policy; put the parameter in the \
+             spec instead, e.g. --policy tdvs:threshold=1400,window=20000",
+        ));
+    }
+    match spec {
+        None => Ok(PolicySpec::NoDvs),
+        Some(spec) => PolicySpec::parse(&spec).map_err(|e| e.to_string()),
     }
 }
 
@@ -151,11 +214,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let r = experiment.run();
     println!(
         "{} @ {} under {} for {} cycles (seed {})",
-        experiment.benchmark,
-        experiment.traffic,
-        r.sim.policy,
-        experiment.cycles,
-        experiment.seed
+        experiment.benchmark, experiment.traffic, r.sim.policy, experiment.cycles, experiment.seed
     );
     println!("  offered        : {:9.1} Mbps", r.sim.offered_mbps());
     println!("  throughput     : {:9.1} Mbps", r.sim.throughput_mbps());
@@ -169,6 +228,28 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    // A `--policies` list runs a policy-spec sweep instead of the paper's
+    // TDVS threshold x window grid.
+    if let Some(list) = opts.get("policies") {
+        let specs: Vec<PolicySpec> = list
+            .split(';')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| PolicySpec::parse(s).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        if specs.is_empty() {
+            return Err("--policies needs at least one spec".to_owned());
+        }
+        let cells = sweep_specs(
+            benchmark(opts)?,
+            traffic(opts)?,
+            &specs,
+            number(opts, "cycles", PAPER_RUN_CYCLES)?,
+            number(opts, "seed", 42)?,
+        );
+        println!("{}", render_spec_sweep(&cells));
+        return Ok(());
+    }
+
     let cells = sweep_tdvs(
         benchmark(opts)?,
         traffic(opts)?,
@@ -213,6 +294,30 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_policies() -> Result<(), String> {
+    let registry = PolicyRegistry::builtin();
+    println!("registered DVS policies (spec grammar: name[:key=val,...]):\n");
+    for info in registry.infos() {
+        let aliases = if info.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", info.aliases.join(", "))
+        };
+        println!(
+            "{:<14} {:<6} {}{}",
+            info.name,
+            info.kind.to_string(),
+            info.summary,
+            aliases
+        );
+        for p in info.params {
+            println!("    {:<12} [{}] {}", p.key, p.default, p.help);
+        }
+        println!();
+    }
+    Ok(())
+}
+
 fn cmd_trace(opts: &Opts) -> Result<(), String> {
     let config = NpuConfig::builder()
         .benchmark(benchmark(opts)?)
@@ -240,8 +345,7 @@ fn load_trace(opts: &Opts) -> Result<Trace, String> {
     let path = opts
         .get("trace")
         .ok_or_else(|| "--trace <file> is required".to_owned())?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Trace::from_text(&text)
 }
 

@@ -1,8 +1,10 @@
 //! Policy comparison across benchmarks and traffic levels (paper §4.3,
-//! Fig. 11).
+//! Fig. 11), extended with every other registered policy family.
 
-use dvs::{EdvsConfig, PolicyKind, TdvsConfig};
-use nepsim::{Benchmark, PolicyConfig};
+use dvs::{
+    CombinedConfig, EdvsConfig, PolicyKind, ProportionalConfig, QueueAwareConfig, TdvsConfig,
+};
+use nepsim::{Benchmark, PolicySpec};
 use serde::{Deserialize, Serialize};
 use traffic::TrafficLevel;
 
@@ -22,23 +24,30 @@ pub struct ComparisonRow {
     pub result: ExperimentResult,
 }
 
-/// The full Fig. 11 comparison: every benchmark × traffic level, each run
-/// under noDVS, TDVS and EDVS.
+/// The full comparison grid: every benchmark × traffic level, each run
+/// under every compared policy family.
 #[derive(Debug, Clone)]
 pub struct PolicyComparison {
     /// All rows, ordered benchmark-major, then traffic, then policy in
-    /// `[NoDvs, Tdvs, Edvs]` order.
+    /// [`ComparisonConfig::policies`] order.
     pub rows: Vec<ComparisonRow>,
 }
 
-/// The optimal configurations found by the §4.1/§4.2 sweeps, used as the
-/// fixed policy parameters of the §4.3 comparison.
+/// The fixed policy parameters of the §4.3 comparison: the optima found
+/// by the §4.1/§4.2 sweeps for the paper's policies, defaults for the
+/// extension policies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ComparisonConfig {
     /// TDVS parameters (the paper's power-priority pick: 1400 Mbps, 40 k).
     pub tdvs: TdvsConfig,
     /// EDVS parameters (10 % idle threshold, 40 k window).
     pub edvs: EdvsConfig,
+    /// TEDVS parameters (the conservative composition of the above).
+    pub combined: CombinedConfig,
+    /// Queue-aware parameters (FIFO watermarks).
+    pub queue: QueueAwareConfig,
+    /// Proportional-controller parameters (PI gains).
+    pub proportional: ProportionalConfig,
     /// Run length per cell, base-clock cycles.
     pub cycles: u64,
     /// Experiment seed.
@@ -47,19 +56,42 @@ pub struct ComparisonConfig {
 
 impl Default for ComparisonConfig {
     fn default() -> Self {
+        let tdvs = TdvsConfig {
+            top_threshold_mbps: 1400.0,
+            window_cycles: 40_000,
+        };
+        let edvs = EdvsConfig::default();
         ComparisonConfig {
-            tdvs: TdvsConfig {
-                top_threshold_mbps: 1400.0,
-                window_cycles: 40_000,
-            },
-            edvs: EdvsConfig::default(),
+            tdvs,
+            edvs,
+            combined: CombinedConfig { tdvs, edvs },
+            queue: QueueAwareConfig::default(),
+            proportional: ProportionalConfig::default(),
             cycles: crate::experiment::PAPER_RUN_CYCLES,
             seed: 42,
         }
     }
 }
 
-/// Runs the Fig. 11 grid: `benchmarks × levels × {noDVS, TDVS, EDVS}`.
+impl ComparisonConfig {
+    /// The specs every grid cell is run under, in row order: the paper's
+    /// three (noDVS, TDVS, EDVS) followed by the extension policies
+    /// (TEDVS, QDVS, PDVS).
+    #[must_use]
+    pub fn policies(&self) -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::NoDvs,
+            PolicySpec::Tdvs(self.tdvs),
+            PolicySpec::Edvs(self.edvs),
+            PolicySpec::Combined(self.combined),
+            PolicySpec::QueueAware(self.queue),
+            PolicySpec::Proportional(self.proportional),
+        ]
+    }
+}
+
+/// Runs the comparison grid: `benchmarks × levels ×` every policy of
+/// [`ComparisonConfig::policies`].
 ///
 /// # Example
 ///
@@ -70,7 +102,7 @@ impl Default for ComparisonConfig {
 ///
 /// let cfg = ComparisonConfig { cycles: 150_000, ..ComparisonConfig::default() };
 /// let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
-/// assert_eq!(cmp.rows.len(), 3); // one per policy
+/// assert_eq!(cmp.rows.len(), 6); // one per policy family
 /// ```
 #[must_use]
 pub fn compare_policies(
@@ -81,11 +113,7 @@ pub fn compare_policies(
     let mut rows = Vec::new();
     for &benchmark in benchmarks {
         for &traffic in levels {
-            for policy in [
-                PolicyConfig::NoDvs,
-                PolicyConfig::Tdvs(config.tdvs),
-                PolicyConfig::Edvs(config.edvs),
-            ] {
+            for policy in config.policies() {
                 let kind = policy.kind();
                 let result = Experiment {
                     benchmark,
@@ -173,10 +201,41 @@ mod tests {
             &[Benchmark::Ipfwdr, Benchmark::Nat],
             &[TrafficLevel::Low, TrafficLevel::High],
         );
-        assert_eq!(cmp.rows.len(), 2 * 2 * 3);
-        for kind in [PolicyKind::NoDvs, PolicyKind::Tdvs, PolicyKind::Edvs] {
-            assert!(cmp.row(Benchmark::Nat, TrafficLevel::Low, kind).is_some());
+        assert_eq!(cmp.rows.len(), 2 * 2 * 6);
+        for kind in [
+            PolicyKind::NoDvs,
+            PolicyKind::Tdvs,
+            PolicyKind::Edvs,
+            PolicyKind::Combined,
+            PolicyKind::QueueAware,
+            PolicyKind::Proportional,
+        ] {
+            assert!(
+                cmp.row(Benchmark::Nat, TrafficLevel::Low, kind).is_some(),
+                "missing {kind} row"
+            );
         }
+    }
+
+    #[test]
+    fn extension_policies_behave_sanely_at_low_traffic() {
+        let cmp = quick_cmp(&[Benchmark::Ipfwdr], &[TrafficLevel::Low]);
+        // The queue-aware policy sees a near-empty FIFO under light load
+        // and must save power against the baseline.
+        let qdvs = cmp
+            .power_saving(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyKind::QueueAware)
+            .unwrap();
+        assert!(qdvs > 0.05, "QDVS saving only {qdvs:.3}");
+        // The PI controller may not beat the baseline everywhere, but it
+        // must never *cost* power: its floor is the pinned top level.
+        let pdvs = cmp
+            .power_saving(
+                Benchmark::Ipfwdr,
+                TrafficLevel::Low,
+                PolicyKind::Proportional,
+            )
+            .unwrap();
+        assert!(pdvs > -0.01, "PDVS made things worse: {pdvs:.3}");
     }
 
     #[test]
@@ -202,7 +261,10 @@ mod tests {
     #[test]
     fn tdvs_saves_more_at_low_traffic() {
         // Paper §4.3: TDVS's savings shrink as traffic rises.
-        let cmp = quick_cmp(&[Benchmark::Ipfwdr], &[TrafficLevel::Low, TrafficLevel::High]);
+        let cmp = quick_cmp(
+            &[Benchmark::Ipfwdr],
+            &[TrafficLevel::Low, TrafficLevel::High],
+        );
         let low = cmp
             .power_saving(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyKind::Tdvs)
             .unwrap();
@@ -215,7 +277,9 @@ mod tests {
     #[test]
     fn missing_rows_return_none() {
         let cmp = quick_cmp(&[Benchmark::Nat], &[TrafficLevel::Low]);
-        assert!(cmp.row(Benchmark::Md4, TrafficLevel::Low, PolicyKind::NoDvs).is_none());
+        assert!(cmp
+            .row(Benchmark::Md4, TrafficLevel::Low, PolicyKind::NoDvs)
+            .is_none());
         assert!(cmp
             .power_saving(Benchmark::Md4, TrafficLevel::Low, PolicyKind::Tdvs)
             .is_none());

@@ -1,7 +1,7 @@
 //! Single-configuration experiments: simulate, trace, analyze.
 
 use loc::{AnalyzerBank, DistributionReport};
-use nepsim::{Benchmark, NpuConfig, PolicyConfig, SimReport, Simulator};
+use nepsim::{Benchmark, NpuConfig, PolicySpec, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
 use traffic::TrafficLevel;
 
@@ -20,7 +20,7 @@ pub struct Experiment {
     /// Traffic sampling period (§3.2).
     pub traffic: TrafficLevel,
     /// DVS policy and parameters.
-    pub policy: PolicyConfig,
+    pub policy: PolicySpec,
     /// Base-clock cycles to simulate ([`PAPER_RUN_CYCLES`] in the paper).
     pub cycles: u64,
     /// Experiment seed.
@@ -30,7 +30,7 @@ pub struct Experiment {
 impl Experiment {
     /// A paper-length experiment with the given policy on `ipfwdr`.
     #[must_use]
-    pub fn paper_default(policy: PolicyConfig) -> Self {
+    pub fn paper_default(policy: PolicySpec) -> Self {
         Experiment {
             benchmark: Benchmark::Ipfwdr,
             traffic: TrafficLevel::High,
@@ -103,7 +103,9 @@ impl ExperimentResult {
     /// the trace is too short for any 100-packet window.
     #[must_use]
     pub fn p80_power_w(&self) -> f64 {
-        self.power.quantile(0.8).unwrap_or_else(|| self.sim.mean_power_w())
+        self.power
+            .quantile(0.8)
+            .unwrap_or_else(|| self.sim.mean_power_w())
     }
 
     /// The paper's Fig. 9 quantity: the throughput above which 80 % of
@@ -122,7 +124,7 @@ mod tests {
     use super::*;
     use dvs::TdvsConfig;
 
-    fn quick(policy: PolicyConfig) -> ExperimentResult {
+    fn quick(policy: PolicySpec) -> ExperimentResult {
         Experiment {
             benchmark: Benchmark::Ipfwdr,
             traffic: TrafficLevel::High,
@@ -135,7 +137,7 @@ mod tests {
 
     #[test]
     fn no_dvs_run_produces_distributions() {
-        let r = quick(PolicyConfig::NoDvs);
+        let r = quick(PolicySpec::NoDvs);
         assert!(r.power.total_instances() > 100, "too few instances");
         assert!(r.throughput.total_instances() > 100);
         // noDVS power sits in the paper's analysis period.
@@ -147,8 +149,8 @@ mod tests {
 
     #[test]
     fn tdvs_shifts_power_distribution_left() {
-        let base = quick(PolicyConfig::NoDvs);
-        let tdvs = quick(PolicyConfig::Tdvs(TdvsConfig {
+        let base = quick(PolicySpec::NoDvs);
+        let tdvs = quick(PolicySpec::Tdvs(TdvsConfig {
             top_threshold_mbps: 1400.0,
             window_cycles: 40_000,
         }));
@@ -162,8 +164,8 @@ mod tests {
 
     #[test]
     fn experiment_is_reproducible() {
-        let a = quick(PolicyConfig::NoDvs);
-        let b = quick(PolicyConfig::NoDvs);
+        let a = quick(PolicySpec::NoDvs);
+        let b = quick(PolicySpec::NoDvs);
         assert_eq!(a.sim.forwarded_packets, b.sim.forwarded_packets);
         assert_eq!(a.power.total_instances(), b.power.total_instances());
         assert_eq!(a.p80_power_w().to_bits(), b.p80_power_w().to_bits());
@@ -171,7 +173,7 @@ mod tests {
 
     #[test]
     fn paper_default_uses_paper_cycles() {
-        let e = Experiment::paper_default(PolicyConfig::NoDvs);
+        let e = Experiment::paper_default(PolicySpec::NoDvs);
         assert_eq!(e.cycles, PAPER_RUN_CYCLES);
         assert_eq!(e.benchmark, Benchmark::Ipfwdr);
     }

@@ -57,8 +57,7 @@ pub fn power_distribution(window: i64) -> Formula {
 /// ```
 #[must_use]
 pub fn throughput_distribution(window: i64) -> Formula {
-    let db =
-        annot(AnnotKey::TotalBit, "forward", window) - annot(AnnotKey::TotalBit, "forward", 0);
+    let db = annot(AnnotKey::TotalBit, "forward", window) - annot(AnnotKey::TotalBit, "forward", 0);
     let dt = annot(AnnotKey::Time, "forward", window) - annot(AnnotKey::Time, "forward", 0);
     (db / dt).dist_eq(100.0, 3300.0, 10.0)
 }

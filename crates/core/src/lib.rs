@@ -18,14 +18,14 @@
 //! # Quickstart
 //!
 //! ```
-//! use abdex::{Experiment, PolicyConfig};
+//! use abdex::{Experiment, PolicySpec};
 //! use abdex::nepsim::Benchmark;
 //! use abdex::traffic::TrafficLevel;
 //!
 //! let result = Experiment {
 //!     benchmark: Benchmark::Ipfwdr,
 //!     traffic: TrafficLevel::Medium,
-//!     policy: PolicyConfig::NoDvs,
+//!     policy: PolicySpec::NoDvs,
 //!     cycles: 300_000, // the paper runs 8_000_000
 //!     seed: 1,
 //! }
@@ -49,10 +49,10 @@ pub mod sweep;
 pub mod tables;
 
 pub use compare::{compare_policies, ComparisonRow, PolicyComparison};
+pub use dvs::{DvsPolicy, PolicyKind, PolicyRegistry, PolicySpec};
 pub use experiment::{Experiment, ExperimentResult, PAPER_RUN_CYCLES};
-pub use nepsim::PolicyConfig;
 pub use optimal::{optimal_tdvs, DesignPriority};
-pub use sweep::{sweep_tdvs, GridCell, TdvsGrid};
+pub use sweep::{sweep_specs, sweep_tdvs, GridCell, SpecCell, TdvsGrid};
 
 // Re-export the substrate crates so downstream users need only `abdex`.
 pub use desim;

@@ -59,7 +59,7 @@ pub fn optimal_tdvs(cells: &[GridCell], priority: DesignPriority) -> Option<&Gri
 mod tests {
     use super::*;
     use crate::experiment::Experiment;
-    use crate::PolicyConfig;
+    use crate::PolicySpec;
     use dvs::TdvsConfig;
     use nepsim::Benchmark;
     use traffic::TrafficLevel;
@@ -71,7 +71,7 @@ mod tests {
             result: Experiment {
                 benchmark: Benchmark::Ipfwdr,
                 traffic: TrafficLevel::Medium,
-                policy: PolicyConfig::Tdvs(TdvsConfig {
+                policy: PolicySpec::Tdvs(TdvsConfig {
                     top_threshold_mbps: threshold,
                     window_cycles: window,
                 }),
@@ -96,8 +96,6 @@ mod tests {
         // The power pick must not dissipate more than the performance pick,
         // and the performance pick must not forward less.
         assert!(power.result.p80_power_w() <= perf.result.p80_power_w() + 1e-12);
-        assert!(
-            perf.result.p80_throughput_mbps() >= power.result.p80_throughput_mbps() - 1e-12
-        );
+        assert!(perf.result.p80_throughput_mbps() >= power.result.p80_throughput_mbps() - 1e-12);
     }
 }

@@ -1,7 +1,9 @@
-//! TDVS design-space sweeps (paper §4.1, Figures 6–9).
+//! Design-space sweeps: the paper's TDVS threshold × window grid
+//! (§4.1, Figures 6–9) and arbitrary [`PolicySpec`] sweeps — any list of
+//! spec strings becomes a sweep table.
 
 use dvs::TdvsConfig;
-use nepsim::{Benchmark, PolicyConfig};
+use nepsim::{Benchmark, PolicySpec};
 use serde::{Deserialize, Serialize};
 use traffic::TrafficLevel;
 
@@ -87,7 +89,7 @@ pub fn sweep_tdvs(
             let result = Experiment {
                 benchmark,
                 traffic,
-                policy: PolicyConfig::Tdvs(TdvsConfig {
+                policy: PolicySpec::Tdvs(TdvsConfig {
                     top_threshold_mbps: threshold,
                     window_cycles: window,
                 }),
@@ -103,6 +105,58 @@ pub fn sweep_tdvs(
         }
     }
     cells
+}
+
+/// One evaluated cell of a policy-spec sweep.
+#[derive(Debug, Clone)]
+pub struct SpecCell {
+    /// The spec this cell ran (its [`PolicySpec::spec_string`] labels the
+    /// sweep-table row).
+    pub spec: PolicySpec,
+    /// The evaluated experiment.
+    pub result: ExperimentResult,
+}
+
+/// Runs one simulation per policy spec — the open-ended counterpart of
+/// [`sweep_tdvs`], covering every registered policy (and every parameter
+/// combination expressible as a spec).
+///
+/// # Example
+///
+/// ```
+/// use abdex::{sweep_specs, PolicySpec};
+/// use abdex::nepsim::Benchmark;
+/// use abdex::traffic::TrafficLevel;
+///
+/// let specs: Vec<PolicySpec> = ["nodvs", "queue:high=0.9", "proportional"]
+///     .iter()
+///     .map(|s| s.parse().unwrap())
+///     .collect();
+/// let cells = sweep_specs(Benchmark::Ipfwdr, TrafficLevel::High, &specs, 200_000, 1);
+/// assert_eq!(cells.len(), 3);
+/// ```
+#[must_use]
+pub fn sweep_specs(
+    benchmark: Benchmark,
+    traffic: TrafficLevel,
+    specs: &[PolicySpec],
+    cycles: u64,
+    seed: u64,
+) -> Vec<SpecCell> {
+    specs
+        .iter()
+        .map(|spec| SpecCell {
+            spec: spec.clone(),
+            result: Experiment {
+                benchmark,
+                traffic,
+                policy: spec.clone(),
+                cycles,
+                seed,
+            }
+            .run(),
+        })
+        .collect()
 }
 
 /// The Fig. 8 surface: for each cell, the power value below which 80 % of
@@ -159,6 +213,21 @@ mod tests {
             .collect();
         assert!(combos.contains(&(1000.0, 20_000)));
         assert!(combos.contains(&(1400.0, 80_000)));
+    }
+
+    #[test]
+    fn spec_sweep_covers_every_spec_in_order() {
+        let specs: Vec<PolicySpec> = ["nodvs", "tdvs:threshold=1400", "queue", "proportional"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = sweep_specs(Benchmark::Ipfwdr, TrafficLevel::Low, &specs, 400_000, 7);
+        assert_eq!(cells.len(), 4);
+        for (cell, spec) in cells.iter().zip(&specs) {
+            assert_eq!(&cell.spec, spec);
+            assert_eq!(cell.result.experiment.policy, *spec);
+            assert!(cell.result.sim.mean_power_w() > 0.2);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use loc::DistributionReport;
 
 use crate::compare::PolicyComparison;
-use crate::sweep::GridCell;
+use crate::sweep::{GridCell, SpecCell};
 
 /// Renders a cumulative "fraction of instances ≤ x" curve (Fig. 6 style)
 /// sampled at `points` evenly spaced x values over `[lo, hi]`.
@@ -79,9 +79,8 @@ pub fn render_surface(surface: &[(f64, u64, f64)], value_label: &str) -> String 
 /// benchmark × traffic × policy, with savings vs. noDVS.
 #[must_use]
 pub fn render_comparison(cmp: &PolicyComparison) -> String {
-    let mut out = String::from(
-        "benchmark traffic policy mean_power_w saving_vs_nodvs throughput_mbps\n",
-    );
+    let mut out =
+        String::from("benchmark traffic policy mean_power_w saving_vs_nodvs throughput_mbps\n");
     for row in &cmp.rows {
         let saving = cmp
             .power_saving(row.benchmark, row.traffic, row.policy)
@@ -103,13 +102,40 @@ pub fn render_comparison(cmp: &PolicyComparison) -> String {
 /// throughput, switch counts).
 #[must_use]
 pub fn render_sweep(cells: &[GridCell]) -> String {
-    let mut out =
-        String::from("threshold_mbps window_cycles p80_power_w p80_tput_mbps switches\n");
+    let mut out = String::from("threshold_mbps window_cycles p80_power_w p80_tput_mbps switches\n");
     for c in cells {
         out.push_str(&format!(
             "{:>14.0} {:>13} {:>11.3} {:>13.1} {:>8}\n",
             c.threshold_mbps,
             c.window_cycles,
+            c.result.p80_power_w(),
+            c.result.p80_throughput_mbps(),
+            c.result.sim.total_switches,
+        ));
+    }
+    out
+}
+
+/// Renders a policy-spec sweep: one row per spec, labelled with its
+/// round-trippable spec string.
+#[must_use]
+pub fn render_spec_sweep(cells: &[SpecCell]) -> String {
+    let label_width = cells
+        .iter()
+        .map(|c| c.spec.spec_string().len())
+        .max()
+        .unwrap_or(0)
+        .max("policy_spec".len());
+    let mut out = format!(
+        "{:<label_width$} {:>6} {:>12} {:>11} {:>13} {:>8}\n",
+        "policy_spec", "kind", "mean_power_w", "p80_power_w", "p80_tput_mbps", "switches"
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:<label_width$} {:>6} {:>12.3} {:>11.3} {:>13.1} {:>8}\n",
+            c.spec.spec_string(),
+            c.spec.kind().to_string(),
+            c.result.sim.mean_power_w(),
             c.result.p80_power_w(),
             c.result.p80_throughput_mbps(),
             c.result.sim.total_switches,
@@ -150,9 +176,8 @@ pub fn render_surface_csv(surface: &[(f64, u64, f64)], value_label: &str) -> Str
 /// Renders the Fig. 11 comparison as CSV.
 #[must_use]
 pub fn render_comparison_csv(cmp: &PolicyComparison) -> String {
-    let mut out = String::from(
-        "benchmark,traffic,policy,mean_power_w,saving_vs_nodvs,throughput_mbps\n",
-    );
+    let mut out =
+        String::from("benchmark,traffic,policy,mean_power_w,saving_vs_nodvs,throughput_mbps\n");
     for row in &cmp.rows {
         let saving = cmp
             .power_saving(row.benchmark, row.traffic, row.policy)
@@ -242,6 +267,25 @@ mod tests {
         assert!(text.contains("noDVS"));
         assert!(text.contains("TDVS"));
         assert!(text.contains("EDVS"));
+        assert!(text.contains("TEDVS"));
+        assert!(text.contains("QDVS"));
+        assert!(text.contains("PDVS"));
+    }
+
+    #[test]
+    fn spec_sweep_table_labels_rows_with_spec_strings() {
+        use crate::sweep::sweep_specs;
+        let specs: Vec<crate::PolicySpec> = ["nodvs", "queue:high=0.9,low=0.1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = sweep_specs(Benchmark::Nat, TrafficLevel::Low, &specs, 150_000, 1);
+        let text = render_spec_sweep(&cells);
+        assert!(text.starts_with("policy_spec"));
+        assert!(text.contains("nodvs"));
+        assert!(text.contains("queue:high=0.9,low=0.1,window=40000"));
+        assert!(text.contains("QDVS"));
+        assert_eq!(text.lines().count(), 3);
     }
 
     #[test]
@@ -272,7 +316,9 @@ mod tests {
         };
         let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
         let csv = render_comparison_csv(&cmp);
-        assert_eq!(csv.lines().count(), 4); // header + 3 policies
+        assert_eq!(csv.lines().count(), 7); // header + 6 policy families
         assert!(csv.contains("nat,low,noDVS,"));
+        assert!(csv.contains("nat,low,QDVS,"));
+        assert!(csv.contains("nat,low,PDVS,"));
     }
 }

@@ -43,10 +43,145 @@ fn run_reports_metrics() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("mean power"));
     assert!(text.contains("throughput"));
+}
+
+#[test]
+fn policies_lists_the_registry() {
+    let out = abdex().arg("policies").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["nodvs", "tdvs", "edvs", "combined", "queue", "proportional"] {
+        assert!(text.contains(name), "missing policy '{name}'");
+    }
+    assert!(text.contains("threshold"));
+    assert!(text.contains("kp"));
+}
+
+#[test]
+fn run_accepts_policy_spec_grammar() {
+    let out = abdex()
+        .args([
+            "run",
+            "--policy",
+            "queue:high=0.8,low=0.1",
+            "--traffic",
+            "low",
+            "--cycles",
+            "300000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("QDVS"), "unexpected output: {text}");
+}
+
+#[test]
+fn run_rejects_legacy_flags_with_spec_grammar() {
+    // --window would be silently ignored here; the CLI must refuse
+    // rather than run a different configuration than requested.
+    let out = abdex()
+        .args([
+            "run", "--policy", "queue", "--window", "20000", "--cycles", "100000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--window"), "unhelpful error: {text}");
+    assert!(
+        text.contains("spec"),
+        "should point at the spec grammar: {text}"
+    );
+}
+
+#[test]
+fn run_rejects_threshold_with_bare_edvs() {
+    // EDVS has no threshold; accepting-and-dropping it would run a
+    // different configuration than requested.
+    let out = abdex()
+        .args([
+            "run",
+            "--policy",
+            "edvs",
+            "--threshold",
+            "500",
+            "--cycles",
+            "100000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--threshold"), "unhelpful error: {text}");
+}
+
+#[test]
+fn commands_reject_options_they_would_ignore() {
+    // `--policy` (singular) is not a sweep option; without this guard the
+    // command would silently run the full default TDVS grid instead.
+    let out = abdex()
+        .args(["sweep", "--policy", "nodvs;proportional:kp=6"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--policy"), "unhelpful error: {text}");
+
+    let out = abdex()
+        .args(["compare", "--benchmark", "nat"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--benchmark"));
+}
+
+#[test]
+fn run_rejects_bad_policy_spec() {
+    let out = abdex()
+        .args(["run", "--policy", "tdvs:flux=9"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("flux"), "unhelpful error: {text}");
+}
+
+#[test]
+fn sweep_over_policy_specs_renders_table() {
+    let out = abdex()
+        .args([
+            "sweep",
+            "--policies",
+            "nodvs;proportional:kp=6",
+            "--traffic",
+            "low",
+            "--cycles",
+            "200000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("policy_spec"));
+    assert!(text.contains("nodvs"));
+    assert!(text.contains("proportional:target=0.1,kp=6,ki=0.5,window=40000"));
 }
 
 #[test]
@@ -75,7 +210,11 @@ fn trace_check_analyze_pipeline() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace_path.exists());
 
     // A true assertion passes (exit 0)...

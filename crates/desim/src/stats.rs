@@ -349,7 +349,10 @@ impl P2Quantile {
     /// Panics unless `0 < p < 1`.
     #[must_use]
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p < 1.0, "quantile must be strictly inside (0, 1)");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile must be strictly inside (0, 1)"
+        );
         P2Quantile {
             p,
             q: [0.0; 5],
@@ -422,8 +425,7 @@ impl P2Quantile {
                 } else {
                     // Linear fallback when the parabola escapes the cell.
                     let j = if d > 0.0 { i + 1 } else { i - 1 };
-                    self.q[i]
-                        + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+                    self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
                 };
                 self.n[i] += d;
             }

@@ -195,9 +195,7 @@ impl fmt::Display for SimTime {
 /// assert_eq!(f.cycles_to_time(6000), SimTime::from_us(10));
 /// assert_eq!(f.time_to_cycles(SimTime::from_us(10)), 6000);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Frequency(u64);
 
 impl Frequency {

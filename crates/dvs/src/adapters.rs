@@ -1,0 +1,277 @@
+//! [`DvsPolicy`] adapters for the paper's policy automata.
+//!
+//! The automata ([`Tdvs`], [`Edvs`], [`Combined`]) stay standalone state
+//! machines with their original signal-specific APIs; these adapters wire
+//! them to the platform-facing trait. Per-engine adapters lazily size
+//! their automaton pool to the number of MEs in the first observation, so
+//! one adapter works for any platform topology.
+
+use crate::{
+    Combined, CombinedConfig, DvsPolicy, Edvs, EdvsConfig, HysteresisTdvsConfig, PolicyKind,
+    PolicyObservation, PolicyResponse, Tdvs, TdvsConfig, VfLadder,
+};
+
+/// The baseline: never scales, every ME pinned at the top VF level.
+#[derive(Debug, Clone, Default)]
+pub struct NoDvsPolicy;
+
+impl DvsPolicy for NoDvsPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::NoDvs
+    }
+
+    fn window_cycles(&self) -> Option<u64> {
+        None
+    }
+
+    fn on_window(&mut self, obs: &PolicyObservation<'_>) -> PolicyResponse {
+        PolicyResponse::hold(obs.mes.len())
+    }
+}
+
+/// Trait adapter for the global traffic-based policy (plain or with a
+/// hysteresis dead band).
+#[derive(Debug, Clone)]
+pub struct TdvsPolicy {
+    automaton: Tdvs,
+}
+
+impl TdvsPolicy {
+    /// Wraps a plain-threshold TDVS automaton.
+    #[must_use]
+    pub fn new(config: TdvsConfig, ladder: VfLadder) -> Self {
+        TdvsPolicy {
+            automaton: Tdvs::new(config, ladder),
+        }
+    }
+
+    /// Wraps a hysteresis-banded TDVS automaton.
+    #[must_use]
+    pub fn with_hysteresis(config: HysteresisTdvsConfig, ladder: VfLadder) -> Self {
+        TdvsPolicy {
+            automaton: Tdvs::with_hysteresis(config, ladder),
+        }
+    }
+
+    /// The wrapped automaton (its level is the chip-wide level).
+    #[must_use]
+    pub fn automaton(&self) -> &Tdvs {
+        &self.automaton
+    }
+}
+
+impl DvsPolicy for TdvsPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Tdvs
+    }
+
+    fn window_cycles(&self) -> Option<u64> {
+        Some(self.automaton.config().window_cycles)
+    }
+
+    fn monitors_traffic(&self) -> bool {
+        true
+    }
+
+    fn on_window(&mut self, obs: &PolicyObservation<'_>) -> PolicyResponse {
+        let decision = self.automaton.on_window(obs.aggregate_mbps);
+        PolicyResponse::uniform(decision, obs.mes.len())
+    }
+}
+
+/// Trait adapter for the per-engine execution-based policy: one [`Edvs`]
+/// automaton per microengine.
+#[derive(Debug, Clone)]
+pub struct EdvsPolicy {
+    config: EdvsConfig,
+    ladder: VfLadder,
+    per_me: Vec<Edvs>,
+}
+
+impl EdvsPolicy {
+    /// Creates the adapter; the automaton pool is sized on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`Edvs::new`]).
+    #[must_use]
+    pub fn new(config: EdvsConfig, ladder: VfLadder) -> Self {
+        // Validate eagerly so a bad config fails at build time, not at
+        // the first window.
+        drop(Edvs::new(config, ladder.clone()));
+        EdvsPolicy {
+            config,
+            ladder,
+            per_me: Vec::new(),
+        }
+    }
+}
+
+impl DvsPolicy for EdvsPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Edvs
+    }
+
+    fn window_cycles(&self) -> Option<u64> {
+        Some(self.config.window_cycles)
+    }
+
+    fn on_window(&mut self, obs: &PolicyObservation<'_>) -> PolicyResponse {
+        let config = self.config;
+        let ladder = &self.ladder;
+        self.per_me
+            .resize_with(obs.mes.len(), || Edvs::new(config, ladder.clone()));
+        let decisions = self
+            .per_me
+            .iter_mut()
+            .zip(obs.mes)
+            .map(|(automaton, me)| automaton.on_window(me.idle_fraction))
+            .collect();
+        PolicyResponse::per_me(decisions)
+    }
+}
+
+/// Trait adapter for the combined traffic+idle policy (TEDVS): one
+/// [`Combined`] automaton per microengine, all fed the same traffic
+/// signal.
+#[derive(Debug, Clone)]
+pub struct CombinedPolicy {
+    config: CombinedConfig,
+    ladder: VfLadder,
+    per_me: Vec<Combined>,
+}
+
+impl CombinedPolicy {
+    /// Creates the adapter; the automaton pool is sized on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`Combined::new`]).
+    #[must_use]
+    pub fn new(config: CombinedConfig, ladder: VfLadder) -> Self {
+        drop(Combined::new(config, ladder.clone()));
+        CombinedPolicy {
+            config,
+            ladder,
+            per_me: Vec::new(),
+        }
+    }
+}
+
+impl DvsPolicy for CombinedPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Combined
+    }
+
+    fn window_cycles(&self) -> Option<u64> {
+        Some(self.config.tdvs.window_cycles)
+    }
+
+    fn monitors_traffic(&self) -> bool {
+        true
+    }
+
+    fn on_window(&mut self, obs: &PolicyObservation<'_>) -> PolicyResponse {
+        let config = self.config;
+        let ladder = &self.ladder;
+        self.per_me
+            .resize_with(obs.mes.len(), || Combined::new(config, ladder.clone()));
+        let decisions = self
+            .per_me
+            .iter_mut()
+            .zip(obs.mes)
+            .map(|(automaton, me)| automaton.on_window(obs.aggregate_mbps, me.idle_fraction))
+            .collect();
+        PolicyResponse::per_me(decisions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MeObservation, QueueObservation, ScalingDecision};
+
+    fn obs(mes: &[MeObservation], mbps: f64) -> PolicyObservation<'_> {
+        PolicyObservation {
+            window: 0,
+            window_us: 66.6,
+            aggregate_mbps: mbps,
+            mes,
+            rx_fifo: QueueObservation {
+                occupancy: 0,
+                capacity: 2048,
+                dropped: 0,
+            },
+            tx_queue: QueueObservation {
+                occupancy: 0,
+                capacity: 2048,
+                dropped: 0,
+            },
+        }
+    }
+
+    fn me(idle: f64) -> MeObservation {
+        MeObservation {
+            idle_fraction: idle,
+            level: 4,
+        }
+    }
+
+    #[test]
+    fn nodvs_always_holds() {
+        let mut p = NoDvsPolicy;
+        let mes = [me(0.9), me(0.0)];
+        let r = p.on_window(&obs(&mes, 2000.0));
+        assert_eq!(r.decisions, vec![ScalingDecision::Hold; 2]);
+        assert_eq!(p.window_cycles(), None);
+        assert!(!p.monitors_traffic());
+    }
+
+    #[test]
+    fn tdvs_adapter_is_global() {
+        let mut p = TdvsPolicy::new(TdvsConfig::default(), VfLadder::xscale_npu());
+        let mes = [me(0.0), me(0.0), me(0.0)];
+        let r = p.on_window(&obs(&mes, 100.0));
+        assert_eq!(r.decisions, vec![ScalingDecision::Down; 3]);
+        assert!(p.monitors_traffic());
+        assert_eq!(p.window_cycles(), Some(40_000));
+        assert_eq!(p.automaton().level().freq_mhz, 550);
+    }
+
+    #[test]
+    fn edvs_adapter_scales_mes_independently() {
+        let mut p = EdvsPolicy::new(EdvsConfig::default(), VfLadder::xscale_npu());
+        let mes = [me(0.5), me(0.0)];
+        let r = p.on_window(&obs(&mes, 0.0));
+        assert_eq!(
+            r.decisions,
+            vec![ScalingDecision::Down, ScalingDecision::Hold]
+        );
+        // The busy ME recovers upward once below the top.
+        let r = p.on_window(&obs(&mes, 0.0));
+        assert_eq!(r.decisions[0], ScalingDecision::Down);
+    }
+
+    #[test]
+    fn combined_adapter_needs_both_signals_to_scale_down() {
+        let mut p = CombinedPolicy::new(CombinedConfig::default(), VfLadder::xscale_npu());
+        let mes = [me(0.5)];
+        // Idle but heavy traffic: hold (at top).
+        let r = p.on_window(&obs(&mes, 2000.0));
+        assert_eq!(r.decisions, vec![ScalingDecision::Hold]);
+        // Idle and light traffic: down.
+        let r = p.on_window(&obs(&mes, 100.0));
+        assert_eq!(r.decisions, vec![ScalingDecision::Down]);
+        assert!(p.monitors_traffic());
+    }
+
+    #[test]
+    #[should_panic(expected = "idle threshold")]
+    fn edvs_adapter_validates_eagerly() {
+        let bad = EdvsConfig {
+            idle_threshold: 2.0,
+            window_cycles: 40_000,
+        };
+        let _ = EdvsPolicy::new(bad, VfLadder::xscale_npu());
+    }
+}

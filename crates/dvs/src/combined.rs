@@ -154,8 +154,16 @@ mod tests {
         let mut p = policy();
         assert_eq!(p.on_window(400.0, 0.02), ScalingDecision::Hold, "idle low");
         // At the top, an up-demand holds (already at max).
-        assert_eq!(p.on_window(1400.0, 0.30), ScalingDecision::Hold, "traffic high");
-        assert_eq!(p.on_window(400.0, 0.30), ScalingDecision::Down, "both agree");
+        assert_eq!(
+            p.on_window(1400.0, 0.30),
+            ScalingDecision::Hold,
+            "traffic high"
+        );
+        assert_eq!(
+            p.on_window(400.0, 0.30),
+            ScalingDecision::Down,
+            "both agree"
+        );
         assert_eq!(p.level().freq_mhz, 550);
     }
 

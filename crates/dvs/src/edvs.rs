@@ -112,8 +112,7 @@ impl Edvs {
             self.level -= 1;
             self.switches += 1;
             ScalingDecision::Down
-        } else if idle_fraction < self.config.idle_threshold
-            && self.level < self.ladder.top_index()
+        } else if idle_fraction < self.config.idle_threshold && self.level < self.ladder.top_index()
         {
             self.level += 1;
             self.switches += 1;

@@ -1,46 +1,86 @@
-//! Dynamic voltage scaling (DVS) policies for the NPU model.
+//! Dynamic voltage scaling (DVS) policies for the NPU model, behind one
+//! pluggable interface.
 //!
-//! This crate implements the two policies studied in the paper as *pure*
-//! state machines, independent of the simulator that drives them:
+//! # The policy API
 //!
-//! * **TDVS** ([`Tdvs`]) — traffic-based DVS: the aggregate traffic volume
-//!   observed at the device ports over a monitor window is compared with a
-//!   per-level threshold (paper Fig. 5) and the whole processor's
-//!   voltage/frequency (VF) steps down or up by one level.
-//! * **EDVS** ([`Edvs`]) — execution-based DVS: each microengine compares
-//!   its own idle-time fraction over the window with a threshold (10 % in
-//!   the paper) and scales its VF independently.
+//! Everything revolves around the [`DvsPolicy`] trait: once per monitor
+//! window the platform hands the policy a rich [`PolicyObservation`]
+//! (aggregate traffic, per-ME idle fractions and VF levels, FIFO
+//! occupancies, drop counts) and receives a [`PolicyResponse`] of per-ME
+//! [`ScalingDecision`]s. Global, per-engine and hybrid policies all share
+//! this interface; the simulator contains no policy-specific code.
 //!
-//! Both operate on the XScale-style VF ladder of [`VfLadder::xscale_npu`]:
-//! 400–600 MHz in 50 MHz steps, 1.1–1.3 V, and both pay the paper's
-//! [`SWITCH_PENALTY`] of 10 µs (6000 cycles at 600 MHz) per VF change.
+//! Policies are *described* by a [`PolicySpec`] — serializable data that
+//! names a policy and its parameters — and *instantiated* with
+//! [`PolicySpec::build`]. Specs come from the CLI grammar
+//! (`tdvs:threshold=1400,window=40000`), TOML or JSON fragments, all
+//! resolved through the [`PolicyRegistry`]. Adding a policy is a
+//! single-crate change: implement the trait, add a spec variant, register
+//! it (see the `registry` module docs for the walkthrough).
+//!
+//! # Built-in policies
+//!
+//! | spec name      | kind    | signal                  | scope  |
+//! |----------------|---------|-------------------------|--------|
+//! | `nodvs`        | noDVS   | —                       | —      |
+//! | `tdvs`         | TDVS    | traffic volume (§4.1)   | global |
+//! | `edvs`         | EDVS    | idle time (§4.2)        | per-ME |
+//! | `combined`     | TEDVS   | traffic AND idle        | per-ME |
+//! | `queue`        | QDVS    | rx-FIFO occupancy       | global |
+//! | `proportional` | PDVS    | idle time (PI control)  | per-ME |
+//!
+//! The paper's two policies ([`Tdvs`], [`Edvs`]) and the TEDVS extension
+//! ([`Combined`]) remain standalone automata with their signal-specific
+//! APIs, adapted to the trait by thin wrappers; [`QueueAware`] and
+//! [`Proportional`] are written directly against the trait.
+//!
+//! All built-ins operate on the XScale-style VF ladder of
+//! [`VfLadder::xscale_npu`] — 400–600 MHz in 50 MHz steps, 1.1–1.3 V —
+//! and every applied level change pays the paper's [`SWITCH_PENALTY`] of
+//! 10 µs (6000 cycles at 600 MHz).
 //!
 //! # Example
 //!
 //! ```
-//! use dvs::{ScalingDecision, Tdvs, TdvsConfig, VfLadder};
+//! use dvs::{PolicySpec, ScalingDecision, Tdvs, TdvsConfig, VfLadder};
 //!
+//! // The automaton API, unchanged from the paper...
 //! let ladder = VfLadder::xscale_npu();
 //! let mut tdvs = Tdvs::new(TdvsConfig {
 //!     top_threshold_mbps: 1000.0,
 //!     window_cycles: 40_000,
 //! }, ladder.clone());
-//!
-//! // Light traffic: the policy steps the processor down.
 //! assert_eq!(tdvs.on_window(500.0), ScalingDecision::Down);
 //! assert_eq!(tdvs.level().freq_mhz, 550);
+//!
+//! // ...and the spec-string route to the same policy as a trait object.
+//! let spec: PolicySpec = "tdvs:threshold=1000,window=40000".parse().unwrap();
+//! let policy = spec.build(&ladder);
+//! assert_eq!(policy.window_cycles(), Some(40_000));
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adapters;
 mod combined;
 mod edvs;
+mod policy;
+mod proportional;
+mod queue;
+mod registry;
+mod spec;
 mod tdvs;
 mod vf;
 
+pub use adapters::{CombinedPolicy, EdvsPolicy, NoDvsPolicy, TdvsPolicy};
 pub use combined::{Combined, CombinedConfig};
 pub use edvs::{Edvs, EdvsConfig};
+pub use policy::{DvsPolicy, MeObservation, PolicyObservation, PolicyResponse, QueueObservation};
+pub use proportional::{Proportional, ProportionalConfig};
+pub use queue::{QueueAware, QueueAwareConfig};
+pub use registry::{ParamInfo, PolicyInfo, PolicyRegistry};
+pub use spec::{Params, PolicySpec, SpecError};
 pub use tdvs::{HysteresisTdvsConfig, Tdvs, TdvsConfig};
 pub use vf::{VfLadder, VfPoint};
 
@@ -69,16 +109,24 @@ pub enum ScalingDecision {
     Hold,
 }
 
-/// Identifies which policy an experiment runs — `NoDvs` is the paper's
-/// baseline NPU with scaling disabled.
+/// Identifies which policy family an experiment runs — the label used by
+/// reports, comparison tables and figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PolicyKind {
     /// No DVS: the processor stays at the top VF level.
     NoDvs,
-    /// Traffic-based DVS.
+    /// Traffic-based DVS (global).
     Tdvs,
-    /// Execution-based DVS.
+    /// Execution-based DVS (per-ME).
     Edvs,
+    /// Combined traffic + idle DVS (TEDVS).
+    Combined,
+    /// Queue-occupancy DVS (global).
+    QueueAware,
+    /// Proportional (PI) idle-time DVS (per-ME).
+    Proportional,
+    /// A user-defined policy outside the built-in registry.
+    Custom,
 }
 
 impl std::fmt::Display for PolicyKind {
@@ -87,6 +135,10 @@ impl std::fmt::Display for PolicyKind {
             PolicyKind::NoDvs => "noDVS",
             PolicyKind::Tdvs => "TDVS",
             PolicyKind::Edvs => "EDVS",
+            PolicyKind::Combined => "TEDVS",
+            PolicyKind::QueueAware => "QDVS",
+            PolicyKind::Proportional => "PDVS",
+            PolicyKind::Custom => "custom",
         })
     }
 }
@@ -107,5 +159,9 @@ mod tests {
         assert_eq!(PolicyKind::NoDvs.to_string(), "noDVS");
         assert_eq!(PolicyKind::Tdvs.to_string(), "TDVS");
         assert_eq!(PolicyKind::Edvs.to_string(), "EDVS");
+        assert_eq!(PolicyKind::Combined.to_string(), "TEDVS");
+        assert_eq!(PolicyKind::QueueAware.to_string(), "QDVS");
+        assert_eq!(PolicyKind::Proportional.to_string(), "PDVS");
+        assert_eq!(PolicyKind::Custom.to_string(), "custom");
     }
 }

@@ -1,0 +1,622 @@
+//! [`PolicySpec`] — the declarative, serializable description of a policy
+//! configuration, and the grammars that produce one.
+//!
+//! A spec is *data* (which policy, with which parameters); calling
+//! [`PolicySpec::build`] instantiates the live [`DvsPolicy`] state
+//! machine. Three surfaces produce specs:
+//!
+//! * the **CLI grammar** `name:key=val,key=val` ([`PolicySpec::parse`],
+//!   also `FromStr`), e.g. `tdvs:threshold=1400,window=40000`;
+//! * **TOML** fragments ([`PolicySpec::from_toml_str`]):
+//!   ```toml
+//!   policy = "queue"
+//!   high = 0.8
+//!   low = 0.1
+//!   ```
+//! * **JSON** objects ([`PolicySpec::from_json_str`]):
+//!   `{"policy": "proportional", "kp": 6.0}`.
+//!
+//! All three resolve names and parameters through the
+//! [`PolicyRegistry`](crate::PolicyRegistry), so a policy registered in
+//! this crate is immediately reachable from every entry point — config
+//! file, CLI flag, sweep table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::adapters::{CombinedPolicy, EdvsPolicy, NoDvsPolicy, TdvsPolicy};
+use crate::registry::PolicyRegistry;
+use crate::{
+    CombinedConfig, DvsPolicy, EdvsConfig, HysteresisTdvsConfig, PolicyKind, Proportional,
+    ProportionalConfig, QueueAware, QueueAwareConfig, TdvsConfig, VfLadder,
+};
+
+/// A fully parameterised, buildable policy description.
+///
+/// The **canonical wire formats are the grammars above** (spec string,
+/// flat TOML, flat JSON), implemented by hand in this module — they use
+/// the registry's short parameter keys (`threshold`, `idle`, ...), and
+/// [`PolicySpec::spec_string`] round-trips through them. The serde
+/// derive below is tagged to mirror that shape, but under the offline
+/// `serde` shim it generates nothing; if real serde is ever wired in,
+/// its field naming (struct field names, nested configs) would *not*
+/// match these grammars — keep the hand parsers as the format of record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "policy", rename_all = "kebab-case")]
+pub enum PolicySpec {
+    /// Baseline: all MEs pinned at the top VF level.
+    NoDvs,
+    /// Traffic-based DVS (global, §4.1).
+    Tdvs(TdvsConfig),
+    /// TDVS with a hysteresis dead band (ablation of the plain rule).
+    TdvsHysteresis(HysteresisTdvsConfig),
+    /// Execution-based DVS (per-ME, §4.2).
+    Edvs(EdvsConfig),
+    /// Combined traffic + idle policy (TEDVS, the paper's declined
+    /// extension); charges both monitor overheads.
+    Combined(CombinedConfig),
+    /// Queue-aware DVS scaling on receive-FIFO occupancy.
+    QueueAware(QueueAwareConfig),
+    /// Proportional (PI) controller on per-ME idle time.
+    Proportional(ProportionalConfig),
+}
+
+impl PolicySpec {
+    /// The policy family this spec belongs to.
+    #[must_use]
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            PolicySpec::NoDvs => PolicyKind::NoDvs,
+            PolicySpec::Tdvs(_) | PolicySpec::TdvsHysteresis(_) => PolicyKind::Tdvs,
+            PolicySpec::Edvs(_) => PolicyKind::Edvs,
+            PolicySpec::Combined(_) => PolicyKind::Combined,
+            PolicySpec::QueueAware(_) => PolicyKind::QueueAware,
+            PolicySpec::Proportional(_) => PolicyKind::Proportional,
+        }
+    }
+
+    /// The monitor window in base-frequency cycles (`None` for no DVS).
+    #[must_use]
+    pub fn window_cycles(&self) -> Option<u64> {
+        match self {
+            PolicySpec::NoDvs => None,
+            PolicySpec::Tdvs(c) => Some(c.window_cycles),
+            PolicySpec::TdvsHysteresis(c) => Some(c.base.window_cycles),
+            PolicySpec::Edvs(c) => Some(c.window_cycles),
+            PolicySpec::Combined(c) => Some(c.tdvs.window_cycles),
+            PolicySpec::QueueAware(c) => Some(c.window_cycles),
+            PolicySpec::Proportional(c) => Some(c.window_cycles),
+        }
+    }
+
+    /// Instantiates the live policy state machine over `ladder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the embedded configuration is invalid (the grammars
+    /// validate before constructing a spec; a hand-built spec panics here
+    /// like the underlying constructor would).
+    #[must_use]
+    pub fn build(&self, ladder: &VfLadder) -> Box<dyn DvsPolicy> {
+        match self {
+            PolicySpec::NoDvs => Box::new(NoDvsPolicy),
+            PolicySpec::Tdvs(c) => Box::new(TdvsPolicy::new(*c, ladder.clone())),
+            PolicySpec::TdvsHysteresis(c) => {
+                Box::new(TdvsPolicy::with_hysteresis(*c, ladder.clone()))
+            }
+            PolicySpec::Edvs(c) => Box::new(EdvsPolicy::new(*c, ladder.clone())),
+            PolicySpec::Combined(c) => Box::new(CombinedPolicy::new(*c, ladder.clone())),
+            PolicySpec::QueueAware(c) => Box::new(QueueAware::new(*c, ladder.clone())),
+            PolicySpec::Proportional(c) => Box::new(Proportional::new(*c, ladder.clone())),
+        }
+    }
+
+    /// Parses the CLI grammar `name[:key=val[,key=val]...]` against the
+    /// built-in registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for unknown names/keys, unparsable values
+    /// or values outside a policy's valid range.
+    pub fn parse(input: &str) -> Result<Self, SpecError> {
+        let input = input.trim();
+        let (name, rest) = match input.split_once(':') {
+            Some((name, rest)) => (name.trim(), Some(rest)),
+            None => (input, None),
+        };
+        if name.is_empty() {
+            return Err(SpecError::Malformed {
+                input: input.to_owned(),
+                reason: "empty policy name".to_owned(),
+            });
+        }
+        let mut params = Params::default();
+        if let Some(rest) = rest {
+            for pair in rest.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(SpecError::Malformed {
+                        input: input.to_owned(),
+                        reason: format!("expected key=value, found '{pair}'"),
+                    });
+                };
+                params.insert(key.trim(), value.trim());
+            }
+        }
+        PolicyRegistry::builtin().build_spec(name, params)
+    }
+
+    /// Parses a flat TOML fragment: a `policy = "name"` entry plus one
+    /// `key = value` line per parameter. Comments (`#`), blank lines and
+    /// a single optional `[table]` header are accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for syntax errors, a missing `policy` key,
+    /// or any parameter problem [`PolicySpec::parse`] would report.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        let mut name: Option<String> = None;
+        let mut params = Params::default();
+        for raw in input.lines() {
+            let line = match raw.split_once('#') {
+                Some((code, _comment)) => code.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(SpecError::Malformed {
+                    input: input.to_owned(),
+                    reason: format!("expected key = value, found '{line}'"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim().trim_matches('"');
+            if key == "policy" {
+                name = Some(value.to_owned());
+            } else {
+                params.insert(key, value);
+            }
+        }
+        let name = name.ok_or_else(|| SpecError::Malformed {
+            input: input.to_owned(),
+            reason: "missing `policy = \"...\"` entry".to_owned(),
+        })?;
+        PolicyRegistry::builtin().build_spec(&name, params)
+    }
+
+    /// Parses a flat JSON object: `{"policy": "name", "key": value, ...}`
+    /// with string or numeric values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for syntax errors, a missing `policy` key,
+    /// or any parameter problem [`PolicySpec::parse`] would report.
+    pub fn from_json_str(input: &str) -> Result<Self, SpecError> {
+        let malformed = |reason: &str| SpecError::Malformed {
+            input: input.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let body = input.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or_else(|| malformed("expected a {...} object"))?;
+        let mut name: Option<String> = None;
+        let mut params = Params::default();
+        for pair in split_top_level_commas(body) {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| malformed("expected \"key\": value pairs"))?;
+            let key = key.trim();
+            let key = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| malformed("object keys must be quoted"))?;
+            let value = value.trim().trim_matches('"');
+            if key == "policy" {
+                name = Some(value.to_owned());
+            } else {
+                params.insert(key, value);
+            }
+        }
+        let name = name.ok_or_else(|| malformed("missing \"policy\" key"))?;
+        PolicyRegistry::builtin().build_spec(&name, params)
+    }
+
+    /// Renders the spec in the CLI grammar; `PolicySpec::parse` of the
+    /// result round-trips.
+    #[must_use]
+    pub fn spec_string(&self) -> String {
+        match self {
+            PolicySpec::NoDvs => "nodvs".to_owned(),
+            PolicySpec::Tdvs(c) => format!(
+                "tdvs:threshold={},window={}",
+                c.top_threshold_mbps, c.window_cycles
+            ),
+            PolicySpec::TdvsHysteresis(c) => format!(
+                "tdvs:threshold={},window={},hysteresis={}",
+                c.base.top_threshold_mbps, c.base.window_cycles, c.hysteresis
+            ),
+            PolicySpec::Edvs(c) => {
+                format!("edvs:idle={},window={}", c.idle_threshold, c.window_cycles)
+            }
+            PolicySpec::Combined(c) => format!(
+                "combined:threshold={},idle={},window={}",
+                c.tdvs.top_threshold_mbps, c.edvs.idle_threshold, c.tdvs.window_cycles
+            ),
+            PolicySpec::QueueAware(c) => format!(
+                "queue:high={},low={},window={}",
+                c.high_occupancy, c.low_occupancy, c.window_cycles
+            ),
+            PolicySpec::Proportional(c) => format!(
+                "proportional:target={},kp={},ki={},window={}",
+                c.target_idle, c.kp, c.ki, c.window_cycles
+            ),
+        }
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec_string())
+    }
+}
+
+impl FromStr for PolicySpec {
+    type Err = SpecError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicySpec::parse(s)
+    }
+}
+
+/// Splits on commas that are not inside quotes (flat JSON objects only).
+fn split_top_level_commas(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+/// Key/value parameters collected by the spec grammars, with typed,
+/// consumption-tracked access for the registry's builder functions.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    values: BTreeMap<String, String>,
+}
+
+impl Params {
+    /// Adds (or overwrites) a raw parameter.
+    pub fn insert(&mut self, key: &str, value: &str) {
+        self.values.insert(key.to_owned(), value.to_owned());
+    }
+
+    /// Takes a float parameter if present (`None` when absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
+    pub fn maybe_f64(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.values.remove(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| SpecError::InvalidValue {
+                key: key.to_owned(),
+                value: raw,
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// Takes a float parameter, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
+    pub fn f64(&mut self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.values.remove(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| SpecError::InvalidValue {
+                key: key.to_owned(),
+                value: raw,
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// Takes an integer parameter, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
+    pub fn u64(&mut self, key: &str, default: u64) -> Result<u64, SpecError> {
+        match self.values.remove(key) {
+            None => Ok(default),
+            Some(raw) => {
+                // Accept TOML/JSON float notation for whole numbers.
+                let direct: Result<u64, _> = raw.parse();
+                direct
+                    .or_else(|_| {
+                        raw.parse::<f64>().map_err(|_| ()).and_then(|f| {
+                            if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 {
+                                Ok(f as u64)
+                            } else {
+                                Err(())
+                            }
+                        })
+                    })
+                    .map_err(|()| SpecError::InvalidValue {
+                        key: key.to_owned(),
+                        value: raw,
+                        expected: "a non-negative integer",
+                    })
+            }
+        }
+    }
+
+    /// Errors on any parameter no builder consumed (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownParam`] naming the first leftover key.
+    pub fn finish(self, policy: &str) -> Result<(), SpecError> {
+        match self.values.into_keys().next() {
+            None => Ok(()),
+            Some(key) => Err(SpecError::UnknownParam {
+                policy: policy.to_owned(),
+                key,
+            }),
+        }
+    }
+}
+
+/// Errors produced by the spec grammars and the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The policy name matches no registry entry.
+    UnknownPolicy {
+        /// The unrecognised name.
+        name: String,
+    },
+    /// A parameter key the named policy does not accept.
+    UnknownParam {
+        /// The policy that rejected the key.
+        policy: String,
+        /// The unrecognised key.
+        key: String,
+    },
+    /// A parameter value that failed to parse or is out of range.
+    InvalidValue {
+        /// The parameter key.
+        key: String,
+        /// The offending raw value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// Input that does not follow the grammar at all.
+    Malformed {
+        /// The full input.
+        input: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownPolicy { name } => {
+                write!(
+                    f,
+                    "unknown policy '{name}' (known: {})",
+                    PolicyRegistry::builtin().name_list()
+                )
+            }
+            SpecError::UnknownParam { policy, key } => {
+                write!(f, "policy '{policy}' accepts no parameter '{key}'")
+            }
+            SpecError::InvalidValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(f, "parameter '{key}': '{value}' is not {expected}")
+            }
+            SpecError::Malformed { input, reason } => {
+                write!(f, "malformed policy spec '{input}': {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bare_names_use_defaults() {
+        assert_eq!(PolicySpec::parse("nodvs").unwrap(), PolicySpec::NoDvs);
+        assert_eq!(
+            PolicySpec::parse("tdvs").unwrap(),
+            PolicySpec::Tdvs(TdvsConfig::default())
+        );
+        assert_eq!(
+            PolicySpec::parse("edvs").unwrap(),
+            PolicySpec::Edvs(EdvsConfig::default())
+        );
+        assert_eq!(
+            PolicySpec::parse("queue").unwrap(),
+            PolicySpec::QueueAware(QueueAwareConfig::default())
+        );
+        assert_eq!(
+            PolicySpec::parse("proportional").unwrap(),
+            PolicySpec::Proportional(ProportionalConfig::default())
+        );
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(PolicySpec::parse("none").unwrap(), PolicySpec::NoDvs);
+        assert_eq!(
+            PolicySpec::parse("tedvs").unwrap(),
+            PolicySpec::Combined(CombinedConfig::default())
+        );
+        assert_eq!(
+            PolicySpec::parse("qdvs").unwrap().kind(),
+            PolicyKind::QueueAware
+        );
+        assert_eq!(
+            PolicySpec::parse("pid").unwrap().kind(),
+            PolicyKind::Proportional
+        );
+    }
+
+    #[test]
+    fn parse_applies_parameters() {
+        let spec = PolicySpec::parse("tdvs:threshold=1400,window=20000").unwrap();
+        assert_eq!(
+            spec,
+            PolicySpec::Tdvs(TdvsConfig {
+                top_threshold_mbps: 1400.0,
+                window_cycles: 20_000,
+            })
+        );
+        let spec = PolicySpec::parse("queue:high=0.9,low=0.1").unwrap();
+        let PolicySpec::QueueAware(c) = spec else {
+            panic!("wrong variant");
+        };
+        assert_eq!(c.high_occupancy, 0.9);
+        assert_eq!(c.low_occupancy, 0.1);
+        assert_eq!(c.window_cycles, 40_000);
+    }
+
+    #[test]
+    fn hysteresis_parameter_selects_variant() {
+        let spec = PolicySpec::parse("tdvs:hysteresis=0.1").unwrap();
+        assert!(matches!(spec, PolicySpec::TdvsHysteresis(_)));
+        assert_eq!(spec.kind(), PolicyKind::Tdvs);
+        // Presence of the key selects the variant — even at zero, so a
+        // rendered TdvsHysteresis spec reparses to the same variant
+        // (behaviourally identical to the plain rule either way).
+        let spec = PolicySpec::parse("tdvs:hysteresis=0").unwrap();
+        assert!(matches!(spec, PolicySpec::TdvsHysteresis(_)));
+        let absent = PolicySpec::parse("tdvs").unwrap();
+        assert!(matches!(absent, PolicySpec::Tdvs(_)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            PolicySpec::parse("warp-drive"),
+            Err(SpecError::UnknownPolicy { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("tdvs:flux=9"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("tdvs:threshold=fast"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("tdvs:threshold"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("tdvs:threshold=-5"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_string_round_trips() {
+        let specs = [
+            PolicySpec::NoDvs,
+            PolicySpec::Tdvs(TdvsConfig::default()),
+            PolicySpec::TdvsHysteresis(TdvsConfig::default().with_hysteresis(0.15)),
+            PolicySpec::TdvsHysteresis(TdvsConfig::default().with_hysteresis(0.0)),
+            PolicySpec::Edvs(EdvsConfig::default()),
+            PolicySpec::Combined(CombinedConfig::default()),
+            PolicySpec::QueueAware(QueueAwareConfig::default()),
+            PolicySpec::Proportional(ProportionalConfig::default()),
+        ];
+        for spec in specs {
+            let text = spec.spec_string();
+            let reparsed: PolicySpec = text.parse().unwrap();
+            assert_eq!(reparsed, spec, "round-trip failed for '{text}'");
+        }
+    }
+
+    #[test]
+    fn toml_fragments_parse() {
+        let spec = PolicySpec::from_toml_str(
+            r#"
+            # the sweep's power-priority pick
+            [policy]
+            policy = "tdvs"
+            threshold = 1400.0
+            window = 40000
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec,
+            PolicySpec::Tdvs(TdvsConfig {
+                top_threshold_mbps: 1400.0,
+                window_cycles: 40_000,
+            })
+        );
+        assert!(PolicySpec::from_toml_str("threshold = 5").is_err());
+        assert!(PolicySpec::from_toml_str("policy 'tdvs'").is_err());
+    }
+
+    #[test]
+    fn json_objects_parse() {
+        let spec =
+            PolicySpec::from_json_str(r#"{"policy": "proportional", "kp": 6.0, "ki": 0.25}"#)
+                .unwrap();
+        let PolicySpec::Proportional(c) = spec else {
+            panic!("wrong variant");
+        };
+        assert_eq!(c.kp, 6.0);
+        assert_eq!(c.ki, 0.25);
+        assert_eq!(c.target_idle, 0.10);
+        assert!(PolicySpec::from_json_str("[1, 2]").is_err());
+        assert!(PolicySpec::from_json_str(r#"{"kp": 6.0}"#).is_err());
+    }
+
+    #[test]
+    fn build_produces_matching_kinds() {
+        let ladder = VfLadder::xscale_npu();
+        for name in ["nodvs", "tdvs", "edvs", "combined", "queue", "proportional"] {
+            let spec = PolicySpec::parse(name).unwrap();
+            let policy = spec.build(&ladder);
+            assert_eq!(policy.kind(), spec.kind(), "{name}");
+            assert_eq!(policy.window_cycles(), spec.window_cycles(), "{name}");
+        }
+    }
+}

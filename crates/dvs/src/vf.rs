@@ -73,11 +73,26 @@ impl VfLadder {
     pub fn xscale_npu() -> Self {
         VfLadder {
             points: vec![
-                VfPoint { freq_mhz: 400, voltage_mv: 1100 },
-                VfPoint { freq_mhz: 450, voltage_mv: 1150 },
-                VfPoint { freq_mhz: 500, voltage_mv: 1200 },
-                VfPoint { freq_mhz: 550, voltage_mv: 1250 },
-                VfPoint { freq_mhz: 600, voltage_mv: 1300 },
+                VfPoint {
+                    freq_mhz: 400,
+                    voltage_mv: 1100,
+                },
+                VfPoint {
+                    freq_mhz: 450,
+                    voltage_mv: 1150,
+                },
+                VfPoint {
+                    freq_mhz: 500,
+                    voltage_mv: 1200,
+                },
+                VfPoint {
+                    freq_mhz: 550,
+                    voltage_mv: 1250,
+                },
+                VfPoint {
+                    freq_mhz: 600,
+                    voltage_mv: 1300,
+                },
             ],
         }
     }
@@ -179,21 +194,37 @@ mod tests {
         assert!(scales.windows(2).all(|w| w[0] < w[1]));
         assert!((scales.last().unwrap() - 1.0).abs() < 1e-12);
         // Bottom point: (1.1^2 * 400) / (1.3^2 * 600) ~= 0.477.
-        assert!((scales[0] - 0.477).abs() < 0.01, "bottom scale {}", scales[0]);
+        assert!(
+            (scales[0] - 0.477).abs() < 0.01,
+            "bottom scale {}",
+            scales[0]
+        );
     }
 
     #[test]
     fn energy_per_cycle_scale_ignores_frequency() {
-        let top = VfPoint { freq_mhz: 600, voltage_mv: 1300 };
-        let p = VfPoint { freq_mhz: 400, voltage_mv: 1300 };
+        let top = VfPoint {
+            freq_mhz: 600,
+            voltage_mv: 1300,
+        };
+        let p = VfPoint {
+            freq_mhz: 400,
+            voltage_mv: 1300,
+        };
         assert!((p.energy_per_cycle_scale(&top) - 1.0).abs() < 1e-12);
-        let q = VfPoint { freq_mhz: 600, voltage_mv: 650 };
+        let q = VfPoint {
+            freq_mhz: 600,
+            voltage_mv: 650,
+        };
         assert!((q.energy_per_cycle_scale(&top) - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn display_formats() {
-        let p = VfPoint { freq_mhz: 550, voltage_mv: 1250 };
+        let p = VfPoint {
+            freq_mhz: 550,
+            voltage_mv: 1250,
+        };
         assert_eq!(p.to_string(), "550MHz/1.25V");
     }
 
@@ -201,8 +232,14 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn from_points_rejects_unsorted() {
         let _ = VfLadder::from_points(vec![
-            VfPoint { freq_mhz: 600, voltage_mv: 1300 },
-            VfPoint { freq_mhz: 400, voltage_mv: 1100 },
+            VfPoint {
+                freq_mhz: 600,
+                voltage_mv: 1300,
+            },
+            VfPoint {
+                freq_mhz: 400,
+                voltage_mv: 1100,
+            },
         ]);
     }
 

@@ -278,9 +278,7 @@ impl Analyzer {
                 expected: "distribution",
             });
         };
-        if !(min.is_finite() && max.is_finite() && step.is_finite())
-            || *step <= 0.0
-            || *max <= *min
+        if !(min.is_finite() && max.is_finite() && step.is_finite()) || *step <= 0.0 || *max <= *min
         {
             return Err(EvalError::InvalidPeriod {
                 min: *min,
@@ -416,9 +414,10 @@ mod tests {
         let a = identity("==", 40.0, 80.0, 5.0);
         let report = a.finish();
         assert_eq!(report.bins().len(), 10);
-        assert_eq!(report.edges(), vec![
-            40.0, 45.0, 50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0
-        ]);
+        assert_eq!(
+            report.edges(),
+            vec![40.0, 45.0, 50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0]
+        );
     }
 
     #[test]
@@ -496,10 +495,18 @@ mod tests {
             Analyzer::from_formula(&assert_f),
             Err(EvalError::WrongFormulaKind { .. })
         ));
-        for (min, max, step) in [(0.0, 1.0, 0.0), (0.0, 1.0, -1.0), (1.0, 1.0, 0.1), (2.0, 1.0, 0.1)] {
+        for (min, max, step) in [
+            (0.0, 1.0, 0.0),
+            (0.0, 1.0, -1.0),
+            (1.0, 1.0, 0.1),
+            (2.0, 1.0, 0.1),
+        ] {
             let f = parse(&format!("time(ev[i]) dist== ({min}, {max}, {step})")).unwrap();
             assert!(
-                matches!(Analyzer::from_formula(&f), Err(EvalError::InvalidPeriod { .. })),
+                matches!(
+                    Analyzer::from_formula(&f),
+                    Err(EvalError::InvalidPeriod { .. })
+                ),
                 "period ({min},{max},{step}) should be rejected"
             );
         }

@@ -271,11 +271,17 @@ mod tests {
         let a = || annot(AnnotKey::Time, "e", 0);
         assert!(matches!(
             a().dist_le(0.0, 1.0, 0.1),
-            Formula::Dist { rel: DistRel::Le, .. }
+            Formula::Dist {
+                rel: DistRel::Le,
+                ..
+            }
         ));
         assert!(matches!(
             a().dist_ge(0.0, 1.0, 0.1),
-            Formula::Dist { rel: DistRel::Ge, .. }
+            Formula::Dist {
+                rel: DistRel::Ge,
+                ..
+            }
         ));
     }
 }

@@ -40,8 +40,8 @@ impl EventWindow {
     /// Returns [`EvalError::NoEvents`] if the formula references no events.
     pub(crate) fn from_formula(formula: &Formula) -> Result<Self, EvalError> {
         let mut events: Vec<EventBuf> = Vec::new();
-        formula.visit_annots(&mut |_, ev, off| {
-            match events.iter_mut().find(|e| e.name == ev) {
+        formula.visit_annots(
+            &mut |_, ev, off| match events.iter_mut().find(|e| e.name == ev) {
                 Some(e) => {
                     e.min_off = e.min_off.min(off);
                     e.max_off = e.max_off.max(off);
@@ -54,8 +54,8 @@ impl EventWindow {
                     buf: VecDeque::new(),
                     count: 0,
                 }),
-            }
-        });
+            },
+        );
         if events.is_empty() {
             return Err(EvalError::NoEvents);
         }
@@ -180,7 +180,9 @@ mod tests {
         for k in 0..6 {
             win.push(&record("fw", k as f64));
             while win.ready() {
-                let Formula::Dist { expr, .. } = &f else { unreachable!() };
+                let Formula::Dist { expr, .. } = &f else {
+                    unreachable!()
+                };
                 evaluated.push((win.next_index(), eval_expr(expr, &win)));
                 win.advance();
             }
@@ -255,7 +257,9 @@ mod tests {
         let f = parse("(time(fw[i]) >= 1 && time(fw[i]) <= 3) || !(time(fw[i]) == 2)").unwrap();
         let mut win = EventWindow::from_formula(&f).unwrap();
         win.push(&record("fw", 2.0));
-        let Formula::Assert(b) = &f else { unreachable!() };
+        let Formula::Assert(b) = &f else {
+            unreachable!()
+        };
         assert!(eval_bool(b, &win));
     }
 

@@ -56,71 +56,119 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, pos: i });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, pos: i });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { kind: TokenKind::LBracket, pos: i });
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    pos: i,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { kind: TokenKind::RBracket, pos: i });
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    pos: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Minus, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ne, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Bang, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::Bang,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Le, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ge, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::EqEq, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::EqEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "single '=' (did you mean '=='?)"));
@@ -128,7 +176,10 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    out.push(Token { kind: TokenKind::AndAnd, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::AndAnd,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "single '&' (did you mean '&&'?)"));
@@ -136,7 +187,10 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    out.push(Token { kind: TokenKind::OrOr, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::OrOr,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "single '|' (did you mean '||'?)"));
@@ -210,7 +264,10 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                 }
             }
             other => {
-                return Err(ParseError::new(i, format!("unexpected character '{other}'")));
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }

@@ -59,8 +59,8 @@ mod parser;
 pub mod trace;
 
 pub use analyzer::{Analyzer, BinStat, DistributionReport};
-pub use bank::{AnalyzerBank, BankResults};
 pub use ast::{AnnotKey, BinOp, BoolExpr, CmpOp, DistRel, Expr, Formula};
+pub use bank::{AnalyzerBank, BankResults};
 pub use checker::{CheckReport, Checker, Violation};
 pub use error::{EvalError, ParseError};
 pub use parser::parse;

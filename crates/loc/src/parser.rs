@@ -339,7 +339,11 @@ mod tests {
         let f = parse("time(forward[i+100]) - time(forward[i]) dist== (40, 80, 5)").unwrap();
         match f {
             Formula::Dist {
-                rel, min, max, step, ..
+                rel,
+                min,
+                max,
+                step,
+                ..
             } => {
                 assert_eq!(rel, DistRel::Eq);
                 assert_eq!((min, max, step), (40.0, 80.0, 5.0));
@@ -356,13 +360,7 @@ mod tests {
         match &f {
             Formula::Dist { expr, .. } => {
                 // Top level must be a division.
-                assert!(matches!(
-                    expr,
-                    Expr::Binary {
-                        op: BinOp::Div,
-                        ..
-                    }
-                ));
+                assert!(matches!(expr, Expr::Binary { op: BinOp::Div, .. }));
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -404,7 +402,11 @@ mod tests {
             Formula::Assert(BoolExpr::Cmp { lhs, .. }) => {
                 // Must parse as a + (2*3).
                 match lhs {
-                    Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     other => panic!("unexpected lhs: {other:?}"),

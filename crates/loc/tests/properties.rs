@@ -17,9 +17,8 @@ const KEYS: [AnnotKey; 5] = [
 /// display/parse round-trips are structural identities).
 fn expr_strategy() -> impl Strategy<Value = ExprBuilder> {
     let leaf = prop_oneof![
-        (0usize..5, 0usize..3, -3i64..5).prop_map(|(k, e, off)| {
-            annot(KEYS[k].clone(), EVENTS[e], off)
-        }),
+        (0usize..5, 0usize..3, -3i64..5)
+            .prop_map(|(k, e, off)| { annot(KEYS[k].clone(), EVENTS[e], off) }),
         (0u32..1000).prop_map(|c| con(f64::from(c) / 8.0)),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
@@ -202,13 +201,19 @@ fn multi_event_instance_counting() {
     for k in 0..3u64 {
         checker.push(&TraceRecord::new(
             "enq",
-            Annotations { cycle: k * 100, ..Annotations::default() },
+            Annotations {
+                cycle: k * 100,
+                ..Annotations::default()
+            },
         ));
     }
     for k in 0..2u64 {
         checker.push(&TraceRecord::new(
             "deq",
-            Annotations { cycle: k * 100 + 10, ..Annotations::default() },
+            Annotations {
+                cycle: k * 100 + 10,
+                ..Annotations::default()
+            },
         ));
     }
     let report = checker.finish();

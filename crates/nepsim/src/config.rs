@@ -1,57 +1,17 @@
 //! Simulator configuration.
+//!
+//! The DVS policy is configured as a [`PolicySpec`] — declarative data
+//! resolved by the `dvs` crate — so the simulator never names a concrete
+//! policy type. See [`crate::Simulator::with_policy`] for injecting a
+//! custom `DvsPolicy` implementation directly.
 
 use desim::Frequency;
-use dvs::{CombinedConfig, EdvsConfig, HysteresisTdvsConfig, PolicyKind, TdvsConfig, VfLadder};
+use dvs::{PolicySpec, VfLadder};
 use serde::{Deserialize, Serialize};
 use traffic::{ArrivalConfig, TrafficLevel};
 
 use crate::memory::MemoryParams;
 use crate::workload::Benchmark;
-
-/// Which DVS policy the simulated NPU runs, with its parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum PolicyConfig {
-    /// Baseline: all MEs pinned at the top VF level.
-    NoDvs,
-    /// Traffic-based DVS (global, §4.1).
-    Tdvs(TdvsConfig),
-    /// TDVS with a hysteresis dead band — an ablation of the paper's
-    /// plain threshold rule (see [`dvs::Tdvs::with_hysteresis`]).
-    TdvsHysteresis(HysteresisTdvsConfig),
-    /// Execution-based DVS (per-ME, §4.2).
-    Edvs(EdvsConfig),
-    /// Combined traffic + idle policy (TEDVS) — the extension the paper
-    /// declines on monitor-cost grounds (§4); both monitor overheads are
-    /// charged when it runs.
-    Combined(CombinedConfig),
-}
-
-impl PolicyConfig {
-    /// The policy family this configuration belongs to.
-    #[must_use]
-    pub fn kind(&self) -> PolicyKind {
-        match self {
-            PolicyConfig::NoDvs => PolicyKind::NoDvs,
-            PolicyConfig::Tdvs(_) | PolicyConfig::TdvsHysteresis(_) => PolicyKind::Tdvs,
-            PolicyConfig::Edvs(_) => PolicyKind::Edvs,
-            // The combined policy reports as EDVS: it is per-ME and its
-            // performance profile follows the idle signal.
-            PolicyConfig::Combined(_) => PolicyKind::Edvs,
-        }
-    }
-
-    /// The monitor window in base-frequency cycles (`None` for no DVS).
-    #[must_use]
-    pub fn window_cycles(&self) -> Option<u64> {
-        match self {
-            PolicyConfig::NoDvs => None,
-            PolicyConfig::Tdvs(c) => Some(c.window_cycles),
-            PolicyConfig::TdvsHysteresis(c) => Some(c.base.window_cycles),
-            PolicyConfig::Edvs(c) => Some(c.window_cycles),
-            PolicyConfig::Combined(c) => Some(c.tdvs.window_cycles),
-        }
-    }
-}
 
 /// Calibration constants of the activity-based power model, all referenced
 /// to the top VF level (600 MHz / 1.3 V). Scaling to other levels follows
@@ -107,7 +67,7 @@ pub struct NpuConfig {
     /// The VF ladder available to DVS.
     pub ladder: VfLadder,
     /// The DVS policy under study.
-    pub policy: PolicyConfig,
+    pub policy: PolicySpec,
     /// SRAM/SDRAM timing and energy.
     pub memory: MemoryParams,
     /// IX-bus transmit bandwidth in Mbps (1.3 Gbps: IXP1200's 1 Gbps media
@@ -164,7 +124,10 @@ impl NpuConfig {
             self.bus_rate_mbps.is_finite() && self.bus_rate_mbps > 0.0,
             "bus rate must be positive"
         );
-        assert!(self.stats_window_cycles > 0, "stats window must be non-empty");
+        assert!(
+            self.stats_window_cycles > 0,
+            "stats window must be non-empty"
+        );
     }
 }
 
@@ -193,7 +156,7 @@ impl NpuConfigBuilder {
                 tx_mes: 2,
                 threads_per_me: 4,
                 ladder: VfLadder::xscale_npu(),
-                policy: PolicyConfig::NoDvs,
+                policy: PolicySpec::NoDvs,
                 memory: MemoryParams::ixp1200_scaled(),
                 bus_rate_mbps: 1300.0,
                 rx_fifo_cap: 2048,
@@ -230,7 +193,7 @@ impl NpuConfigBuilder {
 
     /// Sets the DVS policy.
     #[must_use]
-    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
         self.config.policy = policy;
         self
     }
@@ -295,6 +258,7 @@ impl Default for NpuConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dvs::{EdvsConfig, PolicyKind, TdvsConfig};
 
     #[test]
     fn default_is_reference_platform() {
@@ -315,13 +279,13 @@ mod tests {
 
     #[test]
     fn policy_window_cycles() {
-        assert_eq!(PolicyConfig::NoDvs.window_cycles(), None);
-        let t = PolicyConfig::Tdvs(TdvsConfig {
+        assert_eq!(PolicySpec::NoDvs.window_cycles(), None);
+        let t = PolicySpec::Tdvs(TdvsConfig {
             top_threshold_mbps: 1000.0,
             window_cycles: 20_000,
         });
         assert_eq!(t.window_cycles(), Some(20_000));
-        let e = PolicyConfig::Edvs(EdvsConfig::default());
+        let e = PolicySpec::Edvs(EdvsConfig::default());
         assert_eq!(e.window_cycles(), Some(40_000));
     }
 

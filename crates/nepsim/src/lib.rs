@@ -48,7 +48,8 @@ mod sim;
 mod trace_out;
 mod workload;
 
-pub use config::{NpuConfig, NpuConfigBuilder, PolicyConfig, PowerParams, TraceConfig};
+pub use config::{NpuConfig, NpuConfigBuilder, PowerParams, TraceConfig};
+pub use dvs::PolicySpec;
 pub use engine::{MeMode, MeRole};
 pub use memory::{MemoryController, MemoryParams};
 pub use power::EnergyMeter;

@@ -218,10 +218,7 @@ mod tests {
             last = done;
         }
         // 10 accesses: last one waits 9 service slots + latency.
-        assert_eq!(
-            last,
-            t + SimTime::from_ns(9 * 8) + SimTime::from_ns(30)
-        );
+        assert_eq!(last, t + SimTime::from_ns(9 * 8) + SimTime::from_ns(30));
         assert!(m.mean_access_time() > SimTime::from_ns(30));
     }
 

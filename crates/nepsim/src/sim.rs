@@ -26,11 +26,14 @@
 use std::collections::VecDeque;
 
 use desim::{EventQueue, SimTime};
-use dvs::{Combined, Edvs, ScalingDecision, Tdvs, MONITOR_ADDER_ENERGY_UJ, SWITCH_PENALTY};
+use dvs::{
+    DvsPolicy, MeObservation, PolicyObservation, QueueObservation, ScalingDecision,
+    MONITOR_ADDER_ENERGY_UJ, SWITCH_PENALTY,
+};
 use loc::{Annotations, Trace};
 use traffic::{Packet, PacketStream, RecordedTrace};
 
-use crate::config::{NpuConfig, PolicyConfig};
+use crate::config::NpuConfig;
 use crate::engine::{MeMode, MeRole, Microengine, ThreadState};
 use crate::memory::{MemoryController, TxBus};
 use crate::power::EnergyMeter;
@@ -68,15 +71,6 @@ impl Iterator for ArrivalSource {
     }
 }
 
-/// One DVS policy instance wired to the platform.
-#[derive(Debug)]
-enum Policy {
-    None,
-    Tdvs(Tdvs),
-    Edvs(Vec<Edvs>),
-    Combined(Vec<Combined>),
-}
-
 /// The NePSim-style simulator. See the [crate docs](crate) for the model
 /// and [`NpuConfig`] for the knobs.
 ///
@@ -100,11 +94,15 @@ pub struct Simulator {
     rx_fifo: VecDeque<Packet>,
     tx_queue: VecDeque<Packet>,
     arrivals: ArrivalSource,
-    policy: Policy,
+    policy: Box<dyn DvsPolicy>,
+    /// Cached `policy.monitors_traffic()` — consulted on every arrival.
+    monitor_per_packet: bool,
     meter: EnergyMeter,
     trace: TraceCollector,
     window_dur: SimTime,
     window_bits: u64,
+    window_rx_drops: u64,
+    window_tx_drops: u64,
     windows: u64,
     window_idle: Vec<WindowIdleSample>,
     arrived_packets: u64,
@@ -125,54 +123,38 @@ impl Simulator {
         let top = config.ladder.top_index();
         let mes: Vec<Microengine> = (0..config.total_mes())
             .map(|i| {
-                let role = if i < config.rx_mes { MeRole::Rx } else { MeRole::Tx };
+                let role = if i < config.rx_mes {
+                    MeRole::Rx
+                } else {
+                    MeRole::Tx
+                };
                 Microengine::new(role, config.threads_per_me, top)
             })
             .collect();
-        let policy = match &config.policy {
-            PolicyConfig::NoDvs => Policy::None,
-            PolicyConfig::Tdvs(c) => Policy::Tdvs(Tdvs::new(*c, config.ladder.clone())),
-            PolicyConfig::TdvsHysteresis(c) => {
-                Policy::Tdvs(Tdvs::with_hysteresis(*c, config.ladder.clone()))
-            }
-            PolicyConfig::Edvs(c) => Policy::Edvs(
-                (0..config.total_mes())
-                    .map(|_| Edvs::new(*c, config.ladder.clone()))
-                    .collect(),
-            ),
-            PolicyConfig::Combined(c) => Policy::Combined(
-                (0..config.total_mes())
-                    .map(|_| Combined::new(*c, config.ladder.clone()))
-                    .collect(),
-            ),
-        };
+        let policy = config.policy.build(&config.ladder);
         // Windows always fire: the policy's window if it has one, the
         // statistics window otherwise (idle sampling under noDVS).
-        let window_dur = config.base_freq().cycles_to_time(
-            config
-                .policy
-                .window_cycles()
-                .unwrap_or(config.stats_window_cycles),
-        );
+        let window_dur = config
+            .base_freq()
+            .cycles_to_time(policy.window_cycles().unwrap_or(config.stats_window_cycles));
         let mem = config.memory;
         Simulator {
             queue: EventQueue::new(),
             mes,
             sram: MemoryController::new(mem.sram_latency, mem.sram_service, mem.sram_energy_uj),
-            sdram: MemoryController::new(
-                mem.sdram_latency,
-                mem.sdram_service,
-                mem.sdram_energy_uj,
-            ),
+            sdram: MemoryController::new(mem.sdram_latency, mem.sdram_service, mem.sdram_energy_uj),
             bus: TxBus::new(config.bus_rate_mbps),
             rx_fifo: VecDeque::new(),
             tx_queue: VecDeque::new(),
             arrivals: ArrivalSource::Stream(PacketStream::new(config.arrivals.clone())),
+            monitor_per_packet: policy.monitors_traffic(),
             policy,
             meter: EnergyMeter::new(),
             trace: TraceCollector::new(config.trace),
             window_dur,
             window_bits: 0,
+            window_rx_drops: 0,
+            window_tx_drops: 0,
             windows: 0,
             window_idle: Vec::new(),
             arrived_packets: 0,
@@ -207,6 +189,28 @@ impl Simulator {
         self
     }
 
+    /// Replaces the configured policy with an arbitrary [`DvsPolicy`]
+    /// implementation — the escape hatch for policies that live outside
+    /// the `dvs` registry (see the trait docs for a walkthrough). The
+    /// configured `policy` spec is ignored; the monitor window and
+    /// per-packet monitor overhead follow the injected policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already run.
+    #[must_use]
+    pub fn with_policy(mut self, policy: Box<dyn DvsPolicy>) -> Self {
+        assert!(!self.started, "cannot swap the policy after running");
+        self.window_dur = self.config.base_freq().cycles_to_time(
+            policy
+                .window_cycles()
+                .unwrap_or(self.config.stats_window_cycles),
+        );
+        self.monitor_per_packet = policy.monitors_traffic();
+        self.policy = policy;
+        self
+    }
+
     /// Runs for `cycles` of the base (600 MHz) clock — the paper runs
     /// 8×10⁶ cycles per configuration — and returns the report.
     pub fn run_cycles(&mut self, cycles: u64) -> SimReport {
@@ -232,7 +236,8 @@ impl Simulator {
         self.queue.schedule(self.window_dur, Ev::Window);
         for m in 0..self.mes.len() {
             let token = self.mes[m].step_token;
-            self.queue.schedule(SimTime::ZERO, Ev::MeStep { me: m, token });
+            self.queue
+                .schedule(SimTime::ZERO, Ev::MeStep { me: m, token });
         }
 
         while let Some(t) = self.queue.peek_time() {
@@ -297,14 +302,15 @@ impl Simulator {
         self.arrived_packets += 1;
         self.arrived_bits += p.size_bits();
         self.window_bits += p.size_bits();
-        if matches!(self.policy, Policy::Tdvs(_) | Policy::Combined(_)) {
+        if self.monitor_per_packet {
             self.meter.add_monitor(MONITOR_ADDER_ENERGY_UJ);
         }
 
         // Schedule the next arrival.
         if let Some(next) = self.arrivals.next() {
             if next.arrival <= self.end {
-                self.queue.schedule(next.arrival.max(now), Ev::Arrival(next));
+                self.queue
+                    .schedule(next.arrival.max(now), Ev::Arrival(next));
             }
         }
 
@@ -315,6 +321,7 @@ impl Simulator {
             self.wake_role(MeRole::Rx, now);
         } else {
             self.dropped_packets += 1;
+            self.window_rx_drops += 1;
         }
     }
 
@@ -332,80 +339,70 @@ impl Simulator {
         for m in 0..self.mes.len() {
             self.mes[m].account(now, &self.config.ladder, &self.config.power);
         }
-        // Sample per-ME idle fractions (the §4.2 observation data).
+        // Sample per-ME idle fractions (the §4.2 observation data) and
+        // assemble the policy's view of each microengine.
+        let mut me_obs = Vec::with_capacity(self.mes.len());
         for (m, me) in self.mes.iter().enumerate() {
-            let idle = (me.window_acc.get(MeMode::Idle).as_secs() / window_dur.as_secs())
-                .clamp(0.0, 1.0);
+            let idle =
+                (me.window_acc.get(MeMode::Idle).as_secs() / window_dur.as_secs()).clamp(0.0, 1.0);
             self.window_idle.push(WindowIdleSample {
                 window: self.windows - 1,
                 me: m,
                 role: me.role,
                 idle,
             });
+            me_obs.push(MeObservation {
+                idle_fraction: idle,
+                level: me.level_idx,
+            });
         }
 
-        enum Change {
-            All(usize),
-            PerMe(Vec<Option<usize>>),
-        }
-        let change = match &mut self.policy {
-            Policy::None => None,
-            Policy::Tdvs(tdvs) => {
-                let mbps = self.window_bits as f64 / window_dur.as_us();
-                match tdvs.on_window(mbps) {
-                    ScalingDecision::Hold => None,
-                    _ => Some(Change::All(tdvs.level_index())),
-                }
-            }
-            Policy::Edvs(per_me) => {
-                let mut levels = Vec::with_capacity(self.mes.len());
-                for (m, policy) in per_me.iter_mut().enumerate() {
-                    let idle = self.mes[m].window_acc.get(MeMode::Idle).as_secs()
-                        / window_dur.as_secs();
-                    let idle = idle.clamp(0.0, 1.0);
-                    levels.push(match policy.on_window(idle) {
-                        ScalingDecision::Hold => None,
-                        _ => Some(policy.level_index()),
-                    });
-                }
-                Some(Change::PerMe(levels))
-            }
-            Policy::Combined(per_me) => {
-                let mbps = self.window_bits as f64 / window_dur.as_us();
-                let mut levels = Vec::with_capacity(self.mes.len());
-                for (m, policy) in per_me.iter_mut().enumerate() {
-                    let idle = self.mes[m].window_acc.get(MeMode::Idle).as_secs()
-                        / window_dur.as_secs();
-                    let idle = idle.clamp(0.0, 1.0);
-                    levels.push(match policy.on_window(mbps, idle) {
-                        ScalingDecision::Hold => None,
-                        _ => Some(policy.level_index()),
-                    });
-                }
-                Some(Change::PerMe(levels))
-            }
+        let observation = PolicyObservation {
+            window: self.windows - 1,
+            window_us: window_dur.as_us(),
+            aggregate_mbps: self.window_bits as f64 / window_dur.as_us(),
+            mes: &me_obs,
+            rx_fifo: QueueObservation {
+                occupancy: self.rx_fifo.len(),
+                capacity: self.config.rx_fifo_cap,
+                dropped: self.window_rx_drops,
+            },
+            tx_queue: QueueObservation {
+                occupancy: self.tx_queue.len(),
+                capacity: self.config.tx_queue_cap,
+                dropped: self.window_tx_drops,
+            },
         };
+        let response = self.policy.on_window(&observation);
+        assert_eq!(
+            response.decisions.len(),
+            self.mes.len(),
+            "policy answered {} decisions for {} microengines",
+            response.decisions.len(),
+            self.mes.len()
+        );
 
-        match change {
-            Some(Change::All(level)) => {
-                for m in 0..self.mes.len() {
-                    self.apply_vf(m, level, now);
-                }
+        // Apply the decisions: one ladder step per ME per window, clamped
+        // at the bounds; apply_vf charges the switch penalty.
+        let top = self.config.ladder.top_index();
+        for (m, decision) in response.decisions.into_iter().enumerate() {
+            let current = self.mes[m].level_idx;
+            let target = match decision {
+                ScalingDecision::Up => (current + 1).min(top),
+                ScalingDecision::Down => current.saturating_sub(1),
+                ScalingDecision::Hold => current,
+            };
+            if target != current {
+                self.apply_vf(m, target, now);
             }
-            Some(Change::PerMe(levels)) => {
-                for (m, level) in levels.into_iter().enumerate() {
-                    if let Some(level) = level {
-                        self.apply_vf(m, level, now);
-                    }
-                }
-            }
-            None => {}
         }
 
         for m in 0..self.mes.len() {
             self.mes[m].window_acc.reset();
         }
         self.window_bits = 0;
+        self.window_rx_drops = 0;
+        self.window_tx_drops = 0;
         self.queue.schedule(now + window_dur, Ev::Window);
     }
 
@@ -481,7 +478,11 @@ impl Simulator {
                         ThreadState::WaitingPacket | ThreadState::BlockedBus
                     )
                 });
-                let mode = if polling { MeMode::Polling } else { MeMode::Idle };
+                let mode = if polling {
+                    MeMode::Polling
+                } else {
+                    MeMode::Idle
+                };
                 self.set_mode(m, now, mode);
                 self.mes[m].parked = true;
                 return;
@@ -587,6 +588,7 @@ impl Simulator {
                     self.wake_role(MeRole::Tx, now);
                 } else {
                     self.dropped_tx_packets += 1;
+                    self.window_tx_drops += 1;
                 }
             }
             MeRole::Tx => {
@@ -611,7 +613,9 @@ impl Simulator {
         let me: f64 = self
             .mes
             .iter()
-            .map(|m| m.energy_uj + m.pending_energy_uj(now, &self.config.ladder, &self.config.power))
+            .map(|m| {
+                m.energy_uj + m.pending_energy_uj(now, &self.config.ladder, &self.config.power)
+            })
             .sum();
         me + self.sram.energy_uj()
             + self.sdram.energy_uj()
@@ -656,7 +660,7 @@ impl Simulator {
             })
             .collect();
         SimReport {
-            policy: self.config.policy.kind(),
+            policy: self.policy.kind(),
             duration: self.end,
             arrived_packets: self.arrived_packets,
             arrived_bits: self.arrived_bits,
@@ -686,7 +690,7 @@ mod tests {
     use super::*;
     use crate::config::TraceConfig;
     use crate::workload::Benchmark;
-    use dvs::{EdvsConfig, TdvsConfig};
+    use dvs::{EdvsConfig, PolicyKind, PolicyResponse, PolicySpec, TdvsConfig};
     use traffic::TrafficLevel;
 
     fn base_config() -> NpuConfig {
@@ -742,8 +746,7 @@ mod tests {
         let mut sim = Simulator::new(base_config());
         let _ = sim.run_cycles(400_000);
         let trace = sim.trace();
-        let fwd: Vec<&loc::TraceRecord> =
-            trace.iter().filter(|r| r.event == "forward").collect();
+        let fwd: Vec<&loc::TraceRecord> = trace.iter().filter(|r| r.event == "forward").collect();
         assert!(fwd.len() > 10, "only {} forward events", fwd.len());
         for w in fwd.windows(2) {
             assert!(w[0].annots.time <= w[1].annots.time);
@@ -758,7 +761,7 @@ mod tests {
         let config = NpuConfig::builder()
             .benchmark(Benchmark::Ipfwdr)
             .traffic(TrafficLevel::Low)
-            .policy(PolicyConfig::Tdvs(TdvsConfig {
+            .policy(PolicySpec::Tdvs(TdvsConfig {
                 top_threshold_mbps: 1400.0,
                 window_cycles: 40_000,
             }))
@@ -775,7 +778,7 @@ mod tests {
 
     #[test]
     fn tdvs_saves_power_vs_no_dvs() {
-        let run = |policy: PolicyConfig| {
+        let run = |policy: PolicySpec| {
             let config = NpuConfig::builder()
                 .benchmark(Benchmark::Ipfwdr)
                 .traffic(TrafficLevel::Low)
@@ -784,8 +787,8 @@ mod tests {
                 .build();
             Simulator::new(config).run_cycles(2_000_000).mean_power_w()
         };
-        let baseline = run(PolicyConfig::NoDvs);
-        let tdvs = run(PolicyConfig::Tdvs(TdvsConfig {
+        let baseline = run(PolicySpec::NoDvs);
+        let tdvs = run(PolicySpec::Tdvs(TdvsConfig {
             top_threshold_mbps: 1400.0,
             window_cycles: 40_000,
         }));
@@ -800,7 +803,7 @@ mod tests {
         let config = NpuConfig::builder()
             .benchmark(Benchmark::Ipfwdr)
             .traffic(TrafficLevel::High)
-            .policy(PolicyConfig::Edvs(EdvsConfig::default()))
+            .policy(PolicySpec::Edvs(EdvsConfig::default()))
             .seed(5)
             .build();
         let mut sim = Simulator::new(config);
@@ -821,7 +824,7 @@ mod tests {
     fn monitor_overhead_below_one_percent() {
         let config = NpuConfig::builder()
             .traffic(TrafficLevel::High)
-            .policy(PolicyConfig::Tdvs(TdvsConfig::default()))
+            .policy(PolicySpec::Tdvs(TdvsConfig::default()))
             .seed(2)
             .build();
         let mut sim = Simulator::new(config);
@@ -920,6 +923,70 @@ mod tests {
         // The MEs poll the whole time: full active power, no idle.
         assert_eq!(report.rx_idle_fraction(), 0.0);
         assert!(report.mean_power_w() > 1.0);
+    }
+
+    /// A policy defined entirely outside the `dvs` crate: the simulator
+    /// must drive it through the trait with no registry involvement.
+    #[derive(Debug)]
+    struct AlwaysDown {
+        window_cycles: u64,
+    }
+
+    impl DvsPolicy for AlwaysDown {
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::Custom
+        }
+        fn window_cycles(&self) -> Option<u64> {
+            Some(self.window_cycles)
+        }
+        fn on_window(&mut self, obs: &PolicyObservation<'_>) -> PolicyResponse {
+            PolicyResponse::uniform(ScalingDecision::Down, obs.mes.len())
+        }
+    }
+
+    #[test]
+    fn custom_policy_drives_the_simulator() {
+        let sim = Simulator::new(base_config());
+        let mut sim = sim.with_policy(Box::new(AlwaysDown {
+            window_cycles: 20_000,
+        }));
+        let r = sim.run_cycles(1_000_000);
+        assert_eq!(r.policy, PolicyKind::Custom);
+        // Four windows walk every ME to the bottom; the platform clamps
+        // the rest of the Down decisions.
+        for me in &r.mes {
+            assert_eq!(me.final_level, 0, "{:?} not at bottom", me.role);
+            assert_eq!(me.switches, 4);
+        }
+        // The window cadence follows the injected policy, not the config.
+        let expected = 1_000_000 / 20_000;
+        assert!(
+            (r.windows as i64 - expected as i64).abs() <= 1,
+            "windows {}",
+            r.windows
+        );
+    }
+
+    #[test]
+    fn queue_aware_policy_runs_end_to_end() {
+        let config = NpuConfig::builder()
+            .benchmark(Benchmark::Ipfwdr)
+            .traffic(TrafficLevel::Low)
+            .policy(PolicySpec::parse("queue").expect("registered"))
+            .seed(13)
+            .build();
+        let r = Simulator::new(config).run_cycles(2_000_000);
+        assert_eq!(r.policy, PolicyKind::QueueAware);
+        // Light traffic leaves the FIFO near-empty: the chip scales down
+        // and saves power vs the pinned baseline on the same workload.
+        assert!(r.total_switches > 0, "QDVS never switched");
+        let baseline_config = NpuConfig::builder()
+            .benchmark(Benchmark::Ipfwdr)
+            .traffic(TrafficLevel::Low)
+            .seed(13)
+            .build();
+        let base = Simulator::new(baseline_config).run_cycles(2_000_000);
+        assert!(r.mean_power_w() < base.mean_power_w());
     }
 
     #[test]

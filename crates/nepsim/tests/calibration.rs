@@ -5,12 +5,12 @@
 //! the anchors below to be stable at the asserted tolerances.
 
 use dvs::EdvsConfig;
-use nepsim::{Benchmark, MeMode, MeRole, NpuConfig, PolicyConfig, SimReport, Simulator};
+use nepsim::{Benchmark, MeMode, MeRole, NpuConfig, PolicySpec, SimReport, Simulator};
 use traffic::TrafficLevel;
 
 const CYCLES: u64 = 2_000_000;
 
-fn run(benchmark: Benchmark, traffic: TrafficLevel, policy: PolicyConfig) -> SimReport {
+fn run(benchmark: Benchmark, traffic: TrafficLevel, policy: PolicySpec) -> SimReport {
     let config = NpuConfig::builder()
         .benchmark(benchmark)
         .traffic(traffic)
@@ -25,7 +25,7 @@ fn run(benchmark: Benchmark, traffic: TrafficLevel, policy: PolicyConfig) -> Sim
 #[test]
 fn nodvs_power_in_paper_band() {
     for benchmark in Benchmark::ALL {
-        let r = run(benchmark, TrafficLevel::High, PolicyConfig::NoDvs);
+        let r = run(benchmark, TrafficLevel::High, PolicySpec::NoDvs);
         let p = r.mean_power_w();
         assert!((1.0..1.6).contains(&p), "{benchmark}: noDVS power {p:.3} W");
     }
@@ -35,7 +35,7 @@ fn nodvs_power_in_paper_band() {
 /// paper's upper bimodal mode (§4.2).
 #[test]
 fn ipfwdr_rx_idle_band_at_high_traffic() {
-    let r = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let r = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicySpec::NoDvs);
     let idle = r.rx_idle_fraction();
     assert!((0.20..0.50).contains(&idle), "rx idle {idle:.3}");
 }
@@ -43,8 +43,12 @@ fn ipfwdr_rx_idle_band_at_high_traffic() {
 /// ...and at low traffic they poll instead: idle under 5 %.
 #[test]
 fn ipfwdr_rx_polls_at_low_traffic() {
-    let r = run(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyConfig::NoDvs);
-    assert!(r.rx_idle_fraction() < 0.05, "rx idle {:.3}", r.rx_idle_fraction());
+    let r = run(Benchmark::Ipfwdr, TrafficLevel::Low, PolicySpec::NoDvs);
+    assert!(
+        r.rx_idle_fraction() < 0.05,
+        "rx idle {:.3}",
+        r.rx_idle_fraction()
+    );
     // Polling keeps the MEs on active power: total active fraction high.
     let rx_active: f64 = r
         .mes
@@ -61,7 +65,7 @@ fn ipfwdr_rx_polls_at_low_traffic() {
 #[test]
 fn tx_idle_below_five_percent_everywhere() {
     for traffic in TrafficLevel::ALL {
-        let r = run(Benchmark::Ipfwdr, traffic, PolicyConfig::NoDvs);
+        let r = run(Benchmark::Ipfwdr, traffic, PolicySpec::NoDvs);
         assert!(
             r.tx_idle_fraction() < 0.05,
             "{traffic}: tx idle {:.3}",
@@ -74,7 +78,7 @@ fn tx_idle_below_five_percent_everywhere() {
 /// under 5 % idle or between 20 % and 45 %.
 #[test]
 fn rx_window_idle_is_bimodal() {
-    let r = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let r = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicySpec::NoDvs);
     let rx: Vec<f64> = r
         .window_idle
         .iter()
@@ -87,7 +91,11 @@ fn rx_window_idle_is_bimodal() {
         .filter(|&&x| x < 0.05 || (0.20..0.50).contains(&x))
         .count() as f64
         / rx.len() as f64;
-    assert!(in_modes > 0.75, "only {:.0}% of windows in the two modes", in_modes * 100.0);
+    assert!(
+        in_modes > 0.75,
+        "only {:.0}% of windows in the two modes",
+        in_modes * 100.0
+    );
     // Both modes are populated.
     let low = rx.iter().filter(|&&x| x < 0.05).count();
     let high = rx.iter().filter(|&&x| (0.20..0.50).contains(&x)).count();
@@ -119,9 +127,7 @@ fn sdram_access_time_matches_paper_quote() {
 /// md4 a little, nat none (paper §3.1 characterisation and §4.3 results).
 #[test]
 fn benchmark_idle_ordering() {
-    let idle = |b| {
-        run(b, TrafficLevel::High, PolicyConfig::NoDvs).rx_idle_fraction()
-    };
+    let idle = |b| run(b, TrafficLevel::High, PolicySpec::NoDvs).rx_idle_fraction();
     let ipfwdr = idle(Benchmark::Ipfwdr);
     let url = idle(Benchmark::Url);
     let nat = idle(Benchmark::Nat);
@@ -129,18 +135,21 @@ fn benchmark_idle_ordering() {
     assert!(nat < 0.02, "nat idle {nat:.3}");
     assert!(ipfwdr > 0.15, "ipfwdr idle {ipfwdr:.3}");
     assert!(url > 0.05, "url idle {url:.3}");
-    assert!(nat < md4 && md4 < ipfwdr, "ordering: nat {nat:.3} md4 {md4:.3} ipfwdr {ipfwdr:.3}");
+    assert!(
+        nat < md4 && md4 < ipfwdr,
+        "ordering: nat {nat:.3} md4 {md4:.3} ipfwdr {ipfwdr:.3}"
+    );
 }
 
 /// EDVS on ipfwdr at high traffic: the receive MEs settle at low VF
 /// levels and total savings land in the paper's ~20 % region.
 #[test]
 fn edvs_savings_magnitude() {
-    let base = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let base = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicySpec::NoDvs);
     let edvs = run(
         Benchmark::Ipfwdr,
         TrafficLevel::High,
-        PolicyConfig::Edvs(EdvsConfig::default()),
+        PolicySpec::Edvs(EdvsConfig::default()),
     );
     let saving = 1.0 - edvs.mean_power_w() / base.mean_power_w();
     assert!(
@@ -149,7 +158,11 @@ fn edvs_savings_magnitude() {
         saving * 100.0
     );
     for me in edvs.mes.iter().filter(|m| m.role == MeRole::Rx) {
-        assert!(me.final_level <= 2, "an rx ME ended at level {}", me.final_level);
+        assert!(
+            me.final_level <= 2,
+            "an rx ME ended at level {}",
+            me.final_level
+        );
         // Level occupancy: most of the run is spent at the bottom two
         // levels once EDVS engages.
         let low_share = me.level_fraction(0) + me.level_fraction(1);
@@ -165,7 +178,7 @@ fn edvs_savings_magnitude() {
 /// duration, and component energies sum to the total.
 #[test]
 fn accounting_closure() {
-    let r = run(Benchmark::Url, TrafficLevel::Medium, PolicyConfig::NoDvs);
+    let r = run(Benchmark::Url, TrafficLevel::Medium, PolicySpec::NoDvs);
     for (k, me) in r.mes.iter().enumerate() {
         let total = me.acc.total();
         let diff = if total > r.duration {
@@ -196,7 +209,7 @@ fn accounting_closure() {
 #[test]
 fn low_traffic_is_lossless() {
     for benchmark in Benchmark::ALL {
-        let r = run(benchmark, TrafficLevel::Low, PolicyConfig::NoDvs);
+        let r = run(benchmark, TrafficLevel::Low, PolicySpec::NoDvs);
         assert_eq!(r.dropped_packets, 0, "{benchmark} dropped packets");
         let deficit = 1.0 - r.throughput_mbps() / r.offered_mbps();
         assert!(deficit < 0.03, "{benchmark}: deficit {:.3}", deficit);

@@ -296,9 +296,7 @@ mod tests {
             ..ArrivalConfig::default()
         };
         let s = PacketStream::new(config);
-        assert!(
-            (s.effective_mean_rate_mbps() - s.config().mean_rate_mbps).abs() < 1e-9
-        );
+        assert!((s.effective_mean_rate_mbps() - s.config().mean_rate_mbps).abs() < 1e-9);
     }
 
     #[test]

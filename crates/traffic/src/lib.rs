@@ -59,7 +59,8 @@ pub enum TrafficLevel {
 
 impl TrafficLevel {
     /// All levels, lowest first.
-    pub const ALL: [TrafficLevel; 3] = [TrafficLevel::Low, TrafficLevel::Medium, TrafficLevel::High];
+    pub const ALL: [TrafficLevel; 3] =
+        [TrafficLevel::Low, TrafficLevel::Medium, TrafficLevel::High];
 
     /// Target aggregate arrival rate across all 16 ports, in Mbps.
     ///

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release -p abdex --example diurnal_day`
 
 use abdex::dvs::{EdvsConfig, TdvsConfig};
-use abdex::nepsim::{Benchmark, NpuConfig, PolicyConfig, Simulator};
+use abdex::nepsim::{Benchmark, NpuConfig, PolicySpec, Simulator};
 use abdex::traffic::{ArrivalConfig, DiurnalModel};
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
         // Aggregate NPU load = 5x the profiled link's median.
         let arrivals = ArrivalConfig::from_diurnal(&sample, 5.0, 42);
 
-        let run = |policy: PolicyConfig| {
+        let run = |policy: PolicySpec| {
             let config = NpuConfig::builder()
                 .benchmark(Benchmark::Ipfwdr)
                 .arrivals(arrivals.clone())
@@ -32,12 +32,12 @@ fn main() {
                 .build();
             Simulator::new(config).run_cycles(cycles)
         };
-        let base = run(PolicyConfig::NoDvs);
-        let tdvs = run(PolicyConfig::Tdvs(TdvsConfig {
+        let base = run(PolicySpec::NoDvs);
+        let tdvs = run(PolicySpec::Tdvs(TdvsConfig {
             top_threshold_mbps: 1400.0,
             window_cycles: 40_000,
         }));
-        let edvs = run(PolicyConfig::Edvs(EdvsConfig::default()));
+        let edvs = run(PolicySpec::Edvs(EdvsConfig::default()));
 
         let saving = |r: &abdex::nepsim::SimReport| 1.0 - r.mean_power_w() / base.mean_power_w();
         println!(

@@ -6,7 +6,7 @@
 use abdex::dvs::EdvsConfig;
 use abdex::nepsim::Benchmark;
 use abdex::traffic::TrafficLevel;
-use abdex::{Experiment, PolicyConfig};
+use abdex::{Experiment, PolicySpec};
 
 fn main() {
     // One design point: ipfwdr under EDVS at medium traffic, a quarter of
@@ -14,7 +14,7 @@ fn main() {
     let experiment = Experiment {
         benchmark: Benchmark::Ipfwdr,
         traffic: TrafficLevel::Medium,
-        policy: PolicyConfig::Edvs(EdvsConfig::default()),
+        policy: PolicySpec::Edvs(EdvsConfig::default()),
         cycles: 2_000_000,
         seed: 42,
     };
@@ -27,11 +27,23 @@ fn main() {
     println!("\n-- run summary ------------------------------------------");
     println!("  arrived packets   : {}", result.sim.arrived_packets);
     println!("  forwarded packets : {}", result.sim.forwarded_packets);
-    println!("  offered load      : {:8.1} Mbps", result.sim.offered_mbps());
-    println!("  throughput        : {:8.1} Mbps", result.sim.throughput_mbps());
+    println!(
+        "  offered load      : {:8.1} Mbps",
+        result.sim.offered_mbps()
+    );
+    println!(
+        "  throughput        : {:8.1} Mbps",
+        result.sim.throughput_mbps()
+    );
     println!("  mean chip power   : {:8.3} W", result.sim.mean_power_w());
-    println!("  rx-ME idle        : {:8.1} %", result.sim.rx_idle_fraction() * 100.0);
-    println!("  tx-ME idle        : {:8.1} %", result.sim.tx_idle_fraction() * 100.0);
+    println!(
+        "  rx-ME idle        : {:8.1} %",
+        result.sim.rx_idle_fraction() * 100.0
+    );
+    println!(
+        "  tx-ME idle        : {:8.1} %",
+        result.sim.tx_idle_fraction() * 100.0
+    );
     println!("  VF switches       : {:8}", result.sim.total_switches);
 
     println!("\n-- LOC formula (2): power per 100 forwarded packets ------");

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the macro/struct surface the workspace's benches use. Each
+//! benchmark runs a short warm-up plus a fixed number of timed
+//! iterations and prints a one-line mean; there is no statistical
+//! analysis, HTML report, or command-line filtering beyond accepting and
+//! ignoring the arguments the libtest harness passes.
+
+use std::time::Instant;
+
+/// Iterations timed per benchmark (after one warm-up call).
+const TIMED_ITERS: u32 = 10;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores CLI configuration, like the upstream builder.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts and ignores a throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotations (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch-size hints for `iter_batched` (accepted, not honoured).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark timing handle.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += TIMED_ITERS;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..TIMED_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let mean_ns = if b.iters == 0 {
+        0
+    } else {
+        b.total_ns / u128::from(b.iters)
+    };
+    println!("bench {id:<40} {mean_ns:>12} ns/iter ({} iters)", b.iters);
+}
+
+/// Declares the benchmark entry function over a list of targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` over one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3, 4], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs_targets() {
+        benches();
+    }
+}

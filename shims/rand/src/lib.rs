@@ -1,0 +1,173 @@
+//! Offline stand-in for the `rand` crate (see `shims/README.md`).
+//!
+//! Implements the slice of the rand 0.8 API this workspace uses:
+//! [`Rng::gen`], [`Rng::gen_range`] over half-open ranges,
+//! [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`].
+//!
+//! `StdRng` here is a SplitMix64 stream — seeded, deterministic, and
+//! statistically adequate for the simulator's sampling needs, but it is
+//! *not* the upstream ChaCha12 generator, so draws differ from a build
+//! against the real crate.
+
+use std::ops::Range;
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one value from the full/unit range of the type.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits to a uniform f64 in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 mantissa bits => exactly representable, uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        let v = lo + unit_f64(rng.next_u64()) * (hi - lo);
+        // Guard the open upper bound against rounding.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+/// The user-facing generator interface (subset of rand 0.8's `Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(5u8..9);
+            assert!((5..9).contains(&x));
+            let y = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&y));
+            let z = rng.gen_range(-3i64..5);
+            assert!((-3..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn unit_draws_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

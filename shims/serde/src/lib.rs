@@ -1,0 +1,39 @@
+//! Offline stand-in for the `serde` crate (see `shims/README.md`).
+//!
+//! Provides the `Serialize`/`Deserialize` traits (blanket-implemented so
+//! generic bounds like `T: serde::Serialize` hold for every type) and
+//! re-exports the no-op derive macros. No actual serialization happens;
+//! the workspace's config-file parsing is hand-rolled in `dvs::spec`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, super::Serialize, super::Deserialize)]
+    #[serde(tag = "kind", rename_all = "kebab-case")]
+    struct Annotated {
+        #[serde(default)]
+        field: u32,
+    }
+
+    #[test]
+    fn derives_and_attributes_compile() {
+        let a = Annotated { field: 7 };
+        assert_eq!(a.field, 7);
+    }
+
+    #[test]
+    fn blanket_bounds_hold() {
+        fn needs_serialize<T: crate::Serialize>(_: &T) {}
+        needs_serialize(&42u64);
+        needs_serialize(&vec![1.0f64]);
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The derives accept (and discard) `#[serde(...)]` helper attributes so
+//! annotated types compile unchanged; no serialization code is generated.
+//! See `shims/README.md` for the policy behind these stand-ins.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and generates nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and generates nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

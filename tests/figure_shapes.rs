@@ -7,11 +7,11 @@ use abdex::dvs::{EdvsConfig, PolicyKind, TdvsConfig};
 use abdex::nepsim::Benchmark;
 use abdex::sweep::{power_surface, throughput_surface};
 use abdex::traffic::TrafficLevel;
-use abdex::{optimal_tdvs, sweep_tdvs, DesignPriority, Experiment, PolicyConfig, TdvsGrid};
+use abdex::{optimal_tdvs, sweep_tdvs, DesignPriority, Experiment, PolicySpec, TdvsGrid};
 
 const CYCLES: u64 = 4_000_000;
 
-fn run(benchmark: Benchmark, traffic: TrafficLevel, policy: PolicyConfig) -> abdex::ExperimentResult {
+fn run(benchmark: Benchmark, traffic: TrafficLevel, policy: PolicySpec) -> abdex::ExperimentResult {
     Experiment {
         benchmark,
         traffic,
@@ -22,8 +22,8 @@ fn run(benchmark: Benchmark, traffic: TrafficLevel, policy: PolicyConfig) -> abd
     .run()
 }
 
-fn tdvs(threshold: f64, window: u64) -> PolicyConfig {
-    PolicyConfig::Tdvs(TdvsConfig {
+fn tdvs(threshold: f64, window: u64) -> PolicySpec {
+    PolicySpec::Tdvs(TdvsConfig {
         top_threshold_mbps: threshold,
         window_cycles: window,
     })
@@ -33,10 +33,14 @@ fn tdvs(threshold: f64, window: u64) -> PolicyConfig {
 /// or window size is chosen".
 #[test]
 fn fig6_tdvs_always_saves_power() {
-    let base = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let base = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicySpec::NoDvs);
     for threshold in [800.0, 1400.0] {
         for window in [20_000, 80_000] {
-            let t = run(Benchmark::Ipfwdr, TrafficLevel::High, tdvs(threshold, window));
+            let t = run(
+                Benchmark::Ipfwdr,
+                TrafficLevel::High,
+                tdvs(threshold, window),
+            );
             assert!(
                 t.p80_power_w() < base.p80_power_w(),
                 "threshold {threshold} window {window}: {:.3} !< {:.3}",
@@ -98,7 +102,8 @@ fn fig89_surfaces_and_optima() {
     // Performance priority must not pick the aggressive 20k window that
     // fig7 shows cliffs at.
     assert_eq!(
-        perf.window_cycles, 80_000,
+        perf.window_cycles,
+        80_000,
         "perf pick {:?}",
         (perf.threshold_mbps, perf.window_cycles)
     );
@@ -120,8 +125,8 @@ fn fig10_edvs_saves_power_without_throughput_loss() {
         }
         .run()
     };
-    let base = paper_run(PolicyConfig::NoDvs);
-    let edvs = paper_run(PolicyConfig::Edvs(EdvsConfig::default()));
+    let base = paper_run(PolicySpec::NoDvs);
+    let edvs = paper_run(PolicySpec::Edvs(EdvsConfig::default()));
     let saving = 1.0 - edvs.sim.mean_power_w() / base.sim.mean_power_w();
     assert!(saving > 0.04, "EDVS saving only {:.1}%", saving * 100.0);
     let loss = 1.0 - edvs.sim.throughput_mbps() / base.sim.throughput_mbps();
@@ -135,7 +140,7 @@ fn fig10_tx_mes_never_scale_down() {
     let edvs = run(
         Benchmark::Ipfwdr,
         TrafficLevel::High,
-        PolicyConfig::Edvs(EdvsConfig::default()),
+        PolicySpec::Edvs(EdvsConfig::default()),
     );
     use abdex::nepsim::MeRole;
     for me in &edvs.sim.mes {
@@ -225,16 +230,16 @@ fn extension_combined_policy_is_conservative() {
         window_cycles: 40_000,
     };
     let edvs = EdvsConfig::default();
-    let base = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let base = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicySpec::NoDvs);
     let edvs_run = run(
         Benchmark::Ipfwdr,
         TrafficLevel::High,
-        PolicyConfig::Edvs(edvs),
+        PolicySpec::Edvs(edvs),
     );
     let combined = run(
         Benchmark::Ipfwdr,
         TrafficLevel::High,
-        PolicyConfig::Combined(CombinedConfig { tdvs, edvs }),
+        PolicySpec::Combined(CombinedConfig { tdvs, edvs }),
     );
     assert!(combined.sim.mean_power_w() < base.sim.mean_power_w());
     assert!(combined.sim.mean_power_w() + 1e-9 >= edvs_run.sim.mean_power_w() * 0.95);
@@ -252,8 +257,8 @@ fn extension_combined_policy_is_conservative() {
 /// either nearly free of idle or substantially idle.
 #[test]
 fn rx_idle_is_bimodal_across_traffic() {
-    let low = run(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyConfig::NoDvs);
-    let high = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicyConfig::NoDvs);
+    let low = run(Benchmark::Ipfwdr, TrafficLevel::Low, PolicySpec::NoDvs);
+    let high = run(Benchmark::Ipfwdr, TrafficLevel::High, PolicySpec::NoDvs);
     assert!(
         low.sim.rx_idle_fraction() < 0.05,
         "low-traffic rx idle {:.3}",

@@ -6,11 +6,11 @@ use abdex::formulas::{power_distribution, throughput_distribution, PACKET_WINDOW
 use abdex::loc::{parse, Analyzer, Checker, Trace};
 use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
 use abdex::traffic::TrafficLevel;
-use abdex::{Experiment, PolicyConfig};
+use abdex::{Experiment, PolicySpec};
 
 const QUICK_CYCLES: u64 = 1_000_000;
 
-fn quick_sim(benchmark: Benchmark, policy: PolicyConfig, seed: u64) -> (Trace, f64) {
+fn quick_sim(benchmark: Benchmark, policy: PolicySpec, seed: u64) -> (Trace, f64) {
     let config = NpuConfig::builder()
         .benchmark(benchmark)
         .traffic(TrafficLevel::High)
@@ -25,7 +25,7 @@ fn quick_sim(benchmark: Benchmark, policy: PolicyConfig, seed: u64) -> (Trace, f
 
 #[test]
 fn trace_feeds_paper_formula_2() {
-    let (trace, mean_power) = quick_sim(Benchmark::Ipfwdr, PolicyConfig::NoDvs, 1);
+    let (trace, mean_power) = quick_sim(Benchmark::Ipfwdr, PolicySpec::NoDvs, 1);
     let report = Analyzer::from_formula(&power_distribution(PACKET_WINDOW))
         .unwrap()
         .analyze(&trace);
@@ -40,7 +40,7 @@ fn trace_feeds_paper_formula_2() {
 
 #[test]
 fn trace_feeds_paper_formula_3() {
-    let (trace, _) = quick_sim(Benchmark::Ipfwdr, PolicyConfig::NoDvs, 1);
+    let (trace, _) = quick_sim(Benchmark::Ipfwdr, PolicySpec::NoDvs, 1);
     let report = Analyzer::from_formula(&throughput_distribution(PACKET_WINDOW))
         .unwrap()
         .analyze(&trace);
@@ -54,7 +54,7 @@ fn trace_feeds_paper_formula_3() {
 
 #[test]
 fn checker_validates_energy_monotonicity() {
-    let (trace, _) = quick_sim(Benchmark::Url, PolicyConfig::NoDvs, 2);
+    let (trace, _) = quick_sim(Benchmark::Url, PolicySpec::NoDvs, 2);
     // Energy is cumulative: each forward event carries at least as much as
     // the previous one.
     let f = parse("energy(forward[i+1]) - energy(forward[i]) >= 0").unwrap();
@@ -65,7 +65,7 @@ fn checker_validates_energy_monotonicity() {
 
 #[test]
 fn checker_catches_real_violations() {
-    let (trace, _) = quick_sim(Benchmark::Ipfwdr, PolicyConfig::NoDvs, 3);
+    let (trace, _) = quick_sim(Benchmark::Ipfwdr, PolicySpec::NoDvs, 3);
     // An absurd bound: 100 packets forwarded in under 1us — must fail.
     let f = parse("time(forward[i+100]) - time(forward[i]) <= 1").unwrap();
     let report = Checker::from_formula(&f).unwrap().check(&trace);
@@ -75,7 +75,7 @@ fn checker_catches_real_violations() {
 
 #[test]
 fn text_round_trip_preserves_analysis() {
-    let (trace, _) = quick_sim(Benchmark::Nat, PolicyConfig::NoDvs, 4);
+    let (trace, _) = quick_sim(Benchmark::Nat, PolicySpec::NoDvs, 4);
     let text = trace.to_text();
     let parsed = Trace::from_text(&text).unwrap();
     let direct = Analyzer::from_formula(&power_distribution(PACKET_WINDOW))
@@ -115,9 +115,9 @@ fn fifo_events_track_arrivals() {
 #[test]
 fn policies_preserve_packet_accounting() {
     for policy in [
-        PolicyConfig::NoDvs,
-        PolicyConfig::Tdvs(TdvsConfig::default()),
-        PolicyConfig::Edvs(EdvsConfig::default()),
+        PolicySpec::NoDvs,
+        PolicySpec::Tdvs(TdvsConfig::default()),
+        PolicySpec::Edvs(EdvsConfig::default()),
     ] {
         let result = Experiment {
             benchmark: Benchmark::Ipfwdr,
@@ -143,7 +143,7 @@ fn policies_preserve_packet_accounting() {
 #[test]
 fn seeds_change_results_but_not_determinism() {
     let run = |seed| {
-        let (trace, power) = quick_sim(Benchmark::Ipfwdr, PolicyConfig::NoDvs, seed);
+        let (trace, power) = quick_sim(Benchmark::Ipfwdr, PolicySpec::NoDvs, seed);
         (trace.len(), power)
     };
     let a1 = run(10);
