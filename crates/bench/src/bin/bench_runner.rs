@@ -1,0 +1,109 @@
+//! Machine-readable perf baseline for the `xrun` runner: wall-time of
+//! the same simulation batch executed serially (1 worker) and in
+//! parallel (one worker per CPU), written as `BENCH_runner.json`.
+//!
+//! ```text
+//! cargo run --release -p abdex-bench --bin bench_runner -- [CYCLES] [JOBS] [OUT]
+//! ```
+//!
+//! Defaults: 1×10⁶ cycles per job, 8 jobs, `BENCH_runner.json` in the
+//! current directory. The batch is a small TDVS threshold × window
+//! grid on `ipfwdr`, the paper's §4.1 workload; the harness also
+//! cross-checks that both executions produced bit-identical reports and
+//! records the verdict, so the baseline doubles as a determinism smoke
+//! test.
+
+use std::time::Instant;
+
+use abdex::dvs::TdvsConfig;
+use abdex::xrun::{derive_seed, Benchmark, JobSpec, PolicySpec, Runner, TrafficLevel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let jobs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let out = args
+        .next()
+        .unwrap_or_else(|| "BENCH_runner.json".to_owned());
+
+    let thresholds = [800.0, 1000.0, 1200.0, 1400.0];
+    let windows = [20_000, 40_000, 60_000, 80_000];
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|k| JobSpec {
+            benchmark: Benchmark::Ipfwdr,
+            traffic: TrafficLevel::High,
+            policy: PolicySpec::Tdvs(TdvsConfig {
+                top_threshold_mbps: thresholds[(k as usize) % thresholds.len()],
+                window_cycles: windows[(k as usize / thresholds.len()) % windows.len()],
+            }),
+            cycles,
+            seed: derive_seed(42, k),
+        })
+        .collect();
+
+    let serial_runner = Runner::serial();
+    let parallel_runner = Runner::new();
+    let parallel_workers = parallel_runner.workers().min(specs.len());
+
+    eprintln!(
+        "bench_runner: {} jobs x {} cycles, serial then {} workers",
+        specs.len(),
+        cycles,
+        parallel_workers
+    );
+
+    let start = Instant::now();
+    let serial = serial_runner.run_specs(&specs);
+    let serial_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = parallel_runner.run_specs(&specs);
+    let parallel_s = start.elapsed().as_secs_f64();
+
+    let identical = serial.len() == parallel.len()
+        && serial
+            .iter()
+            .zip(&parallel)
+            .all(|(s, p)| match (&s.outcome, &p.outcome) {
+                (Ok(s), Ok(p)) => {
+                    s.forwarded_packets == p.forwarded_packets
+                        && s.total_switches == p.total_switches
+                        && s.total_energy_uj().to_bits() == p.total_energy_uj().to_bits()
+                }
+                _ => false,
+            });
+    let speedup = if parallel_s > 0.0 {
+        serial_s / parallel_s
+    } else {
+        f64::NAN
+    };
+    // JSON has no NaN/inf literal; degenerate timings become null.
+    let speedup_json = if speedup.is_finite() {
+        format!("{speedup:.3}")
+    } else {
+        "null".to_owned()
+    };
+
+    let doc = format!(
+        "{{\"bench\":\"xrun_runner\",\"jobs\":{},\"cycles_per_job\":{},\
+         \"available_parallelism\":{},\"serial_workers\":1,\"parallel_workers\":{},\
+         \"serial_s\":{:.4},\"parallel_s\":{:.4},\"speedup\":{speedup_json},\
+         \"identical_results\":{}}}\n",
+        specs.len(),
+        cycles,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        parallel_workers,
+        serial_s,
+        parallel_s,
+        identical,
+    );
+    std::fs::write(&out, &doc).expect("write baseline JSON");
+    eprintln!(
+        "serial {serial_s:.2}s, parallel {parallel_s:.2}s, speedup {speedup:.2}x, \
+         identical={identical} -> {out}"
+    );
+    assert!(identical, "parallel results diverged from serial");
+}

@@ -8,12 +8,14 @@
 
 use dvs::{EdvsConfig, TdvsConfig};
 use nepsim::{Benchmark, PolicySpec};
+use serde::{Deserialize, Serialize};
 use traffic::TrafficLevel;
+use xrun::{JobError, Runner};
 
-use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiment::{expect_cells, run_experiments, Experiment, ExperimentResult};
 
 /// One evaluated ablation point: the varied parameter and the result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AblationCell {
     /// The value of the varied parameter.
     pub parameter: f64,
@@ -44,23 +46,43 @@ pub fn sweep_edvs_idle_threshold(
     cycles: u64,
     seed: u64,
 ) -> Vec<AblationCell> {
-    thresholds
+    expect_cells(try_sweep_edvs_idle_threshold(
+        &Runner::new(),
+        benchmark,
+        traffic,
+        thresholds,
+        window_cycles,
+        cycles,
+        seed,
+    ))
+}
+
+/// Runs the EDVS idle-threshold ablation on the given [`Runner`]: the
+/// fallible form of [`sweep_edvs_idle_threshold`].
+#[must_use]
+pub fn try_sweep_edvs_idle_threshold(
+    runner: &Runner,
+    benchmark: Benchmark,
+    traffic: TrafficLevel,
+    thresholds: &[f64],
+    window_cycles: u64,
+    cycles: u64,
+    seed: u64,
+) -> Vec<Result<AblationCell, JobError>> {
+    let experiments = thresholds
         .iter()
-        .map(|&idle_threshold| AblationCell {
-            parameter: idle_threshold,
-            result: Experiment {
-                benchmark,
-                traffic,
-                policy: PolicySpec::Edvs(EdvsConfig {
-                    idle_threshold,
-                    window_cycles,
-                }),
-                cycles,
-                seed,
-            }
-            .run(),
+        .map(|&idle_threshold| Experiment {
+            benchmark,
+            traffic,
+            policy: PolicySpec::Edvs(EdvsConfig {
+                idle_threshold,
+                window_cycles,
+            }),
+            cycles,
+            seed,
         })
-        .collect()
+        .collect();
+    collect_ablation(runner, experiments, thresholds)
 }
 
 /// Sweeps a TDVS hysteresis band at a fixed threshold/window: quantifies
@@ -74,7 +96,30 @@ pub fn sweep_tdvs_hysteresis(
     cycles: u64,
     seed: u64,
 ) -> Vec<AblationCell> {
-    bands
+    expect_cells(try_sweep_tdvs_hysteresis(
+        &Runner::new(),
+        benchmark,
+        traffic,
+        base,
+        bands,
+        cycles,
+        seed,
+    ))
+}
+
+/// Runs the TDVS hysteresis ablation on the given [`Runner`]: the
+/// fallible form of [`sweep_tdvs_hysteresis`].
+#[must_use]
+pub fn try_sweep_tdvs_hysteresis(
+    runner: &Runner,
+    benchmark: Benchmark,
+    traffic: TrafficLevel,
+    base: TdvsConfig,
+    bands: &[f64],
+    cycles: u64,
+    seed: u64,
+) -> Vec<Result<AblationCell, JobError>> {
+    let experiments = bands
         .iter()
         .map(|&hysteresis| {
             let policy = if hysteresis == 0.0 {
@@ -82,18 +127,29 @@ pub fn sweep_tdvs_hysteresis(
             } else {
                 PolicySpec::TdvsHysteresis(base.with_hysteresis(hysteresis))
             };
-            AblationCell {
-                parameter: hysteresis,
-                result: Experiment {
-                    benchmark,
-                    traffic,
-                    policy,
-                    cycles,
-                    seed,
-                }
-                .run(),
+            Experiment {
+                benchmark,
+                traffic,
+                policy,
+                cycles,
+                seed,
             }
         })
+        .collect();
+    collect_ablation(runner, experiments, bands)
+}
+
+/// Zips a batch of experiment outcomes back onto the varied-parameter
+/// axis, preserving order.
+fn collect_ablation(
+    runner: &Runner,
+    experiments: Vec<Experiment>,
+    parameters: &[f64],
+) -> Vec<Result<AblationCell, JobError>> {
+    run_experiments(runner, experiments)
+        .into_iter()
+        .zip(parameters)
+        .map(|(outcome, &parameter)| outcome.map(|result| AblationCell { parameter, result }))
         .collect()
 }
 

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! abdex run      --benchmark ipfwdr --traffic high --policy queue:high=0.8 [--cycles N]
-//! abdex sweep    --benchmark ipfwdr --traffic high [--cycles N] [--seed S]
+//! abdex sweep    --benchmark ipfwdr --traffic high [--cycles N] [--seed S] [--jobs N]
 //! abdex sweep    --policies "nodvs;tdvs:threshold=1400;proportional:kp=6"
-//! abdex compare  [--cycles N] [--seed S]
+//! abdex compare  [--cycles N] [--seed S] [--jobs N] [--progress dot] [--json FILE]
 //! abdex policies
 //! abdex trace    --benchmark url --traffic medium [--cycles N] [--out FILE]
 //! abdex check    --formula "cycle(deq[i]) - cycle(enq[i]) <= 50" --trace FILE
@@ -15,17 +15,26 @@
 //! `--policy` accepts the full spec grammar `name[:key=val,...]` of
 //! [`PolicySpec::parse`]; `abdex policies` lists every registered policy
 //! with its parameters.
+//!
+//! Sweeps and comparisons execute on the [`xrun`] thread pool: `--jobs`
+//! picks the worker count (default: one per CPU; results are
+//! bit-identical for any value), `--progress` selects a stderr progress
+//! style, and `--json` writes the results as a machine-readable document
+//! next to the human tables.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use abdex::compare::{compare_policies, ComparisonConfig};
+use abdex::compare::{try_compare_policies, ComparisonConfig};
+use abdex::experiment::partition_cells;
+use abdex::json::{comparison_json, experiment_json, spec_sweep_json, tdvs_sweep_json};
 use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
+use abdex::sweep::{try_sweep_specs, try_sweep_tdvs};
 use abdex::tables::{render_comparison, render_spec_sweep, render_surface, render_sweep};
 use abdex::traffic::TrafficLevel;
 use abdex::{
-    optimal_tdvs, sweep_specs, sweep_tdvs, DesignPriority, Experiment, PolicyRegistry, PolicySpec,
-    TdvsGrid, PAPER_RUN_CYCLES,
+    optimal_tdvs, DesignPriority, Experiment, JobError, PolicyRegistry, PolicySpec, ProgressMode,
+    Runner, TdvsGrid, PAPER_RUN_CYCLES,
 };
 use loc::{parse, Analyzer, Checker, Trace};
 
@@ -49,6 +58,11 @@ OPTIONS (where applicable):
                                        --policy tdvs|edvs [40000]
     --cycles    <N>                    cycles per configuration [8000000]
     --seed      <N>                    experiment seed [42]
+    --jobs      <N>                    parallel workers for sweep/compare
+                                       (0 = one per CPU) [0]
+    --progress  <quiet|dot|line>       batch progress on stderr [quiet]
+    --json      <file>                 also write results as JSON
+                                       (run/sweep/compare)
     --formula   <text>                 LOC formula (check/analyze/codegen)
     --trace     <file>                 trace file in NePSim text format
     --out       <file>                 output path (trace)
@@ -81,15 +95,26 @@ fn main() -> ExitCode {
                 "window",
                 "cycles",
                 "seed",
+                "json",
             ],
         )
         .and_then(|()| cmd_run(&opts)),
         "sweep" => check_opts(
             &opts,
-            &["benchmark", "traffic", "policies", "cycles", "seed"],
+            &[
+                "benchmark",
+                "traffic",
+                "policies",
+                "cycles",
+                "seed",
+                "jobs",
+                "progress",
+                "json",
+            ],
         )
         .and_then(|()| cmd_sweep(&opts)),
-        "compare" => check_opts(&opts, &["cycles", "seed"]).and_then(|()| cmd_compare(&opts)),
+        "compare" => check_opts(&opts, &["cycles", "seed", "jobs", "progress", "json"])
+            .and_then(|()| cmd_compare(&opts)),
         "policies" => check_opts(&opts, &[]).and_then(|()| cmd_policies()),
         "trace" => check_opts(&opts, &["benchmark", "traffic", "cycles", "seed", "out"])
             .and_then(|()| cmd_trace(&opts)),
@@ -203,6 +228,57 @@ fn policy(opts: &Opts) -> Result<PolicySpec, String> {
     }
 }
 
+/// Builds the batch runner from `--jobs` and `--progress`.
+fn runner(opts: &Opts) -> Result<Runner, String> {
+    let jobs: usize = number(opts, "jobs", 0)?;
+    let progress: ProgressMode = match opts.get("progress") {
+        None => ProgressMode::Quiet,
+        Some(v) => v.parse()?,
+    };
+    Ok(Runner::new()
+        .with_workers(jobs)
+        .with_progress_mode(progress))
+}
+
+/// Fails fast when the `--json` path is unwritable, *before* a
+/// potentially minutes-long batch runs. Opens in append mode so an
+/// existing file is probed without being truncated.
+fn preflight_json(opts: &Opts) -> Result<(), String> {
+    if let Some(path) = opts.get("json") {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Writes the rendered JSON document to the `--json` path, if given.
+fn write_json(opts: &Opts, render: impl FnOnce() -> String) -> Result<(), String> {
+    if let Some(path) = opts.get("json") {
+        let doc = render();
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {} bytes of JSON to {path}", doc.len());
+    }
+    Ok(())
+}
+
+/// Finishes a batch command: prints every per-cell failure to stderr
+/// (always — even when the `--json` write also failed), then reports
+/// the first error. The completed cells were already rendered by the
+/// caller, so partial results survive any failure mode.
+fn finish_batch(json: Result<(), String>, errors: Vec<JobError>) -> Result<(), String> {
+    for e in &errors {
+        eprintln!("cell failed: {e}");
+    }
+    match (json, errors.len()) {
+        (json, 0) => json,
+        (Ok(()), n) => Err(format!("{n} cell(s) failed")),
+        (Err(j), n) => Err(format!("{j}; additionally {n} cell(s) failed")),
+    }
+}
+
 fn cmd_run(opts: &Opts) -> Result<(), String> {
     let experiment = Experiment {
         benchmark: benchmark(opts)?,
@@ -211,6 +287,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         cycles: number(opts, "cycles", PAPER_RUN_CYCLES)?,
         seed: number(opts, "seed", 42)?,
     };
+    preflight_json(opts)?;
     let r = experiment.run();
     println!(
         "{} @ {} under {} for {} cycles (seed {})",
@@ -224,39 +301,50 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     println!("  loss ratio     : {:9.4}", r.sim.loss_ratio());
     println!("  rx idle        : {:9.3}", r.sim.rx_idle_fraction());
     println!("  VF switches    : {:9}", r.sim.total_switches);
-    Ok(())
+    write_json(opts, || experiment_json(&r))
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
-    // A `--policies` list runs a policy-spec sweep instead of the paper's
-    // TDVS threshold x window grid.
-    if let Some(list) = opts.get("policies") {
-        let specs: Vec<PolicySpec> = list
-            .split(';')
-            .filter(|s| !s.trim().is_empty())
-            .map(|s| PolicySpec::parse(s).map_err(|e| e.to_string()))
-            .collect::<Result<_, _>>()?;
-        if specs.is_empty() {
-            return Err("--policies needs at least one spec".to_owned());
-        }
-        let cells = sweep_specs(
-            benchmark(opts)?,
-            traffic(opts)?,
-            &specs,
-            number(opts, "cycles", PAPER_RUN_CYCLES)?,
-            number(opts, "seed", 42)?,
-        );
+    // Validate every flag — including the optional `--policies` spec
+    // list — before preflight_json touches the disk, so a bad option
+    // never leaves a stray empty output file.
+    let pool = runner(opts)?;
+    let bench = benchmark(opts)?;
+    let level = traffic(opts)?;
+    let cycles = number(opts, "cycles", PAPER_RUN_CYCLES)?;
+    let seed = number(opts, "seed", 42)?;
+    let specs: Option<Vec<PolicySpec>> = opts
+        .get("policies")
+        .map(|list| {
+            list.split(';')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| PolicySpec::parse(s).map_err(|e| e.to_string()))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()?;
+    if specs.as_ref().is_some_and(Vec::is_empty) {
+        return Err("--policies needs at least one spec".to_owned());
+    }
+    preflight_json(opts)?;
+
+    // A `--policies` list runs a policy-spec sweep instead of the
+    // paper's TDVS threshold x window grid.
+    if let Some(specs) = specs {
+        let (cells, errors) =
+            partition_cells(try_sweep_specs(&pool, bench, level, &specs, cycles, seed));
         println!("{}", render_spec_sweep(&cells));
-        return Ok(());
+        let json = write_json(opts, || spec_sweep_json(&cells, &errors));
+        return finish_batch(json, errors);
     }
 
-    let cells = sweep_tdvs(
-        benchmark(opts)?,
-        traffic(opts)?,
+    let (cells, errors) = partition_cells(try_sweep_tdvs(
+        &pool,
+        bench,
+        level,
         &TdvsGrid::default(),
-        number(opts, "cycles", PAPER_RUN_CYCLES)?,
-        number(opts, "seed", 42)?,
-    );
+        cycles,
+        seed,
+    ));
     println!("{}", render_sweep(&cells));
     println!(
         "{}",
@@ -280,7 +368,8 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    let json = write_json(opts, || tdvs_sweep_json(&cells, &errors));
+    finish_batch(json, errors)
 }
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {
@@ -289,9 +378,12 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         seed: number(opts, "seed", 42)?,
         ..ComparisonConfig::default()
     };
-    let cmp = compare_policies(&Benchmark::ALL, &TrafficLevel::ALL, &cfg);
+    let pool = runner(opts)?;
+    preflight_json(opts)?;
+    let (cmp, errors) = try_compare_policies(&pool, &Benchmark::ALL, &TrafficLevel::ALL, &cfg);
     println!("{}", render_comparison(&cmp));
-    Ok(())
+    let json = write_json(opts, || comparison_json(&cmp, &errors));
+    finish_batch(json, errors)
 }
 
 fn cmd_policies() -> Result<(), String> {

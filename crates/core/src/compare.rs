@@ -7,12 +7,13 @@ use dvs::{
 use nepsim::{Benchmark, PolicySpec};
 use serde::{Deserialize, Serialize};
 use traffic::TrafficLevel;
+use xrun::{JobError, Runner};
 
-use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiment::{run_experiments, Experiment, ExperimentResult};
 
 /// One row of the Fig. 11 grid: a benchmark × traffic level × policy
 /// combination with its measured result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ComparisonRow {
     /// Benchmark application.
     pub benchmark: Benchmark,
@@ -26,7 +27,7 @@ pub struct ComparisonRow {
 
 /// The full comparison grid: every benchmark × traffic level, each run
 /// under every compared policy family.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PolicyComparison {
     /// All rows, ordered benchmark-major, then traffic, then policy in
     /// [`ComparisonConfig::policies`] order.
@@ -110,29 +111,56 @@ pub fn compare_policies(
     levels: &[TrafficLevel],
     config: &ComparisonConfig,
 ) -> PolicyComparison {
-    let mut rows = Vec::new();
+    let (cmp, errors) = try_compare_policies(&Runner::new(), benchmarks, levels, config);
+    crate::experiment::assert_no_failures(&errors);
+    cmp
+}
+
+/// Runs the comparison grid on the given [`Runner`]: the fallible form
+/// of [`compare_policies`].
+///
+/// Returns the comparison built from every cell that completed plus one
+/// [`JobError`] per cell that panicked — the batch always runs to the
+/// end, so a failing policy costs only its own rows.
+#[must_use]
+pub fn try_compare_policies(
+    runner: &Runner,
+    benchmarks: &[Benchmark],
+    levels: &[TrafficLevel],
+    config: &ComparisonConfig,
+) -> (PolicyComparison, Vec<JobError>) {
+    let mut keys = Vec::new();
+    let mut experiments = Vec::new();
     for &benchmark in benchmarks {
         for &traffic in levels {
             for policy in config.policies() {
-                let kind = policy.kind();
-                let result = Experiment {
+                keys.push((benchmark, traffic, policy.kind()));
+                experiments.push(Experiment {
                     benchmark,
                     traffic,
                     policy,
                     cycles: config.cycles,
                     seed: config.seed,
-                }
-                .run();
-                rows.push(ComparisonRow {
-                    benchmark,
-                    traffic,
-                    policy: kind,
-                    result,
                 });
             }
         }
     }
-    PolicyComparison { rows }
+    let mut rows = Vec::with_capacity(keys.len());
+    let mut errors = Vec::new();
+    for (outcome, (benchmark, traffic, kind)) in
+        run_experiments(runner, experiments).into_iter().zip(keys)
+    {
+        match outcome {
+            Ok(result) => rows.push(ComparisonRow {
+                benchmark,
+                traffic,
+                policy: kind,
+                result,
+            }),
+            Err(e) => errors.push(e),
+        }
+    }
+    (PolicyComparison { rows }, errors)
 }
 
 impl PolicyComparison {

@@ -4,6 +4,7 @@ use loc::{AnalyzerBank, DistributionReport};
 use nepsim::{Benchmark, NpuConfig, PolicySpec, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
 use traffic::TrafficLevel;
+use xrun::{Job, JobError, JobSpec, Runner};
 
 use crate::formulas::{power_distribution, throughput_distribution, PACKET_WINDOW};
 
@@ -40,15 +41,29 @@ impl Experiment {
         }
     }
 
+    /// The [`xrun::JobSpec`] describing this experiment's simulation —
+    /// an `Experiment` is exactly one runner job plus trace analysis.
+    #[must_use]
+    pub fn job_spec(&self) -> JobSpec {
+        JobSpec {
+            benchmark: self.benchmark,
+            traffic: self.traffic,
+            policy: self.policy.clone(),
+            cycles: self.cycles,
+            seed: self.seed,
+        }
+    }
+
+    /// The label naming this experiment in progress output and errors.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.job_spec().label()
+    }
+
     /// Builds the simulator configuration for this experiment.
     #[must_use]
     pub fn npu_config(&self) -> NpuConfig {
-        NpuConfig::builder()
-            .benchmark(self.benchmark)
-            .seed(self.seed)
-            .traffic(self.traffic)
-            .policy(self.policy.clone())
-            .build()
+        self.job_spec().npu_config()
     }
 
     /// Runs the simulation and both paper distribution analyzers.
@@ -84,8 +99,96 @@ impl Experiment {
     }
 }
 
+impl From<Experiment> for JobSpec {
+    fn from(e: Experiment) -> Self {
+        e.job_spec()
+    }
+}
+
+impl From<JobSpec> for Experiment {
+    fn from(spec: JobSpec) -> Self {
+        Experiment {
+            benchmark: spec.benchmark,
+            traffic: spec.traffic,
+            policy: spec.policy,
+            cycles: spec.cycles,
+            seed: spec.seed,
+        }
+    }
+}
+
+/// Runs a batch of experiments on an [`xrun::Runner`], returning one
+/// outcome per experiment **in submission order**.
+///
+/// This is the single execution path every sweep, comparison and
+/// ablation funnels through: each experiment becomes one runner job
+/// (simulate + analyze), so cells run on all available workers and a
+/// panicking cell surfaces as its own [`JobError`] while the rest of
+/// the batch completes.
+pub fn run_experiments(
+    runner: &Runner,
+    experiments: Vec<Experiment>,
+) -> Vec<Result<ExperimentResult, JobError>> {
+    let jobs: Vec<Job<'_, ExperimentResult>> = experiments
+        .into_iter()
+        .map(|e| Job::new(e.label(), move || e.run()))
+        .collect();
+    runner.run(jobs).into_iter().map(|r| r.outcome).collect()
+}
+
+/// Splits a batch of cell outcomes into completed cells and failures,
+/// preserving order within each half.
+pub fn partition_cells<T>(outcomes: Vec<Result<T, JobError>>) -> (Vec<T>, Vec<JobError>) {
+    let mut cells = Vec::with_capacity(outcomes.len());
+    let mut errors = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(cell) => cells.push(cell),
+            Err(e) => errors.push(e),
+        }
+    }
+    (cells, errors)
+}
+
+/// Panics with every failure's message when any cell failed — the
+/// single formatting point for batch-failure reports.
+pub(crate) fn assert_no_failures(errors: &[JobError]) {
+    assert!(
+        errors.is_empty(),
+        "{} cell(s) failed:\n  {}",
+        errors.len(),
+        errors
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
+
+/// Unwraps a batch of cell outcomes, panicking with every failure's
+/// message when any cell failed.
+///
+/// The infallible sweep/compare entry points use this to keep their
+/// `Vec<Cell>` signatures: a cell failure is a bug in the simulator (or
+/// a custom policy), so it still propagates as a panic. Unlike the old
+/// serial loops this is **not** fail-fast — the whole batch runs to
+/// completion first, so every broken cell is reported at once at the
+/// cost of finishing the healthy cells. Callers who want to react to
+/// failures (or avoid paying for the rest of the batch) should use the
+/// `try_*` entry points instead.
+///
+/// # Panics
+///
+/// Panics when any outcome is an error, listing every failed cell.
+#[must_use]
+pub fn expect_cells<T>(outcomes: Vec<Result<T, JobError>>) -> Vec<T> {
+    let (cells, errors) = partition_cells(outcomes);
+    assert_no_failures(&errors);
+    cells
+}
+
 /// A simulated configuration together with its analyzed distributions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// The experiment that produced this result.
     pub experiment: Experiment,
@@ -176,5 +279,49 @@ mod tests {
         let e = Experiment::paper_default(PolicySpec::NoDvs);
         assert_eq!(e.cycles, PAPER_RUN_CYCLES);
         assert_eq!(e.benchmark, Benchmark::Ipfwdr);
+    }
+
+    #[test]
+    fn job_spec_round_trips_through_xrun() {
+        let e = Experiment::paper_default(PolicySpec::NoDvs);
+        let spec: JobSpec = e.clone().into();
+        assert_eq!(spec.label(), e.label());
+        assert_eq!(Experiment::from(spec), e);
+    }
+
+    #[test]
+    fn run_experiments_matches_direct_runs() {
+        let experiments: Vec<Experiment> = [PolicySpec::NoDvs, PolicySpec::parse("queue").unwrap()]
+            .into_iter()
+            .map(|policy| Experiment {
+                benchmark: Benchmark::Ipfwdr,
+                traffic: TrafficLevel::High,
+                policy,
+                cycles: 400_000,
+                seed: 11,
+            })
+            .collect();
+        let batch = run_experiments(&Runner::new().with_workers(2), experiments.clone());
+        assert_eq!(batch.len(), 2);
+        for (outcome, e) in batch.iter().zip(&experiments) {
+            let got = outcome.as_ref().expect("no cell failed");
+            let direct = e.run();
+            assert_eq!(got.sim.forwarded_packets, direct.sim.forwarded_packets);
+            assert_eq!(got.p80_power_w().to_bits(), direct.p80_power_w().to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell(s) failed")]
+    fn expect_cells_reports_failures() {
+        let outcomes: Vec<Result<u32, xrun::JobError>> = vec![
+            Ok(1),
+            Err(xrun::JobError {
+                job: "bad cell".into(),
+                index: 1,
+                message: "boom".into(),
+            }),
+        ];
+        let _ = expect_cells(outcomes);
     }
 }

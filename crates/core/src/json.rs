@@ -1,0 +1,375 @@
+//! Hand-rolled JSON output for experiment results.
+//!
+//! The workspace's `serde` is an offline no-op shim (see
+//! `shims/README.md`), so result containers derive the marker traits but
+//! generate no serialization code; this module writes the JSON the
+//! `abdex ... --json <path>` flag emits by hand. The schema is flat and
+//! stable: every document has a `"kind"` discriminator and every cell
+//! carries its full experiment description plus a `"metrics"` object, so
+//! downstream tooling (plots, regression trackers) never has to re-parse
+//! the human-readable tables.
+
+use xrun::JobError;
+
+use crate::compare::PolicyComparison;
+use crate::experiment::ExperimentResult;
+use crate::sweep::{GridCell, SpecCell};
+
+/// Escapes a string for a JSON string literal (without the quotes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite float, or `null` for NaN/infinities (which JSON
+/// cannot represent).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// A minimal JSON object builder: append fields, then [`Obj::finish`].
+#[derive(Debug)]
+pub(crate) struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    pub(crate) fn new() -> Self {
+        Obj { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub(crate) fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds a float field (`null` when not finite).
+    pub(crate) fn num(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Adds an integer field.
+    pub(crate) fn int(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub(crate) fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object.
+    pub(crate) fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Renders a JSON array from already-rendered element documents.
+fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// The shared per-cell payload: the experiment's axes plus its measured
+/// metrics.
+fn result_fields(obj: Obj, r: &ExperimentResult) -> Obj {
+    let e = &r.experiment;
+    let metrics = Obj::new()
+        .num("offered_mbps", r.sim.offered_mbps())
+        .num("throughput_mbps", r.sim.throughput_mbps())
+        .num("mean_power_w", r.sim.mean_power_w())
+        .num("p80_power_w", r.p80_power_w())
+        .num("p80_throughput_mbps", r.p80_throughput_mbps())
+        .num("loss_ratio", r.sim.loss_ratio())
+        .num("rx_idle_fraction", r.sim.rx_idle_fraction())
+        .num("total_energy_uj", r.sim.total_energy_uj())
+        .int("total_switches", r.sim.total_switches)
+        .int("forwarded_packets", r.sim.forwarded_packets)
+        .finish();
+    obj.str("benchmark", &e.benchmark.to_string())
+        .str("traffic", &e.traffic.to_string())
+        .str("policy", &e.policy.spec_string())
+        .int("cycles", e.cycles)
+        .int("seed", e.seed)
+        .raw("metrics", &metrics)
+}
+
+/// Renders the per-cell failures of a batch, so a document holding a
+/// *partial* grid is distinguishable from a complete smaller one: every
+/// batch document carries `"failed"` plus one entry per panicked cell.
+fn failure_fields(obj: Obj, failures: &[JobError]) -> Obj {
+    let rendered: Vec<String> = failures
+        .iter()
+        .map(|e| {
+            Obj::new()
+                .str("job", &e.job)
+                .int("index", e.index as u64)
+                .str("message", &e.message)
+                .finish()
+        })
+        .collect();
+    obj.int("failed", rendered.len() as u64)
+        .raw("failures", &array(&rendered))
+}
+
+/// Renders one experiment result as a JSON document
+/// (`"kind": "experiment"`).
+#[must_use]
+pub fn experiment_json(r: &ExperimentResult) -> String {
+    result_fields(Obj::new().str("kind", "experiment"), r).finish()
+}
+
+/// Renders a TDVS threshold × window sweep as a JSON document
+/// (`"kind": "tdvs_sweep"`), one cell object per completed grid point
+/// in sweep order plus one `failures` entry per panicked cell.
+#[must_use]
+pub fn tdvs_sweep_json(cells: &[GridCell], failures: &[JobError]) -> String {
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            result_fields(
+                Obj::new()
+                    .num("threshold_mbps", c.threshold_mbps)
+                    .int("window_cycles", c.window_cycles),
+                &c.result,
+            )
+            .finish()
+        })
+        .collect();
+    failure_fields(
+        Obj::new()
+            .str("kind", "tdvs_sweep")
+            .int("cells", rendered.len() as u64)
+            .raw("grid", &array(&rendered)),
+        failures,
+    )
+    .finish()
+}
+
+/// Renders a policy-spec sweep as a JSON document
+/// (`"kind": "spec_sweep"`), one cell per completed spec in list order
+/// plus one `failures` entry per panicked cell.
+#[must_use]
+pub fn spec_sweep_json(cells: &[SpecCell], failures: &[JobError]) -> String {
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            result_fields(
+                Obj::new().str("policy_kind", &c.spec.kind().to_string()),
+                &c.result,
+            )
+            .finish()
+        })
+        .collect();
+    failure_fields(
+        Obj::new()
+            .str("kind", "spec_sweep")
+            .int("cells", rendered.len() as u64)
+            .raw("grid", &array(&rendered)),
+        failures,
+    )
+    .finish()
+}
+
+/// Renders the policy comparison as a JSON document
+/// (`"kind": "policy_comparison"`), one row per completed benchmark ×
+/// traffic × policy with its saving vs. the noDVS baseline, plus one
+/// `failures` entry per panicked cell.
+#[must_use]
+pub fn comparison_json(cmp: &PolicyComparison, failures: &[JobError]) -> String {
+    let rendered: Vec<String> = cmp
+        .rows
+        .iter()
+        .map(|row| {
+            let saving = cmp.power_saving(row.benchmark, row.traffic, row.policy);
+            let loss = cmp.throughput_loss(row.benchmark, row.traffic, row.policy);
+            result_fields(
+                Obj::new()
+                    .num("saving_vs_nodvs", saving.unwrap_or(f64::NAN))
+                    .num("throughput_loss_vs_nodvs", loss.unwrap_or(f64::NAN)),
+                &row.result,
+            )
+            .finish()
+        })
+        .collect();
+    failure_fields(
+        Obj::new()
+            .str("kind", "policy_comparison")
+            .int("rows", rendered.len() as u64)
+            .raw("table", &array(&rendered)),
+        failures,
+    )
+    .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::{compare_policies, ComparisonConfig};
+    use crate::sweep::{sweep_specs, sweep_tdvs, TdvsGrid};
+    use crate::{Experiment, PolicySpec};
+    use nepsim::Benchmark;
+    use traffic::TrafficLevel;
+
+    /// A tiny structural validator: checks quotes/brace/bracket balance
+    /// outside string literals — enough to catch malformed output
+    /// without a full parser.
+    fn assert_balanced(json: &str) {
+        let mut depth_obj = 0i64;
+        let mut depth_arr = 0i64;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0, "early close in {json}");
+        }
+        assert!(!in_str, "unterminated string in {json}");
+        assert_eq!(depth_obj, 0, "unbalanced braces in {json}");
+        assert_eq!(depth_arr, 0, "unbalanced brackets in {json}");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(1.5), "1.5");
+    }
+
+    #[test]
+    fn experiment_document_has_the_schema() {
+        let r = Experiment {
+            benchmark: Benchmark::Nat,
+            traffic: TrafficLevel::Low,
+            policy: PolicySpec::NoDvs,
+            cycles: 150_000,
+            seed: 3,
+        }
+        .run();
+        let json = experiment_json(&r);
+        assert_balanced(&json);
+        for key in [
+            "\"kind\":\"experiment\"",
+            "\"benchmark\":\"nat\"",
+            "\"traffic\":\"low\"",
+            "\"policy\":\"nodvs\"",
+            "\"cycles\":150000",
+            "\"seed\":3",
+            "\"metrics\":{",
+            "\"mean_power_w\":",
+            "\"p80_throughput_mbps\":",
+            "\"total_switches\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn sweep_documents_have_one_entry_per_cell() {
+        let grid = TdvsGrid {
+            thresholds_mbps: vec![1000.0],
+            windows_cycles: vec![20_000, 40_000],
+        };
+        let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::Medium, &grid, 200_000, 1);
+        let json = tdvs_sweep_json(&cells, &[]);
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\":\"tdvs_sweep\""));
+        assert!(json.contains("\"cells\":2"));
+        assert!(json.contains("\"failed\":0"));
+        assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
+
+        let specs: Vec<PolicySpec> = ["nodvs", "proportional"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = sweep_specs(Benchmark::Ipfwdr, TrafficLevel::Low, &specs, 200_000, 1);
+        let json = spec_sweep_json(&cells, &[]);
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\":\"spec_sweep\""));
+        assert!(json.contains("\"policy_kind\":\"PDVS\""));
+    }
+
+    #[test]
+    fn partial_batches_carry_a_failure_marker() {
+        let failures = vec![JobError {
+            job: "ipfwdr/high tdvs:threshold=800,window=20000".into(),
+            index: 3,
+            message: "ladder panic \"quoted\"".into(),
+        }];
+        let json = tdvs_sweep_json(&[], &failures);
+        assert_balanced(&json);
+        assert!(json.contains("\"cells\":0"), "{json}");
+        assert!(json.contains("\"failed\":1"), "{json}");
+        assert!(json.contains("\"index\":3"), "{json}");
+        assert!(json.contains("ladder panic \\\"quoted\\\""), "{json}");
+    }
+
+    #[test]
+    fn comparison_document_carries_savings() {
+        let cfg = ComparisonConfig {
+            cycles: 150_000,
+            ..ComparisonConfig::default()
+        };
+        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
+        let json = comparison_json(&cmp, &[]);
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\":\"policy_comparison\""));
+        assert!(json.contains("\"rows\":6"));
+        assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
+    }
+}

@@ -10,10 +10,14 @@
 //!   paper's distribution operators and auto-generated analyzers,
 //! * [`dvs`] — the TDVS/EDVS policies and the XScale VF ladder,
 //! * [`traffic`] — the synthetic NLANR-style IP traffic models,
+//! * [`xrun`] — the parallel experiment runner every sweep, comparison
+//!   and ablation executes on,
 //!
 //! and exposes the paper's experiment flow: run a simulation, collect the
 //! trace, apply the LOC distribution formulas (2) and (3), and sweep the
-//! design space to find optimal DVS configurations (§4).
+//! design space to find optimal DVS configurations (§4). Batches of
+//! independent cells run on all available CPUs (see [`Runner`]); results
+//! are bit-identical to serial execution.
 //!
 //! # Quickstart
 //!
@@ -43,16 +47,24 @@ pub mod ablation;
 pub mod compare;
 pub mod experiment;
 pub mod formulas;
+pub mod json;
 pub mod optimal;
 pub mod reference;
 pub mod sweep;
 pub mod tables;
 
-pub use compare::{compare_policies, ComparisonRow, PolicyComparison};
+pub use ablation::{
+    sweep_edvs_idle_threshold, sweep_tdvs_hysteresis, try_sweep_edvs_idle_threshold,
+    try_sweep_tdvs_hysteresis, AblationCell,
+};
+pub use compare::{compare_policies, try_compare_policies, ComparisonRow, PolicyComparison};
 pub use dvs::{DvsPolicy, PolicyKind, PolicyRegistry, PolicySpec};
-pub use experiment::{Experiment, ExperimentResult, PAPER_RUN_CYCLES};
+pub use experiment::{run_experiments, Experiment, ExperimentResult, PAPER_RUN_CYCLES};
 pub use optimal::{optimal_tdvs, DesignPriority};
-pub use sweep::{sweep_specs, sweep_tdvs, GridCell, SpecCell, TdvsGrid};
+pub use sweep::{
+    sweep_specs, sweep_tdvs, try_sweep_specs, try_sweep_tdvs, GridCell, SpecCell, TdvsGrid,
+};
+pub use xrun::{Job, JobError, JobResult, JobSpec, ProgressMode, Runner};
 
 // Re-export the substrate crates so downstream users need only `abdex`.
 pub use desim;
@@ -60,3 +72,4 @@ pub use dvs;
 pub use loc;
 pub use nepsim;
 pub use traffic;
+pub use xrun;

@@ -6,8 +6,9 @@ use dvs::TdvsConfig;
 use nepsim::{Benchmark, PolicySpec};
 use serde::{Deserialize, Serialize};
 use traffic::TrafficLevel;
+use xrun::{JobError, Runner};
 
-use crate::experiment::{Experiment, ExperimentResult};
+use crate::experiment::{expect_cells, run_experiments, Experiment, ExperimentResult};
 
 /// The grid of TDVS parameters to explore.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,7 +46,7 @@ impl TdvsGrid {
 }
 
 /// One evaluated cell of a TDVS sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GridCell {
     /// The top threshold of this cell, Mbps.
     pub threshold_mbps: f64,
@@ -83,32 +84,61 @@ pub fn sweep_tdvs(
     cycles: u64,
     seed: u64,
 ) -> Vec<GridCell> {
-    let mut cells = Vec::with_capacity(grid.len());
-    for &threshold in &grid.thresholds_mbps {
-        for &window in &grid.windows_cycles {
-            let result = Experiment {
-                benchmark,
-                traffic,
-                policy: PolicySpec::Tdvs(TdvsConfig {
-                    top_threshold_mbps: threshold,
-                    window_cycles: window,
-                }),
-                cycles,
-                seed,
-            }
-            .run();
-            cells.push(GridCell {
-                threshold_mbps: threshold,
+    expect_cells(try_sweep_tdvs(
+        &Runner::new(),
+        benchmark,
+        traffic,
+        grid,
+        cycles,
+        seed,
+    ))
+}
+
+/// Runs a TDVS sweep on the given [`Runner`], one outcome per cell in
+/// grid order: the fallible form of [`sweep_tdvs`], where a panicking
+/// cell yields its own error while the rest of the grid completes.
+#[must_use]
+pub fn try_sweep_tdvs(
+    runner: &Runner,
+    benchmark: Benchmark,
+    traffic: TrafficLevel,
+    grid: &TdvsGrid,
+    cycles: u64,
+    seed: u64,
+) -> Vec<Result<GridCell, JobError>> {
+    let params: Vec<(f64, u64)> = grid
+        .thresholds_mbps
+        .iter()
+        .flat_map(|&t| grid.windows_cycles.iter().map(move |&w| (t, w)))
+        .collect();
+    let experiments = params
+        .iter()
+        .map(|&(threshold, window)| Experiment {
+            benchmark,
+            traffic,
+            policy: PolicySpec::Tdvs(TdvsConfig {
+                top_threshold_mbps: threshold,
                 window_cycles: window,
+            }),
+            cycles,
+            seed,
+        })
+        .collect();
+    run_experiments(runner, experiments)
+        .into_iter()
+        .zip(params)
+        .map(|(outcome, (threshold_mbps, window_cycles))| {
+            outcome.map(|result| GridCell {
+                threshold_mbps,
+                window_cycles,
                 result,
-            });
-        }
-    }
-    cells
+            })
+        })
+        .collect()
 }
 
 /// One evaluated cell of a policy-spec sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpecCell {
     /// The spec this cell ran (its [`PolicySpec::spec_string`] labels the
     /// sweep-table row).
@@ -143,18 +173,45 @@ pub fn sweep_specs(
     cycles: u64,
     seed: u64,
 ) -> Vec<SpecCell> {
-    specs
+    expect_cells(try_sweep_specs(
+        &Runner::new(),
+        benchmark,
+        traffic,
+        specs,
+        cycles,
+        seed,
+    ))
+}
+
+/// Runs a policy-spec sweep on the given [`Runner`], one outcome per
+/// spec in list order: the fallible form of [`sweep_specs`].
+#[must_use]
+pub fn try_sweep_specs(
+    runner: &Runner,
+    benchmark: Benchmark,
+    traffic: TrafficLevel,
+    specs: &[PolicySpec],
+    cycles: u64,
+    seed: u64,
+) -> Vec<Result<SpecCell, JobError>> {
+    let experiments = specs
         .iter()
-        .map(|spec| SpecCell {
-            spec: spec.clone(),
-            result: Experiment {
-                benchmark,
-                traffic,
-                policy: spec.clone(),
-                cycles,
-                seed,
-            }
-            .run(),
+        .map(|spec| Experiment {
+            benchmark,
+            traffic,
+            policy: spec.clone(),
+            cycles,
+            seed,
+        })
+        .collect();
+    run_experiments(runner, experiments)
+        .into_iter()
+        .zip(specs)
+        .map(|(outcome, spec)| {
+            outcome.map(|result| SpecCell {
+                spec: spec.clone(),
+                result,
+            })
         })
         .collect()
 }
@@ -228,6 +285,36 @@ mod tests {
             assert_eq!(cell.result.experiment.policy, *spec);
             assert!(cell.result.sim.mean_power_w() > 0.2);
         }
+    }
+
+    #[test]
+    fn try_sweep_keeps_grid_order_on_any_runner() {
+        let grid = TdvsGrid {
+            thresholds_mbps: vec![1000.0, 1400.0],
+            windows_cycles: vec![20_000, 80_000],
+        };
+        let outcomes = try_sweep_tdvs(
+            &Runner::serial(),
+            Benchmark::Ipfwdr,
+            TrafficLevel::Medium,
+            &grid,
+            300_000,
+            3,
+        );
+        let expected: Vec<(f64, u64)> = vec![
+            (1000.0, 20_000),
+            (1000.0, 80_000),
+            (1400.0, 20_000),
+            (1400.0, 80_000),
+        ];
+        let got: Vec<(f64, u64)> = outcomes
+            .iter()
+            .map(|o| {
+                let c = o.as_ref().expect("no cell failed");
+                (c.threshold_mbps, c.window_cycles)
+            })
+            .collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

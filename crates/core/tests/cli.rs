@@ -262,6 +262,124 @@ fn trace_check_analyze_pipeline() {
 }
 
 #[test]
+fn sweep_accepts_jobs_and_writes_json() {
+    let dir = std::env::temp_dir().join(format!("abdex-cli-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let json_path = dir.join("sweep.json");
+
+    let out = abdex()
+        .args([
+            "sweep",
+            "--policies",
+            "nodvs;queue",
+            "--traffic",
+            "low",
+            "--cycles",
+            "200000",
+            "--jobs",
+            "2",
+            "--progress",
+            "dot",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The human table still lands on stdout, progress on stderr.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("policy_spec"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("2 jobs"));
+
+    let doc = std::fs::read_to_string(&json_path).expect("JSON written");
+    assert!(doc.contains("\"kind\":\"spec_sweep\""), "{doc}");
+    assert!(doc.contains("\"cells\":2"), "{doc}");
+    assert!(doc.contains("\"mean_power_w\":"), "{doc}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_writes_experiment_json() {
+    let dir = std::env::temp_dir().join(format!("abdex-cli-runjson-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let json_path = dir.join("run.json");
+
+    let out = abdex()
+        .args([
+            "run",
+            "--benchmark",
+            "nat",
+            "--traffic",
+            "low",
+            "--cycles",
+            "200000",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&json_path).expect("JSON written");
+    assert!(doc.contains("\"kind\":\"experiment\""), "{doc}");
+    assert!(doc.contains("\"benchmark\":\"nat\""), "{doc}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_json_path_fails_before_the_batch_runs() {
+    // The preflight must reject the path in milliseconds instead of
+    // discovering it after a paper-length sweep; note the full-length
+    // --cycles default would take minutes if the batch actually ran.
+    let out = abdex()
+        .args([
+            "sweep",
+            "--policies",
+            "nodvs",
+            "--json",
+            "/no/such/dir/out.json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("cannot write"), "unhelpful error: {text}");
+    // The sweep never ran, so no table was printed.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("policy_spec"));
+}
+
+#[test]
+fn sweep_rejects_bad_progress_mode() {
+    let out = abdex()
+        .args(["sweep", "--progress", "loud", "--cycles", "100000"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("progress mode"), "unhelpful error: {text}");
+}
+
+#[test]
+fn run_rejects_jobs_option_it_would_ignore() {
+    // `run` is a single simulation; silently accepting --jobs would
+    // suggest parallelism that does not exist.
+    let out = abdex()
+        .args(["run", "--jobs", "4", "--cycles", "100000"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
+#[test]
 fn codegen_emits_rust_source() {
     let out = abdex()
         .args([

@@ -1,0 +1,128 @@
+//! Regression guard for the runner's core contract: a sweep run with
+//! one worker and with N workers must produce identical tables and
+//! bit-identical metrics for a fixed seed. Parallelism must never leak
+//! into results.
+
+use abdex::compare::{try_compare_policies, ComparisonConfig};
+use abdex::sweep::{try_sweep_specs, try_sweep_tdvs};
+use abdex::tables::{render_comparison, render_spec_sweep, render_sweep};
+use abdex::{GridCell, PolicyComparison, PolicySpec, Runner, SpecCell, TdvsGrid};
+use nepsim::Benchmark;
+use traffic::TrafficLevel;
+
+const CYCLES: u64 = 300_000;
+const SEED: u64 = 17;
+
+fn grid() -> TdvsGrid {
+    TdvsGrid {
+        thresholds_mbps: vec![1000.0, 1400.0],
+        windows_cycles: vec![20_000, 40_000],
+    }
+}
+
+fn tdvs_cells(workers: usize) -> Vec<GridCell> {
+    try_sweep_tdvs(
+        &Runner::new().with_workers(workers),
+        Benchmark::Ipfwdr,
+        TrafficLevel::High,
+        &grid(),
+        CYCLES,
+        SEED,
+    )
+    .into_iter()
+    .map(|o| o.expect("no cell failed"))
+    .collect()
+}
+
+#[test]
+fn tdvs_sweep_is_bit_identical_across_worker_counts() {
+    let serial = tdvs_cells(1);
+    for workers in [2, 4] {
+        let parallel = tdvs_cells(workers);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.threshold_mbps, p.threshold_mbps);
+            assert_eq!(s.window_cycles, p.window_cycles);
+            assert_eq!(
+                s.result.sim.forwarded_packets,
+                p.result.sim.forwarded_packets
+            );
+            assert_eq!(s.result.sim.total_switches, p.result.sim.total_switches);
+            assert_eq!(
+                s.result.p80_power_w().to_bits(),
+                p.result.p80_power_w().to_bits(),
+                "power diverged at {} Mbps / {} cycles with {workers} workers",
+                s.threshold_mbps,
+                s.window_cycles
+            );
+            assert_eq!(
+                s.result.p80_throughput_mbps().to_bits(),
+                p.result.p80_throughput_mbps().to_bits()
+            );
+        }
+        // The rendered table — what the paper's figures are built from —
+        // must be byte-for-byte identical too.
+        assert_eq!(render_sweep(&serial), render_sweep(&parallel));
+    }
+}
+
+#[test]
+fn spec_sweep_is_bit_identical_across_worker_counts() {
+    let specs: Vec<PolicySpec> = ["nodvs", "tdvs:threshold=1400", "queue", "proportional"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let run = |workers: usize| -> Vec<SpecCell> {
+        try_sweep_specs(
+            &Runner::new().with_workers(workers),
+            Benchmark::Ipfwdr,
+            TrafficLevel::Medium,
+            &specs,
+            CYCLES,
+            SEED,
+        )
+        .into_iter()
+        .map(|o| o.expect("no cell failed"))
+        .collect()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(render_spec_sweep(&serial), render_spec_sweep(&parallel));
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.spec, p.spec);
+        assert_eq!(
+            s.result.sim.mean_power_w().to_bits(),
+            p.result.sim.mean_power_w().to_bits()
+        );
+    }
+}
+
+#[test]
+fn comparison_is_bit_identical_across_worker_counts() {
+    let cfg = ComparisonConfig {
+        cycles: CYCLES,
+        seed: SEED,
+        ..ComparisonConfig::default()
+    };
+    let run = |workers: usize| -> PolicyComparison {
+        let (cmp, errors) = try_compare_policies(
+            &Runner::new().with_workers(workers),
+            &[Benchmark::Ipfwdr, Benchmark::Nat],
+            &[TrafficLevel::Low],
+            &cfg,
+        );
+        assert!(errors.is_empty());
+        cmp
+    };
+    let serial = run(1);
+    let parallel = run(3);
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    assert_eq!(render_comparison(&serial), render_comparison(&parallel));
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s.policy, p.policy);
+        assert_eq!(
+            s.result.sim.total_energy_uj().to_bits(),
+            p.result.sim.total_energy_uj().to_bits()
+        );
+    }
+}

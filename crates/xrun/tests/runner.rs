@@ -1,0 +1,171 @@
+//! Edge-case coverage for the batch runner: empty batches, batches
+//! smaller than the pool, panic isolation, ordering and progress
+//! accounting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use xrun::{derive_seed, Job, JobSpec, ProgressSink, Runner};
+
+#[test]
+fn zero_jobs_returns_an_empty_batch() {
+    for workers in [1, 4] {
+        let runner = Runner::new().with_workers(workers);
+        let results = runner.run(Vec::<Job<'_, u32>>::new());
+        assert!(results.is_empty());
+    }
+}
+
+#[test]
+fn fewer_jobs_than_workers_completes() {
+    let runner = Runner::new().with_workers(8);
+    let jobs: Vec<Job<'_, usize>> = (0..2)
+        .map(|k| Job::new(format!("j{k}"), move || k))
+        .collect();
+    let results = runner.run(jobs);
+    assert_eq!(results.len(), 2);
+    for (k, r) in results.iter().enumerate() {
+        assert_eq!(r.index, k);
+        assert_eq!(r.name, format!("j{k}"));
+        assert_eq!(*r.outcome.as_ref().unwrap(), k);
+    }
+}
+
+#[test]
+fn results_come_back_in_submission_order() {
+    // Earlier jobs sleep longer, so completion order is roughly the
+    // reverse of submission order — the batch must still come back
+    // submission-ordered.
+    let runner = Runner::new().with_workers(4);
+    let jobs: Vec<Job<'_, u64>> = (0..8u64)
+        .map(|k| {
+            Job::new(format!("sleepy {k}"), move || {
+                std::thread::sleep(Duration::from_millis((8 - k) * 3));
+                k * 10
+            })
+        })
+        .collect();
+    let results = runner.run(jobs);
+    let values: Vec<u64> = results.into_iter().map(|r| r.outcome.unwrap()).collect();
+    assert_eq!(values, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+}
+
+#[test]
+fn a_panicking_job_reports_an_error_and_the_batch_completes() {
+    for workers in [1, 4] {
+        let runner = Runner::new().with_workers(workers);
+        let jobs: Vec<Job<'_, u32>> = (0..5u32)
+            .map(|k| {
+                Job::new(format!("cell {k}"), move || {
+                    assert!(k != 2, "cell 2 exploded");
+                    k + 100
+                })
+            })
+            .collect();
+        let results = runner.run(jobs);
+        assert_eq!(results.len(), 5, "batch truncated with {workers} workers");
+        for (k, r) in results.iter().enumerate() {
+            if k == 2 {
+                let err = r.outcome.as_ref().unwrap_err();
+                assert_eq!(err.index, 2);
+                assert_eq!(err.job, "cell 2");
+                assert!(err.message.contains("cell 2 exploded"), "{}", err.message);
+                assert!(err.to_string().contains("cell 2"), "{err}");
+            } else {
+                assert_eq!(*r.outcome.as_ref().unwrap(), k as u32 + 100);
+            }
+        }
+    }
+}
+
+/// A sink that counts every hook invocation.
+#[derive(Debug, Default)]
+struct Counting {
+    started: AtomicUsize,
+    finished: AtomicUsize,
+    failed: AtomicUsize,
+    batches: AtomicUsize,
+}
+
+impl ProgressSink for Counting {
+    fn job_started(&self, _index: usize, _total: usize, _name: &str) {
+        self.started.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn job_finished(&self, _index: usize, _total: usize, _name: &str, ok: bool, _e: Duration) {
+        self.finished.fetch_add(1, Ordering::SeqCst);
+        if !ok {
+            self.failed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn batch_finished(&self, _total: usize, failed: usize, _e: Duration) {
+        self.batches.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(failed, self.failed.load(Ordering::SeqCst));
+    }
+}
+
+#[test]
+fn progress_sink_sees_every_job_exactly_once() {
+    let sink = Arc::new(Counting::default());
+    let observer = Arc::clone(&sink);
+
+    /// Forwards to a shared counting sink so the test can inspect it
+    /// after the runner consumed its boxed copy.
+    #[derive(Debug)]
+    struct Fwd(Arc<Counting>);
+    impl ProgressSink for Fwd {
+        fn job_started(&self, i: usize, t: usize, n: &str) {
+            self.0.job_started(i, t, n);
+        }
+        fn job_finished(&self, i: usize, t: usize, n: &str, ok: bool, e: Duration) {
+            self.0.job_finished(i, t, n, ok, e);
+        }
+        fn batch_finished(&self, t: usize, f: usize, e: Duration) {
+            self.0.batch_finished(t, f, e);
+        }
+    }
+
+    let runner = Runner::new()
+        .with_workers(3)
+        .with_progress(Box::new(Fwd(observer)));
+    let jobs: Vec<Job<'_, ()>> = (0..7)
+        .map(|k| {
+            Job::new(format!("p{k}"), move || {
+                assert!(k != 4, "p4 fails");
+            })
+        })
+        .collect();
+    let results = runner.run(jobs);
+    assert_eq!(results.iter().filter(|r| !r.is_ok()).count(), 1);
+    assert_eq!(sink.started.load(Ordering::SeqCst), 7);
+    assert_eq!(sink.finished.load(Ordering::SeqCst), 7);
+    assert_eq!(sink.failed.load(Ordering::SeqCst), 1);
+    assert_eq!(sink.batches.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn spec_batches_are_worker_count_invariant() {
+    // The nepsim-level determinism contract: simulating the same specs
+    // with 1 worker and with 4 produces bit-identical reports.
+    let specs: Vec<JobSpec> = (0..3)
+        .map(|k| JobSpec {
+            benchmark: xrun::Benchmark::Ipfwdr,
+            traffic: xrun::TrafficLevel::High,
+            policy: xrun::PolicySpec::NoDvs,
+            cycles: 120_000,
+            seed: derive_seed(9, k),
+        })
+        .collect();
+    let serial = Runner::serial().run_specs(&specs);
+    let parallel = Runner::new().with_workers(4).run_specs(&specs);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name);
+        let (s, p) = (s.outcome.as_ref().unwrap(), p.outcome.as_ref().unwrap());
+        assert_eq!(s.forwarded_packets, p.forwarded_packets);
+        assert_eq!(s.total_switches, p.total_switches);
+        assert_eq!(s.total_energy_uj().to_bits(), p.total_energy_uj().to_bits());
+    }
+}

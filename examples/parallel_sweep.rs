@@ -1,0 +1,59 @@
+//! Run the paper's TDVS grid on the `xrun` thread pool with live
+//! progress, then print the sweep table and both design optima.
+//!
+//! ```text
+//! cargo run --release -p abdex --example parallel_sweep
+//! ```
+//!
+//! Results are bit-identical to a serial run (`Runner::serial()` — try
+//! it); only the wall-clock changes.
+
+use abdex::nepsim::Benchmark;
+use abdex::sweep::try_sweep_tdvs;
+use abdex::tables::render_sweep;
+use abdex::traffic::TrafficLevel;
+use abdex::{optimal_tdvs, DesignPriority, ProgressMode, Runner, TdvsGrid};
+
+fn main() {
+    // Short cells so the example finishes quickly; pass-through to the
+    // paper's 8e6-cycle grid is just a bigger number here.
+    let cycles = 400_000;
+    let runner = Runner::new().with_progress_mode(ProgressMode::Line);
+    println!(
+        "sweeping {} TDVS cells on {} worker(s)...",
+        TdvsGrid::default().len(),
+        runner.workers()
+    );
+
+    let outcomes = try_sweep_tdvs(
+        &runner,
+        Benchmark::Ipfwdr,
+        TrafficLevel::High,
+        &TdvsGrid::default(),
+        cycles,
+        42,
+    );
+    let cells: Vec<_> = outcomes
+        .into_iter()
+        .filter_map(|outcome| match outcome {
+            Ok(cell) => Some(cell),
+            Err(e) => {
+                eprintln!("cell failed: {e}");
+                None
+            }
+        })
+        .collect();
+
+    println!("\n{}", render_sweep(&cells));
+    for (priority, label) in [
+        (DesignPriority::Performance, "performance"),
+        (DesignPriority::Power, "power"),
+    ] {
+        if let Some(best) = optimal_tdvs(&cells, priority) {
+            println!(
+                "optimal ({label}): threshold {} Mbps, window {} cycles",
+                best.threshold_mbps, best.window_cycles
+            );
+        }
+    }
+}
