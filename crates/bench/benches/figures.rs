@@ -5,7 +5,7 @@
 use abdex::compare::{compare_policies, ComparisonConfig};
 use abdex::dvs::EdvsConfig;
 use abdex::nepsim::Benchmark;
-use abdex::traffic::{DiurnalModel, TrafficLevel};
+use abdex::traffic::{DiurnalModel, TrafficLevel, TrafficSpec};
 use abdex::{sweep_tdvs, Experiment, PolicySpec, TdvsGrid};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -26,7 +26,13 @@ fn fig06_07_tdvs_cell(c: &mut Criterion) {
                 thresholds_mbps: vec![1000.0],
                 windows_cycles: vec![40_000],
             };
-            sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, CYCLES, 42)
+            sweep_tdvs(
+                Benchmark::Ipfwdr,
+                &TrafficLevel::High.into(),
+                &grid,
+                CYCLES,
+                42,
+            )
         });
     });
 }
@@ -38,7 +44,13 @@ fn fig08_09_surface(c: &mut Criterion) {
                 thresholds_mbps: vec![1000.0, 1400.0],
                 windows_cycles: vec![20_000, 80_000],
             };
-            let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, CYCLES, 42);
+            let cells = sweep_tdvs(
+                Benchmark::Ipfwdr,
+                &TrafficLevel::High.into(),
+                &grid,
+                CYCLES,
+                42,
+            );
             (
                 abdex::sweep::power_surface(&cells),
                 abdex::sweep::throughput_surface(&cells),
@@ -52,7 +64,7 @@ fn fig10_edvs(c: &mut Criterion) {
         b.iter(|| {
             Experiment {
                 benchmark: Benchmark::Ipfwdr,
-                traffic: TrafficLevel::High,
+                traffic: TrafficLevel::High.into(),
                 policy: PolicySpec::Edvs(EdvsConfig::default()),
                 cycles: CYCLES,
                 seed: 42,
@@ -69,7 +81,11 @@ fn fig11_comparison(c: &mut Criterion) {
                 cycles: CYCLES,
                 ..ComparisonConfig::default()
             };
-            compare_policies(&[Benchmark::Ipfwdr], &[TrafficLevel::High], &cfg)
+            compare_policies(
+                &[Benchmark::Ipfwdr],
+                &[TrafficSpec::Level(TrafficLevel::High)],
+                &cfg,
+            )
         });
     });
 }

@@ -55,7 +55,7 @@ fn bench_traffic_stream(c: &mut Criterion) {
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("generate_10k_packets", |b| {
         b.iter(|| {
-            let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 3));
+            let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High), 3);
             stream
                 .take(10_000)
                 .map(|p| u64::from(p.size_bytes))

@@ -15,7 +15,7 @@ fn main() {
     );
     let cells = sweep_edvs_idle_threshold(
         Benchmark::Ipfwdr,
-        TrafficLevel::High,
+        &TrafficLevel::High.into(),
         &thresholds,
         40_000,
         cycles,

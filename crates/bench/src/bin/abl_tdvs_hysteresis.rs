@@ -21,7 +21,7 @@ fn main() {
     );
     let cells = sweep_tdvs_hysteresis(
         Benchmark::Ipfwdr,
-        TrafficLevel::High,
+        &TrafficLevel::High.into(),
         base,
         &bands,
         cycles,

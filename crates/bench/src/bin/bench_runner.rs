@@ -34,7 +34,7 @@ fn main() {
     let specs: Vec<JobSpec> = (0..jobs)
         .map(|k| JobSpec {
             benchmark: Benchmark::Ipfwdr,
-            traffic: TrafficLevel::High,
+            traffic: TrafficLevel::High.into(),
             policy: PolicySpec::Tdvs(TdvsConfig {
                 top_threshold_mbps: thresholds[(k as usize) % thresholds.len()],
                 window_cycles: windows[(k as usize / thresholds.len()) % windows.len()],

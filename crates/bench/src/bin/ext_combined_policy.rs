@@ -35,7 +35,7 @@ fn main() {
         for (name, policy) in &policies {
             let r = Experiment {
                 benchmark: Benchmark::Ipfwdr,
-                traffic,
+                traffic: traffic.into(),
                 policy: policy.clone(),
                 cycles,
                 seed: FIG_SEED,

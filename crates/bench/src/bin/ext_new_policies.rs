@@ -31,7 +31,7 @@ fn main() {
         for spec in &specs {
             let r = Experiment {
                 benchmark: Benchmark::Ipfwdr,
-                traffic,
+                traffic: traffic.into(),
                 policy: spec.clone(),
                 cycles,
                 seed: FIG_SEED,

@@ -16,14 +16,14 @@ fn main() {
     );
     let cells = sweep_tdvs(
         Benchmark::Ipfwdr,
-        TrafficLevel::High,
+        &TrafficLevel::High.into(),
         &grid,
         cycles,
         FIG_SEED,
     );
     let baseline = Experiment {
         benchmark: Benchmark::Ipfwdr,
-        traffic: TrafficLevel::High,
+        traffic: TrafficLevel::High.into(),
         policy: PolicySpec::NoDvs,
         cycles,
         seed: FIG_SEED,

@@ -17,7 +17,7 @@ fn main() {
     );
     let cells = sweep_tdvs(
         Benchmark::Ipfwdr,
-        TrafficLevel::High,
+        &TrafficLevel::High.into(),
         &grid,
         cycles,
         FIG_SEED,

@@ -10,7 +10,7 @@ use abdex_bench::{cycles_from_args, FIG_SEED};
 fn run(policy: PolicySpec, cycles: u64) -> ExperimentResult {
     Experiment {
         benchmark: Benchmark::Ipfwdr,
-        traffic: TrafficLevel::High,
+        traffic: TrafficLevel::High.into(),
         policy,
         cycles,
         seed: FIG_SEED,

@@ -5,7 +5,7 @@ use abdex::compare::{compare_policies, ComparisonConfig};
 use abdex::dvs::PolicyKind;
 use abdex::nepsim::Benchmark;
 use abdex::tables::render_comparison;
-use abdex::traffic::TrafficLevel;
+use abdex::traffic::{TrafficLevel, TrafficSpec};
 use abdex_bench::{cycles_from_args, FIG_SEED};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
         "fig11: running {} cells at {cycles} cycles each...",
         Benchmark::ALL.len() * TrafficLevel::ALL.len() * 3
     );
-    let cmp = compare_policies(&Benchmark::ALL, &TrafficLevel::ALL, &cfg);
+    let cmp = compare_policies(&Benchmark::ALL, &TrafficSpec::paper_levels(), &cfg);
 
     // The 12 subplots: per benchmark x traffic, a power CDF over the
     // paper's 0.4..1.8 W axis.
@@ -35,7 +35,9 @@ fn main() {
                 let x = 0.4 + 0.2 * f64::from(k);
                 print!("{x:>8.1}");
                 for kind in [PolicyKind::NoDvs, PolicyKind::Edvs, PolicyKind::Tdvs] {
-                    let row = cmp.row(benchmark, traffic, kind).expect("row exists");
+                    let row = cmp
+                        .row(benchmark, &traffic.into(), kind)
+                        .expect("row exists");
                     print!(" {:>8.3}", row.result.power.fraction_le(x));
                 }
                 println!();

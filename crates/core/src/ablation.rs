@@ -9,7 +9,7 @@
 use dvs::{EdvsConfig, TdvsConfig};
 use nepsim::{Benchmark, PolicySpec};
 use serde::{Deserialize, Serialize};
-use traffic::TrafficLevel;
+use traffic::TrafficSpec;
 use xrun::{JobError, Runner};
 
 use crate::experiment::{expect_cells, run_experiments, Experiment, ExperimentResult};
@@ -34,13 +34,13 @@ pub struct AblationCell {
 /// use abdex::traffic::TrafficLevel;
 ///
 /// let cells = sweep_edvs_idle_threshold(
-///     Benchmark::Ipfwdr, TrafficLevel::High, &[0.05, 0.10], 40_000, 200_000, 1);
+///     Benchmark::Ipfwdr, &TrafficLevel::High.into(), &[0.05, 0.10], 40_000, 200_000, 1);
 /// assert_eq!(cells.len(), 2);
 /// ```
 #[must_use]
 pub fn sweep_edvs_idle_threshold(
     benchmark: Benchmark,
-    traffic: TrafficLevel,
+    traffic: &TrafficSpec,
     thresholds: &[f64],
     window_cycles: u64,
     cycles: u64,
@@ -63,7 +63,7 @@ pub fn sweep_edvs_idle_threshold(
 pub fn try_sweep_edvs_idle_threshold(
     runner: &Runner,
     benchmark: Benchmark,
-    traffic: TrafficLevel,
+    traffic: &TrafficSpec,
     thresholds: &[f64],
     window_cycles: u64,
     cycles: u64,
@@ -73,7 +73,7 @@ pub fn try_sweep_edvs_idle_threshold(
         .iter()
         .map(|&idle_threshold| Experiment {
             benchmark,
-            traffic,
+            traffic: traffic.clone(),
             policy: PolicySpec::Edvs(EdvsConfig {
                 idle_threshold,
                 window_cycles,
@@ -90,7 +90,7 @@ pub fn try_sweep_edvs_idle_threshold(
 #[must_use]
 pub fn sweep_tdvs_hysteresis(
     benchmark: Benchmark,
-    traffic: TrafficLevel,
+    traffic: &TrafficSpec,
     base: TdvsConfig,
     bands: &[f64],
     cycles: u64,
@@ -113,7 +113,7 @@ pub fn sweep_tdvs_hysteresis(
 pub fn try_sweep_tdvs_hysteresis(
     runner: &Runner,
     benchmark: Benchmark,
-    traffic: TrafficLevel,
+    traffic: &TrafficSpec,
     base: TdvsConfig,
     bands: &[f64],
     cycles: u64,
@@ -129,7 +129,7 @@ pub fn try_sweep_tdvs_hysteresis(
             };
             Experiment {
                 benchmark,
-                traffic,
+                traffic: traffic.clone(),
                 policy,
                 cycles,
                 seed,
@@ -176,6 +176,7 @@ pub fn render_ablation(cells: &[AblationCell], parameter_label: &str) -> String 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use traffic::TrafficLevel;
 
     const CYCLES: u64 = 1_200_000;
 
@@ -184,7 +185,7 @@ mod tests {
         // A lower idle threshold scales down more eagerly => less power.
         let cells = sweep_edvs_idle_threshold(
             Benchmark::Ipfwdr,
-            TrafficLevel::High,
+            &TrafficLevel::High.into(),
             &[0.05, 0.40],
             40_000,
             CYCLES,
@@ -204,7 +205,7 @@ mod tests {
         };
         let cells = sweep_tdvs_hysteresis(
             Benchmark::Ipfwdr,
-            TrafficLevel::High,
+            &TrafficLevel::High.into(),
             base,
             &[0.0, 0.15],
             CYCLES,
@@ -222,7 +223,7 @@ mod tests {
     fn render_lists_all_cells() {
         let cells = sweep_edvs_idle_threshold(
             Benchmark::Nat,
-            TrafficLevel::Low,
+            &TrafficLevel::Low.into(),
             &[0.10],
             40_000,
             200_000,

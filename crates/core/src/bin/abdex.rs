@@ -2,19 +2,25 @@
 //!
 //! ```text
 //! abdex run      --benchmark ipfwdr --traffic high --policy queue:high=0.8 [--cycles N]
+//! abdex run      --traffic burst:on_mbps=1800,off_mbps=120,period_s=2
 //! abdex sweep    --benchmark ipfwdr --traffic high [--cycles N] [--seed S] [--jobs N]
 //! abdex sweep    --policies "nodvs;tdvs:threshold=1400;proportional:kp=6"
-//! abdex compare  [--cycles N] [--seed S] [--jobs N] [--progress dot] [--json FILE]
+//! abdex sweep    --traffics "low;burst;flash:peak_mbps=2000" [--policy tdvs]
+//! abdex compare  [--traffics "low;high;flash"] [--cycles N] [--jobs N] [--json FILE]
 //! abdex policies
+//! abdex traffics
 //! abdex trace    --benchmark url --traffic medium [--cycles N] [--out FILE]
 //! abdex check    --formula "cycle(deq[i]) - cycle(enq[i]) <= 50" --trace FILE
 //! abdex analyze  --formula "... dist== (a, b, s)" --trace FILE
 //! abdex codegen  --formula "..."
 //! ```
 //!
-//! `--policy` accepts the full spec grammar `name[:key=val,...]` of
-//! [`PolicySpec::parse`]; `abdex policies` lists every registered policy
-//! with its parameters.
+//! `--policy` and `--traffic` accept the full spec grammar
+//! `name[:key=val,...]` of [`PolicySpec::parse`] and
+//! [`TrafficSpec::parse`]; `abdex policies` / `abdex traffics` list
+//! every registered policy and traffic model with their parameters.
+//! Names are case-insensitive; `low|medium|high` remain shorthands for
+//! the paper's traffic levels.
 //!
 //! Sweeps and comparisons execute on the [`xrun`] thread pool: `--jobs`
 //! picks the worker count (default: one per CPU; results are
@@ -27,14 +33,17 @@ use std::process::ExitCode;
 
 use abdex::compare::{try_compare_policies, ComparisonConfig};
 use abdex::experiment::partition_cells;
-use abdex::json::{comparison_json, experiment_json, spec_sweep_json, tdvs_sweep_json};
+use abdex::json::{
+    comparison_json, experiment_json, spec_sweep_json, tdvs_sweep_json, traffic_sweep_json,
+};
 use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
-use abdex::sweep::{try_sweep_specs, try_sweep_tdvs};
-use abdex::tables::{render_comparison, render_spec_sweep, render_surface, render_sweep};
-use abdex::traffic::TrafficLevel;
+use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
+use abdex::tables::{
+    render_comparison, render_spec_sweep, render_surface, render_sweep, render_traffic_sweep,
+};
 use abdex::{
     optimal_tdvs, DesignPriority, Experiment, JobError, PolicyRegistry, PolicySpec, ProgressMode,
-    Runner, TdvsGrid, PAPER_RUN_CYCLES,
+    Runner, TdvsGrid, TrafficRegistry, TrafficSpec, PAPER_RUN_CYCLES,
 };
 use loc::{parse, Analyzer, Checker, Trace};
 
@@ -42,12 +51,19 @@ const USAGE: &str = "\
 abdex — assertion-based design exploration of DVS in NPU architectures
 
 USAGE:
-    abdex <run|sweep|compare|policies|trace|check|analyze|codegen> [OPTIONS]
+    abdex <run|sweep|compare|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
 
 OPTIONS (where applicable):
     --benchmark <ipfwdr|url|nat|md4>   benchmark application [ipfwdr]
-    --traffic   <low|medium|high>      traffic level [high]
-    --policy    <spec>                 DVS policy spec (run) [nodvs]
+    --traffic   <spec>                 traffic-model spec [high]
+                                       grammar: name[:key=val,...], e.g.
+                                       burst:on_mbps=1800,off_mbps=120
+                                       (low|medium|high = paper levels;
+                                       see `abdex traffics` for names/keys)
+    --traffics  <spec;spec;...>        traffic-spec sweep list (sweep,
+                                       compare)
+    --policy    <spec>                 DVS policy spec (run; also fixes the
+                                       policy of sweep --traffics) [nodvs]
                                        grammar: name[:key=val,...], e.g.
                                        tdvs:threshold=1400,window=40000
                                        (see `abdex policies` for names/keys)
@@ -104,6 +120,8 @@ fn main() -> ExitCode {
             &[
                 "benchmark",
                 "traffic",
+                "traffics",
+                "policy",
                 "policies",
                 "cycles",
                 "seed",
@@ -113,9 +131,13 @@ fn main() -> ExitCode {
             ],
         )
         .and_then(|()| cmd_sweep(&opts)),
-        "compare" => check_opts(&opts, &["cycles", "seed", "jobs", "progress", "json"])
-            .and_then(|()| cmd_compare(&opts)),
+        "compare" => check_opts(
+            &opts,
+            &["traffics", "cycles", "seed", "jobs", "progress", "json"],
+        )
+        .and_then(|()| cmd_compare(&opts)),
         "policies" => check_opts(&opts, &[]).and_then(|()| cmd_policies()),
+        "traffics" => check_opts(&opts, &[]).and_then(|()| cmd_traffics()),
         "trace" => check_opts(&opts, &["benchmark", "traffic", "cycles", "seed", "out"])
             .and_then(|()| cmd_trace(&opts)),
         "check" => check_opts(&opts, &["formula", "trace"]).and_then(|()| cmd_check(&opts)),
@@ -167,22 +189,35 @@ fn check_opts(opts: &Opts, allowed: &[&str]) -> Result<(), String> {
 }
 
 fn benchmark(opts: &Opts) -> Result<Benchmark, String> {
-    match opts.get("benchmark").map(String::as_str) {
-        None | Some("ipfwdr") => Ok(Benchmark::Ipfwdr),
-        Some("url") => Ok(Benchmark::Url),
-        Some("nat") => Ok(Benchmark::Nat),
-        Some("md4") => Ok(Benchmark::Md4),
-        Some(other) => Err(format!("unknown benchmark '{other}'")),
+    match opts.get("benchmark") {
+        None => Ok(Benchmark::Ipfwdr),
+        // Case-insensitive; the error lists every known benchmark.
+        Some(name) => name.parse(),
     }
 }
 
-fn traffic(opts: &Opts) -> Result<TrafficLevel, String> {
-    match opts.get("traffic").map(String::as_str) {
-        Some("low") => Ok(TrafficLevel::Low),
-        Some("medium") => Ok(TrafficLevel::Medium),
-        None | Some("high") => Ok(TrafficLevel::High),
-        Some(other) => Err(format!("unknown traffic level '{other}'")),
+fn traffic(opts: &Opts) -> Result<TrafficSpec, String> {
+    match opts.get("traffic") {
+        None => Ok(TrafficSpec::parse("high").expect("builtin level")),
+        Some(spec) => parse_traffic(spec),
     }
+}
+
+/// Parses a traffic spec and preflights that its model actually builds
+/// (a `trace:` file is read here), so a bad spec fails in milliseconds
+/// instead of panicking mid-batch.
+fn parse_traffic(spec: &str) -> Result<TrafficSpec, String> {
+    let spec = TrafficSpec::parse(spec).map_err(|e| e.to_string())?;
+    spec.model().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// Parses a `spec;spec;...` list with the given per-item parser.
+fn spec_list<T>(list: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
+    list.split(';')
+        .filter(|s| !s.trim().is_empty())
+        .map(parse)
+        .collect()
 }
 
 fn number<T: std::str::FromStr>(opts: &Opts, name: &str, default: T) -> Result<T, String> {
@@ -305,9 +340,9 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
-    // Validate every flag — including the optional `--policies` spec
-    // list — before preflight_json touches the disk, so a bad option
-    // never leaves a stray empty output file.
+    // Validate every flag — including the optional spec lists — before
+    // preflight_json touches the disk, so a bad option never leaves a
+    // stray empty output file.
     let pool = runner(opts)?;
     let bench = benchmark(opts)?;
     let level = traffic(opts)?;
@@ -315,23 +350,50 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let seed = number(opts, "seed", 42)?;
     let specs: Option<Vec<PolicySpec>> = opts
         .get("policies")
-        .map(|list| {
-            list.split(';')
-                .filter(|s| !s.trim().is_empty())
-                .map(|s| PolicySpec::parse(s).map_err(|e| e.to_string()))
-                .collect::<Result<Vec<_>, _>>()
-        })
+        .map(|list| spec_list(list, |s| PolicySpec::parse(s).map_err(|e| e.to_string())))
         .transpose()?;
     if specs.as_ref().is_some_and(Vec::is_empty) {
         return Err("--policies needs at least one spec".to_owned());
     }
+    let traffics: Option<Vec<TrafficSpec>> = opts
+        .get("traffics")
+        .map(|list| spec_list(list, parse_traffic))
+        .transpose()?;
+    if traffics.as_ref().is_some_and(Vec::is_empty) {
+        return Err("--traffics needs at least one spec".to_owned());
+    }
+    if specs.is_some() && traffics.is_some() {
+        return Err("pick one sweep axis: --policies or --traffics".to_owned());
+    }
+    // `--policy` fixes the policy of a traffic sweep and nothing else;
+    // `--traffic` fixes the traffic of the policy/TDVS sweeps. Reject
+    // the combinations that would be silently ignored.
+    if opts.contains_key("policy") && traffics.is_none() {
+        return Err(
+            "--policy only applies with --traffics; use --policies for a policy sweep".to_owned(),
+        );
+    }
+    if opts.contains_key("traffic") && traffics.is_some() {
+        return Err("--traffic does not apply with --traffics (the list is the axis)".to_owned());
+    }
     preflight_json(opts)?;
+
+    // A `--traffics` list sweeps the traffic axis under one policy.
+    if let Some(traffics) = traffics {
+        let policy = policy(opts)?;
+        let (cells, errors) = partition_cells(try_sweep_traffics(
+            &pool, bench, &traffics, &policy, cycles, seed,
+        ));
+        println!("{}", render_traffic_sweep(&cells));
+        let json = write_json(opts, || traffic_sweep_json(&cells, &errors));
+        return finish_batch(json, errors);
+    }
 
     // A `--policies` list runs a policy-spec sweep instead of the
     // paper's TDVS threshold x window grid.
     if let Some(specs) = specs {
         let (cells, errors) =
-            partition_cells(try_sweep_specs(&pool, bench, level, &specs, cycles, seed));
+            partition_cells(try_sweep_specs(&pool, bench, &level, &specs, cycles, seed));
         println!("{}", render_spec_sweep(&cells));
         let json = write_json(opts, || spec_sweep_json(&cells, &errors));
         return finish_batch(json, errors);
@@ -340,7 +402,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let (cells, errors) = partition_cells(try_sweep_tdvs(
         &pool,
         bench,
-        level,
+        &level,
         &TdvsGrid::default(),
         cycles,
         seed,
@@ -378,9 +440,20 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         seed: number(opts, "seed", 42)?,
         ..ComparisonConfig::default()
     };
+    // The paper's three levels by default; any spec list on demand.
+    let traffics: Vec<TrafficSpec> = match opts.get("traffics") {
+        None => TrafficSpec::paper_levels().to_vec(),
+        Some(list) => {
+            let traffics = spec_list(list, parse_traffic)?;
+            if traffics.is_empty() {
+                return Err("--traffics needs at least one spec".to_owned());
+            }
+            traffics
+        }
+    };
     let pool = runner(opts)?;
     preflight_json(opts)?;
-    let (cmp, errors) = try_compare_policies(&pool, &Benchmark::ALL, &TrafficLevel::ALL, &cfg);
+    let (cmp, errors) = try_compare_policies(&pool, &Benchmark::ALL, &traffics, &cfg);
     println!("{}", render_comparison(&cmp));
     let json = write_json(opts, || comparison_json(&cmp, &errors));
     finish_batch(json, errors)
@@ -402,6 +475,24 @@ fn cmd_policies() -> Result<(), String> {
             info.summary,
             aliases
         );
+        for p in info.params {
+            println!("    {:<12} [{}] {}", p.key, p.default, p.help);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_traffics() -> Result<(), String> {
+    let registry = TrafficRegistry::builtin();
+    println!("registered traffic models (spec grammar: name[:key=val,...]):\n");
+    for info in registry.infos() {
+        let aliases = if info.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", info.aliases.join(", "))
+        };
+        println!("{:<14} {}{}", info.name, info.summary, aliases);
         for p in info.params {
             println!("    {:<12} [{}] {}", p.key, p.default, p.help);
         }

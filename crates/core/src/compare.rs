@@ -1,12 +1,14 @@
-//! Policy comparison across benchmarks and traffic levels (paper §4.3,
-//! Fig. 11), extended with every other registered policy family.
+//! Policy comparison across benchmarks and traffic specs (paper §4.3,
+//! Fig. 11), extended with every other registered policy family — and,
+//! through [`TrafficSpec`], with any registered traffic model on the
+//! traffic axis.
 
 use dvs::{
     CombinedConfig, EdvsConfig, PolicyKind, ProportionalConfig, QueueAwareConfig, TdvsConfig,
 };
 use nepsim::{Benchmark, PolicySpec};
 use serde::{Deserialize, Serialize};
-use traffic::TrafficLevel;
+use traffic::TrafficSpec;
 use xrun::{JobError, Runner};
 
 use crate::experiment::{run_experiments, Experiment, ExperimentResult};
@@ -17,8 +19,8 @@ use crate::experiment::{run_experiments, Experiment, ExperimentResult};
 pub struct ComparisonRow {
     /// Benchmark application.
     pub benchmark: Benchmark,
-    /// Traffic level.
-    pub traffic: TrafficLevel,
+    /// Traffic-model spec.
+    pub traffic: TrafficSpec,
     /// Policy family that ran.
     pub policy: PolicyKind,
     /// The evaluated experiment.
@@ -102,16 +104,16 @@ impl ComparisonConfig {
 /// use abdex::traffic::TrafficLevel;
 ///
 /// let cfg = ComparisonConfig { cycles: 150_000, ..ComparisonConfig::default() };
-/// let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
+/// let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low.into()], &cfg);
 /// assert_eq!(cmp.rows.len(), 6); // one per policy family
 /// ```
 #[must_use]
 pub fn compare_policies(
     benchmarks: &[Benchmark],
-    levels: &[TrafficLevel],
+    traffics: &[TrafficSpec],
     config: &ComparisonConfig,
 ) -> PolicyComparison {
-    let (cmp, errors) = try_compare_policies(&Runner::new(), benchmarks, levels, config);
+    let (cmp, errors) = try_compare_policies(&Runner::new(), benchmarks, traffics, config);
     crate::experiment::assert_no_failures(&errors);
     cmp
 }
@@ -126,18 +128,18 @@ pub fn compare_policies(
 pub fn try_compare_policies(
     runner: &Runner,
     benchmarks: &[Benchmark],
-    levels: &[TrafficLevel],
+    traffics: &[TrafficSpec],
     config: &ComparisonConfig,
 ) -> (PolicyComparison, Vec<JobError>) {
     let mut keys = Vec::new();
     let mut experiments = Vec::new();
     for &benchmark in benchmarks {
-        for &traffic in levels {
+        for traffic in traffics {
             for policy in config.policies() {
-                keys.push((benchmark, traffic, policy.kind()));
+                keys.push((benchmark, traffic.clone(), policy.kind()));
                 experiments.push(Experiment {
                     benchmark,
-                    traffic,
+                    traffic: traffic.clone(),
                     policy,
                     cycles: config.cycles,
                     seed: config.seed,
@@ -169,12 +171,12 @@ impl PolicyComparison {
     pub fn row(
         &self,
         benchmark: Benchmark,
-        traffic: TrafficLevel,
+        traffic: &TrafficSpec,
         policy: PolicyKind,
     ) -> Option<&ComparisonRow> {
         self.rows
             .iter()
-            .find(|r| r.benchmark == benchmark && r.traffic == traffic && r.policy == policy)
+            .find(|r| r.benchmark == benchmark && &r.traffic == traffic && r.policy == policy)
     }
 
     /// Power saving of `policy` relative to the noDVS baseline for a
@@ -184,7 +186,7 @@ impl PolicyComparison {
     pub fn power_saving(
         &self,
         benchmark: Benchmark,
-        traffic: TrafficLevel,
+        traffic: &TrafficSpec,
         policy: PolicyKind,
     ) -> Option<f64> {
         let base = self.row(benchmark, traffic, PolicyKind::NoDvs)?;
@@ -200,7 +202,7 @@ impl PolicyComparison {
     pub fn throughput_loss(
         &self,
         benchmark: Benchmark,
-        traffic: TrafficLevel,
+        traffic: &TrafficSpec,
         policy: PolicyKind,
     ) -> Option<f64> {
         let base = self.row(benchmark, traffic, PolicyKind::NoDvs)?;
@@ -214,13 +216,19 @@ impl PolicyComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use traffic::TrafficLevel;
+
+    fn spec(level: TrafficLevel) -> TrafficSpec {
+        TrafficSpec::Level(level)
+    }
 
     fn quick_cmp(benchmarks: &[Benchmark], levels: &[TrafficLevel]) -> PolicyComparison {
         let cfg = ComparisonConfig {
             cycles: 1_200_000,
             ..ComparisonConfig::default()
         };
-        compare_policies(benchmarks, levels, &cfg)
+        let traffics: Vec<TrafficSpec> = levels.iter().copied().map(spec).collect();
+        compare_policies(benchmarks, &traffics, &cfg)
     }
 
     #[test]
@@ -239,7 +247,8 @@ mod tests {
             PolicyKind::Proportional,
         ] {
             assert!(
-                cmp.row(Benchmark::Nat, TrafficLevel::Low, kind).is_some(),
+                cmp.row(Benchmark::Nat, &spec(TrafficLevel::Low), kind)
+                    .is_some(),
                 "missing {kind} row"
             );
         }
@@ -251,7 +260,11 @@ mod tests {
         // The queue-aware policy sees a near-empty FIFO under light load
         // and must save power against the baseline.
         let qdvs = cmp
-            .power_saving(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyKind::QueueAware)
+            .power_saving(
+                Benchmark::Ipfwdr,
+                &spec(TrafficLevel::Low),
+                PolicyKind::QueueAware,
+            )
             .unwrap();
         assert!(qdvs > 0.05, "QDVS saving only {qdvs:.3}");
         // The PI controller may not beat the baseline everywhere, but it
@@ -259,7 +272,7 @@ mod tests {
         let pdvs = cmp
             .power_saving(
                 Benchmark::Ipfwdr,
-                TrafficLevel::Low,
+                &spec(TrafficLevel::Low),
                 PolicyKind::Proportional,
             )
             .unwrap();
@@ -272,7 +285,7 @@ mod tests {
         // traffic pattern".
         let cmp = quick_cmp(&[Benchmark::Nat], &[TrafficLevel::High]);
         let saving = cmp
-            .power_saving(Benchmark::Nat, TrafficLevel::High, PolicyKind::Edvs)
+            .power_saving(Benchmark::Nat, &spec(TrafficLevel::High), PolicyKind::Edvs)
             .unwrap();
         assert!(saving < 0.03, "nat EDVS saving {saving:.3}");
     }
@@ -281,7 +294,11 @@ mod tests {
     fn ipfwdr_gets_edvs_savings_at_high_traffic() {
         let cmp = quick_cmp(&[Benchmark::Ipfwdr], &[TrafficLevel::High]);
         let saving = cmp
-            .power_saving(Benchmark::Ipfwdr, TrafficLevel::High, PolicyKind::Edvs)
+            .power_saving(
+                Benchmark::Ipfwdr,
+                &spec(TrafficLevel::High),
+                PolicyKind::Edvs,
+            )
             .unwrap();
         assert!(saving > 0.05, "ipfwdr EDVS saving only {saving:.3}");
     }
@@ -294,10 +311,18 @@ mod tests {
             &[TrafficLevel::Low, TrafficLevel::High],
         );
         let low = cmp
-            .power_saving(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyKind::Tdvs)
+            .power_saving(
+                Benchmark::Ipfwdr,
+                &spec(TrafficLevel::Low),
+                PolicyKind::Tdvs,
+            )
             .unwrap();
         let high = cmp
-            .power_saving(Benchmark::Ipfwdr, TrafficLevel::High, PolicyKind::Tdvs)
+            .power_saving(
+                Benchmark::Ipfwdr,
+                &spec(TrafficLevel::High),
+                PolicyKind::Tdvs,
+            )
             .unwrap();
         assert!(low > high, "low-traffic saving {low:.3} !> high {high:.3}");
     }
@@ -306,10 +331,10 @@ mod tests {
     fn missing_rows_return_none() {
         let cmp = quick_cmp(&[Benchmark::Nat], &[TrafficLevel::Low]);
         assert!(cmp
-            .row(Benchmark::Md4, TrafficLevel::Low, PolicyKind::NoDvs)
+            .row(Benchmark::Md4, &spec(TrafficLevel::Low), PolicyKind::NoDvs)
             .is_none());
         assert!(cmp
-            .power_saving(Benchmark::Md4, TrafficLevel::Low, PolicyKind::Tdvs)
+            .power_saving(Benchmark::Md4, &spec(TrafficLevel::Low), PolicyKind::Tdvs)
             .is_none());
     }
 }

@@ -3,7 +3,7 @@
 use loc::{AnalyzerBank, DistributionReport};
 use nepsim::{Benchmark, NpuConfig, PolicySpec, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
-use traffic::TrafficLevel;
+use traffic::TrafficSpec;
 use xrun::{Job, JobError, JobSpec, Runner};
 
 use crate::formulas::{power_distribution, throughput_distribution, PACKET_WINDOW};
@@ -18,8 +18,8 @@ pub const PAPER_RUN_CYCLES: u64 = 8_000_000;
 pub struct Experiment {
     /// Benchmark application (§3.1).
     pub benchmark: Benchmark,
-    /// Traffic sampling period (§3.2).
-    pub traffic: TrafficLevel,
+    /// Traffic-model spec (§3.2): a paper level or any registered model.
+    pub traffic: TrafficSpec,
     /// DVS policy and parameters.
     pub policy: PolicySpec,
     /// Base-clock cycles to simulate ([`PAPER_RUN_CYCLES`] in the paper).
@@ -34,7 +34,7 @@ impl Experiment {
     pub fn paper_default(policy: PolicySpec) -> Self {
         Experiment {
             benchmark: Benchmark::Ipfwdr,
-            traffic: TrafficLevel::High,
+            traffic: traffic::TrafficLevel::High.into(),
             policy,
             cycles: PAPER_RUN_CYCLES,
             seed: 42,
@@ -47,7 +47,7 @@ impl Experiment {
     pub fn job_spec(&self) -> JobSpec {
         JobSpec {
             benchmark: self.benchmark,
-            traffic: self.traffic,
+            traffic: self.traffic.clone(),
             policy: self.policy.clone(),
             cycles: self.cycles,
             seed: self.seed,
@@ -230,7 +230,7 @@ mod tests {
     fn quick(policy: PolicySpec) -> ExperimentResult {
         Experiment {
             benchmark: Benchmark::Ipfwdr,
-            traffic: TrafficLevel::High,
+            traffic: traffic::TrafficLevel::High.into(),
             policy,
             cycles: 1_500_000,
             seed: 9,
@@ -295,7 +295,7 @@ mod tests {
             .into_iter()
             .map(|policy| Experiment {
                 benchmark: Benchmark::Ipfwdr,
-                traffic: TrafficLevel::High,
+                traffic: traffic::TrafficLevel::High.into(),
                 policy,
                 cycles: 400_000,
                 seed: 11,

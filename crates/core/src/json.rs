@@ -13,7 +13,21 @@ use xrun::JobError;
 
 use crate::compare::PolicyComparison;
 use crate::experiment::ExperimentResult;
-use crate::sweep::{GridCell, SpecCell};
+use crate::sweep::{GridCell, SpecCell, TrafficCell};
+
+/// Version of the hand-rolled `--json` schema. Bump whenever a document's
+/// shape or field semantics change; every document carries it as
+/// `"schema_version"` so downstream tooling can refuse input it does not
+/// understand instead of misreading it.
+///
+/// History: **1** — the PR-2 documents (`experiment`, `tdvs_sweep`,
+/// `spec_sweep`, `policy_comparison`), no version field. **2** — the
+/// version field itself; `"traffic"` holds a [`TrafficSpec`] spec string
+/// (a paper level renders as `low`/`medium`/`high` exactly as before);
+/// new `traffic_sweep` document.
+///
+/// [`TrafficSpec`]: traffic::TrafficSpec
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Escapes a string for a JSON string literal (without the quotes).
 fn escape(s: &str) -> String {
@@ -120,7 +134,7 @@ fn result_fields(obj: Obj, r: &ExperimentResult) -> Obj {
         .int("forwarded_packets", r.sim.forwarded_packets)
         .finish();
     obj.str("benchmark", &e.benchmark.to_string())
-        .str("traffic", &e.traffic.to_string())
+        .str("traffic", &e.traffic.spec_string())
         .str("policy", &e.policy.spec_string())
         .int("cycles", e.cycles)
         .int("seed", e.seed)
@@ -149,7 +163,13 @@ fn failure_fields(obj: Obj, failures: &[JobError]) -> Obj {
 /// (`"kind": "experiment"`).
 #[must_use]
 pub fn experiment_json(r: &ExperimentResult) -> String {
-    result_fields(Obj::new().str("kind", "experiment"), r).finish()
+    result_fields(
+        Obj::new()
+            .int("schema_version", SCHEMA_VERSION)
+            .str("kind", "experiment"),
+        r,
+    )
+    .finish()
 }
 
 /// Renders a TDVS threshold × window sweep as a JSON document
@@ -171,6 +191,7 @@ pub fn tdvs_sweep_json(cells: &[GridCell], failures: &[JobError]) -> String {
         .collect();
     failure_fields(
         Obj::new()
+            .int("schema_version", SCHEMA_VERSION)
             .str("kind", "tdvs_sweep")
             .int("cells", rendered.len() as u64)
             .raw("grid", &array(&rendered)),
@@ -196,7 +217,30 @@ pub fn spec_sweep_json(cells: &[SpecCell], failures: &[JobError]) -> String {
         .collect();
     failure_fields(
         Obj::new()
+            .int("schema_version", SCHEMA_VERSION)
             .str("kind", "spec_sweep")
+            .int("cells", rendered.len() as u64)
+            .raw("grid", &array(&rendered)),
+        failures,
+    )
+    .finish()
+}
+
+/// Renders a traffic-model sweep as a JSON document
+/// (`"kind": "traffic_sweep"`), one cell per completed traffic spec in
+/// list order plus one `failures` entry per panicked cell. The cell's
+/// `"traffic"` field holds the exact round-trippable spec string;
+/// `"traffic_model"` its registry name.
+#[must_use]
+pub fn traffic_sweep_json(cells: &[TrafficCell], failures: &[JobError]) -> String {
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|c| result_fields(Obj::new().str("traffic_model", c.spec.name()), &c.result).finish())
+        .collect();
+    failure_fields(
+        Obj::new()
+            .int("schema_version", SCHEMA_VERSION)
+            .str("kind", "traffic_sweep")
             .int("cells", rendered.len() as u64)
             .raw("grid", &array(&rendered)),
         failures,
@@ -214,8 +258,8 @@ pub fn comparison_json(cmp: &PolicyComparison, failures: &[JobError]) -> String 
         .rows
         .iter()
         .map(|row| {
-            let saving = cmp.power_saving(row.benchmark, row.traffic, row.policy);
-            let loss = cmp.throughput_loss(row.benchmark, row.traffic, row.policy);
+            let saving = cmp.power_saving(row.benchmark, &row.traffic, row.policy);
+            let loss = cmp.throughput_loss(row.benchmark, &row.traffic, row.policy);
             result_fields(
                 Obj::new()
                     .num("saving_vs_nodvs", saving.unwrap_or(f64::NAN))
@@ -227,6 +271,7 @@ pub fn comparison_json(cmp: &PolicyComparison, failures: &[JobError]) -> String 
         .collect();
     failure_fields(
         Obj::new()
+            .int("schema_version", SCHEMA_VERSION)
             .str("kind", "policy_comparison")
             .int("rows", rendered.len() as u64)
             .raw("table", &array(&rendered)),
@@ -239,10 +284,10 @@ pub fn comparison_json(cmp: &PolicyComparison, failures: &[JobError]) -> String 
 mod tests {
     use super::*;
     use crate::compare::{compare_policies, ComparisonConfig};
-    use crate::sweep::{sweep_specs, sweep_tdvs, TdvsGrid};
+    use crate::sweep::{sweep_specs, sweep_tdvs, sweep_traffics, TdvsGrid};
     use crate::{Experiment, PolicySpec};
     use nepsim::Benchmark;
-    use traffic::TrafficLevel;
+    use traffic::{TrafficLevel, TrafficSpec};
 
     /// A tiny structural validator: checks quotes/brace/bracket balance
     /// outside string literals — enough to catch malformed output
@@ -295,7 +340,7 @@ mod tests {
     fn experiment_document_has_the_schema() {
         let r = Experiment {
             benchmark: Benchmark::Nat,
-            traffic: TrafficLevel::Low,
+            traffic: TrafficLevel::Low.into(),
             policy: PolicySpec::NoDvs,
             cycles: 150_000,
             seed: 3,
@@ -304,6 +349,7 @@ mod tests {
         let json = experiment_json(&r);
         assert_balanced(&json);
         for key in [
+            "\"schema_version\":2",
             "\"kind\":\"experiment\"",
             "\"benchmark\":\"nat\"",
             "\"traffic\":\"low\"",
@@ -325,10 +371,17 @@ mod tests {
             thresholds_mbps: vec![1000.0],
             windows_cycles: vec![20_000, 40_000],
         };
-        let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::Medium, &grid, 200_000, 1);
+        let cells = sweep_tdvs(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Medium.into(),
+            &grid,
+            200_000,
+            1,
+        );
         let json = tdvs_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"tdvs_sweep\""));
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"cells\":2"));
         assert!(json.contains("\"failed\":0"));
         assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
@@ -337,7 +390,13 @@ mod tests {
             .iter()
             .map(|s| s.parse().unwrap())
             .collect();
-        let cells = sweep_specs(Benchmark::Ipfwdr, TrafficLevel::Low, &specs, 200_000, 1);
+        let cells = sweep_specs(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Low.into(),
+            &specs,
+            200_000,
+            1,
+        );
         let json = spec_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"spec_sweep\""));
@@ -360,15 +419,37 @@ mod tests {
     }
 
     #[test]
+    fn traffic_sweep_document_records_the_specs() {
+        let traffics: Vec<TrafficSpec> = ["low", "constant:rate=500,size=576,ports=16"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = sweep_traffics(Benchmark::Ipfwdr, &traffics, &PolicySpec::NoDvs, 200_000, 1);
+        let json = traffic_sweep_json(&cells, &[]);
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\":\"traffic_sweep\""), "{json}");
+        assert!(json.contains("\"schema_version\":2"), "{json}");
+        assert!(json.contains("\"cells\":2"), "{json}");
+        // The exact spec string round-trips through the document.
+        assert!(
+            json.contains("\"traffic\":\"constant:rate=500,size=576,ports=16\""),
+            "{json}"
+        );
+        assert!(json.contains("\"traffic_model\":\"constant\""), "{json}");
+        assert!(json.contains("\"traffic\":\"low\""), "{json}");
+    }
+
+    #[test]
     fn comparison_document_carries_savings() {
         let cfg = ComparisonConfig {
             cycles: 150_000,
             ..ComparisonConfig::default()
         };
-        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
+        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low.into()], &cfg);
         let json = comparison_json(&cmp, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"policy_comparison\""));
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"rows\":6"));
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
     }

@@ -28,7 +28,7 @@
 //!
 //! let result = Experiment {
 //!     benchmark: Benchmark::Ipfwdr,
-//!     traffic: TrafficLevel::Medium,
+//!     traffic: TrafficLevel::Medium.into(),
 //!     policy: PolicySpec::NoDvs,
 //!     cycles: 300_000, // the paper runs 8_000_000
 //!     seed: 1,
@@ -60,10 +60,13 @@ pub use ablation::{
 pub use compare::{compare_policies, try_compare_policies, ComparisonRow, PolicyComparison};
 pub use dvs::{DvsPolicy, PolicyKind, PolicyRegistry, PolicySpec};
 pub use experiment::{run_experiments, Experiment, ExperimentResult, PAPER_RUN_CYCLES};
+pub use json::SCHEMA_VERSION;
 pub use optimal::{optimal_tdvs, DesignPriority};
 pub use sweep::{
-    sweep_specs, sweep_tdvs, try_sweep_specs, try_sweep_tdvs, GridCell, SpecCell, TdvsGrid,
+    sweep_specs, sweep_tdvs, sweep_traffics, try_sweep_specs, try_sweep_tdvs, try_sweep_traffics,
+    GridCell, SpecCell, TdvsGrid, TrafficCell,
 };
+pub use traffic::{TrafficModel, TrafficRegistry, TrafficSpec};
 pub use xrun::{Job, JobError, JobResult, JobSpec, ProgressMode, Runner};
 
 // Re-export the substrate crates so downstream users need only `abdex`.

@@ -30,7 +30,7 @@ pub enum DesignPriority {
 ///     thresholds_mbps: vec![1000.0, 1400.0],
 ///     windows_cycles: vec![40_000],
 /// };
-/// let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, 200_000, 1);
+/// let cells = sweep_tdvs(Benchmark::Ipfwdr, &TrafficLevel::High.into(), &grid, 200_000, 1);
 /// let best = optimal_tdvs(&cells, DesignPriority::Power).expect("non-empty sweep");
 /// assert!(grid.thresholds_mbps.contains(&best.threshold_mbps));
 /// ```
@@ -70,7 +70,7 @@ mod tests {
             window_cycles: window,
             result: Experiment {
                 benchmark: Benchmark::Ipfwdr,
-                traffic: TrafficLevel::Medium,
+                traffic: TrafficLevel::Medium.into(),
                 policy: PolicySpec::Tdvs(TdvsConfig {
                     top_threshold_mbps: threshold,
                     window_cycles: window,

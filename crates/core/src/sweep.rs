@@ -1,11 +1,12 @@
 //! Design-space sweeps: the paper's TDVS threshold × window grid
-//! (§4.1, Figures 6–9) and arbitrary [`PolicySpec`] sweeps — any list of
-//! spec strings becomes a sweep table.
+//! (§4.1, Figures 6–9) plus the two open axes — arbitrary
+//! [`PolicySpec`] sweeps and arbitrary [`TrafficSpec`] sweeps. Any list
+//! of spec strings becomes a sweep table.
 
 use dvs::TdvsConfig;
 use nepsim::{Benchmark, PolicySpec};
 use serde::{Deserialize, Serialize};
-use traffic::TrafficLevel;
+use traffic::TrafficSpec;
 use xrun::{JobError, Runner};
 
 use crate::experiment::{expect_cells, run_experiments, Experiment, ExperimentResult};
@@ -73,13 +74,13 @@ pub struct GridCell {
 ///     thresholds_mbps: vec![1000.0],
 ///     windows_cycles: vec![40_000],
 /// };
-/// let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, 200_000, 1);
+/// let cells = sweep_tdvs(Benchmark::Ipfwdr, &TrafficLevel::High.into(), &grid, 200_000, 1);
 /// assert_eq!(cells.len(), 1);
 /// ```
 #[must_use]
 pub fn sweep_tdvs(
     benchmark: Benchmark,
-    traffic: TrafficLevel,
+    traffic: &TrafficSpec,
     grid: &TdvsGrid,
     cycles: u64,
     seed: u64,
@@ -101,7 +102,7 @@ pub fn sweep_tdvs(
 pub fn try_sweep_tdvs(
     runner: &Runner,
     benchmark: Benchmark,
-    traffic: TrafficLevel,
+    traffic: &TrafficSpec,
     grid: &TdvsGrid,
     cycles: u64,
     seed: u64,
@@ -115,7 +116,7 @@ pub fn try_sweep_tdvs(
         .iter()
         .map(|&(threshold, window)| Experiment {
             benchmark,
-            traffic,
+            traffic: traffic.clone(),
             policy: PolicySpec::Tdvs(TdvsConfig {
                 top_threshold_mbps: threshold,
                 window_cycles: window,
@@ -162,13 +163,13 @@ pub struct SpecCell {
 ///     .iter()
 ///     .map(|s| s.parse().unwrap())
 ///     .collect();
-/// let cells = sweep_specs(Benchmark::Ipfwdr, TrafficLevel::High, &specs, 200_000, 1);
+/// let cells = sweep_specs(Benchmark::Ipfwdr, &TrafficLevel::High.into(), &specs, 200_000, 1);
 /// assert_eq!(cells.len(), 3);
 /// ```
 #[must_use]
 pub fn sweep_specs(
     benchmark: Benchmark,
-    traffic: TrafficLevel,
+    traffic: &TrafficSpec,
     specs: &[PolicySpec],
     cycles: u64,
     seed: u64,
@@ -189,7 +190,7 @@ pub fn sweep_specs(
 pub fn try_sweep_specs(
     runner: &Runner,
     benchmark: Benchmark,
-    traffic: TrafficLevel,
+    traffic: &TrafficSpec,
     specs: &[PolicySpec],
     cycles: u64,
     seed: u64,
@@ -198,7 +199,7 @@ pub fn try_sweep_specs(
         .iter()
         .map(|spec| Experiment {
             benchmark,
-            traffic,
+            traffic: traffic.clone(),
             policy: spec.clone(),
             cycles,
             seed,
@@ -209,6 +210,86 @@ pub fn try_sweep_specs(
         .zip(specs)
         .map(|(outcome, spec)| {
             outcome.map(|result| SpecCell {
+                spec: spec.clone(),
+                result,
+            })
+        })
+        .collect()
+}
+
+/// One evaluated cell of a traffic-model sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficCell {
+    /// The traffic spec this cell ran (its
+    /// [`TrafficSpec::spec_string`] labels the sweep-table row).
+    pub spec: TrafficSpec,
+    /// The evaluated experiment.
+    pub result: ExperimentResult,
+}
+
+/// Runs one simulation per traffic spec under a fixed policy — the
+/// traffic axis of the experiment grid, opened to every registered
+/// model (and every parameter combination expressible as a spec).
+///
+/// # Example
+///
+/// ```
+/// use abdex::{sweep_traffics, PolicySpec};
+/// use abdex::nepsim::Benchmark;
+/// use abdex::traffic::TrafficSpec;
+///
+/// let traffics: Vec<TrafficSpec> = ["low", "burst:period_s=0.001", "flash"]
+///     .iter()
+///     .map(|s| s.parse().unwrap())
+///     .collect();
+/// let cells = sweep_traffics(
+///     Benchmark::Ipfwdr, &traffics, &PolicySpec::NoDvs, 200_000, 1);
+/// assert_eq!(cells.len(), 3);
+/// ```
+#[must_use]
+pub fn sweep_traffics(
+    benchmark: Benchmark,
+    traffics: &[TrafficSpec],
+    policy: &PolicySpec,
+    cycles: u64,
+    seed: u64,
+) -> Vec<TrafficCell> {
+    expect_cells(try_sweep_traffics(
+        &Runner::new(),
+        benchmark,
+        traffics,
+        policy,
+        cycles,
+        seed,
+    ))
+}
+
+/// Runs a traffic-model sweep on the given [`Runner`], one outcome per
+/// spec in list order: the fallible form of [`sweep_traffics`].
+#[must_use]
+pub fn try_sweep_traffics(
+    runner: &Runner,
+    benchmark: Benchmark,
+    traffics: &[TrafficSpec],
+    policy: &PolicySpec,
+    cycles: u64,
+    seed: u64,
+) -> Vec<Result<TrafficCell, JobError>> {
+    let experiments = traffics
+        .iter()
+        .map(|spec| Experiment {
+            benchmark,
+            traffic: spec.clone(),
+            policy: policy.clone(),
+            cycles,
+            seed,
+        })
+        .collect();
+    run_experiments(runner, experiments)
+        .into_iter()
+        .zip(traffics)
+        .map(|(outcome, spec)| {
+            outcome.map(|result| TrafficCell {
                 spec: spec.clone(),
                 result,
             })
@@ -246,6 +327,7 @@ pub fn throughput_surface(cells: &[GridCell]) -> Vec<(f64, u64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use traffic::TrafficLevel;
 
     #[test]
     fn default_grid_matches_paper() {
@@ -262,7 +344,13 @@ mod tests {
             thresholds_mbps: vec![1000.0, 1400.0],
             windows_cycles: vec![20_000, 80_000],
         };
-        let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::Medium, &grid, 400_000, 3);
+        let cells = sweep_tdvs(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Medium.into(),
+            &grid,
+            400_000,
+            3,
+        );
         assert_eq!(cells.len(), 4);
         let combos: Vec<(f64, u64)> = cells
             .iter()
@@ -278,7 +366,13 @@ mod tests {
             .iter()
             .map(|s| s.parse().unwrap())
             .collect();
-        let cells = sweep_specs(Benchmark::Ipfwdr, TrafficLevel::Low, &specs, 400_000, 7);
+        let cells = sweep_specs(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Low.into(),
+            &specs,
+            400_000,
+            7,
+        );
         assert_eq!(cells.len(), 4);
         for (cell, spec) in cells.iter().zip(&specs) {
             assert_eq!(&cell.spec, spec);
@@ -296,7 +390,7 @@ mod tests {
         let outcomes = try_sweep_tdvs(
             &Runner::serial(),
             Benchmark::Ipfwdr,
-            TrafficLevel::Medium,
+            &TrafficLevel::Medium.into(),
             &grid,
             300_000,
             3,
@@ -318,12 +412,39 @@ mod tests {
     }
 
     #[test]
+    fn traffic_sweep_covers_every_spec_in_order() {
+        let traffics: Vec<TrafficSpec> = ["low", "constant:rate=500", "burst:period_s=0.001"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = sweep_traffics(Benchmark::Ipfwdr, &traffics, &PolicySpec::NoDvs, 400_000, 7);
+        assert_eq!(cells.len(), 3);
+        for (cell, spec) in cells.iter().zip(&traffics) {
+            assert_eq!(&cell.spec, spec);
+            assert_eq!(cell.result.experiment.traffic, *spec);
+            assert!(cell.result.sim.forwarded_packets > 0);
+        }
+        // The constant source's offered load is exact by construction.
+        let offered = cells[1].result.sim.offered_mbps();
+        assert!(
+            (offered - 500.0).abs() / 500.0 < 0.02,
+            "offered {offered:.1}"
+        );
+    }
+
+    #[test]
     fn surfaces_have_one_point_per_cell() {
         let grid = TdvsGrid {
             thresholds_mbps: vec![1200.0],
             windows_cycles: vec![40_000, 60_000],
         };
-        let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, 400_000, 3);
+        let cells = sweep_tdvs(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::High.into(),
+            &grid,
+            400_000,
+            3,
+        );
         let power = power_surface(&cells);
         let tput = throughput_surface(&cells);
         assert_eq!(power.len(), 2);

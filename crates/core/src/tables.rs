@@ -4,7 +4,7 @@
 use loc::DistributionReport;
 
 use crate::compare::PolicyComparison;
-use crate::sweep::{GridCell, SpecCell};
+use crate::sweep::{GridCell, SpecCell, TrafficCell};
 
 /// Renders a cumulative "fraction of instances ≤ x" curve (Fig. 6 style)
 /// sampled at `points` evenly spaced x values over `[lo, hi]`.
@@ -83,7 +83,7 @@ pub fn render_comparison(cmp: &PolicyComparison) -> String {
         String::from("benchmark traffic policy mean_power_w saving_vs_nodvs throughput_mbps\n");
     for row in &cmp.rows {
         let saving = cmp
-            .power_saving(row.benchmark, row.traffic, row.policy)
+            .power_saving(row.benchmark, &row.traffic, row.policy)
             .unwrap_or(0.0);
         out.push_str(&format!(
             "{:>9} {:>7} {:>6} {:>12.3} {:>15.1}% {:>15.1}\n",
@@ -144,6 +144,35 @@ pub fn render_spec_sweep(cells: &[SpecCell]) -> String {
     out
 }
 
+/// Renders a traffic-model sweep: one row per traffic spec, labelled
+/// with its round-trippable spec string, with the offered load next to
+/// what the chip actually achieved under it.
+#[must_use]
+pub fn render_traffic_sweep(cells: &[TrafficCell]) -> String {
+    let label_width = cells
+        .iter()
+        .map(|c| c.spec.spec_string().len())
+        .max()
+        .unwrap_or(0)
+        .max("traffic_spec".len());
+    let mut out = format!(
+        "{:<label_width$} {:>12} {:>12} {:>12} {:>10} {:>8}\n",
+        "traffic_spec", "offered_mbps", "tput_mbps", "mean_power_w", "loss_ratio", "switches"
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:<label_width$} {:>12.1} {:>12.1} {:>12.3} {:>10.4} {:>8}\n",
+            c.spec.spec_string(),
+            c.result.sim.offered_mbps(),
+            c.result.sim.throughput_mbps(),
+            c.result.sim.mean_power_w(),
+            c.result.sim.loss_ratio(),
+            c.result.sim.total_switches,
+        ));
+    }
+    out
+}
+
 /// Renders a distribution's cumulative curve as CSV (`x,fraction`), ready
 /// for gnuplot/matplotlib — the workspace's equivalent of the paper's
 /// plotted series.
@@ -180,7 +209,7 @@ pub fn render_comparison_csv(cmp: &PolicyComparison) -> String {
         String::from("benchmark,traffic,policy,mean_power_w,saving_vs_nodvs,throughput_mbps\n");
     for row in &cmp.rows {
         let saving = cmp
-            .power_saving(row.benchmark, row.traffic, row.policy)
+            .power_saving(row.benchmark, &row.traffic, row.policy)
             .unwrap_or(0.0);
         out.push_str(&format!(
             "{},{},{},{},{},{}\n",
@@ -202,7 +231,7 @@ mod tests {
     use crate::formulas::power_distribution;
     use loc::{Analyzer, Annotations, TraceRecord};
     use nepsim::Benchmark;
-    use traffic::TrafficLevel;
+    use traffic::{TrafficLevel, TrafficSpec};
 
     fn tiny_report() -> DistributionReport {
         let mut a = Analyzer::from_formula(&power_distribution(1)).unwrap();
@@ -261,7 +290,7 @@ mod tests {
             cycles: 150_000,
             ..ComparisonConfig::default()
         };
-        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
+        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low.into()], &cfg);
         let text = render_comparison(&cmp);
         assert!(text.contains("nat"));
         assert!(text.contains("noDVS"));
@@ -279,12 +308,39 @@ mod tests {
             .iter()
             .map(|s| s.parse().unwrap())
             .collect();
-        let cells = sweep_specs(Benchmark::Nat, TrafficLevel::Low, &specs, 150_000, 1);
+        let cells = sweep_specs(
+            Benchmark::Nat,
+            &TrafficLevel::Low.into(),
+            &specs,
+            150_000,
+            1,
+        );
         let text = render_spec_sweep(&cells);
         assert!(text.starts_with("policy_spec"));
         assert!(text.contains("nodvs"));
         assert!(text.contains("queue:high=0.9,low=0.1,window=40000"));
         assert!(text.contains("QDVS"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn traffic_sweep_table_labels_rows_with_spec_strings() {
+        use crate::sweep::sweep_traffics;
+        let traffics: Vec<TrafficSpec> = ["low", "constant:rate=500"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = sweep_traffics(
+            Benchmark::Nat,
+            &traffics,
+            &crate::PolicySpec::NoDvs,
+            150_000,
+            1,
+        );
+        let text = render_traffic_sweep(&cells);
+        assert!(text.starts_with("traffic_spec"));
+        assert!(text.contains("low"));
+        assert!(text.contains("constant:rate=500,size=576,ports=16"));
         assert_eq!(text.lines().count(), 3);
     }
 
@@ -314,7 +370,7 @@ mod tests {
             cycles: 150_000,
             ..ComparisonConfig::default()
         };
-        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low], &cfg);
+        let cmp = compare_policies(&[Benchmark::Nat], &[TrafficLevel::Low.into()], &cfg);
         let csv = render_comparison_csv(&cmp);
         assert_eq!(csv.lines().count(), 7); // header + 6 policy families
         assert!(csv.contains("nat,low,noDVS,"));

@@ -1,12 +1,15 @@
 //! Regression guard for the runner's core contract: a sweep run with
 //! one worker and with N workers must produce identical tables and
 //! bit-identical metrics for a fixed seed. Parallelism must never leak
-//! into results.
+//! into results — for the paper's traffic levels and for every
+//! spec-described traffic model alike.
 
 use abdex::compare::{try_compare_policies, ComparisonConfig};
-use abdex::sweep::{try_sweep_specs, try_sweep_tdvs};
-use abdex::tables::{render_comparison, render_spec_sweep, render_sweep};
-use abdex::{GridCell, PolicyComparison, PolicySpec, Runner, SpecCell, TdvsGrid};
+use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
+use abdex::tables::{render_comparison, render_spec_sweep, render_sweep, render_traffic_sweep};
+use abdex::{
+    GridCell, PolicyComparison, PolicySpec, Runner, SpecCell, TdvsGrid, TrafficCell, TrafficSpec,
+};
 use nepsim::Benchmark;
 use traffic::TrafficLevel;
 
@@ -24,7 +27,7 @@ fn tdvs_cells(workers: usize) -> Vec<GridCell> {
     try_sweep_tdvs(
         &Runner::new().with_workers(workers),
         Benchmark::Ipfwdr,
-        TrafficLevel::High,
+        &TrafficLevel::High.into(),
         &grid(),
         CYCLES,
         SEED,
@@ -76,7 +79,12 @@ fn spec_sweep_is_bit_identical_across_worker_counts() {
         try_sweep_specs(
             &Runner::new().with_workers(workers),
             Benchmark::Ipfwdr,
-            TrafficLevel::Medium,
+            // Run the policy sweep on a model that did not exist before
+            // the traffic API opened: determinism must hold for
+            // spec-built generators exactly as for the paper levels.
+            &"burst:on_mbps=1800,off_mbps=120,period_s=0.002"
+                .parse()
+                .unwrap(),
             &specs,
             CYCLES,
             SEED,
@@ -108,7 +116,7 @@ fn comparison_is_bit_identical_across_worker_counts() {
         let (cmp, errors) = try_compare_policies(
             &Runner::new().with_workers(workers),
             &[Benchmark::Ipfwdr, Benchmark::Nat],
-            &[TrafficLevel::Low],
+            &[TrafficLevel::Low.into()],
             &cfg,
         );
         assert!(errors.is_empty());
@@ -123,6 +131,55 @@ fn comparison_is_bit_identical_across_worker_counts() {
         assert_eq!(
             s.result.sim.total_energy_uj().to_bits(),
             p.result.sim.total_energy_uj().to_bits()
+        );
+    }
+}
+
+#[test]
+fn traffic_sweep_is_bit_identical_across_worker_counts() {
+    // One spec per generator family, including every model added by the
+    // open traffic API.
+    let traffics: Vec<TrafficSpec> = [
+        "low",
+        "mmpp:rate=900,burstiness=1.3",
+        "burst:on_mbps=1800,off_mbps=120,period_s=0.002",
+        "flash:base_mbps=300,peak_mbps=1500,at_ms=1,ramp_ms=0.5,hold_ms=1",
+        "constant:rate=700",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect();
+    let run = |workers: usize| -> Vec<TrafficCell> {
+        try_sweep_traffics(
+            &Runner::new().with_workers(workers),
+            Benchmark::Ipfwdr,
+            &traffics,
+            &PolicySpec::parse("tdvs:threshold=1200").unwrap(),
+            CYCLES,
+            SEED,
+        )
+        .into_iter()
+        .map(|o| o.expect("no cell failed"))
+        .collect()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        render_traffic_sweep(&serial),
+        render_traffic_sweep(&parallel)
+    );
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.spec, p.spec);
+        assert_eq!(
+            s.result.sim.forwarded_packets, p.result.sim.forwarded_packets,
+            "{} diverged",
+            s.spec
+        );
+        assert_eq!(
+            s.result.sim.total_energy_uj().to_bits(),
+            p.result.sim.total_energy_uj().to_bits(),
+            "{} diverged",
+            s.spec
         );
     }
 }

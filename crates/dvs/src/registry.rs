@@ -14,22 +14,13 @@
 
 use std::sync::OnceLock;
 
+pub use kvspec::ParamInfo;
+
 use crate::spec::{Params, SpecError};
 use crate::{
     CombinedConfig, EdvsConfig, PolicyKind, PolicySpec, ProportionalConfig, QueueAwareConfig,
     TdvsConfig,
 };
-
-/// Metadata for one accepted parameter key.
-#[derive(Debug, Clone, Copy)]
-pub struct ParamInfo {
-    /// The key as written in specs (`threshold`, `idle`, ...).
-    pub key: &'static str,
-    /// The default value, rendered for help output.
-    pub default: &'static str,
-    /// One-line description.
-    pub help: &'static str,
-}
 
 /// Metadata for one registered policy.
 #[derive(Debug, Clone, Copy)]
@@ -208,7 +199,11 @@ impl PolicyRegistry {
             .entries
             .iter()
             .find(|e| e.info.name == wanted || e.info.aliases.contains(&wanted.as_str()))
-            .ok_or(SpecError::UnknownPolicy { name: wanted })?;
+            .ok_or_else(|| SpecError::UnknownName {
+                kind: "policy",
+                name: wanted,
+                known: self.name_list(),
+            })?;
         (entry.build)(params)
     }
 

@@ -20,11 +20,15 @@
 //! [`PolicyRegistry`](crate::PolicyRegistry), so a policy registered in
 //! this crate is immediately reachable from every entry point — config
 //! file, CLI flag, sweep table.
+//!
+//! The grammar machinery itself ([`Params`], [`SpecError`], the
+//! parsers) lives in the shared [`kvspec`] crate; the traffic layer's
+//! `TrafficSpec` speaks exactly the same three grammars through it.
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
+pub use kvspec::{Params, SpecError};
 use serde::{Deserialize, Serialize};
 
 use crate::adapters::{CombinedPolicy, EdvsPolicy, NoDvsPolicy, TdvsPolicy};
@@ -122,34 +126,8 @@ impl PolicySpec {
     /// Returns a [`SpecError`] for unknown names/keys, unparsable values
     /// or values outside a policy's valid range.
     pub fn parse(input: &str) -> Result<Self, SpecError> {
-        let input = input.trim();
-        let (name, rest) = match input.split_once(':') {
-            Some((name, rest)) => (name.trim(), Some(rest)),
-            None => (input, None),
-        };
-        if name.is_empty() {
-            return Err(SpecError::Malformed {
-                input: input.to_owned(),
-                reason: "empty policy name".to_owned(),
-            });
-        }
-        let mut params = Params::default();
-        if let Some(rest) = rest {
-            for pair in rest.split(',') {
-                let pair = pair.trim();
-                if pair.is_empty() {
-                    continue;
-                }
-                let Some((key, value)) = pair.split_once('=') else {
-                    return Err(SpecError::Malformed {
-                        input: input.to_owned(),
-                        reason: format!("expected key=value, found '{pair}'"),
-                    });
-                };
-                params.insert(key.trim(), value.trim());
-            }
-        }
-        PolicyRegistry::builtin().build_spec(name, params)
+        let (name, params) = kvspec::parse_cli(input)?;
+        PolicyRegistry::builtin().build_spec(&name, params)
     }
 
     /// Parses a flat TOML fragment: a `policy = "name"` entry plus one
@@ -161,34 +139,7 @@ impl PolicySpec {
     /// Returns a [`SpecError`] for syntax errors, a missing `policy` key,
     /// or any parameter problem [`PolicySpec::parse`] would report.
     pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
-        let mut name: Option<String> = None;
-        let mut params = Params::default();
-        for raw in input.lines() {
-            let line = match raw.split_once('#') {
-                Some((code, _comment)) => code.trim(),
-                None => raw.trim(),
-            };
-            if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
-                continue;
-            }
-            let Some((key, value)) = line.split_once('=') else {
-                return Err(SpecError::Malformed {
-                    input: input.to_owned(),
-                    reason: format!("expected key = value, found '{line}'"),
-                });
-            };
-            let key = key.trim();
-            let value = value.trim().trim_matches('"');
-            if key == "policy" {
-                name = Some(value.to_owned());
-            } else {
-                params.insert(key, value);
-            }
-        }
-        let name = name.ok_or_else(|| SpecError::Malformed {
-            input: input.to_owned(),
-            reason: "missing `policy = \"...\"` entry".to_owned(),
-        })?;
+        let (name, params) = kvspec::parse_flat_toml(input, "policy")?;
         PolicyRegistry::builtin().build_spec(&name, params)
     }
 
@@ -200,38 +151,7 @@ impl PolicySpec {
     /// Returns a [`SpecError`] for syntax errors, a missing `policy` key,
     /// or any parameter problem [`PolicySpec::parse`] would report.
     pub fn from_json_str(input: &str) -> Result<Self, SpecError> {
-        let malformed = |reason: &str| SpecError::Malformed {
-            input: input.to_owned(),
-            reason: reason.to_owned(),
-        };
-        let body = input.trim();
-        let body = body
-            .strip_prefix('{')
-            .and_then(|b| b.strip_suffix('}'))
-            .ok_or_else(|| malformed("expected a {...} object"))?;
-        let mut name: Option<String> = None;
-        let mut params = Params::default();
-        for pair in split_top_level_commas(body) {
-            let pair = pair.trim();
-            if pair.is_empty() {
-                continue;
-            }
-            let (key, value) = pair
-                .split_once(':')
-                .ok_or_else(|| malformed("expected \"key\": value pairs"))?;
-            let key = key.trim();
-            let key = key
-                .strip_prefix('"')
-                .and_then(|k| k.strip_suffix('"'))
-                .ok_or_else(|| malformed("object keys must be quoted"))?;
-            let value = value.trim().trim_matches('"');
-            if key == "policy" {
-                name = Some(value.to_owned());
-            } else {
-                params.insert(key, value);
-            }
-        }
-        let name = name.ok_or_else(|| malformed("missing \"policy\" key"))?;
+        let (name, params) = kvspec::parse_flat_json(input, "policy")?;
         PolicyRegistry::builtin().build_spec(&name, params)
     }
 
@@ -280,178 +200,6 @@ impl FromStr for PolicySpec {
         PolicySpec::parse(s)
     }
 }
-
-/// Splits on commas that are not inside quotes (flat JSON objects only).
-fn split_top_level_commas(body: &str) -> Vec<&str> {
-    let mut parts = Vec::new();
-    let mut start = 0;
-    let mut in_string = false;
-    for (i, c) in body.char_indices() {
-        match c {
-            '"' => in_string = !in_string,
-            ',' if !in_string => {
-                parts.push(&body[start..i]);
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    parts.push(&body[start..]);
-    parts
-}
-
-/// Key/value parameters collected by the spec grammars, with typed,
-/// consumption-tracked access for the registry's builder functions.
-#[derive(Debug, Clone, Default)]
-pub struct Params {
-    values: BTreeMap<String, String>,
-}
-
-impl Params {
-    /// Adds (or overwrites) a raw parameter.
-    pub fn insert(&mut self, key: &str, value: &str) {
-        self.values.insert(key.to_owned(), value.to_owned());
-    }
-
-    /// Takes a float parameter if present (`None` when absent).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
-    pub fn maybe_f64(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
-        match self.values.remove(key) {
-            None => Ok(None),
-            Some(raw) => raw.parse().map(Some).map_err(|_| SpecError::InvalidValue {
-                key: key.to_owned(),
-                value: raw,
-                expected: "a number",
-            }),
-        }
-    }
-
-    /// Takes a float parameter, falling back to `default` when absent.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
-    pub fn f64(&mut self, key: &str, default: f64) -> Result<f64, SpecError> {
-        match self.values.remove(key) {
-            None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| SpecError::InvalidValue {
-                key: key.to_owned(),
-                value: raw,
-                expected: "a number",
-            }),
-        }
-    }
-
-    /// Takes an integer parameter, falling back to `default` when absent.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
-    pub fn u64(&mut self, key: &str, default: u64) -> Result<u64, SpecError> {
-        match self.values.remove(key) {
-            None => Ok(default),
-            Some(raw) => {
-                // Accept TOML/JSON float notation for whole numbers.
-                let direct: Result<u64, _> = raw.parse();
-                direct
-                    .or_else(|_| {
-                        raw.parse::<f64>().map_err(|_| ()).and_then(|f| {
-                            if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 {
-                                Ok(f as u64)
-                            } else {
-                                Err(())
-                            }
-                        })
-                    })
-                    .map_err(|()| SpecError::InvalidValue {
-                        key: key.to_owned(),
-                        value: raw,
-                        expected: "a non-negative integer",
-                    })
-            }
-        }
-    }
-
-    /// Errors on any parameter no builder consumed (typo protection).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpecError::UnknownParam`] naming the first leftover key.
-    pub fn finish(self, policy: &str) -> Result<(), SpecError> {
-        match self.values.into_keys().next() {
-            None => Ok(()),
-            Some(key) => Err(SpecError::UnknownParam {
-                policy: policy.to_owned(),
-                key,
-            }),
-        }
-    }
-}
-
-/// Errors produced by the spec grammars and the registry.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SpecError {
-    /// The policy name matches no registry entry.
-    UnknownPolicy {
-        /// The unrecognised name.
-        name: String,
-    },
-    /// A parameter key the named policy does not accept.
-    UnknownParam {
-        /// The policy that rejected the key.
-        policy: String,
-        /// The unrecognised key.
-        key: String,
-    },
-    /// A parameter value that failed to parse or is out of range.
-    InvalidValue {
-        /// The parameter key.
-        key: String,
-        /// The offending raw value.
-        value: String,
-        /// What would have been accepted.
-        expected: &'static str,
-    },
-    /// Input that does not follow the grammar at all.
-    Malformed {
-        /// The full input.
-        input: String,
-        /// What went wrong.
-        reason: String,
-    },
-}
-
-impl fmt::Display for SpecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SpecError::UnknownPolicy { name } => {
-                write!(
-                    f,
-                    "unknown policy '{name}' (known: {})",
-                    PolicyRegistry::builtin().name_list()
-                )
-            }
-            SpecError::UnknownParam { policy, key } => {
-                write!(f, "policy '{policy}' accepts no parameter '{key}'")
-            }
-            SpecError::InvalidValue {
-                key,
-                value,
-                expected,
-            } => {
-                write!(f, "parameter '{key}': '{value}' is not {expected}")
-            }
-            SpecError::Malformed { input, reason } => {
-                write!(f, "malformed policy spec '{input}': {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SpecError {}
 
 #[cfg(test)]
 mod tests {
@@ -532,7 +280,7 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(matches!(
             PolicySpec::parse("warp-drive"),
-            Err(SpecError::UnknownPolicy { .. })
+            Err(SpecError::UnknownName { .. })
         ));
         assert!(matches!(
             PolicySpec::parse("tdvs:flux=9"),

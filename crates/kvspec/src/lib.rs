@@ -1,0 +1,638 @@
+//! **kvspec** — the shared machinery behind the workspace's declarative
+//! component specs.
+//!
+//! Both open component families — DVS policies (`dvs::PolicySpec`) and
+//! traffic models (`traffic::TrafficSpec`) — are configured through the
+//! same three flat grammars:
+//!
+//! * the **CLI grammar** `name:key=val,key=val` ([`parse_cli`]), e.g.
+//!   `tdvs:threshold=1400,window=40000` or
+//!   `burst:on_mbps=1800,off_mbps=120,period_s=2`;
+//! * **flat TOML** fragments ([`parse_flat_toml`]): a
+//!   `<name_key> = "name"` entry plus one `key = value` line per
+//!   parameter;
+//! * **flat JSON** objects ([`parse_flat_json`]):
+//!   `{"<name_key>": "name", "key": value, ...}`.
+//!
+//! This crate owns the grammar parsing/rendering, the typed parameter
+//! bag ([`Params`]) with consumption tracking (typo protection), the
+//! shared error type ([`SpecError`]) and the self-description metadata
+//! ([`ParamInfo`]) registries render as help output. The domain crates
+//! own their registries and the mapping from `(name, params)` to a
+//! concrete spec.
+//!
+//! The grammars are deliberately *flat*: one name, scalar parameters,
+//! no nesting. That is what makes a spec equally at home on a command
+//! line, in a config-file fragment and in a JSON results document, and
+//! what makes exact round-tripping ([`render_cli`] and friends)
+//! feasible without a full serializer.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Metadata for one accepted parameter key, rendered by `abdex
+/// policies` / `abdex traffics`.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamInfo {
+    /// The key as written in specs (`threshold`, `on_mbps`, ...).
+    pub key: &'static str,
+    /// The default value, rendered for help output.
+    pub default: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// A parameter value with just enough type information to render it
+/// back into TOML/JSON (numbers bare, strings quoted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PVal {
+    /// An already-rendered numeric literal (`1400`, `0.5`, `2e8`).
+    Num(String),
+    /// A string value (quoted in TOML/JSON output).
+    Str(String),
+}
+
+impl PVal {
+    /// Renders a float through Rust's shortest-round-trip formatting.
+    #[must_use]
+    pub fn num_f64(v: f64) -> PVal {
+        PVal::Num(format!("{v}"))
+    }
+
+    /// Renders an unsigned integer.
+    #[must_use]
+    pub fn num_u64(v: u64) -> PVal {
+        PVal::Num(v.to_string())
+    }
+
+    /// The raw value text (no quoting).
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        match self {
+            PVal::Num(s) | PVal::Str(s) => s,
+        }
+    }
+}
+
+/// Key/value parameters collected by the spec grammars, with typed,
+/// consumption-tracked access for registry builder functions.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    values: BTreeMap<String, String>,
+}
+
+impl Params {
+    /// Adds (or overwrites) a raw parameter.
+    pub fn insert(&mut self, key: &str, value: &str) {
+        self.values.insert(key.to_owned(), value.to_owned());
+    }
+
+    /// Takes a float parameter if present (`None` when absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
+    pub fn maybe_f64(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.values.remove(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| SpecError::InvalidValue {
+                key: key.to_owned(),
+                value: raw,
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// Takes a float parameter, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
+    pub fn f64(&mut self, key: &str, default: f64) -> Result<f64, SpecError> {
+        Ok(self.maybe_f64(key)?.unwrap_or(default))
+    }
+
+    /// Takes an integer parameter, falling back to `default` when absent.
+    /// Accepts TOML/JSON float notation for whole numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidValue`] when present but unparsable.
+    pub fn u64(&mut self, key: &str, default: u64) -> Result<u64, SpecError> {
+        match self.values.remove(key) {
+            None => Ok(default),
+            Some(raw) => {
+                let direct: Result<u64, _> = raw.parse();
+                direct
+                    .or_else(|_| {
+                        raw.parse::<f64>().map_err(|_| ()).and_then(|f| {
+                            if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 {
+                                Ok(f as u64)
+                            } else {
+                                Err(())
+                            }
+                        })
+                    })
+                    .map_err(|()| SpecError::InvalidValue {
+                        key: key.to_owned(),
+                        value: raw,
+                        expected: "a non-negative integer",
+                    })
+            }
+        }
+    }
+
+    /// Takes a string parameter if present (`None` when absent).
+    pub fn maybe_str(&mut self, key: &str) -> Option<String> {
+        self.values.remove(key)
+    }
+
+    /// Errors on any parameter no builder consumed (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownParam`] naming the first leftover key.
+    pub fn finish(self, owner: &str) -> Result<(), SpecError> {
+        match self.values.into_keys().next() {
+            None => Ok(()),
+            Some(key) => Err(SpecError::UnknownParam {
+                owner: owner.to_owned(),
+                key,
+            }),
+        }
+    }
+}
+
+/// Errors produced by the spec grammars and the registries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The name matches no registry entry.
+    UnknownName {
+        /// What kind of thing was looked up (`"policy"`, `"traffic model"`).
+        kind: &'static str,
+        /// The unrecognised name.
+        name: String,
+        /// Comma-separated registered names (filled by the registry).
+        known: String,
+    },
+    /// A parameter key the named entry does not accept.
+    UnknownParam {
+        /// The entry that rejected the key.
+        owner: String,
+        /// The unrecognised key.
+        key: String,
+    },
+    /// A parameter value that failed to parse or is out of range.
+    InvalidValue {
+        /// The parameter key.
+        key: String,
+        /// The offending raw value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// Input that does not follow the grammar at all.
+    Malformed {
+        /// The full input.
+        input: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A well-formed spec whose live object cannot be constructed
+    /// (e.g. a recorded-trace path that does not exist).
+    Unbuildable {
+        /// The spec, in CLI grammar.
+        spec: String,
+        /// Why it cannot be built.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownName { kind, name, known } => {
+                write!(f, "unknown {kind} '{name}' (known: {known})")
+            }
+            SpecError::UnknownParam { owner, key } => {
+                write!(f, "'{owner}' accepts no parameter '{key}'")
+            }
+            SpecError::InvalidValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(f, "parameter '{key}': '{value}' is not {expected}")
+            }
+            SpecError::Malformed { input, reason } => {
+                write!(f, "malformed spec '{input}': {reason}")
+            }
+            SpecError::Unbuildable { spec, reason } => {
+                write!(f, "cannot build '{spec}': {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses the CLI grammar `name[:key=val[,key=val]...]` into the name
+/// and its raw parameters.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Malformed`] for an empty name or a pair without
+/// `=`; value validation is the registry builder's job.
+pub fn parse_cli(input: &str) -> Result<(String, Params), SpecError> {
+    let input = input.trim();
+    let (name, rest) = match input.split_once(':') {
+        Some((name, rest)) => (name.trim(), Some(rest)),
+        None => (input, None),
+    };
+    if name.is_empty() {
+        return Err(SpecError::Malformed {
+            input: input.to_owned(),
+            reason: "empty name".to_owned(),
+        });
+    }
+    let mut params = Params::default();
+    if let Some(rest) = rest {
+        for pair in rest.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(SpecError::Malformed {
+                    input: input.to_owned(),
+                    reason: format!("expected key=value, found '{pair}'"),
+                });
+            };
+            params.insert(key.trim(), value.trim());
+        }
+    }
+    Ok((name.to_owned(), params))
+}
+
+/// Parses a flat TOML fragment: a `<name_key> = "name"` entry plus one
+/// `key = value` line per parameter. Comments (`#`), blank lines and
+/// optional `[table]` headers are accepted.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Malformed`] for syntax errors or a missing
+/// `<name_key>` entry.
+pub fn parse_flat_toml(input: &str, name_key: &str) -> Result<(String, Params), SpecError> {
+    let mut name: Option<String> = None;
+    let mut params = Params::default();
+    for raw in input.lines() {
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(SpecError::Malformed {
+                input: input.to_owned(),
+                reason: format!("expected key = value, found '{line}'"),
+            });
+        };
+        let key = key.trim();
+        let value = unquote(value.trim());
+        if key == name_key {
+            name = Some(value);
+        } else {
+            params.insert(key, &value);
+        }
+    }
+    let name = name.ok_or_else(|| SpecError::Malformed {
+        input: input.to_owned(),
+        reason: format!("missing `{name_key} = \"...\"` entry"),
+    })?;
+    Ok((name, params))
+}
+
+/// Drops a trailing `# comment`, honouring `#` inside quoted strings
+/// (escapes included) so string values containing `#` survive.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '#' => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a flat JSON object `{"<name_key>": "name", "key": value, ...}`
+/// with string or numeric values.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Malformed`] for syntax errors or a missing
+/// `<name_key>` key.
+pub fn parse_flat_json(input: &str, name_key: &str) -> Result<(String, Params), SpecError> {
+    let malformed = |reason: String| SpecError::Malformed {
+        input: input.to_owned(),
+        reason,
+    };
+    let body = input.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| malformed("expected a {...} object".to_owned()))?;
+    let mut name: Option<String> = None;
+    let mut params = Params::default();
+    for pair in split_top_level_commas(body) {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| malformed("expected \"key\": value pairs".to_owned()))?;
+        let key = key.trim();
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| malformed("object keys must be quoted".to_owned()))?;
+        let value = unquote(value.trim());
+        if key == name_key {
+            name = Some(value);
+        } else {
+            params.insert(key, &value);
+        }
+    }
+    let name = name.ok_or_else(|| malformed(format!("missing \"{name_key}\" key")))?;
+    Ok((name, params))
+}
+
+/// Renders the CLI grammar `name[:key=val,...]`; [`parse_cli`] of the
+/// result round-trips.
+#[must_use]
+pub fn render_cli(name: &str, params: &[(&'static str, PVal)]) -> String {
+    if params.is_empty() {
+        return name.to_owned();
+    }
+    let body: Vec<String> = params
+        .iter()
+        .map(|(k, v)| format!("{k}={}", v.as_str()))
+        .collect();
+    format!("{name}:{}", body.join(","))
+}
+
+/// Renders a flat TOML fragment; [`parse_flat_toml`] of the result
+/// round-trips.
+#[must_use]
+pub fn render_flat_toml(name_key: &str, name: &str, params: &[(&'static str, PVal)]) -> String {
+    let mut out = format!("{name_key} = \"{name}\"\n");
+    for (k, v) in params {
+        match v {
+            PVal::Num(n) => out.push_str(&format!("{k} = {n}\n")),
+            PVal::Str(s) => out.push_str(&format!("{k} = \"{}\"\n", escape_string(s))),
+        }
+    }
+    out
+}
+
+/// Renders a flat JSON object; [`parse_flat_json`] of the result
+/// round-trips.
+#[must_use]
+pub fn render_flat_json(name_key: &str, name: &str, params: &[(&'static str, PVal)]) -> String {
+    let mut fields = vec![format!("\"{name_key}\":\"{}\"", escape_string(name))];
+    for (k, v) in params {
+        match v {
+            PVal::Num(n) => fields.push(format!("\"{k}\":{n}")),
+            PVal::Str(s) => fields.push(format!("\"{k}\":\"{}\"", escape_string(s))),
+        }
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Escapes quotes and backslashes for a quoted TOML/JSON string literal.
+fn escape_string(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Strips exactly one surrounding quote pair (when present) and undoes
+/// [`escape_string`]; bare (unquoted) values pass through untouched.
+fn unquote(s: &str) -> String {
+    let Some(inner) = s.strip_prefix('"').and_then(|rest| rest.strip_suffix('"')) else {
+        return s.to_owned();
+    };
+    let mut out = String::with_capacity(inner.len());
+    let mut escaped = false;
+    for c in inner.chars() {
+        if escaped {
+            out.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Splits on commas that are not inside quotes (flat JSON objects only).
+fn split_top_level_commas(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            ',' => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_grammar_parses_names_and_pairs() {
+        let (name, mut p) = parse_cli("tdvs:threshold=1400, window=40000").unwrap();
+        assert_eq!(name, "tdvs");
+        assert_eq!(p.f64("threshold", 0.0).unwrap(), 1400.0);
+        assert_eq!(p.u64("window", 0).unwrap(), 40_000);
+        p.finish("tdvs").unwrap();
+
+        let (name, p) = parse_cli("nodvs").unwrap();
+        assert_eq!(name, "nodvs");
+        p.finish("nodvs").unwrap();
+    }
+
+    #[test]
+    fn cli_grammar_rejects_garbage() {
+        assert!(matches!(parse_cli(""), Err(SpecError::Malformed { .. })));
+        assert!(matches!(
+            parse_cli("tdvs:threshold"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn toml_grammar_accepts_comments_and_headers() {
+        let (name, mut p) = parse_flat_toml(
+            "# a comment\n[traffic]\ntraffic = \"burst\"\non_mbps = 1800 # peak\n",
+            "traffic",
+        )
+        .unwrap();
+        assert_eq!(name, "burst");
+        assert_eq!(p.f64("on_mbps", 0.0).unwrap(), 1800.0);
+    }
+
+    #[test]
+    fn toml_grammar_requires_the_name_key() {
+        assert!(matches!(
+            parse_flat_toml("on_mbps = 5", "traffic"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_flat_toml("traffic 'x'", "traffic"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn json_grammar_parses_numbers_and_strings() {
+        let (name, mut p) =
+            parse_flat_json(r#"{"traffic": "trace", "path": "a,b=c.txt"}"#, "traffic").unwrap();
+        assert_eq!(name, "trace");
+        assert_eq!(p.maybe_str("path").unwrap(), "a,b=c.txt");
+        assert!(matches!(
+            parse_flat_json("[1]", "traffic"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_flat_json(r#"{"rate": 5}"#, "traffic"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn renderers_round_trip_through_their_parsers() {
+        let params = [
+            ("rate", PVal::num_f64(850.5)),
+            ("window", PVal::num_u64(40_000)),
+            ("path", PVal::Str("/tmp/a \"b\".txt".to_owned())),
+        ];
+        let cli = render_cli("model", &params[..2]);
+        assert_eq!(cli, "model:rate=850.5,window=40000");
+        let (name, mut p) = parse_cli(&cli).unwrap();
+        assert_eq!(name, "model");
+        assert_eq!(p.f64("rate", 0.0).unwrap(), 850.5);
+
+        let toml = render_flat_toml("traffic", "model", &params);
+        let (name, mut p) = parse_flat_toml(&toml, "traffic").unwrap();
+        assert_eq!(name, "model");
+        assert_eq!(p.maybe_str("path").unwrap(), "/tmp/a \"b\".txt");
+
+        let json = render_flat_json("traffic", "model", &params);
+        let (name, mut p) = parse_flat_json(&json, "traffic").unwrap();
+        assert_eq!(name, "model");
+        assert_eq!(p.f64("rate", 0.0).unwrap(), 850.5);
+        assert_eq!(p.maybe_str("path").unwrap(), "/tmp/a \"b\".txt");
+    }
+
+    #[test]
+    fn string_values_with_grammar_chars_round_trip() {
+        // '#' must survive TOML comment stripping; leading/trailing
+        // quotes and backslashes must survive the escape round-trip.
+        for path in [
+            "/data/run#3/trace.txt",
+            "/tmp/a\"",
+            "\"quoted\"",
+            "back\\slash\\",
+            "\\",
+            "\"",
+            "",
+        ] {
+            let params = [("path", PVal::Str(path.to_owned()))];
+            let toml = render_flat_toml("traffic", "trace", &params);
+            let (_, mut p) = parse_flat_toml(&toml, "traffic").unwrap();
+            assert_eq!(p.maybe_str("path").unwrap(), path, "TOML: {toml:?}");
+            let json = render_flat_json("traffic", "trace", &params);
+            let (_, mut p) = parse_flat_json(&json, "traffic").unwrap();
+            assert_eq!(p.maybe_str("path").unwrap(), path, "JSON: {json:?}");
+        }
+    }
+
+    #[test]
+    fn toml_comments_only_start_outside_strings() {
+        let (_, mut p) = parse_flat_toml(
+            "traffic = \"trace\"\npath = \"/a#b\" # real comment\n",
+            "traffic",
+        )
+        .unwrap();
+        assert_eq!(p.maybe_str("path").unwrap(), "/a#b");
+    }
+
+    #[test]
+    fn params_track_consumption() {
+        let mut p = Params::default();
+        p.insert("known", "1");
+        p.insert("typo", "2");
+        assert_eq!(p.u64("known", 0).unwrap(), 1);
+        let err = p.finish("thing").unwrap_err();
+        assert!(matches!(err, SpecError::UnknownParam { ref key, .. } if key == "typo"));
+    }
+
+    #[test]
+    fn u64_accepts_float_notation_for_whole_numbers() {
+        let mut p = Params::default();
+        p.insert("window", "40000.0");
+        assert_eq!(p.u64("window", 0).unwrap(), 40_000);
+        let mut p = Params::default();
+        p.insert("window", "40000.5");
+        assert!(p.u64("window", 0).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SpecError::UnknownName {
+            kind: "traffic model",
+            name: "warp".to_owned(),
+            known: "low, burst".to_owned(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("traffic model"));
+        assert!(text.contains("warp"));
+        assert!(text.contains("burst"));
+    }
+}

@@ -1,14 +1,17 @@
 //! Simulator configuration.
 //!
-//! The DVS policy is configured as a [`PolicySpec`] — declarative data
-//! resolved by the `dvs` crate — so the simulator never names a concrete
-//! policy type. See [`crate::Simulator::with_policy`] for injecting a
-//! custom `DvsPolicy` implementation directly.
+//! Both open axes are configured as declarative specs: the DVS policy
+//! as a [`PolicySpec`] (resolved by the `dvs` crate) and the packet
+//! source as a [`TrafficSpec`] (resolved by the `traffic` crate) — the
+//! simulator never names a concrete policy or generator type. See
+//! [`crate::Simulator::with_policy`] and
+//! [`crate::Simulator::with_traffic`] for injecting custom
+//! implementations directly.
 
 use desim::Frequency;
 use dvs::{PolicySpec, VfLadder};
 use serde::{Deserialize, Serialize};
-use traffic::{ArrivalConfig, TrafficLevel};
+use traffic::{ArrivalConfig, TrafficLevel, TrafficSpec};
 
 use crate::memory::MemoryParams;
 use crate::workload::Benchmark;
@@ -56,8 +59,9 @@ pub struct TraceConfig {
 pub struct NpuConfig {
     /// The benchmark application loaded on the processing MEs (§3.1).
     pub benchmark: Benchmark,
-    /// Packet arrival process (§3.2).
-    pub arrivals: ArrivalConfig,
+    /// Packet arrival process (§3.2): any registered traffic model,
+    /// instantiated with [`NpuConfig::seed`] when the simulator starts.
+    pub traffic: TrafficSpec,
     /// Number of receive/processing microengines.
     pub rx_mes: usize,
     /// Number of transmit microengines.
@@ -151,7 +155,7 @@ impl NpuConfigBuilder {
         NpuConfigBuilder {
             config: NpuConfig {
                 benchmark: Benchmark::Ipfwdr,
-                arrivals: ArrivalConfig::for_level(TrafficLevel::Medium, 0),
+                traffic: TrafficSpec::Level(TrafficLevel::Medium),
                 rx_mes: 4,
                 tx_mes: 2,
                 threads_per_me: 4,
@@ -176,19 +180,19 @@ impl NpuConfigBuilder {
         self
     }
 
-    /// Uses the canonical arrival process for a paper traffic level.
+    /// Sets the traffic model: a [`TrafficSpec`], or a plain
+    /// [`TrafficLevel`] for the paper's canonical arrival processes.
     #[must_use]
-    pub fn traffic(mut self, level: TrafficLevel) -> Self {
-        let seed = self.config.seed;
-        self.config.arrivals = ArrivalConfig::for_level(level, seed);
+    pub fn traffic(mut self, traffic: impl Into<TrafficSpec>) -> Self {
+        self.config.traffic = traffic.into();
         self
     }
 
-    /// Sets a fully custom arrival process.
+    /// Sets a fully custom MMPP arrival process (shorthand for
+    /// `.traffic(TrafficSpec::Mmpp(arrivals))`).
     #[must_use]
-    pub fn arrivals(mut self, arrivals: ArrivalConfig) -> Self {
-        self.config.arrivals = arrivals;
-        self
+    pub fn arrivals(self, arrivals: ArrivalConfig) -> Self {
+        self.traffic(TrafficSpec::Mmpp(arrivals))
     }
 
     /// Sets the DVS policy.
@@ -198,11 +202,11 @@ impl NpuConfigBuilder {
         self
     }
 
-    /// Sets the experiment seed (also re-seeds the arrival process).
+    /// Sets the experiment seed (the traffic model's stream is
+    /// instantiated with it when the simulator starts).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
-        self.config.arrivals.seed = seed;
         self
     }
 
@@ -272,9 +276,17 @@ mod tests {
     }
 
     #[test]
-    fn builder_seed_reseeds_arrivals() {
+    fn builder_accepts_levels_and_specs() {
         let c = NpuConfig::builder().seed(99).build();
-        assert_eq!(c.arrivals.seed, 99);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.traffic, TrafficSpec::Level(TrafficLevel::Medium));
+
+        let c = NpuConfig::builder().traffic(TrafficLevel::High).build();
+        assert_eq!(c.traffic, TrafficSpec::Level(TrafficLevel::High));
+
+        let spec: TrafficSpec = "constant:rate=500".parse().unwrap();
+        let c = NpuConfig::builder().traffic(spec.clone()).build();
+        assert_eq!(c.traffic, spec);
     }
 
     #[test]

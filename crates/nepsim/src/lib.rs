@@ -55,4 +55,5 @@ pub use memory::{MemoryController, MemoryParams};
 pub use power::EnergyMeter;
 pub use report::{MeReport, SimReport, WindowIdleSample};
 pub use sim::Simulator;
+pub use traffic::TrafficSpec;
 pub use workload::{Benchmark, Segment};

@@ -31,7 +31,7 @@ use dvs::{
     MONITOR_ADDER_ENERGY_UJ, SWITCH_PENALTY,
 };
 use loc::{Annotations, Trace};
-use traffic::{Packet, PacketStream, RecordedTrace};
+use traffic::{Packet, PacketSource, RecordedTrace, TrafficModel};
 
 use crate::config::NpuConfig;
 use crate::engine::{MeMode, MeRole, Microengine, ThreadState};
@@ -52,23 +52,6 @@ enum Ev {
     MeStep { me: usize, token: u64 },
     /// DVS monitor-window boundary.
     Window,
-}
-
-/// Where arrivals come from: the live generator or a recorded trace.
-#[derive(Debug)]
-enum ArrivalSource {
-    Stream(PacketStream),
-    Replay(std::vec::IntoIter<Packet>),
-}
-
-impl Iterator for ArrivalSource {
-    type Item = Packet;
-    fn next(&mut self) -> Option<Packet> {
-        match self {
-            ArrivalSource::Stream(s) => s.next(),
-            ArrivalSource::Replay(r) => r.next(),
-        }
-    }
 }
 
 /// The NePSim-style simulator. See the [crate docs](crate) for the model
@@ -93,7 +76,7 @@ pub struct Simulator {
     bus: TxBus,
     rx_fifo: VecDeque<Packet>,
     tx_queue: VecDeque<Packet>,
-    arrivals: ArrivalSource,
+    arrivals: PacketSource,
     policy: Box<dyn DvsPolicy>,
     /// Cached `policy.monitors_traffic()` — consulted on every arrival.
     monitor_per_packet: bool,
@@ -120,6 +103,13 @@ impl Simulator {
     #[must_use]
     pub fn new(config: NpuConfig) -> Self {
         config.validate();
+        // The traffic spec was validated by its grammar; only IO (a
+        // missing trace file) can fail here, and that is a broken
+        // configuration, not a recoverable state.
+        let traffic = config
+            .traffic
+            .model()
+            .unwrap_or_else(|e| panic!("invalid traffic spec: {e}"));
         let top = config.ladder.top_index();
         let mes: Vec<Microengine> = (0..config.total_mes())
             .map(|i| {
@@ -146,7 +136,7 @@ impl Simulator {
             bus: TxBus::new(config.bus_rate_mbps),
             rx_fifo: VecDeque::new(),
             tx_queue: VecDeque::new(),
-            arrivals: ArrivalSource::Stream(PacketStream::new(config.arrivals.clone())),
+            arrivals: traffic.stream(config.seed),
             monitor_per_packet: policy.monitors_traffic(),
             policy,
             meter: EnergyMeter::new(),
@@ -177,7 +167,7 @@ impl Simulator {
 
     /// Replaces the live arrival generator with a recorded trace — the
     /// paper's replay-a-sampled-trace workflow (§3.2). The configured
-    /// `arrivals` field is ignored; every other knob applies unchanged.
+    /// `traffic` spec is ignored; every other knob applies unchanged.
     ///
     /// # Panics
     ///
@@ -185,7 +175,23 @@ impl Simulator {
     #[must_use]
     pub fn with_replay(mut self, trace: RecordedTrace) -> Self {
         assert!(!self.started, "cannot swap arrivals after running");
-        self.arrivals = ArrivalSource::Replay(trace.into_iter());
+        self.arrivals = PacketSource::new(trace.into_iter());
+        self
+    }
+
+    /// Replaces the configured traffic model with an arbitrary
+    /// [`TrafficModel`] implementation — the escape hatch for packet
+    /// sources that live outside the `traffic` registry, mirroring
+    /// [`Simulator::with_policy`]. The model is instantiated with the
+    /// configured seed; the `traffic` spec is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already run.
+    #[must_use]
+    pub fn with_traffic(mut self, model: &dyn TrafficModel) -> Self {
+        assert!(!self.started, "cannot swap arrivals after running");
+        self.arrivals = model.stream(self.config.seed);
         self
     }
 
@@ -891,13 +897,13 @@ mod tests {
     #[test]
     fn replaying_a_recorded_trace_reproduces_the_live_run() {
         use desim::SimTime;
-        use traffic::{PacketStream, RecordedTrace};
+        use traffic::RecordedTrace;
 
         let config = base_config();
         let horizon = config.base_freq().cycles_to_time(300_000);
         // Record the exact packets the live run would see...
         let trace = RecordedTrace::record(
-            PacketStream::new(config.arrivals.clone()),
+            config.traffic.model().unwrap().stream(config.seed),
             horizon + SimTime::from_us(1),
         );
 

@@ -205,6 +205,28 @@ impl std::fmt::Display for Benchmark {
     }
 }
 
+impl std::str::FromStr for Benchmark {
+    type Err = String;
+
+    /// Parses a benchmark name, case-insensitively; the error lists
+    /// every known name.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ipfwdr" => Ok(Benchmark::Ipfwdr),
+            "url" => Ok(Benchmark::Url),
+            "nat" => Ok(Benchmark::Nat),
+            "md4" => Ok(Benchmark::Md4),
+            other => {
+                let known: Vec<String> = Benchmark::ALL.iter().map(ToString::to_string).collect();
+                Err(format!(
+                    "unknown benchmark '{other}' (known: {})",
+                    known.join(", ")
+                ))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +318,20 @@ mod tests {
     fn display_names_match_paper() {
         let names: Vec<String> = Benchmark::ALL.iter().map(|b| b.to_string()).collect();
         assert_eq!(names, vec!["ipfwdr", "url", "nat", "md4"]);
+    }
+
+    #[test]
+    fn from_str_is_case_insensitive_and_lists_names() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.to_string().parse::<Benchmark>().unwrap(), b);
+            assert_eq!(
+                b.to_string().to_uppercase().parse::<Benchmark>().unwrap(),
+                b
+            );
+        }
+        let err = "quake".parse::<Benchmark>().unwrap_err();
+        assert!(err.contains("quake"));
+        assert!(err.contains("ipfwdr"));
+        assert!(err.contains("md4"));
     }
 }

@@ -1,13 +1,22 @@
-//! Bursty packet-arrival process (Markov-modulated Poisson).
+//! Bursty packet-arrival process (Markov-modulated Poisson) — the
+//! workhorse generator behind the paper's traffic levels, and the
+//! [`TrafficModel`] adapter for it.
 
 use desim::rng::{derive_stream, exp_sample, SimRng};
 use desim::SimTime;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Packet, SizeMix, TrafficLevel};
+use crate::{Packet, PacketSource, SizeMix, TrafficLevel, TrafficModel};
 
-/// Configuration of a [`PacketStream`].
+/// Configuration of a [`PacketStream`] — and, through its
+/// [`TrafficModel`] implementation, the `mmpp` entry of the traffic
+/// registry.
+///
+/// The seed is **not** part of the configuration: it is supplied when a
+/// stream is instantiated ([`PacketStream::new`],
+/// [`TrafficModel::stream`]), so one description can fan out into many
+/// independent replications.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArrivalConfig {
     /// Long-run mean aggregate rate across all ports, in Mbps.
@@ -24,22 +33,19 @@ pub struct ArrivalConfig {
     pub ports: u8,
     /// Packet-size distribution.
     pub size_mix: SizeMix,
-    /// RNG seed for reproducibility.
-    pub seed: u64,
 }
 
 impl ArrivalConfig {
     /// The configuration used by the paper-reproduction experiments for a
     /// given traffic level.
     #[must_use]
-    pub fn for_level(level: TrafficLevel, seed: u64) -> Self {
+    pub fn for_level(level: TrafficLevel) -> Self {
         ArrivalConfig {
             mean_rate_mbps: level.mean_rate_mbps(),
             burstiness: 1.6,
             dwell_mean_us: 200.0,
             ports: 16,
             size_mix: SizeMix::imix(),
-            seed,
         }
     }
 
@@ -56,7 +62,7 @@ impl ArrivalConfig {
     ///
     /// Panics if `aggregate_scale` is not positive and finite.
     #[must_use]
-    pub fn from_diurnal(sample: &crate::DiurnalSample, aggregate_scale: f64, seed: u64) -> Self {
+    pub fn from_diurnal(sample: &crate::DiurnalSample, aggregate_scale: f64) -> Self {
         assert!(
             aggregate_scale.is_finite() && aggregate_scale > 0.0,
             "aggregate scale must be positive"
@@ -67,14 +73,38 @@ impl ArrivalConfig {
             dwell_mean_us: 200.0,
             ports: 16,
             size_mix: SizeMix::imix(),
-            seed,
         }
     }
 }
 
 impl Default for ArrivalConfig {
     fn default() -> Self {
-        ArrivalConfig::for_level(TrafficLevel::Medium, 0)
+        ArrivalConfig::for_level(TrafficLevel::Medium)
+    }
+}
+
+impl ArrivalConfig {
+    /// The `(burst, lull)` arrival rates in packets per microsecond:
+    /// `burstiness ×` the mean and its complement, with the lull clamped
+    /// at a small positive floor so the process never fully stops.
+    fn phase_rates(&self) -> (f64, f64) {
+        let mean_pkt_rate = self.mean_rate_mbps / self.size_mix.mean_bits();
+        let burst = self.burstiness * mean_pkt_rate;
+        let lull = ((2.0 - self.burstiness) * mean_pkt_rate).max(0.05 * mean_pkt_rate);
+        (burst, lull)
+    }
+}
+
+impl TrafficModel for ArrivalConfig {
+    fn mean_rate_mbps(&self) -> f64 {
+        // The effective rate accounts for the lull-rate floor at extreme
+        // burstiness — self-description must match what is realised.
+        let (burst, lull) = self.phase_rates();
+        (burst + lull) / 2.0 * self.size_mix.mean_bits()
+    }
+
+    fn stream(&self, seed: u64) -> PacketSource {
+        PacketSource::new(PacketStream::new(self.clone(), seed))
     }
 }
 
@@ -97,7 +127,7 @@ enum Phase {
 ///
 /// ```
 /// use traffic::{ArrivalConfig, PacketStream};
-/// let mut s = PacketStream::new(ArrivalConfig::default());
+/// let mut s = PacketStream::new(ArrivalConfig::default(), 0);
 /// let first = s.next().expect("stream is infinite");
 /// assert!(first.port < 16);
 /// ```
@@ -114,14 +144,14 @@ pub struct PacketStream {
 }
 
 impl PacketStream {
-    /// Creates the stream at time zero.
+    /// Creates the stream at time zero, seeded for reproducibility.
     ///
     /// # Panics
     ///
     /// Panics if the mean rate or dwell time is not positive, if
     /// `burstiness < 1`, or if `ports == 0`.
     #[must_use]
-    pub fn new(config: ArrivalConfig) -> Self {
+    pub fn new(config: ArrivalConfig, seed: u64) -> Self {
         assert!(
             config.mean_rate_mbps.is_finite() && config.mean_rate_mbps > 0.0,
             "mean rate must be positive"
@@ -130,15 +160,11 @@ impl PacketStream {
         assert!(config.dwell_mean_us > 0.0, "dwell time must be positive");
         assert!(config.ports > 0, "need at least one port");
 
-        // Mean packets per microsecond: (Mbps -> bits/us) / bits per packet.
-        let mean_pkt_rate = config.mean_rate_mbps / config.size_mix.mean_bits();
-        // Equal expected dwell in each phase: rates b*m and (2-b)*m average
-        // to m. Clamp the lull rate at a small positive floor so the
-        // process never fully stops.
-        let burst_rate = config.burstiness * mean_pkt_rate;
-        let lull_rate = ((2.0 - config.burstiness) * mean_pkt_rate).max(0.05 * mean_pkt_rate);
+        // Equal expected dwell in each phase: rates b*m and (2-b)*m
+        // average to m (modulo the lull floor).
+        let (burst_rate, lull_rate) = config.phase_rates();
 
-        let mut rng = derive_stream(config.seed, "traffic-arrivals");
+        let mut rng = derive_stream(seed, "traffic-arrivals");
         let phase_ends_us = exp_sample(&mut rng, 1.0 / config.dwell_mean_us);
         PacketStream {
             config,
@@ -212,8 +238,8 @@ impl Iterator for PacketStream {
 mod tests {
     use super::*;
 
-    fn total_bits_over(config: ArrivalConfig, horizon_us: f64) -> f64 {
-        let stream = PacketStream::new(config);
+    fn total_bits_over(config: ArrivalConfig, seed: u64, horizon_us: f64) -> f64 {
+        let stream = PacketStream::new(config, seed);
         let horizon = SimTime::from_us_f64(horizon_us);
         stream
             .take_while(|p| p.arrival < horizon)
@@ -224,9 +250,9 @@ mod tests {
     #[test]
     fn long_run_rate_matches_target() {
         for level in TrafficLevel::ALL {
-            let config = ArrivalConfig::for_level(level, 42);
+            let config = ArrivalConfig::for_level(level);
             let horizon_us = 200_000.0; // 0.2s
-            let bits = total_bits_over(config, horizon_us);
+            let bits = total_bits_over(config, 42, horizon_us);
             let rate_mbps = bits / horizon_us; // bits/us == Mbps
             let target = level.mean_rate_mbps();
             assert!(
@@ -238,10 +264,10 @@ mod tests {
 
     #[test]
     fn stream_is_reproducible() {
-        let a: Vec<Packet> = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 5))
+        let a: Vec<Packet> = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High), 5)
             .take(500)
             .collect();
-        let b: Vec<Packet> = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 5))
+        let b: Vec<Packet> = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High), 5)
             .take(500)
             .collect();
         assert_eq!(a, b);
@@ -249,10 +275,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<Packet> = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 1))
+        let a: Vec<Packet> = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High), 1)
             .take(100)
             .collect();
-        let b: Vec<Packet> = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 2))
+        let b: Vec<Packet> = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High), 2)
             .take(100)
             .collect();
         assert_ne!(a, b);
@@ -260,7 +286,7 @@ mod tests {
 
     #[test]
     fn arrivals_are_monotone() {
-        let stream = PacketStream::new(ArrivalConfig::default());
+        let stream = PacketStream::new(ArrivalConfig::default(), 0);
         let times: Vec<SimTime> = stream.take(2_000).map(|p| p.arrival).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -271,9 +297,9 @@ mod tests {
         // really varies (the property DVS exploits).
         let config = ArrivalConfig {
             burstiness: 1.8,
-            ..ArrivalConfig::for_level(TrafficLevel::Medium, 9)
+            ..ArrivalConfig::for_level(TrafficLevel::Medium)
         };
-        let stream = PacketStream::new(config);
+        let stream = PacketStream::new(config, 9);
         let window_us = 50.0;
         let nwindows = 400;
         let horizon = SimTime::from_us_f64(window_us * nwindows as f64);
@@ -295,13 +321,13 @@ mod tests {
             burstiness: 1.0,
             ..ArrivalConfig::default()
         };
-        let s = PacketStream::new(config);
+        let s = PacketStream::new(config, 0);
         assert!((s.effective_mean_rate_mbps() - s.config().mean_rate_mbps).abs() < 1e-9);
     }
 
     #[test]
     fn ports_are_covered() {
-        let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 13));
+        let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High), 13);
         let mut seen = [false; 16];
         for p in stream.take(2_000) {
             seen[p.port as usize] = true;
@@ -313,10 +339,10 @@ mod tests {
     fn from_diurnal_scales_the_median() {
         let model = crate::DiurnalModel::nlanr_like(3);
         let noon = model.sample(12.0 * 3600.0);
-        let config = ArrivalConfig::from_diurnal(&noon, 5.0, 9);
+        let config = ArrivalConfig::from_diurnal(&noon, 5.0);
         assert!((config.mean_rate_mbps - noon.med_bps * 5.0 / 1e6).abs() < 1e-9);
         // A usable stream comes out of it.
-        let stream = PacketStream::new(config);
+        let stream = PacketStream::new(config, 9);
         assert!(stream.take(10).count() == 10);
     }
 
@@ -325,15 +351,27 @@ mod tests {
     fn from_diurnal_rejects_bad_scale() {
         let model = crate::DiurnalModel::nlanr_like(3);
         let s = model.sample(0.0);
-        let _ = ArrivalConfig::from_diurnal(&s, 0.0, 1);
+        let _ = ArrivalConfig::from_diurnal(&s, 0.0);
     }
 
     #[test]
     #[should_panic(expected = "burstiness must be >= 1")]
     fn rejects_sub_one_burstiness() {
-        let _ = PacketStream::new(ArrivalConfig {
-            burstiness: 0.5,
-            ..ArrivalConfig::default()
-        });
+        let _ = PacketStream::new(
+            ArrivalConfig {
+                burstiness: 0.5,
+                ..ArrivalConfig::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn trait_adapter_matches_the_direct_stream() {
+        let config = ArrivalConfig::for_level(TrafficLevel::High);
+        let via_trait: Vec<Packet> = config.stream(11).take(200).collect();
+        let direct: Vec<Packet> = PacketStream::new(config.clone(), 11).take(200).collect();
+        assert_eq!(via_trait, direct);
+        assert!((TrafficModel::mean_rate_mbps(&config) - 1150.0).abs() < 1e-9);
     }
 }

@@ -4,7 +4,7 @@ use desim::rng::derive_stream;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::TrafficLevel;
+use crate::{ArrivalConfig, PacketSource, TrafficLevel, TrafficModel};
 
 /// One sample of the diurnal profile: the max/median/min envelope of the
 /// arrival rate at a time of day — the three curves of paper Fig. 2.
@@ -120,6 +120,66 @@ impl DiurnalModel {
     }
 }
 
+/// The `diurnal` traffic model: sample the day profile at a time of day
+/// and drive the MMPP generator at the sampled median rate — the
+/// paper's "sample a few seconds of real traffic" flow (§3.2) as a
+/// [`TrafficModel`].
+///
+/// The profile jitter is derived from `profile_seed` (not the stream
+/// seed), so the *offered rate* of a spec is a fixed, self-describable
+/// number while each stream seed still gets an independent arrival
+/// process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalConfig {
+    /// Time of day to sample, in hours `[0, 24)`.
+    pub hour: f64,
+    /// Ratio of NPU aggregate traffic to the profiled link's median
+    /// (see [`ArrivalConfig::from_diurnal`]).
+    pub aggregate_scale: f64,
+    /// Peak rate of the day profile, bits/s.
+    pub peak_bps: f64,
+    /// Seed of the profile jitter (fixed per spec, independent of the
+    /// stream seed).
+    pub profile_seed: u64,
+}
+
+impl Default for DiurnalConfig {
+    /// The paper's high sampling period: 16:00 on a Fig. 2-scale link,
+    /// aggregated ~5× onto the NPU.
+    fn default() -> Self {
+        DiurnalConfig {
+            hour: 16.0,
+            aggregate_scale: 5.0,
+            peak_bps: 2.5e8,
+            profile_seed: 0,
+        }
+    }
+}
+
+impl DiurnalConfig {
+    /// The MMPP configuration this diurnal sample resolves to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peak rate or aggregate scale is not positive.
+    #[must_use]
+    pub fn arrival_config(&self) -> ArrivalConfig {
+        let model = DiurnalModel::with_peak(self.peak_bps, self.profile_seed);
+        let sample = model.sample(self.hour * 3600.0);
+        ArrivalConfig::from_diurnal(&sample, self.aggregate_scale)
+    }
+}
+
+impl TrafficModel for DiurnalConfig {
+    fn mean_rate_mbps(&self) -> f64 {
+        TrafficModel::mean_rate_mbps(&self.arrival_config())
+    }
+
+    fn stream(&self, seed: u64) -> PacketSource {
+        self.arrival_config().stream(seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +246,24 @@ mod tests {
     #[should_panic(expected = "peak rate must be positive")]
     fn rejects_bad_peak() {
         let _ = DiurnalModel::with_peak(-1.0, 0);
+    }
+
+    #[test]
+    fn diurnal_model_rate_follows_the_profile() {
+        let night = DiurnalConfig {
+            hour: 4.0,
+            ..DiurnalConfig::default()
+        };
+        let noon = DiurnalConfig {
+            hour: 16.0,
+            ..DiurnalConfig::default()
+        };
+        assert!(TrafficModel::mean_rate_mbps(&noon) > 2.0 * TrafficModel::mean_rate_mbps(&night));
+        // The self-described rate is fixed per spec: independent of the
+        // stream seed by construction.
+        let a: Vec<_> = noon.stream(1).take(50).collect();
+        let b: Vec<_> = noon.stream(1).take(50).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, noon.stream(2).take(50).collect::<Vec<_>>());
     }
 }

@@ -1,47 +1,79 @@
-//! Synthetic IP traffic models for the NPU experiments.
+//! Synthetic IP traffic models for the NPU experiments, behind the open
+//! [`TrafficModel`] API.
 //!
 //! The paper drives NePSim with packet arrivals sampled from a real NLANR
 //! edge-router trace (its Fig. 2). The NLANR archive is no longer
-//! available, so this crate provides the closest synthetic equivalent:
+//! available, so this crate provides synthetic equivalents — all exposed
+//! through one trait:
 //!
-//! * [`DiurnalModel`] — a day-long arrival-rate profile with max/median/min
-//!   envelopes shaped like the paper's Fig. 2,
-//! * [`TrafficLevel`] — the paper's "high / medium / low" sampling of that
-//!   profile (§3.2, §4.3),
-//! * [`PacketStream`] — a bursty (Markov-modulated Poisson) packet arrival
-//!   process over 16 device ports with an IMIX-style packet-size mix.
+//! * [`TrafficModel`] — a deterministic, self-describing packet source:
+//!   `stream(seed)` instantiates a reproducible iterator,
+//!   `mean_rate_mbps` / `expected_rate_mbps` describe the offered load;
+//! * [`TrafficSpec`] + [`TrafficRegistry`] — the declarative layer: every
+//!   model is reachable by name through the CLI (`name:key=val,...`),
+//!   flat-TOML and flat-JSON grammars, with exact round-tripping.
+//!
+//! Built-in models:
+//!
+//! * [`TrafficLevel`] (`low`/`medium`/`high`) — the paper's three
+//!   sampling periods (§3.2, §4.3);
+//! * [`ArrivalConfig`]/[`PacketStream`] (`mmpp`) — the bursty
+//!   Markov-modulated Poisson generator over 16 device ports with an
+//!   IMIX-style size mix;
+//! * [`DiurnalModel`]/[`DiurnalConfig`] (`diurnal`) — the day-long
+//!   arrival-rate profile of paper Fig. 2, sampled at a time of day;
+//! * [`OnOffConfig`] (`burst`) — deterministic on/off bursts;
+//! * [`FlashConfig`] (`flash`) — a transient flash-crowd spike;
+//! * [`ConstantConfig`] (`constant`) — a CBR calibration source;
+//! * [`RecordedTrace`]/[`ReplayConfig`] (`trace`) — byte-exact replay
+//!   of a recorded trace.
 //!
 //! The property the DVS study depends on — *unbalanced* load with burst
 //! and lull phases long enough to span several monitor windows — is
-//! preserved by the two-state modulation of [`PacketStream`].
+//! preserved by the MMPP and on/off models.
 //!
 //! # Example
 //!
 //! ```
 //! use desim::SimTime;
-//! use traffic::{ArrivalConfig, PacketStream, TrafficLevel};
+//! use traffic::{TrafficModel, TrafficSpec};
 //!
-//! let config = ArrivalConfig::for_level(TrafficLevel::Medium, 7);
-//! let mut stream = PacketStream::new(config);
-//! let horizon = SimTime::from_ms(1);
-//! let packets: Vec<_> = stream.by_ref()
-//!     .take_while(|p| p.arrival < horizon)
-//!     .collect();
+//! let spec: TrafficSpec = "burst:on_mbps=1800,off_mbps=120,period_s=2"
+//!     .parse()
+//!     .unwrap();
+//! let model = spec.model().unwrap();
+//! let packets = model.packets_until(7, SimTime::from_ms(1));
 //! assert!(!packets.is_empty());
+//! assert_eq!(spec.spec_string().parse::<TrafficSpec>().unwrap(), spec);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod arrivals;
+mod constant;
 mod diurnal;
+mod flash;
+mod model;
+mod onoff;
 mod packet;
+mod registry;
 mod replay;
+mod spec;
 
 pub use arrivals::{ArrivalConfig, PacketStream};
-pub use diurnal::{DiurnalModel, DiurnalSample};
+pub use constant::ConstantConfig;
+pub use diurnal::{DiurnalConfig, DiurnalModel, DiurnalSample};
+pub use flash::FlashConfig;
+// Re-export the shared grammar machinery so custom tooling needs only
+// this crate.
+pub use kvspec::{ParamInfo, Params, SpecError};
+pub use model::{PacketSource, TrafficModel};
+pub use onoff::OnOffConfig;
 pub use packet::{Packet, SizeMix};
-pub use replay::RecordedTrace;
+pub use registry::{TrafficInfo, TrafficRegistry};
+pub use replay::{RecordedTrace, ReplayConfig};
+pub use spec::TrafficSpec;
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,138 @@
+//! The open traffic API: [`TrafficModel`], the trait every packet
+//! source implements.
+//!
+//! A model is a *description* of an arrival process — it owns no RNG
+//! state. Calling [`TrafficModel::stream`] with a seed instantiates a
+//! concrete, reproducible packet iterator: the same `(model, seed)`
+//! pair always yields the same packet sequence, which is what lets
+//! parallel experiment batches stay bit-identical to serial ones.
+
+use std::fmt;
+
+use desim::SimTime;
+
+use crate::Packet;
+
+/// A deterministic, self-describing packet source.
+///
+/// Implementations must satisfy three contracts (the conformance suite
+/// in `crates/traffic/tests/conformance.rs` checks every registered
+/// model against them):
+///
+/// 1. **Determinism** — `stream(seed)` yields the same packet sequence
+///    every time it is called with the same seed.
+/// 2. **Monotone time** — arrival times never decrease, starting from
+///    time zero.
+/// 3. **Honest self-description** — the realised rate over a horizon
+///    converges on [`TrafficModel::expected_rate_mbps`] for that
+///    horizon.
+///
+/// # Example
+///
+/// ```
+/// use desim::SimTime;
+/// use traffic::{ArrivalConfig, TrafficModel};
+///
+/// let model = ArrivalConfig::default(); // the MMPP adapter
+/// let packets = model.packets_until(7, SimTime::from_ms(1));
+/// assert!(!packets.is_empty());
+/// assert_eq!(packets, model.packets_until(7, SimTime::from_ms(1)));
+/// ```
+pub trait TrafficModel: fmt::Debug + Send + Sync {
+    /// The long-run mean aggregate arrival rate this model realises,
+    /// in Mbps.
+    fn mean_rate_mbps(&self) -> f64;
+
+    /// The expected mean rate over the first `horizon_us` microseconds,
+    /// in Mbps. Defaults to the long-run mean; non-stationary models
+    /// (e.g. a flash-crowd spike) override it with the exact envelope
+    /// integral so short runs remain honestly described.
+    fn expected_rate_mbps(&self, horizon_us: f64) -> f64 {
+        let _ = horizon_us;
+        self.mean_rate_mbps()
+    }
+
+    /// Instantiates the reproducible packet stream for `seed`.
+    fn stream(&self, seed: u64) -> PacketSource;
+
+    /// Collects every packet arriving strictly before `horizon` — the
+    /// horizon-bounded form every simulation and recording uses.
+    fn packets_until(&self, seed: u64, horizon: SimTime) -> Vec<Packet> {
+        self.stream(seed)
+            .take_while(|p| p.arrival < horizon)
+            .collect()
+    }
+}
+
+/// A type-erased packet iterator handed out by [`TrafficModel::stream`].
+///
+/// Possibly infinite (generators) or finite (recorded traces); callers
+/// bound it with a horizon (`take_while` on `arrival`, or
+/// [`TrafficModel::packets_until`]).
+pub struct PacketSource {
+    inner: Box<dyn Iterator<Item = Packet> + Send>,
+}
+
+impl PacketSource {
+    /// Wraps any `Send` packet iterator.
+    #[must_use]
+    pub fn new(inner: impl Iterator<Item = Packet> + Send + 'static) -> Self {
+        PacketSource {
+            inner: Box::new(inner),
+        }
+    }
+}
+
+impl Iterator for PacketSource {
+    type Item = Packet;
+    fn next(&mut self) -> Option<Packet> {
+        self.inner.next()
+    }
+}
+
+impl fmt::Debug for PacketSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PacketSource(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct TwoPackets;
+
+    impl TrafficModel for TwoPackets {
+        fn mean_rate_mbps(&self) -> f64 {
+            1.0
+        }
+        fn stream(&self, _seed: u64) -> PacketSource {
+            PacketSource::new(
+                [10, 20]
+                    .into_iter()
+                    .map(|us| Packet {
+                        arrival: SimTime::from_us(us),
+                        size_bytes: 40,
+                        port: 0,
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            )
+        }
+    }
+
+    #[test]
+    fn packets_until_bounds_the_stream() {
+        let m = TwoPackets;
+        assert_eq!(m.packets_until(0, SimTime::from_us(15)).len(), 1);
+        assert_eq!(m.packets_until(0, SimTime::from_us(100)).len(), 2);
+        // The horizon is exclusive.
+        assert_eq!(m.packets_until(0, SimTime::from_us(10)).len(), 0);
+    }
+
+    #[test]
+    fn expected_rate_defaults_to_the_long_run_mean() {
+        assert_eq!(TwoPackets.expected_rate_mbps(123.0), 1.0);
+    }
+}

@@ -1,0 +1,560 @@
+//! The traffic registry: every built-in traffic model, discoverable by
+//! name — the traffic-side twin of `dvs::PolicyRegistry`.
+//!
+//! One entry gives a model:
+//!
+//! * a **name** (plus aliases) reachable from the CLI grammar, TOML and
+//!   JSON (see [`TrafficSpec`]),
+//! * self-describing **parameter metadata** (`abdex traffics` renders it),
+//! * a **builder** that validates parameters and produces the spec.
+//!
+//! Adding a traffic model touches only this crate: implement
+//! [`TrafficModel`](crate::TrafficModel), add a [`TrafficSpec`] variant,
+//! and register the entry in [`TrafficRegistry::builtin`]. The
+//! conformance suite in `crates/traffic/tests/` picks it up by name.
+
+use std::sync::OnceLock;
+
+pub use kvspec::ParamInfo;
+use kvspec::{Params, SpecError};
+
+use crate::{
+    ArrivalConfig, ConstantConfig, DiurnalConfig, FlashConfig, OnOffConfig, ReplayConfig, SizeMix,
+    TrafficLevel, TrafficSpec,
+};
+
+/// Metadata for one registered traffic model.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficInfo {
+    /// Canonical name used in specs and help output.
+    pub name: &'static str,
+    /// Accepted alternative names.
+    pub aliases: &'static [&'static str],
+    /// One-line description.
+    pub summary: &'static str,
+    /// Accepted parameters.
+    pub params: &'static [ParamInfo],
+}
+
+type BuildFn = fn(Params) -> Result<TrafficSpec, SpecError>;
+
+struct Entry {
+    info: TrafficInfo,
+    build: BuildFn,
+}
+
+/// Name-indexed collection of traffic-model builders.
+pub struct TrafficRegistry {
+    entries: Vec<Entry>,
+}
+
+impl std::fmt::Debug for TrafficRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficRegistry")
+            .field("names", &self.name_list())
+            .finish()
+    }
+}
+
+const PORTS_PARAM: ParamInfo = ParamInfo {
+    key: "ports",
+    default: "16",
+    help: "device ports packets are spread over",
+};
+
+impl TrafficRegistry {
+    /// The registry of built-in traffic models.
+    pub fn builtin() -> &'static TrafficRegistry {
+        static REGISTRY: OnceLock<TrafficRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(|| TrafficRegistry {
+            entries: vec![
+                level_entry("low", TrafficLevel::Low, "night-time lull (450 Mbps MMPP)"),
+                level_entry(
+                    "medium",
+                    TrafficLevel::Medium,
+                    "shoulder period (850 Mbps MMPP)",
+                ),
+                level_entry("high", TrafficLevel::High, "mid-day peak (1150 Mbps MMPP)"),
+                Entry {
+                    info: TrafficInfo {
+                        name: "mmpp",
+                        aliases: &["poisson", "bursty"],
+                        summary: "Markov-modulated Poisson arrivals (burstiness=1: plain Poisson)",
+                        params: &[
+                            ParamInfo {
+                                key: "rate",
+                                default: "850",
+                                help: "long-run mean aggregate rate, Mbps",
+                            },
+                            ParamInfo {
+                                key: "burstiness",
+                                default: "1.6",
+                                help: "burst-state rate as a multiple of the mean, >= 1",
+                            },
+                            ParamInfo {
+                                key: "dwell_us",
+                                default: "200",
+                                help: "mean dwell time per modulation state, microseconds",
+                            },
+                            PORTS_PARAM,
+                        ],
+                    },
+                    build: build_mmpp,
+                },
+                Entry {
+                    info: TrafficInfo {
+                        name: "diurnal",
+                        aliases: &["day"],
+                        summary: "sample the Fig. 2 day profile, drive MMPP at the median",
+                        params: &[
+                            ParamInfo {
+                                key: "hour",
+                                default: "16",
+                                help: "time of day to sample, hours [0, 24)",
+                            },
+                            ParamInfo {
+                                key: "scale",
+                                default: "5",
+                                help: "NPU aggregate / profiled-link median ratio",
+                            },
+                            ParamInfo {
+                                key: "peak_bps",
+                                default: "250000000",
+                                help: "day-profile peak rate, bits/s",
+                            },
+                            ParamInfo {
+                                key: "profile_seed",
+                                default: "0",
+                                help: "profile-jitter seed (fixed per spec)",
+                            },
+                        ],
+                    },
+                    build: build_diurnal,
+                },
+                Entry {
+                    info: TrafficInfo {
+                        name: "burst",
+                        aliases: &["onoff", "on-off"],
+                        summary: "deterministic on/off bursts, Poisson arrivals inside phases",
+                        params: &[
+                            ParamInfo {
+                                key: "on_mbps",
+                                default: "1600",
+                                help: "aggregate rate during the on phase, Mbps",
+                            },
+                            ParamInfo {
+                                key: "off_mbps",
+                                default: "200",
+                                help: "aggregate rate during the off phase, Mbps (0 = silent)",
+                            },
+                            ParamInfo {
+                                key: "period_s",
+                                default: "0.002",
+                                help: "length of one on+off cycle, seconds",
+                            },
+                            ParamInfo {
+                                key: "duty",
+                                default: "0.5",
+                                help: "fraction of each period spent on, (0, 1)",
+                            },
+                            PORTS_PARAM,
+                        ],
+                    },
+                    build: build_burst,
+                },
+                Entry {
+                    info: TrafficInfo {
+                        name: "flash",
+                        aliases: &["spike", "flashcrowd"],
+                        summary: "baseline plus one trapezoidal flash-crowd spike",
+                        params: &[
+                            ParamInfo {
+                                key: "base_mbps",
+                                default: "400",
+                                help: "baseline aggregate rate, Mbps",
+                            },
+                            ParamInfo {
+                                key: "peak_mbps",
+                                default: "1800",
+                                help: "rate at the top of the spike, Mbps",
+                            },
+                            ParamInfo {
+                                key: "at_ms",
+                                default: "4",
+                                help: "spike start, milliseconds from stream start",
+                            },
+                            ParamInfo {
+                                key: "ramp_ms",
+                                default: "1",
+                                help: "linear ramp length (up and down), milliseconds",
+                            },
+                            ParamInfo {
+                                key: "hold_ms",
+                                default: "3",
+                                help: "time held at the peak, milliseconds",
+                            },
+                            PORTS_PARAM,
+                        ],
+                    },
+                    build: build_flash,
+                },
+                Entry {
+                    info: TrafficInfo {
+                        name: "constant",
+                        aliases: &["cbr", "fixed"],
+                        summary: "constant bit rate: equally spaced fixed-size packets (no RNG)",
+                        params: &[
+                            ParamInfo {
+                                key: "rate",
+                                default: "600",
+                                help: "aggregate rate, Mbps",
+                            },
+                            ParamInfo {
+                                key: "size",
+                                default: "576",
+                                help: "size of every packet, bytes",
+                            },
+                            PORTS_PARAM,
+                        ],
+                    },
+                    build: build_constant,
+                },
+                Entry {
+                    info: TrafficInfo {
+                        name: "trace",
+                        aliases: &["replay"],
+                        summary: "replay a recorded trace file (see `abdex trace --out`)",
+                        params: &[ParamInfo {
+                            key: "path",
+                            default: "(required)",
+                            help: "path of a trace in RecordedTrace text format",
+                        }],
+                    },
+                    build: build_trace,
+                },
+            ],
+        })
+    }
+
+    /// Builds a validated spec for `name` (case-insensitive) from raw
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for unknown names, unknown keys or
+    /// invalid values.
+    pub fn build_spec(&self, name: &str, params: Params) -> Result<TrafficSpec, SpecError> {
+        let wanted = name.to_ascii_lowercase();
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.info.name == wanted || e.info.aliases.contains(&wanted.as_str()))
+            .ok_or_else(|| SpecError::UnknownName {
+                kind: "traffic model",
+                name: wanted,
+                known: self.name_list(),
+            })?;
+        (entry.build)(params)
+    }
+
+    /// Metadata for every registered model, registration order.
+    pub fn infos(&self) -> impl Iterator<Item = &TrafficInfo> {
+        self.entries.iter().map(|e| &e.info)
+    }
+
+    /// Metadata for one model, by name or alias (case-insensitive).
+    #[must_use]
+    pub fn info(&self, name: &str) -> Option<&TrafficInfo> {
+        let wanted = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .map(|e| &e.info)
+            .find(|i| i.name == wanted || i.aliases.contains(&wanted.as_str()))
+    }
+
+    /// Comma-separated canonical names (for error messages and help).
+    #[must_use]
+    pub fn name_list(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| e.info.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+fn level_entry(name: &'static str, level: TrafficLevel, summary: &'static str) -> Entry {
+    Entry {
+        info: TrafficInfo {
+            name,
+            aliases: &[],
+            summary,
+            params: &[],
+        },
+        build: match level {
+            TrafficLevel::Low => |params| {
+                params.finish("low")?;
+                Ok(TrafficSpec::Level(TrafficLevel::Low))
+            },
+            TrafficLevel::Medium => |params| {
+                params.finish("medium")?;
+                Ok(TrafficSpec::Level(TrafficLevel::Medium))
+            },
+            TrafficLevel::High => |params| {
+                params.finish("high")?;
+                Ok(TrafficSpec::Level(TrafficLevel::High))
+            },
+        },
+    }
+}
+
+fn take_positive(params: &mut Params, key: &'static str, default: f64) -> Result<f64, SpecError> {
+    let value = params.f64(key, default)?;
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(SpecError::InvalidValue {
+            key: key.to_owned(),
+            value: value.to_string(),
+            expected: "a positive number",
+        })
+    }
+}
+
+fn take_non_negative(
+    params: &mut Params,
+    key: &'static str,
+    default: f64,
+) -> Result<f64, SpecError> {
+    let value = params.f64(key, default)?;
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(SpecError::InvalidValue {
+            key: key.to_owned(),
+            value: value.to_string(),
+            expected: "a non-negative number",
+        })
+    }
+}
+
+fn take_ports(params: &mut Params) -> Result<u8, SpecError> {
+    let ports = params.u64("ports", 16)?;
+    if (1..=255).contains(&ports) {
+        Ok(ports as u8)
+    } else {
+        Err(SpecError::InvalidValue {
+            key: "ports".to_owned(),
+            value: ports.to_string(),
+            expected: "a port count between 1 and 255",
+        })
+    }
+}
+
+fn build_mmpp(mut params: Params) -> Result<TrafficSpec, SpecError> {
+    let mean_rate_mbps = take_positive(&mut params, "rate", 850.0)?;
+    let burstiness = params.f64("burstiness", 1.6)?;
+    let dwell_mean_us = take_positive(&mut params, "dwell_us", 200.0)?;
+    let ports = take_ports(&mut params)?;
+    params.finish("mmpp")?;
+    if !burstiness.is_finite() || burstiness < 1.0 {
+        return Err(SpecError::InvalidValue {
+            key: "burstiness".to_owned(),
+            value: burstiness.to_string(),
+            expected: "a number >= 1",
+        });
+    }
+    Ok(TrafficSpec::Mmpp(ArrivalConfig {
+        mean_rate_mbps,
+        burstiness,
+        dwell_mean_us,
+        ports,
+        size_mix: SizeMix::imix(),
+    }))
+}
+
+fn build_diurnal(mut params: Params) -> Result<TrafficSpec, SpecError> {
+    let hour = params.f64("hour", 16.0)?;
+    let aggregate_scale = take_positive(&mut params, "scale", 5.0)?;
+    let peak_bps = take_positive(&mut params, "peak_bps", 2.5e8)?;
+    let profile_seed = params.u64("profile_seed", 0)?;
+    params.finish("diurnal")?;
+    if !hour.is_finite() || !(0.0..24.0).contains(&hour) {
+        return Err(SpecError::InvalidValue {
+            key: "hour".to_owned(),
+            value: hour.to_string(),
+            expected: "a time of day in [0, 24)",
+        });
+    }
+    Ok(TrafficSpec::Diurnal(DiurnalConfig {
+        hour,
+        aggregate_scale,
+        peak_bps,
+        profile_seed,
+    }))
+}
+
+fn build_burst(mut params: Params) -> Result<TrafficSpec, SpecError> {
+    let on_mbps = take_positive(&mut params, "on_mbps", 1600.0)?;
+    let off_mbps = take_non_negative(&mut params, "off_mbps", 200.0)?;
+    let period_s = take_positive(&mut params, "period_s", 0.002)?;
+    let duty = params.f64("duty", 0.5)?;
+    let ports = take_ports(&mut params)?;
+    params.finish("burst")?;
+    if !(duty > 0.0 && duty < 1.0) {
+        return Err(SpecError::InvalidValue {
+            key: "duty".to_owned(),
+            value: duty.to_string(),
+            expected: "a fraction strictly between 0 and 1",
+        });
+    }
+    Ok(TrafficSpec::OnOff(OnOffConfig {
+        on_mbps,
+        off_mbps,
+        period_s,
+        duty,
+        ports,
+        size_mix: SizeMix::imix(),
+    }))
+}
+
+fn build_flash(mut params: Params) -> Result<TrafficSpec, SpecError> {
+    let base_mbps = take_positive(&mut params, "base_mbps", 400.0)?;
+    let peak_mbps = take_positive(&mut params, "peak_mbps", 1800.0)?;
+    let at_ms = take_non_negative(&mut params, "at_ms", 4.0)?;
+    let ramp_ms = take_non_negative(&mut params, "ramp_ms", 1.0)?;
+    let hold_ms = take_non_negative(&mut params, "hold_ms", 3.0)?;
+    let ports = take_ports(&mut params)?;
+    params.finish("flash")?;
+    Ok(TrafficSpec::Flash(FlashConfig {
+        base_mbps,
+        peak_mbps,
+        at_ms,
+        ramp_ms,
+        hold_ms,
+        ports,
+        size_mix: SizeMix::imix(),
+    }))
+}
+
+fn build_constant(mut params: Params) -> Result<TrafficSpec, SpecError> {
+    let rate_mbps = take_positive(&mut params, "rate", 600.0)?;
+    let size = params.u64("size", 576)?;
+    let ports = take_ports(&mut params)?;
+    params.finish("constant")?;
+    if size == 0 || size > u64::from(u32::MAX) {
+        return Err(SpecError::InvalidValue {
+            key: "size".to_owned(),
+            value: size.to_string(),
+            expected: "a positive packet size in bytes",
+        });
+    }
+    Ok(TrafficSpec::Constant(ConstantConfig {
+        rate_mbps,
+        size_bytes: size as u32,
+        ports,
+    }))
+}
+
+fn build_trace(mut params: Params) -> Result<TrafficSpec, SpecError> {
+    let path = params.maybe_str("path");
+    params.finish("trace")?;
+    let path = path.ok_or_else(|| SpecError::InvalidValue {
+        key: "path".to_owned(),
+        value: String::new(),
+        expected: "a trace-file path (trace:path=...)",
+    })?;
+    Ok(TrafficSpec::Replay(ReplayConfig { path }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_builds_with_defaults() {
+        let registry = TrafficRegistry::builtin();
+        for info in registry.infos() {
+            let mut params = Params::default();
+            // `trace` has one required parameter; supply it.
+            if info.name == "trace" {
+                params.insert("path", "/tmp/x.txt");
+            }
+            let spec = registry
+                .build_spec(info.name, params)
+                .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+            assert_eq!(spec.name(), info.name, "{}", info.name);
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_same_spec() {
+        let registry = TrafficRegistry::builtin();
+        for info in registry.infos() {
+            if info.name == "trace" {
+                continue;
+            }
+            let canonical = registry.build_spec(info.name, Params::default()).unwrap();
+            for alias in info.aliases {
+                let via_alias = registry.build_spec(alias, Params::default()).unwrap();
+                assert_eq!(via_alias, canonical, "alias {alias}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        let registry = TrafficRegistry::builtin();
+        assert!(registry.build_spec("BURST", Params::default()).is_ok());
+        assert!(registry.build_spec("Medium", Params::default()).is_ok());
+        assert!(registry.info("CBR").is_some());
+    }
+
+    #[test]
+    fn documented_params_are_exactly_the_accepted_ones() {
+        let registry = TrafficRegistry::builtin();
+        for info in registry.infos() {
+            let mut params = Params::default();
+            for p in info.params {
+                let value = if p.key == "path" { "/tmp/x" } else { p.default };
+                params.insert(p.key, value);
+            }
+            registry
+                .build_spec(info.name, params)
+                .unwrap_or_else(|e| panic!("{} rejects its own defaults: {e}", info.name));
+
+            let mut bogus = Params::default();
+            bogus.insert("definitely-not-a-param", "1");
+            if info.name == "trace" {
+                bogus.insert("path", "/tmp/x");
+            }
+            assert!(
+                matches!(
+                    registry.build_spec(info.name, bogus),
+                    Err(SpecError::UnknownParam { .. })
+                ),
+                "{} accepted a bogus key",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn trace_requires_a_path() {
+        let err = TrafficRegistry::builtin()
+            .build_spec("trace", Params::default())
+            .unwrap_err();
+        assert!(matches!(err, SpecError::InvalidValue { ref key, .. } if key == "path"));
+    }
+
+    #[test]
+    fn unknown_name_lists_known_models() {
+        let err = TrafficRegistry::builtin()
+            .build_spec("tsunami", Params::default())
+            .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("tsunami"));
+        assert!(text.contains("mmpp"));
+        assert!(text.contains("flash"));
+    }
+}

@@ -8,9 +8,10 @@
 //! into the simulator through its iterator.
 
 use desim::SimTime;
+use kvspec::SpecError;
 use serde::{Deserialize, Serialize};
 
-use crate::Packet;
+use crate::{Packet, PacketSource, TrafficModel};
 
 /// A finite, recorded sequence of packet arrivals.
 ///
@@ -20,7 +21,7 @@ use crate::Packet;
 /// use desim::SimTime;
 /// use traffic::{ArrivalConfig, PacketStream, RecordedTrace};
 ///
-/// let stream = PacketStream::new(ArrivalConfig::default());
+/// let stream = PacketStream::new(ArrivalConfig::default(), 7);
 /// let trace = RecordedTrace::record(stream, SimTime::from_us(200));
 /// assert!(!trace.is_empty());
 /// // Round-trips through its text format.
@@ -143,6 +144,61 @@ impl RecordedTrace {
     }
 }
 
+impl TrafficModel for RecordedTrace {
+    fn mean_rate_mbps(&self) -> f64 {
+        RecordedTrace::mean_rate_mbps(self)
+    }
+
+    /// A finite trace self-describes over a horizon by the bits it
+    /// actually delivers there — replay is exact, not statistical.
+    fn expected_rate_mbps(&self, horizon_us: f64) -> f64 {
+        if !horizon_us.is_finite() || horizon_us <= 0.0 {
+            return 0.0;
+        }
+        let horizon = SimTime::from_us_f64(horizon_us);
+        let bits: u64 = self
+            .packets
+            .iter()
+            .take_while(|p| p.arrival < horizon)
+            .map(Packet::size_bits)
+            .sum();
+        bits as f64 / horizon_us
+    }
+
+    /// Replay ignores the seed: the recording *is* the randomness.
+    fn stream(&self, _seed: u64) -> PacketSource {
+        PacketSource::new(self.clone().into_iter())
+    }
+}
+
+/// The `trace` entry of the traffic registry: a path to a recorded
+/// trace in the [`RecordedTrace::to_text`] format, loaded when the
+/// model is built (not when the spec is parsed, so specs stay pure
+/// data).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Filesystem path of the trace file.
+    pub path: String,
+}
+
+impl ReplayConfig {
+    /// Reads and parses the trace file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Unbuildable`] when the file cannot be read
+    /// or does not parse as a recorded trace.
+    pub fn load(&self) -> Result<RecordedTrace, SpecError> {
+        let unbuildable = |reason: String| SpecError::Unbuildable {
+            spec: format!("trace:path={}", self.path),
+            reason,
+        };
+        let text = std::fs::read_to_string(&self.path)
+            .map_err(|e| unbuildable(format!("cannot read '{}': {e}", self.path)))?;
+        RecordedTrace::from_text(&text).map_err(unbuildable)
+    }
+}
+
 impl IntoIterator for RecordedTrace {
     type Item = Packet;
     type IntoIter = std::vec::IntoIter<Packet>;
@@ -175,7 +231,7 @@ mod tests {
     use crate::{ArrivalConfig, PacketStream, TrafficLevel};
 
     fn sample() -> RecordedTrace {
-        let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 7));
+        let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High), 7);
         RecordedTrace::record(stream, SimTime::from_us(500))
     }
 
@@ -198,7 +254,7 @@ mod tests {
 
     #[test]
     fn mean_rate_matches_generator_scale() {
-        let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High, 7));
+        let stream = PacketStream::new(ArrivalConfig::for_level(TrafficLevel::High), 7);
         let trace = RecordedTrace::record(stream, SimTime::from_ms(50));
         let rate = trace.mean_rate_mbps();
         assert!(

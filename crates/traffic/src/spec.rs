@@ -1,0 +1,395 @@
+//! [`TrafficSpec`] — the declarative, serializable description of a
+//! traffic model, and the grammars that produce one.
+//!
+//! A spec is *data* (which model, with which parameters); calling
+//! [`TrafficSpec::model`] instantiates the live [`TrafficModel`]. Three
+//! surfaces produce specs — the same three grammars as the policy layer
+//! (`dvs::PolicySpec`), implemented by the shared [`kvspec`] crate:
+//!
+//! * the **CLI grammar** `name:key=val,key=val` ([`TrafficSpec::parse`],
+//!   also `FromStr`), e.g. `burst:on_mbps=1800,off_mbps=120,period_s=2`
+//!   — with `low`, `medium` and `high` as bare-name shorthands for the
+//!   paper's three sampling periods;
+//! * **TOML** fragments ([`TrafficSpec::from_toml_str`]):
+//!   ```toml
+//!   traffic = "flash"
+//!   base_mbps = 400
+//!   peak_mbps = 1800
+//!   ```
+//! * **JSON** objects ([`TrafficSpec::from_json_str`]):
+//!   `{"traffic": "mmpp", "rate": 850}`.
+//!
+//! All three resolve names and parameters through the
+//! [`TrafficRegistry`](crate::TrafficRegistry), and every spec renders
+//! back into all three grammars ([`TrafficSpec::spec_string`],
+//! [`TrafficSpec::to_toml_string`], [`TrafficSpec::to_json_string`])
+//! with exact round-tripping.
+
+use std::fmt;
+use std::str::FromStr;
+
+use kvspec::{PVal, SpecError};
+use serde::{Deserialize, Serialize};
+
+use crate::registry::TrafficRegistry;
+use crate::{
+    ArrivalConfig, ConstantConfig, DiurnalConfig, FlashConfig, OnOffConfig, ReplayConfig,
+    TrafficLevel, TrafficModel,
+};
+
+/// A fully parameterised, buildable traffic-model description.
+///
+/// The canonical wire formats are the three flat grammars above; the
+/// serde derive is tagged to mirror them but generates nothing under
+/// the offline `serde` shim — the hand renderers in this module are the
+/// format of record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "traffic", rename_all = "kebab-case")]
+pub enum TrafficSpec {
+    /// One of the paper's three sampling periods (§3.2) — shorthand for
+    /// the canonical MMPP configuration of that level.
+    Level(TrafficLevel),
+    /// The Markov-modulated Poisson generator, fully parameterised.
+    Mmpp(ArrivalConfig),
+    /// The day-profile flow: sample the diurnal curve, drive MMPP.
+    Diurnal(DiurnalConfig),
+    /// Deterministic on/off bursts with Poisson arrivals inside phases.
+    OnOff(OnOffConfig),
+    /// Baseline plus one transient flash-crowd spike.
+    Flash(FlashConfig),
+    /// Constant bit rate: equally spaced fixed-size packets.
+    Constant(ConstantConfig),
+    /// Replay of a recorded trace file.
+    Replay(ReplayConfig),
+}
+
+impl TrafficSpec {
+    /// The paper's three sampling periods as specs, lowest rate first —
+    /// the default traffic axis of comparisons.
+    #[must_use]
+    pub fn paper_levels() -> [TrafficSpec; 3] {
+        TrafficLevel::ALL.map(TrafficSpec::Level)
+    }
+
+    /// The canonical registry name of this spec's model.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficSpec::Level(TrafficLevel::Low) => "low",
+            TrafficSpec::Level(TrafficLevel::Medium) => "medium",
+            TrafficSpec::Level(TrafficLevel::High) => "high",
+            TrafficSpec::Mmpp(_) => "mmpp",
+            TrafficSpec::Diurnal(_) => "diurnal",
+            TrafficSpec::OnOff(_) => "burst",
+            TrafficSpec::Flash(_) => "flash",
+            TrafficSpec::Constant(_) => "constant",
+            TrafficSpec::Replay(_) => "trace",
+        }
+    }
+
+    /// Instantiates the live packet-source model.
+    ///
+    /// Infallible for every generator; the `trace` model reads its file
+    /// here, so a missing or malformed recording surfaces as an error
+    /// (not at parse time — specs are pure data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Unbuildable`] when a trace file cannot be
+    /// loaded.
+    pub fn model(&self) -> Result<Box<dyn TrafficModel>, SpecError> {
+        Ok(match self {
+            TrafficSpec::Level(level) => Box::new(ArrivalConfig::for_level(*level)),
+            TrafficSpec::Mmpp(c) => Box::new(c.clone()),
+            TrafficSpec::Diurnal(c) => Box::new(c.clone()),
+            TrafficSpec::OnOff(c) => Box::new(c.clone()),
+            TrafficSpec::Flash(c) => Box::new(c.clone()),
+            TrafficSpec::Constant(c) => Box::new(*c),
+            TrafficSpec::Replay(c) => Box::new(c.load()?),
+        })
+    }
+
+    /// The spec's parameters in registry order, typed for rendering.
+    fn params(&self) -> Vec<(&'static str, PVal)> {
+        match self {
+            TrafficSpec::Level(_) => Vec::new(),
+            TrafficSpec::Mmpp(c) => vec![
+                ("rate", PVal::num_f64(c.mean_rate_mbps)),
+                ("burstiness", PVal::num_f64(c.burstiness)),
+                ("dwell_us", PVal::num_f64(c.dwell_mean_us)),
+                ("ports", PVal::num_u64(u64::from(c.ports))),
+            ],
+            TrafficSpec::Diurnal(c) => vec![
+                ("hour", PVal::num_f64(c.hour)),
+                ("scale", PVal::num_f64(c.aggregate_scale)),
+                ("peak_bps", PVal::num_f64(c.peak_bps)),
+                ("profile_seed", PVal::num_u64(c.profile_seed)),
+            ],
+            TrafficSpec::OnOff(c) => vec![
+                ("on_mbps", PVal::num_f64(c.on_mbps)),
+                ("off_mbps", PVal::num_f64(c.off_mbps)),
+                ("period_s", PVal::num_f64(c.period_s)),
+                ("duty", PVal::num_f64(c.duty)),
+                ("ports", PVal::num_u64(u64::from(c.ports))),
+            ],
+            TrafficSpec::Flash(c) => vec![
+                ("base_mbps", PVal::num_f64(c.base_mbps)),
+                ("peak_mbps", PVal::num_f64(c.peak_mbps)),
+                ("at_ms", PVal::num_f64(c.at_ms)),
+                ("ramp_ms", PVal::num_f64(c.ramp_ms)),
+                ("hold_ms", PVal::num_f64(c.hold_ms)),
+                ("ports", PVal::num_u64(u64::from(c.ports))),
+            ],
+            TrafficSpec::Constant(c) => vec![
+                ("rate", PVal::num_f64(c.rate_mbps)),
+                ("size", PVal::num_u64(u64::from(c.size_bytes))),
+                ("ports", PVal::num_u64(u64::from(c.ports))),
+            ],
+            TrafficSpec::Replay(c) => vec![("path", PVal::Str(c.path.clone()))],
+        }
+    }
+
+    /// Parses the CLI grammar `name[:key=val[,key=val]...]` against the
+    /// built-in registry. `low`/`medium`/`high` remain accepted as
+    /// bare-name shorthands for the paper's levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for unknown names/keys, unparsable values
+    /// or values outside a model's valid range.
+    pub fn parse(input: &str) -> Result<Self, SpecError> {
+        let (name, params) = kvspec::parse_cli(input)?;
+        TrafficRegistry::builtin().build_spec(&name, params)
+    }
+
+    /// Parses a flat TOML fragment: a `traffic = "name"` entry plus one
+    /// `key = value` line per parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for syntax errors, a missing `traffic`
+    /// key, or any parameter problem [`TrafficSpec::parse`] would report.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        let (name, params) = kvspec::parse_flat_toml(input, "traffic")?;
+        TrafficRegistry::builtin().build_spec(&name, params)
+    }
+
+    /// Parses a flat JSON object: `{"traffic": "name", "key": value, ...}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for syntax errors, a missing `traffic`
+    /// key, or any parameter problem [`TrafficSpec::parse`] would report.
+    pub fn from_json_str(input: &str) -> Result<Self, SpecError> {
+        let (name, params) = kvspec::parse_flat_json(input, "traffic")?;
+        TrafficRegistry::builtin().build_spec(&name, params)
+    }
+
+    /// Renders the spec in the CLI grammar; [`TrafficSpec::parse`] of
+    /// the result reproduces the spec exactly. (A `trace` path holding
+    /// `,` or `=` only round-trips through the TOML/JSON grammars.)
+    #[must_use]
+    pub fn spec_string(&self) -> String {
+        kvspec::render_cli(self.name(), &self.params())
+    }
+
+    /// Renders the spec as a flat TOML fragment;
+    /// [`TrafficSpec::from_toml_str`] of the result reproduces it.
+    #[must_use]
+    pub fn to_toml_string(&self) -> String {
+        kvspec::render_flat_toml("traffic", self.name(), &self.params())
+    }
+
+    /// Renders the spec as a flat JSON object;
+    /// [`TrafficSpec::from_json_str`] of the result reproduces it.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        kvspec::render_flat_json("traffic", self.name(), &self.params())
+    }
+}
+
+impl From<TrafficLevel> for TrafficSpec {
+    fn from(level: TrafficLevel) -> Self {
+        TrafficSpec::Level(level)
+    }
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec_string())
+    }
+}
+
+impl FromStr for TrafficSpec {
+    type Err = SpecError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TrafficSpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_as_bare_names() {
+        for (name, level) in [
+            ("low", TrafficLevel::Low),
+            ("medium", TrafficLevel::Medium),
+            ("high", TrafficLevel::High),
+            ("HIGH", TrafficLevel::High),
+        ] {
+            assert_eq!(
+                TrafficSpec::parse(name).unwrap(),
+                TrafficSpec::Level(level),
+                "{name}"
+            );
+        }
+        assert_eq!(TrafficSpec::Level(TrafficLevel::Low).spec_string(), "low");
+    }
+
+    #[test]
+    fn acceptance_burst_spec_parses() {
+        let spec = TrafficSpec::parse("burst:on_mbps=1800,off_mbps=120,period_s=2").unwrap();
+        let TrafficSpec::OnOff(c) = &spec else {
+            panic!("wrong variant: {spec:?}");
+        };
+        assert_eq!(c.on_mbps, 1800.0);
+        assert_eq!(c.off_mbps, 120.0);
+        assert_eq!(c.period_s, 2.0);
+        assert_eq!(c.duty, 0.5); // default
+        let model = spec.model().unwrap();
+        assert!((model.mean_rate_mbps() - 960.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            TrafficSpec::parse("tsunami"),
+            Err(SpecError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            TrafficSpec::parse("burst:flux=9"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            TrafficSpec::parse("burst:on_mbps=fast"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            TrafficSpec::parse("burst:duty=2"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_name_lists_the_registry() {
+        let text = TrafficSpec::parse("tsunami").unwrap_err().to_string();
+        assert!(text.contains("traffic model"), "{text}");
+        assert!(text.contains("burst"), "{text}");
+        assert!(text.contains("low"), "{text}");
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_all_three_grammars() {
+        let specs = [
+            TrafficSpec::Level(TrafficLevel::Medium),
+            TrafficSpec::Mmpp(ArrivalConfig::default()),
+            TrafficSpec::Diurnal(DiurnalConfig::default()),
+            TrafficSpec::OnOff(OnOffConfig {
+                on_mbps: 1800.0,
+                off_mbps: 120.0,
+                period_s: 2.0,
+                ..OnOffConfig::default()
+            }),
+            TrafficSpec::Flash(FlashConfig::default()),
+            TrafficSpec::Constant(ConstantConfig::default()),
+            TrafficSpec::Replay(ReplayConfig {
+                path: "/tmp/trace.txt".to_owned(),
+            }),
+        ];
+        for spec in specs {
+            let cli = spec.spec_string();
+            assert_eq!(TrafficSpec::parse(&cli).unwrap(), spec, "CLI: {cli}");
+            let toml = spec.to_toml_string();
+            assert_eq!(
+                TrafficSpec::from_toml_str(&toml).unwrap(),
+                spec,
+                "TOML: {toml}"
+            );
+            let json = spec.to_json_string();
+            assert_eq!(
+                TrafficSpec::from_json_str(&json).unwrap(),
+                spec,
+                "JSON: {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_paths_with_grammar_chars_round_trip_via_toml_and_json() {
+        let spec = TrafficSpec::Replay(ReplayConfig {
+            path: "/tmp/a=b,c \"d\".txt".to_owned(),
+        });
+        let toml = spec.to_toml_string();
+        assert_eq!(TrafficSpec::from_toml_str(&toml).unwrap(), spec);
+        let json = spec.to_json_string();
+        assert_eq!(TrafficSpec::from_json_str(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn replay_model_surfaces_missing_files_as_unbuildable() {
+        let spec = TrafficSpec::Replay(ReplayConfig {
+            path: "/no/such/trace.txt".to_owned(),
+        });
+        assert!(matches!(spec.model(), Err(SpecError::Unbuildable { .. })));
+    }
+
+    #[test]
+    fn level_specs_build_the_canonical_generator() {
+        let spec = TrafficSpec::Level(TrafficLevel::High);
+        let model = spec.model().unwrap();
+        assert!((model.mean_rate_mbps() - 1150.0).abs() < 1e-9);
+        // Identical to the explicit MMPP spec for that level.
+        let explicit = TrafficSpec::Mmpp(ArrivalConfig::for_level(TrafficLevel::High));
+        let a: Vec<_> = model.stream(3).take(100).collect();
+        let b: Vec<_> = explicit.model().unwrap().stream(3).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_levels_are_ordered() {
+        let levels = TrafficSpec::paper_levels();
+        assert_eq!(levels[0].spec_string(), "low");
+        assert_eq!(levels[2].spec_string(), "high");
+    }
+
+    #[test]
+    fn toml_and_json_fragments_parse() {
+        let spec = TrafficSpec::from_toml_str(
+            r#"
+            # the flash-crowd scenario
+            [traffic]
+            traffic = "flash"
+            base_mbps = 300
+            peak_mbps = 2000.0
+            "#,
+        )
+        .unwrap();
+        let TrafficSpec::Flash(c) = spec else {
+            panic!("wrong variant");
+        };
+        assert_eq!(c.base_mbps, 300.0);
+        assert_eq!(c.peak_mbps, 2000.0);
+        assert_eq!(c.at_ms, 4.0); // default
+
+        let spec =
+            TrafficSpec::from_json_str(r#"{"traffic": "constant", "rate": 750, "size": 64}"#)
+                .unwrap();
+        let TrafficSpec::Constant(c) = spec else {
+            panic!("wrong variant");
+        };
+        assert_eq!(c.rate_mbps, 750.0);
+        assert_eq!(c.size_bytes, 64);
+    }
+}

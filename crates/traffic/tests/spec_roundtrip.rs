@@ -1,0 +1,132 @@
+//! Property tests: every [`TrafficSpec`] round-trips *exactly* through
+//! all three grammars — CLI spec string, flat TOML, flat JSON — for
+//! randomly drawn parameters, not just the defaults.
+//!
+//! Exactness matters because specs are identity: `xrun::JobSpec`
+//! equality, result-document provenance and sweep-table labels all
+//! assume that rendering and re-parsing a spec is the identity
+//! function.
+
+use proptest::prelude::*;
+use traffic::TrafficSpec;
+
+/// Round-trips one spec through all three grammars and asserts
+/// equality.
+fn assert_round_trips(spec: &TrafficSpec) {
+    let cli = spec.spec_string();
+    assert_eq!(
+        &TrafficSpec::parse(&cli).expect("CLI reparse"),
+        spec,
+        "CLI grammar: {cli}"
+    );
+    let toml = spec.to_toml_string();
+    assert_eq!(
+        &TrafficSpec::from_toml_str(&toml).expect("TOML reparse"),
+        spec,
+        "TOML grammar: {toml}"
+    );
+    let json = spec.to_json_string();
+    assert_eq!(
+        &TrafficSpec::from_json_str(&json).expect("JSON reparse"),
+        spec,
+        "JSON grammar: {json}"
+    );
+}
+
+/// Builds a spec from a CLI string that must be valid.
+fn spec(s: String) -> TrafficSpec {
+    TrafficSpec::parse(&s).unwrap_or_else(|e| panic!("'{s}' should parse: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mmpp_specs_round_trip(
+        rate in 1.0f64..4000.0,
+        burstiness in 1.0f64..3.0,
+        dwell in 1.0f64..2000.0,
+        ports in 1u64..255,
+    ) {
+        assert_round_trips(&spec(format!(
+            "mmpp:rate={rate},burstiness={burstiness},dwell_us={dwell},ports={ports}"
+        )));
+    }
+
+    #[test]
+    fn burst_specs_round_trip(
+        on in 1.0f64..4000.0,
+        off in 0.0f64..1000.0,
+        period in 0.0001f64..10.0,
+        duty in 0.01f64..0.99,
+    ) {
+        assert_round_trips(&spec(format!(
+            "burst:on_mbps={on},off_mbps={off},period_s={period},duty={duty}"
+        )));
+    }
+
+    #[test]
+    fn flash_specs_round_trip(
+        base in 1.0f64..2000.0,
+        peak in 1.0f64..4000.0,
+        at in 0.0f64..20.0,
+        ramp in 0.0f64..5.0,
+        hold in 0.0f64..20.0,
+    ) {
+        assert_round_trips(&spec(format!(
+            "flash:base_mbps={base},peak_mbps={peak},at_ms={at},ramp_ms={ramp},hold_ms={hold}"
+        )));
+    }
+
+    #[test]
+    fn diurnal_specs_round_trip(
+        hour in 0.0f64..24.0,
+        scale in 0.1f64..20.0,
+        peak in 1.0e6f64..1.0e9,
+        profile_seed in 0u64..1_000_000,
+    ) {
+        // `hour` strictly below 24 by construction of the range.
+        assert_round_trips(&spec(format!(
+            "diurnal:hour={hour},scale={scale},peak_bps={peak},profile_seed={profile_seed}"
+        )));
+    }
+
+    #[test]
+    fn constant_specs_round_trip(
+        rate in 1.0f64..4000.0,
+        size in 1u64..9000,
+        ports in 1u64..255,
+    ) {
+        assert_round_trips(&spec(format!(
+            "constant:rate={rate},size={size},ports={ports}"
+        )));
+    }
+
+    #[test]
+    fn trace_specs_round_trip(suffix in 0u64..1_000_000_000) {
+        // CLI-grammar-safe paths (no ',' or '='); the TOML/JSON-only
+        // cases are covered by unit tests in the spec module.
+        assert_round_trips(&spec(format!("trace:path=/tmp/dir-{suffix}/t.txt")));
+    }
+
+    #[test]
+    fn levels_round_trip(which in 0usize..3) {
+        assert_round_trips(&TrafficSpec::paper_levels()[which].clone());
+    }
+}
+
+#[test]
+fn rendered_toml_and_json_reparse_after_reformatting() {
+    // Whitespace, comments and a table header must not break the
+    // fragments a user would actually write by hand.
+    let spec: TrafficSpec = "burst:on_mbps=1800,off_mbps=120,period_s=2"
+        .parse()
+        .unwrap();
+    let hand_toml = format!(
+        "# scenario: saturating bursts\n[traffic]\n  {}",
+        spec.to_toml_string().replace('\n', "\n  ")
+    );
+    assert_eq!(TrafficSpec::from_toml_str(&hand_toml).unwrap(), spec);
+    let hand_json = spec.to_json_string().replace(',', " ,\n ");
+    assert_eq!(TrafficSpec::from_json_str(&hand_json).unwrap(), spec);
+}

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use nepsim::{Benchmark, NpuConfig, PolicySpec, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
-use traffic::TrafficLevel;
+use traffic::TrafficSpec;
 
 /// The full description of one simulation cell: everything a worker
 /// thread needs to reproduce the run bit-for-bit, with no shared state.
@@ -17,8 +17,8 @@ use traffic::TrafficLevel;
 pub struct JobSpec {
     /// Benchmark application (§3.1).
     pub benchmark: Benchmark,
-    /// Traffic level (§3.2).
-    pub traffic: TrafficLevel,
+    /// Traffic-model spec (§3.2): a paper level or any registered model.
+    pub traffic: TrafficSpec,
     /// DVS policy and parameters.
     pub policy: PolicySpec,
     /// Base-clock cycles to simulate.
@@ -36,7 +36,7 @@ impl JobSpec {
         format!(
             "{}/{} {} cycles={} seed={}",
             self.benchmark,
-            self.traffic,
+            self.traffic.spec_string(),
             self.policy.spec_string(),
             self.cycles,
             self.seed
@@ -49,7 +49,7 @@ impl JobSpec {
         NpuConfig::builder()
             .benchmark(self.benchmark)
             .seed(self.seed)
-            .traffic(self.traffic)
+            .traffic(self.traffic.clone())
             .policy(self.policy.clone())
             .build()
     }
@@ -193,7 +193,7 @@ mod tests {
     fn spec() -> JobSpec {
         JobSpec {
             benchmark: Benchmark::Ipfwdr,
-            traffic: TrafficLevel::High,
+            traffic: traffic::TrafficLevel::High.into(),
             policy: PolicySpec::NoDvs,
             cycles: 150_000,
             seed: 7,

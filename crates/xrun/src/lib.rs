@@ -66,4 +66,4 @@ pub use runner::Runner;
 // Re-export the domain types a `JobSpec` is made of, so downstream
 // callers need only `xrun` to describe a batch.
 pub use nepsim::{Benchmark, PolicySpec, SimReport};
-pub use traffic::TrafficLevel;
+pub use traffic::{TrafficLevel, TrafficSpec};

@@ -152,7 +152,7 @@ fn spec_batches_are_worker_count_invariant() {
     let specs: Vec<JobSpec> = (0..3)
         .map(|k| JobSpec {
             benchmark: xrun::Benchmark::Ipfwdr,
-            traffic: xrun::TrafficLevel::High,
+            traffic: xrun::TrafficLevel::High.into(),
             policy: xrun::PolicySpec::NoDvs,
             cycles: 120_000,
             seed: derive_seed(9, k),

@@ -7,7 +7,7 @@ use abdex::compare::{compare_policies, ComparisonConfig};
 use abdex::dvs::PolicyKind;
 use abdex::nepsim::Benchmark;
 use abdex::tables::render_comparison;
-use abdex::traffic::TrafficLevel;
+use abdex::traffic::{TrafficLevel, TrafficSpec};
 
 fn main() {
     let config = ComparisonConfig {
@@ -19,17 +19,17 @@ fn main() {
         Benchmark::ALL.len() * TrafficLevel::ALL.len() * 3,
         config.cycles
     );
-    let cmp = compare_policies(&Benchmark::ALL, &TrafficLevel::ALL, &config);
+    let cmp = compare_policies(&Benchmark::ALL, &TrafficSpec::paper_levels(), &config);
     println!("{}", render_comparison(&cmp));
 
     println!("-- paper §4.3 takeaways, measured -------------------------");
     for benchmark in Benchmark::ALL {
         for traffic in TrafficLevel::ALL {
             let tdvs = cmp
-                .power_saving(benchmark, traffic, PolicyKind::Tdvs)
+                .power_saving(benchmark, &traffic.into(), PolicyKind::Tdvs)
                 .unwrap_or(0.0);
             let edvs = cmp
-                .power_saving(benchmark, traffic, PolicyKind::Edvs)
+                .power_saving(benchmark, &traffic.into(), PolicyKind::Edvs)
                 .unwrap_or(0.0);
             println!(
                 "{benchmark:>7} @ {traffic:>6}: TDVS saves {:5.1}%  EDVS saves {:5.1}%",

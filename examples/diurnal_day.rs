@@ -21,7 +21,7 @@ fn main() {
     for &h in &hours {
         let sample = model.sample(h * 3600.0);
         // Aggregate NPU load = 5x the profiled link's median.
-        let arrivals = ArrivalConfig::from_diurnal(&sample, 5.0, 42);
+        let arrivals = ArrivalConfig::from_diurnal(&sample, 5.0);
 
         let run = |policy: PolicySpec| {
             let config = NpuConfig::builder()

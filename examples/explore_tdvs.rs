@@ -17,7 +17,13 @@ fn main() {
         grid.len(),
         cycles
     );
-    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, cycles, 42);
+    let cells = sweep_tdvs(
+        Benchmark::Ipfwdr,
+        &TrafficLevel::High.into(),
+        &grid,
+        cycles,
+        42,
+    );
 
     println!("{}", render_sweep(&cells));
     println!(

@@ -28,7 +28,7 @@ fn main() {
     let outcomes = try_sweep_tdvs(
         &runner,
         Benchmark::Ipfwdr,
-        TrafficLevel::High,
+        &TrafficLevel::High.into(),
         &TdvsGrid::default(),
         cycles,
         42,

@@ -13,7 +13,7 @@ fn main() {
     // the paper's 8M-cycle run for a fast first contact.
     let experiment = Experiment {
         benchmark: Benchmark::Ipfwdr,
-        traffic: TrafficLevel::Medium,
+        traffic: TrafficLevel::Medium.into(),
         policy: PolicySpec::Edvs(EdvsConfig::default()),
         cycles: 2_000_000,
         seed: 42,

@@ -78,9 +78,8 @@ proptest! {
             dwell_mean_us: 100.0,
             ports,
             size_mix: SizeMix::imix(),
-            seed,
         };
-        let stream = PacketStream::new(config);
+        let stream = PacketStream::new(config, seed);
         let mut last = abdex::desim::SimTime::ZERO;
         for p in stream.take(300) {
             prop_assert!(p.arrival >= last);

@@ -14,7 +14,7 @@ const CYCLES: u64 = 4_000_000;
 fn run(benchmark: Benchmark, traffic: TrafficLevel, policy: PolicySpec) -> abdex::ExperimentResult {
     Experiment {
         benchmark,
-        traffic,
+        traffic: traffic.into(),
         policy,
         cycles: CYCLES,
         seed: 42,
@@ -93,7 +93,13 @@ fn fig89_surfaces_and_optima() {
         thresholds_mbps: vec![1000.0, 1400.0],
         windows_cycles: vec![20_000, 80_000],
     };
-    let cells = sweep_tdvs(Benchmark::Ipfwdr, TrafficLevel::High, &grid, CYCLES, 42);
+    let cells = sweep_tdvs(
+        Benchmark::Ipfwdr,
+        &TrafficLevel::High.into(),
+        &grid,
+        CYCLES,
+        42,
+    );
     assert_eq!(power_surface(&cells).len(), 4);
     assert_eq!(throughput_surface(&cells).len(), 4);
 
@@ -118,7 +124,7 @@ fn fig10_edvs_saves_power_without_throughput_loss() {
     let paper_run = |policy| {
         Experiment {
             benchmark: Benchmark::Ipfwdr,
-            traffic: TrafficLevel::High,
+            traffic: TrafficLevel::High.into(),
             policy,
             cycles: abdex::PAPER_RUN_CYCLES,
             seed: 42,
@@ -167,16 +173,24 @@ fn fig11_policy_comparison_shapes() {
     };
     let cmp = compare_policies(
         &[Benchmark::Ipfwdr, Benchmark::Nat],
-        &[TrafficLevel::Low, TrafficLevel::High],
+        &[TrafficLevel::Low.into(), TrafficLevel::High.into()],
         &cfg,
     );
 
     // "Overall, TDVS has more power savings than EDVS" (at low traffic).
     let tdvs_low = cmp
-        .power_saving(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyKind::Tdvs)
+        .power_saving(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Low.into(),
+            PolicyKind::Tdvs,
+        )
         .unwrap();
     let edvs_low = cmp
-        .power_saving(Benchmark::Ipfwdr, TrafficLevel::Low, PolicyKind::Edvs)
+        .power_saving(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Low.into(),
+            PolicyKind::Edvs,
+        )
         .unwrap();
     assert!(
         tdvs_low > edvs_low,
@@ -186,7 +200,11 @@ fn fig11_policy_comparison_shapes() {
     // "as the traffic volume becomes higher, power savings by TDVS reduce
     // quickly".
     let tdvs_high = cmp
-        .power_saving(Benchmark::Ipfwdr, TrafficLevel::High, PolicyKind::Tdvs)
+        .power_saving(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::High.into(),
+            PolicyKind::Tdvs,
+        )
         .unwrap();
     assert!(
         tdvs_low > tdvs_high,
@@ -196,7 +214,7 @@ fn fig11_policy_comparison_shapes() {
     // "nat shows no power savings from EDVS under every traffic pattern".
     for traffic in [TrafficLevel::Low, TrafficLevel::High] {
         let s = cmp
-            .power_saving(Benchmark::Nat, traffic, PolicyKind::Edvs)
+            .power_saving(Benchmark::Nat, &traffic.into(), PolicyKind::Edvs)
             .unwrap();
         assert!(s < 0.03, "nat EDVS saving at {traffic}: {s:.3}");
     }
@@ -205,7 +223,7 @@ fn fig11_policy_comparison_shapes() {
     // shortened runs.
     for traffic in [TrafficLevel::Low, TrafficLevel::High] {
         let loss = cmp
-            .throughput_loss(Benchmark::Ipfwdr, traffic, PolicyKind::Tdvs)
+            .throughput_loss(Benchmark::Ipfwdr, &traffic.into(), PolicyKind::Tdvs)
             .unwrap();
         assert!(loss < 0.12, "TDVS loss at {traffic}: {:.1}%", loss * 100.0);
     }

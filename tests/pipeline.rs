@@ -121,7 +121,7 @@ fn policies_preserve_packet_accounting() {
     ] {
         let result = Experiment {
             benchmark: Benchmark::Ipfwdr,
-            traffic: TrafficLevel::High,
+            traffic: TrafficLevel::High.into(),
             policy: policy.clone(),
             cycles: QUICK_CYCLES,
             seed: 6,
