@@ -69,7 +69,22 @@ pub fn try_sweep_edvs_idle_threshold(
     cycles: u64,
     seed: u64,
 ) -> Vec<Result<AblationCell, JobError>> {
-    let experiments = thresholds
+    let experiments =
+        edvs_threshold_experiments(benchmark, traffic, thresholds, window_cycles, cycles, seed);
+    collect_ablation(runner, experiments, thresholds)
+}
+
+/// One experiment per EDVS idle threshold, in list order — shared by
+/// the plain and replicated ablations.
+pub(crate) fn edvs_threshold_experiments(
+    benchmark: Benchmark,
+    traffic: &TrafficSpec,
+    thresholds: &[f64],
+    window_cycles: u64,
+    cycles: u64,
+    seed: u64,
+) -> Vec<Experiment> {
+    thresholds
         .iter()
         .map(|&idle_threshold| Experiment {
             benchmark,
@@ -81,8 +96,7 @@ pub fn try_sweep_edvs_idle_threshold(
             cycles,
             seed,
         })
-        .collect();
-    collect_ablation(runner, experiments, thresholds)
+        .collect()
 }
 
 /// Sweeps a TDVS hysteresis band at a fixed threshold/window: quantifies
@@ -119,7 +133,21 @@ pub fn try_sweep_tdvs_hysteresis(
     cycles: u64,
     seed: u64,
 ) -> Vec<Result<AblationCell, JobError>> {
-    let experiments = bands
+    let experiments = hysteresis_experiments(benchmark, traffic, base, bands, cycles, seed);
+    collect_ablation(runner, experiments, bands)
+}
+
+/// One experiment per hysteresis band, in list order — shared by the
+/// plain and replicated ablations.
+pub(crate) fn hysteresis_experiments(
+    benchmark: Benchmark,
+    traffic: &TrafficSpec,
+    base: TdvsConfig,
+    bands: &[f64],
+    cycles: u64,
+    seed: u64,
+) -> Vec<Experiment> {
+    bands
         .iter()
         .map(|&hysteresis| {
             let policy = if hysteresis == 0.0 {
@@ -135,8 +163,7 @@ pub fn try_sweep_tdvs_hysteresis(
                 seed,
             }
         })
-        .collect();
-    collect_ablation(runner, experiments, bands)
+        .collect()
 }
 
 /// Zips a batch of experiment outcomes back onto the varied-parameter

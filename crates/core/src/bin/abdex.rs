@@ -1,18 +1,19 @@
 //! `abdex` — command-line front end for the design-exploration library.
 //!
 //! ```text
-//! abdex run      --benchmark ipfwdr --traffic high --policy queue:high=0.8 [--cycles N]
-//! abdex run      --traffic burst:on_mbps=1800,off_mbps=120,period_s=2
-//! abdex sweep    --benchmark ipfwdr --traffic high [--cycles N] [--seed S] [--jobs N]
-//! abdex sweep    --policies "nodvs;tdvs:threshold=1400;proportional:kp=6"
-//! abdex sweep    --traffics "low;burst;flash:peak_mbps=2000" [--policy tdvs]
-//! abdex compare  [--traffics "low;high;flash"] [--cycles N] [--jobs N] [--json FILE]
+//! abdex run       --benchmark ipfwdr --traffic high --policy queue:high=0.8 [--cycles N]
+//! abdex run       --traffic burst:on_mbps=1800,off_mbps=120,period_s=2
+//! abdex replicate --policy tdvs:threshold=1400 --seeds 16 --ci 99 [--jobs N]
+//! abdex sweep     --benchmark ipfwdr --traffic high [--cycles N] [--seed S] [--jobs N]
+//! abdex sweep     --policies "nodvs;tdvs:threshold=1400;proportional:kp=6" [--seeds K]
+//! abdex sweep     --traffics "low;burst;flash:peak_mbps=2000" [--policy tdvs]
+//! abdex compare   [--traffics "low;high;flash"] [--seeds K] [--ci 90|95|99] [--json FILE]
 //! abdex policies
 //! abdex traffics
-//! abdex trace    --benchmark url --traffic medium [--cycles N] [--out FILE]
-//! abdex check    --formula "cycle(deq[i]) - cycle(enq[i]) <= 50" --trace FILE
-//! abdex analyze  --formula "... dist== (a, b, s)" --trace FILE
-//! abdex codegen  --formula "..."
+//! abdex trace     --benchmark url --traffic medium [--cycles N] [--out FILE]
+//! abdex check     --formula "cycle(deq[i]) - cycle(enq[i]) <= 50" --trace FILE
+//! abdex analyze   --formula "... dist== (a, b, s)" --trace FILE
+//! abdex codegen   --formula "..."
 //! ```
 //!
 //! `--policy` and `--traffic` accept the full spec grammar
@@ -27,6 +28,13 @@
 //! bit-identical for any value), `--progress` selects a stderr progress
 //! style, and `--json` writes the results as a machine-readable document
 //! next to the human tables.
+//!
+//! `--seeds K` replicates every cell K times over seed-derived streams
+//! (`derive_seed(seed, i)`) and reports each metric as a `mean ±
+//! half-width` Student-t confidence interval at the `--ci` level
+//! (90/95/99, default 95). `abdex replicate` is the single-cell form
+//! with full per-metric statistics (and, unlike `run`, a `--jobs`
+//! flag).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -34,16 +42,24 @@ use std::process::ExitCode;
 use abdex::compare::{try_compare_policies, ComparisonConfig};
 use abdex::experiment::partition_cells;
 use abdex::json::{
-    comparison_json, experiment_json, spec_sweep_json, tdvs_sweep_json, traffic_sweep_json,
+    comparison_json, experiment_json, replicated_compare_json, replicated_run_json,
+    replicated_spec_sweep_json, replicated_tdvs_sweep_json, replicated_traffic_sweep_json,
+    spec_sweep_json, tdvs_sweep_json, traffic_sweep_json,
 };
 use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
+use abdex::replicate::{
+    try_replicated_compare, try_replicated_run, try_replicated_sweep_specs,
+    try_replicated_sweep_tdvs, try_replicated_sweep_traffics,
+};
 use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
 use abdex::tables::{
-    render_comparison, render_spec_sweep, render_surface, render_sweep, render_traffic_sweep,
+    render_comparison, render_replicated_comparison, render_replicated_run,
+    render_replicated_spec_sweep, render_replicated_sweep, render_replicated_traffic_sweep,
+    render_spec_sweep, render_surface, render_sweep, render_traffic_sweep,
 };
 use abdex::{
-    optimal_tdvs, DesignPriority, Experiment, JobError, PolicyRegistry, PolicySpec, ProgressMode,
-    Runner, TdvsGrid, TrafficRegistry, TrafficSpec, PAPER_RUN_CYCLES,
+    optimal_tdvs, ConfidenceLevel, DesignPriority, Experiment, JobError, PolicyRegistry,
+    PolicySpec, ProgressMode, Runner, TdvsGrid, TrafficRegistry, TrafficSpec, PAPER_RUN_CYCLES,
 };
 use loc::{parse, Analyzer, Checker, Trace};
 
@@ -51,7 +67,7 @@ const USAGE: &str = "\
 abdex — assertion-based design exploration of DVS in NPU architectures
 
 USAGE:
-    abdex <run|sweep|compare|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
+    abdex <run|replicate|sweep|compare|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
 
 OPTIONS (where applicable):
     --benchmark <ipfwdr|url|nat|md4>   benchmark application [ipfwdr]
@@ -74,7 +90,14 @@ OPTIONS (where applicable):
                                        --policy tdvs|edvs [40000]
     --cycles    <N>                    cycles per configuration [8000000]
     --seed      <N>                    experiment seed [42]
-    --jobs      <N>                    parallel workers for sweep/compare
+    --seeds     <K>                    replicates per cell over derived
+                                       seeds; metrics become mean ± CI
+                                       (run/sweep/compare [1],
+                                       replicate [8])
+    --ci        <90|95|99>             confidence level of the reported
+                                       intervals (needs --seeds >= 2) [95]
+    --jobs      <N>                    parallel workers for
+                                       replicate/sweep/compare
                                        (0 = one per CPU) [0]
     --progress  <quiet|dot|line>       batch progress on stderr [quiet]
     --json      <file>                 also write results as JSON
@@ -111,10 +134,28 @@ fn main() -> ExitCode {
                 "window",
                 "cycles",
                 "seed",
+                "seeds",
+                "ci",
                 "json",
             ],
         )
         .and_then(|()| cmd_run(&opts)),
+        "replicate" => check_opts(
+            &opts,
+            &[
+                "benchmark",
+                "traffic",
+                "policy",
+                "cycles",
+                "seed",
+                "seeds",
+                "ci",
+                "jobs",
+                "progress",
+                "json",
+            ],
+        )
+        .and_then(|()| cmd_replicate(&opts)),
         "sweep" => check_opts(
             &opts,
             &[
@@ -125,6 +166,8 @@ fn main() -> ExitCode {
                 "policies",
                 "cycles",
                 "seed",
+                "seeds",
+                "ci",
                 "jobs",
                 "progress",
                 "json",
@@ -133,7 +176,9 @@ fn main() -> ExitCode {
         .and_then(|()| cmd_sweep(&opts)),
         "compare" => check_opts(
             &opts,
-            &["traffics", "cycles", "seed", "jobs", "progress", "json"],
+            &[
+                "traffics", "cycles", "seed", "seeds", "ci", "jobs", "progress", "json",
+            ],
         )
         .and_then(|()| cmd_compare(&opts)),
         "policies" => check_opts(&opts, &[]).and_then(|()| cmd_policies()),
@@ -263,6 +308,29 @@ fn policy(opts: &Opts) -> Result<PolicySpec, String> {
     }
 }
 
+/// Parses `--seeds` (replicates per cell, `default_seeds` when absent)
+/// and `--ci` (confidence level, 95 % when absent). `--ci` without at
+/// least two replicates would report a meaningless zero-width interval,
+/// so that combination is rejected instead of silently honoured.
+fn replication_opts(opts: &Opts, default_seeds: u64) -> Result<(u64, ConfidenceLevel), String> {
+    let seeds: u64 = number(opts, "seeds", default_seeds)?;
+    if seeds == 0 {
+        return Err("--seeds needs at least one replicate".to_owned());
+    }
+    let level: ConfidenceLevel = match opts.get("ci") {
+        None => ConfidenceLevel::default(),
+        Some(v) => {
+            if seeds < 2 {
+                return Err(
+                    "--ci needs --seeds >= 2 (one replicate carries no variance)".to_owned(),
+                );
+            }
+            v.parse()?
+        }
+    };
+    Ok((seeds, level))
+}
+
 /// Builds the batch runner from `--jobs` and `--progress`.
 fn runner(opts: &Opts) -> Result<Runner, String> {
     let jobs: usize = number(opts, "jobs", 0)?;
@@ -322,7 +390,14 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         cycles: number(opts, "cycles", PAPER_RUN_CYCLES)?,
         seed: number(opts, "seed", 42)?,
     };
+    let (seeds, level) = replication_opts(opts, 1)?;
     preflight_json(opts)?;
+    if seeds > 1 {
+        // `run` stays a deliberately serial command (no --jobs); the
+        // replicates execute inline. `abdex replicate` is the parallel
+        // form.
+        return finish_replicated_run(opts, &Runner::serial(), &experiment, seeds, level);
+    }
     let r = experiment.run();
     println!(
         "{} @ {} under {} for {} cycles (seed {})",
@@ -339,6 +414,49 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     write_json(opts, || experiment_json(&r))
 }
 
+/// Replicates one cell `--seeds` times: the interval-estimate form of
+/// `run`, with `--jobs`/`--progress` since the replicates are a batch.
+fn cmd_replicate(opts: &Opts) -> Result<(), String> {
+    let experiment = Experiment {
+        benchmark: benchmark(opts)?,
+        traffic: traffic(opts)?,
+        policy: policy(opts)?,
+        cycles: number(opts, "cycles", PAPER_RUN_CYCLES)?,
+        seed: number(opts, "seed", 42)?,
+    };
+    let (seeds, level) = replication_opts(opts, 8)?;
+    if seeds < 2 {
+        return Err("replicate needs --seeds >= 2; use `abdex run` for a single seed".to_owned());
+    }
+    let pool = runner(opts)?;
+    preflight_json(opts)?;
+    finish_replicated_run(opts, &pool, &experiment, seeds, level)
+}
+
+/// Shared tail of `run --seeds K` and `replicate`: execute, render the
+/// per-metric table, write the `replicated_run` document.
+fn finish_replicated_run(
+    opts: &Opts,
+    pool: &Runner,
+    experiment: &Experiment,
+    seeds: u64,
+    level: ConfidenceLevel,
+) -> Result<(), String> {
+    let replicated = try_replicated_run(pool, experiment, seeds).map_err(|e| e.to_string())?;
+    println!(
+        "{} @ {} under {} for {} cycles ({} replicates of seed {}, {} CI)",
+        experiment.benchmark,
+        experiment.traffic,
+        experiment.policy.spec_string(),
+        experiment.cycles,
+        seeds,
+        experiment.seed,
+        level,
+    );
+    println!("{}", render_replicated_run(&replicated, level));
+    write_json(opts, || replicated_run_json(&replicated, level))
+}
+
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     // Validate every flag — including the optional spec lists — before
     // preflight_json touches the disk, so a bad option never leaves a
@@ -348,6 +466,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let level = traffic(opts)?;
     let cycles = number(opts, "cycles", PAPER_RUN_CYCLES)?;
     let seed = number(opts, "seed", 42)?;
+    let (seeds, ci) = replication_opts(opts, 1)?;
     let specs: Option<Vec<PolicySpec>> = opts
         .get("policies")
         .map(|list| spec_list(list, |s| PolicySpec::parse(s).map_err(|e| e.to_string())))
@@ -381,6 +500,16 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     // A `--traffics` list sweeps the traffic axis under one policy.
     if let Some(traffics) = traffics {
         let policy = policy(opts)?;
+        if seeds > 1 {
+            let (cells, errors) = partition_cells(try_replicated_sweep_traffics(
+                &pool, bench, &traffics, &policy, cycles, seed, seeds,
+            ));
+            println!("{}", render_replicated_traffic_sweep(&cells, ci));
+            let json = write_json(opts, || {
+                replicated_traffic_sweep_json(&cells, seeds, ci, &errors)
+            });
+            return finish_batch(json, errors);
+        }
         let (cells, errors) = partition_cells(try_sweep_traffics(
             &pool, bench, &traffics, &policy, cycles, seed,
         ));
@@ -392,10 +521,37 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     // A `--policies` list runs a policy-spec sweep instead of the
     // paper's TDVS threshold x window grid.
     if let Some(specs) = specs {
+        if seeds > 1 {
+            let (cells, errors) = partition_cells(try_replicated_sweep_specs(
+                &pool, bench, &level, &specs, cycles, seed, seeds,
+            ));
+            println!("{}", render_replicated_spec_sweep(&cells, ci));
+            let json = write_json(opts, || {
+                replicated_spec_sweep_json(&cells, seeds, ci, &errors)
+            });
+            return finish_batch(json, errors);
+        }
         let (cells, errors) =
             partition_cells(try_sweep_specs(&pool, bench, &level, &specs, cycles, seed));
         println!("{}", render_spec_sweep(&cells));
         let json = write_json(opts, || spec_sweep_json(&cells, &errors));
+        return finish_batch(json, errors);
+    }
+
+    if seeds > 1 {
+        let (cells, errors) = partition_cells(try_replicated_sweep_tdvs(
+            &pool,
+            bench,
+            &level,
+            &TdvsGrid::default(),
+            cycles,
+            seed,
+            seeds,
+        ));
+        println!("{}", render_replicated_sweep(&cells, ci));
+        let json = write_json(opts, || {
+            replicated_tdvs_sweep_json(&cells, seeds, ci, &errors)
+        });
         return finish_batch(json, errors);
     }
 
@@ -452,7 +608,14 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         }
     };
     let pool = runner(opts)?;
+    let (seeds, ci) = replication_opts(opts, 1)?;
     preflight_json(opts)?;
+    if seeds > 1 {
+        let (cmp, errors) = try_replicated_compare(&pool, &Benchmark::ALL, &traffics, &cfg, seeds);
+        println!("{}", render_replicated_comparison(&cmp, ci));
+        let json = write_json(opts, || replicated_compare_json(&cmp, ci, &errors));
+        return finish_batch(json, errors);
+    }
     let (cmp, errors) = try_compare_policies(&pool, &Benchmark::ALL, &traffics, &cfg);
     println!("{}", render_comparison(&cmp));
     let json = write_json(opts, || comparison_json(&cmp, &errors));

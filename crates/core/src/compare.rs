@@ -131,22 +131,7 @@ pub fn try_compare_policies(
     traffics: &[TrafficSpec],
     config: &ComparisonConfig,
 ) -> (PolicyComparison, Vec<JobError>) {
-    let mut keys = Vec::new();
-    let mut experiments = Vec::new();
-    for &benchmark in benchmarks {
-        for traffic in traffics {
-            for policy in config.policies() {
-                keys.push((benchmark, traffic.clone(), policy.kind()));
-                experiments.push(Experiment {
-                    benchmark,
-                    traffic: traffic.clone(),
-                    policy,
-                    cycles: config.cycles,
-                    seed: config.seed,
-                });
-            }
-        }
-    }
+    let (keys, experiments) = comparison_experiments(benchmarks, traffics, config);
     let mut rows = Vec::with_capacity(keys.len());
     let mut errors = Vec::new();
     for (outcome, (benchmark, traffic, kind)) in
@@ -163,6 +148,35 @@ pub fn try_compare_policies(
         }
     }
     (PolicyComparison { rows }, errors)
+}
+
+/// The comparison grid in row order — `(benchmark, traffic, policy
+/// kind)` keys and the experiment each key runs. Shared by the plain
+/// and the replicated comparison so their grids can never drift apart.
+pub(crate) type ComparisonKey = (Benchmark, TrafficSpec, PolicyKind);
+
+pub(crate) fn comparison_experiments(
+    benchmarks: &[Benchmark],
+    traffics: &[TrafficSpec],
+    config: &ComparisonConfig,
+) -> (Vec<ComparisonKey>, Vec<Experiment>) {
+    let mut keys = Vec::new();
+    let mut experiments = Vec::new();
+    for &benchmark in benchmarks {
+        for traffic in traffics {
+            for policy in config.policies() {
+                keys.push((benchmark, traffic.clone(), policy.kind()));
+                experiments.push(Experiment {
+                    benchmark,
+                    traffic: traffic.clone(),
+                    policy,
+                    cycles: config.cycles,
+                    seed: config.seed,
+                });
+            }
+        }
+    }
+    (keys, experiments)
 }
 
 impl PolicyComparison {

@@ -220,6 +220,26 @@ impl ExperimentResult {
             .quantile_above(0.8)
             .unwrap_or_else(|| self.sim.throughput_mbps())
     }
+
+    /// The ten scalar metrics of this result as a [`stats::RunMetrics`]
+    /// — the quantity replication batches fold into per-field
+    /// summaries, and exactly what the JSON documents' `"metrics"`
+    /// object reports.
+    #[must_use]
+    pub fn metrics(&self) -> stats::RunMetrics {
+        stats::RunMetrics {
+            offered_mbps: self.sim.offered_mbps(),
+            throughput_mbps: self.sim.throughput_mbps(),
+            mean_power_w: self.sim.mean_power_w(),
+            p80_power_w: self.p80_power_w(),
+            p80_throughput_mbps: self.p80_throughput_mbps(),
+            loss_ratio: self.sim.loss_ratio(),
+            rx_idle_fraction: self.sim.rx_idle_fraction(),
+            total_energy_uj: self.sim.total_energy_uj(),
+            total_switches: self.sim.total_switches,
+            forwarded_packets: self.sim.forwarded_packets,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,10 +9,15 @@
 //! downstream tooling (plots, regression trackers) never has to re-parse
 //! the human-readable tables.
 
+use stats::{ConfidenceLevel, Summary};
 use xrun::JobError;
 
 use crate::compare::PolicyComparison;
 use crate::experiment::ExperimentResult;
+use crate::replicate::{
+    ReplicatedComparison, ReplicatedGridCell, ReplicatedResult, ReplicatedSpecCell,
+    ReplicatedTrafficCell,
+};
 use crate::sweep::{GridCell, SpecCell, TrafficCell};
 
 /// Version of the hand-rolled `--json` schema. Bump whenever a document's
@@ -24,10 +29,16 @@ use crate::sweep::{GridCell, SpecCell, TrafficCell};
 /// `spec_sweep`, `policy_comparison`), no version field. **2** — the
 /// version field itself; `"traffic"` holds a [`TrafficSpec`] spec string
 /// (a paper level renders as `low`/`medium`/`high` exactly as before);
-/// new `traffic_sweep` document.
+/// new `traffic_sweep` document. **3** — replication batches: new
+/// `replicated_run`, `replicated_sweep` (with an `"axis"`
+/// discriminator: `tdvs`/`policies`/`traffics`) and
+/// `replicated_compare` documents whose `"metrics"` values are
+/// `{mean, half_width, std_dev, min, max, n}` summary objects at the
+/// document's `"ci_level"`; single-run documents are unchanged in
+/// shape.
 ///
 /// [`TrafficSpec`]: traffic::TrafficSpec
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Escapes a string for a JSON string literal (without the quotes).
 fn escape(s: &str) -> String {
@@ -159,6 +170,46 @@ fn failure_fields(obj: Obj, failures: &[JobError]) -> Obj {
         .raw("failures", &array(&rendered))
 }
 
+/// Renders one per-metric summary as a JSON object: the interval at
+/// `level` plus the spread and range behind it.
+fn summary_obj(summary: &Summary, level: ConfidenceLevel) -> String {
+    Obj::new()
+        .num("mean", summary.mean())
+        .num("half_width", summary.half_width(level))
+        .num("std_dev", summary.std_dev())
+        .num("min", summary.min())
+        .num("max", summary.max())
+        .int("n", summary.n())
+        .finish()
+}
+
+/// The shared per-cell payload of every replicated document: the base
+/// experiment's axes and one summary object per metric field. (The
+/// replicate count lives at document level as `"seeds"`; each summary
+/// also carries its own `"n"`.)
+fn replicated_fields(obj: Obj, r: &ReplicatedResult, level: ConfidenceLevel) -> Obj {
+    let e = &r.experiment;
+    let mut metrics = Obj::new();
+    for (name, summary) in r.metrics.fields() {
+        metrics = metrics.raw(name, &summary_obj(summary, level));
+    }
+    obj.str("benchmark", &e.benchmark.to_string())
+        .str("traffic", &e.traffic.spec_string())
+        .str("policy", &e.policy.spec_string())
+        .int("cycles", e.cycles)
+        .int("seed", e.seed)
+        .raw("metrics", &metrics.finish())
+}
+
+/// The header fields every replicated document opens with.
+fn replicated_header(kind: &str, seeds: u64, level: ConfidenceLevel) -> Obj {
+    Obj::new()
+        .int("schema_version", SCHEMA_VERSION)
+        .str("kind", kind)
+        .int("seeds", seeds)
+        .int("ci_level", level.percent())
+}
+
 /// Renders one experiment result as a JSON document
 /// (`"kind": "experiment"`).
 #[must_use]
@@ -280,6 +331,144 @@ pub fn comparison_json(cmp: &PolicyComparison, failures: &[JobError]) -> String 
     .finish()
 }
 
+/// Renders one replicated run as a JSON document
+/// (`"kind": "replicated_run"`): the base experiment's axes plus one
+/// `{mean, half_width, std_dev, min, max, n}` object per metric at the
+/// document's `"ci_level"`.
+#[must_use]
+pub fn replicated_run_json(r: &ReplicatedResult, level: ConfidenceLevel) -> String {
+    replicated_fields(
+        replicated_header("replicated_run", r.replicates(), level),
+        r,
+        level,
+    )
+    .finish()
+}
+
+/// Shared tail of the three replicated-sweep renderers.
+fn replicated_sweep_doc(
+    axis: &str,
+    seeds: u64,
+    level: ConfidenceLevel,
+    rendered: Vec<String>,
+    failures: &[JobError],
+) -> String {
+    failure_fields(
+        replicated_header("replicated_sweep", seeds, level)
+            .str("axis", axis)
+            .int("cells", rendered.len() as u64)
+            .raw("grid", &array(&rendered)),
+        failures,
+    )
+    .finish()
+}
+
+/// Renders a replicated TDVS sweep as a JSON document
+/// (`"kind": "replicated_sweep"`, `"axis": "tdvs"`).
+#[must_use]
+pub fn replicated_tdvs_sweep_json(
+    cells: &[ReplicatedGridCell],
+    seeds: u64,
+    level: ConfidenceLevel,
+    failures: &[JobError],
+) -> String {
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            replicated_fields(
+                Obj::new()
+                    .num("threshold_mbps", c.threshold_mbps)
+                    .int("window_cycles", c.window_cycles),
+                &c.result,
+                level,
+            )
+            .finish()
+        })
+        .collect();
+    replicated_sweep_doc("tdvs", seeds, level, rendered, failures)
+}
+
+/// Renders a replicated policy-spec sweep as a JSON document
+/// (`"kind": "replicated_sweep"`, `"axis": "policies"`).
+#[must_use]
+pub fn replicated_spec_sweep_json(
+    cells: &[ReplicatedSpecCell],
+    seeds: u64,
+    level: ConfidenceLevel,
+    failures: &[JobError],
+) -> String {
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            replicated_fields(
+                Obj::new().str("policy_kind", &c.spec.kind().to_string()),
+                &c.result,
+                level,
+            )
+            .finish()
+        })
+        .collect();
+    replicated_sweep_doc("policies", seeds, level, rendered, failures)
+}
+
+/// Renders a replicated traffic sweep as a JSON document
+/// (`"kind": "replicated_sweep"`, `"axis": "traffics"`).
+#[must_use]
+pub fn replicated_traffic_sweep_json(
+    cells: &[ReplicatedTrafficCell],
+    seeds: u64,
+    level: ConfidenceLevel,
+    failures: &[JobError],
+) -> String {
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            replicated_fields(
+                Obj::new().str("traffic_model", c.spec.name()),
+                &c.result,
+                level,
+            )
+            .finish()
+        })
+        .collect();
+    replicated_sweep_doc("traffics", seeds, level, rendered, failures)
+}
+
+/// Renders the replicated policy comparison as a JSON document
+/// (`"kind": "replicated_compare"`), one row per completed benchmark ×
+/// traffic × policy cell with its saving vs. the noDVS baseline
+/// computed from the replicate means.
+#[must_use]
+pub fn replicated_compare_json(
+    cmp: &ReplicatedComparison,
+    level: ConfidenceLevel,
+    failures: &[JobError],
+) -> String {
+    let rendered: Vec<String> = cmp
+        .rows
+        .iter()
+        .map(|row| {
+            let saving = cmp.power_saving(row.benchmark, &row.traffic, row.policy);
+            let loss = cmp.throughput_loss(row.benchmark, &row.traffic, row.policy);
+            replicated_fields(
+                Obj::new()
+                    .num("saving_vs_nodvs", saving.unwrap_or(f64::NAN))
+                    .num("throughput_loss_vs_nodvs", loss.unwrap_or(f64::NAN)),
+                &row.result,
+                level,
+            )
+            .finish()
+        })
+        .collect();
+    failure_fields(
+        replicated_header("replicated_compare", cmp.seeds, level)
+            .int("rows", rendered.len() as u64)
+            .raw("table", &array(&rendered)),
+        failures,
+    )
+    .finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,7 +538,7 @@ mod tests {
         let json = experiment_json(&r);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":2",
+            "\"schema_version\":3",
             "\"kind\":\"experiment\"",
             "\"benchmark\":\"nat\"",
             "\"traffic\":\"low\"",
@@ -381,7 +570,7 @@ mod tests {
         let json = tdvs_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"tdvs_sweep\""));
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
         assert!(json.contains("\"cells\":2"));
         assert!(json.contains("\"failed\":0"));
         assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
@@ -428,7 +617,7 @@ mod tests {
         let json = traffic_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"traffic_sweep\""), "{json}");
-        assert!(json.contains("\"schema_version\":2"), "{json}");
+        assert!(json.contains("\"schema_version\":3"), "{json}");
         assert!(json.contains("\"cells\":2"), "{json}");
         // The exact spec string round-trips through the document.
         assert!(
@@ -449,8 +638,126 @@ mod tests {
         let json = comparison_json(&cmp, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"policy_comparison\""));
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
         assert!(json.contains("\"rows\":6"));
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
+    }
+
+    #[test]
+    fn replicated_run_document_has_summary_metrics() {
+        let r = crate::replicate::replicated_run(
+            &Experiment {
+                benchmark: Benchmark::Nat,
+                traffic: TrafficLevel::Low.into(),
+                policy: PolicySpec::NoDvs,
+                cycles: 150_000,
+                seed: 3,
+            },
+            3,
+        );
+        let json = replicated_run_json(&r, stats::ConfidenceLevel::P95);
+        assert_balanced(&json);
+        for key in [
+            "\"schema_version\":3",
+            "\"kind\":\"replicated_run\"",
+            "\"seeds\":3",
+            "\"ci_level\":95",
+            "\"benchmark\":\"nat\"",
+            "\"seed\":3",
+            "\"mean_power_w\":{\"mean\":",
+            "\"half_width\":",
+            "\"std_dev\":",
+            "\"n\":3",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // One summary object per metric field.
+        assert_eq!(json.matches("\"half_width\":").count(), 10);
+    }
+
+    #[test]
+    fn replicated_sweep_documents_carry_axis_and_cells() {
+        let runner = crate::Runner::new();
+        let grid = TdvsGrid {
+            thresholds_mbps: vec![1000.0],
+            windows_cycles: vec![20_000, 40_000],
+        };
+        let cells = crate::experiment::expect_cells(crate::replicate::try_replicated_sweep_tdvs(
+            &runner,
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Medium.into(),
+            &grid,
+            150_000,
+            1,
+            2,
+        ));
+        let json = replicated_tdvs_sweep_json(&cells, 2, stats::ConfidenceLevel::P90, &[]);
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\":\"replicated_sweep\""), "{json}");
+        assert!(json.contains("\"axis\":\"tdvs\""), "{json}");
+        assert!(json.contains("\"ci_level\":90"), "{json}");
+        assert!(json.contains("\"cells\":2"), "{json}");
+        assert!(json.contains("\"failed\":0"), "{json}");
+        assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
+
+        let traffics: Vec<TrafficSpec> = ["low", "constant:rate=500"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells =
+            crate::experiment::expect_cells(crate::replicate::try_replicated_sweep_traffics(
+                &runner,
+                Benchmark::Ipfwdr,
+                &traffics,
+                &PolicySpec::NoDvs,
+                150_000,
+                1,
+                2,
+            ));
+        let json = replicated_traffic_sweep_json(&cells, 2, stats::ConfidenceLevel::P99, &[]);
+        assert_balanced(&json);
+        assert!(json.contains("\"axis\":\"traffics\""), "{json}");
+        assert!(json.contains("\"traffic_model\":\"constant\""), "{json}");
+
+        let specs: Vec<PolicySpec> = ["nodvs", "proportional"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = crate::experiment::expect_cells(crate::replicate::try_replicated_sweep_specs(
+            &runner,
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Low.into(),
+            &specs,
+            150_000,
+            1,
+            2,
+        ));
+        let json = replicated_spec_sweep_json(&cells, 2, stats::ConfidenceLevel::P95, &[]);
+        assert_balanced(&json);
+        assert!(json.contains("\"axis\":\"policies\""), "{json}");
+        assert!(json.contains("\"policy_kind\":\"PDVS\""), "{json}");
+    }
+
+    #[test]
+    fn replicated_compare_document_carries_interval_savings() {
+        let cfg = ComparisonConfig {
+            cycles: 150_000,
+            ..ComparisonConfig::default()
+        };
+        let cmp = crate::replicate::replicated_compare(
+            &[Benchmark::Nat],
+            &[TrafficLevel::Low.into()],
+            &cfg,
+            2,
+        );
+        let json = replicated_compare_json(&cmp, stats::ConfidenceLevel::P95, &[]);
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\":\"replicated_compare\""), "{json}");
+        assert!(json.contains("\"schema_version\":3"), "{json}");
+        assert!(json.contains("\"seeds\":2"), "{json}");
+        assert!(json.contains("\"rows\":6"), "{json}");
+        assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
+        // Every row carries full summary metrics.
+        assert_eq!(json.matches("\"mean_power_w\":{\"mean\":").count(), 6);
     }
 }

@@ -12,6 +12,9 @@
 //! * [`traffic`] — the synthetic NLANR-style IP traffic models,
 //! * [`xrun`] — the parallel experiment runner every sweep, comparison
 //!   and ablation executes on,
+//! * [`stats`] — streaming summaries, Student-t confidence intervals
+//!   and the seed-derived replication batches behind every
+//!   `replicated_*` entry point,
 //!
 //! and exposes the paper's experiment flow: run a simulation, collect the
 //! trace, apply the LOC distribution formulas (2) and (3), and sweep the
@@ -50,6 +53,7 @@ pub mod formulas;
 pub mod json;
 pub mod optimal;
 pub mod reference;
+pub mod replicate;
 pub mod sweep;
 pub mod tables;
 
@@ -62,6 +66,15 @@ pub use dvs::{DvsPolicy, PolicyKind, PolicyRegistry, PolicySpec};
 pub use experiment::{run_experiments, Experiment, ExperimentResult, PAPER_RUN_CYCLES};
 pub use json::SCHEMA_VERSION;
 pub use optimal::{optimal_tdvs, DesignPriority};
+pub use replicate::{
+    replicated_compare, replicated_run, replicated_sweep_tdvs, run_replicated_experiments,
+    try_replicated_compare, try_replicated_run, try_replicated_sweep_edvs_idle_threshold,
+    try_replicated_sweep_specs, try_replicated_sweep_tdvs, try_replicated_sweep_tdvs_hysteresis,
+    try_replicated_sweep_traffics, ReplicatedAblationCell, ReplicatedComparison,
+    ReplicatedComparisonRow, ReplicatedGridCell, ReplicatedResult, ReplicatedSpecCell,
+    ReplicatedTrafficCell,
+};
+pub use stats::{ConfidenceInterval, ConfidenceLevel, ReplicatedMetrics, Replication, Summary};
 pub use sweep::{
     sweep_specs, sweep_tdvs, sweep_traffics, try_sweep_specs, try_sweep_tdvs, try_sweep_traffics,
     GridCell, SpecCell, TdvsGrid, TrafficCell,
@@ -74,5 +87,6 @@ pub use desim;
 pub use dvs;
 pub use loc;
 pub use nepsim;
+pub use stats;
 pub use traffic;
 pub use xrun;

@@ -107,6 +107,31 @@ pub fn try_sweep_tdvs(
     cycles: u64,
     seed: u64,
 ) -> Vec<Result<GridCell, JobError>> {
+    let (params, experiments) = tdvs_experiments(benchmark, traffic, grid, cycles, seed);
+    run_experiments(runner, experiments)
+        .into_iter()
+        .zip(params)
+        .map(|(outcome, (threshold_mbps, window_cycles))| {
+            outcome.map(|result| GridCell {
+                threshold_mbps,
+                window_cycles,
+                result,
+            })
+        })
+        .collect()
+}
+
+/// The TDVS grid in sweep order, as the `(threshold, window)` keys and
+/// the experiment each key runs — the single construction point both
+/// the plain and the replicated sweep share, so their grids can never
+/// drift apart.
+pub(crate) fn tdvs_experiments(
+    benchmark: Benchmark,
+    traffic: &TrafficSpec,
+    grid: &TdvsGrid,
+    cycles: u64,
+    seed: u64,
+) -> (Vec<(f64, u64)>, Vec<Experiment>) {
     let params: Vec<(f64, u64)> = grid
         .thresholds_mbps
         .iter()
@@ -125,17 +150,7 @@ pub fn try_sweep_tdvs(
             seed,
         })
         .collect();
-    run_experiments(runner, experiments)
-        .into_iter()
-        .zip(params)
-        .map(|(outcome, (threshold_mbps, window_cycles))| {
-            outcome.map(|result| GridCell {
-                threshold_mbps,
-                window_cycles,
-                result,
-            })
-        })
-        .collect()
+    (params, experiments)
 }
 
 /// One evaluated cell of a policy-spec sweep.

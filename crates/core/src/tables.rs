@@ -2,8 +2,13 @@
 //! the paper's gnuplot output.
 
 use loc::DistributionReport;
+use stats::{ConfidenceLevel, Summary};
 
 use crate::compare::PolicyComparison;
+use crate::replicate::{
+    ReplicatedComparison, ReplicatedGridCell, ReplicatedResult, ReplicatedSpecCell,
+    ReplicatedTrafficCell,
+};
 use crate::sweep::{GridCell, SpecCell, TrafficCell};
 
 /// Renders a cumulative "fraction of instances ≤ x" curve (Fig. 6 style)
@@ -168,6 +173,156 @@ pub fn render_traffic_sweep(cells: &[TrafficCell]) -> String {
             c.result.sim.mean_power_w(),
             c.result.sim.loss_ratio(),
             c.result.sim.total_switches,
+        ));
+    }
+    out
+}
+
+/// One `mean±half-width` table cell at the given precision — the
+/// format every replicated table shares.
+fn pm(summary: &Summary, level: ConfidenceLevel, precision: usize) -> String {
+    format!(
+        "{:.precision$}±{:.precision$}",
+        summary.mean(),
+        summary.half_width(level)
+    )
+}
+
+/// Renders one replicated result as a metric-per-row table: mean,
+/// confidence half-width, standard deviation and the observed range of
+/// every metric over the k replicates.
+#[must_use]
+pub fn render_replicated_run(r: &ReplicatedResult, level: ConfidenceLevel) -> String {
+    let mut out = format!(
+        "{:<28} {:>12} {:>12} {:>10} {:>12} {:>12}\n",
+        format!("metric ({} seeds, {} CI)", r.replicates(), level),
+        "mean",
+        "half_width",
+        "std_dev",
+        "min",
+        "max"
+    );
+    for (name, summary) in r.metrics.fields() {
+        out.push_str(&format!(
+            "{name:<28} {:>12.4} {:>12.4} {:>10.4} {:>12.4} {:>12.4}\n",
+            summary.mean(),
+            summary.half_width(level),
+            summary.std_dev(),
+            summary.min(),
+            summary.max(),
+        ));
+    }
+    out
+}
+
+/// Renders a replicated TDVS sweep: one row per grid cell, the key
+/// paper quantities as `mean±half-width` over the replicates.
+#[must_use]
+pub fn render_replicated_sweep(cells: &[ReplicatedGridCell], level: ConfidenceLevel) -> String {
+    let mut out = format!(
+        "threshold_mbps window_cycles {:>15} {:>15} {:>17} {:>13}\n",
+        "mean_power_w", "p80_power_w", "p80_tput_mbps", "switches"
+    );
+    for c in cells {
+        let m = &c.result.metrics;
+        out.push_str(&format!(
+            "{:>14.0} {:>13} {:>15} {:>15} {:>17} {:>13}\n",
+            c.threshold_mbps,
+            c.window_cycles,
+            pm(&m.mean_power_w, level, 3),
+            pm(&m.p80_power_w, level, 3),
+            pm(&m.p80_throughput_mbps, level, 1),
+            pm(&m.total_switches, level, 1),
+        ));
+    }
+    out
+}
+
+/// Renders a replicated policy-spec sweep: one row per spec, labelled
+/// with its round-trippable spec string.
+#[must_use]
+pub fn render_replicated_spec_sweep(
+    cells: &[ReplicatedSpecCell],
+    level: ConfidenceLevel,
+) -> String {
+    let label_width = cells
+        .iter()
+        .map(|c| c.spec.spec_string().len())
+        .max()
+        .unwrap_or(0)
+        .max("policy_spec".len());
+    let mut out = format!(
+        "{:<label_width$} {:>15} {:>15} {:>17} {:>13}\n",
+        "policy_spec", "mean_power_w", "p80_power_w", "p80_tput_mbps", "switches"
+    );
+    for c in cells {
+        let m = &c.result.metrics;
+        out.push_str(&format!(
+            "{:<label_width$} {:>15} {:>15} {:>17} {:>13}\n",
+            c.spec.spec_string(),
+            pm(&m.mean_power_w, level, 3),
+            pm(&m.p80_power_w, level, 3),
+            pm(&m.p80_throughput_mbps, level, 1),
+            pm(&m.total_switches, level, 1),
+        ));
+    }
+    out
+}
+
+/// Renders a replicated traffic-model sweep: one row per traffic spec
+/// with offered load, achieved throughput, power and loss as
+/// `mean±half-width`.
+#[must_use]
+pub fn render_replicated_traffic_sweep(
+    cells: &[ReplicatedTrafficCell],
+    level: ConfidenceLevel,
+) -> String {
+    let label_width = cells
+        .iter()
+        .map(|c| c.spec.spec_string().len())
+        .max()
+        .unwrap_or(0)
+        .max("traffic_spec".len());
+    let mut out = format!(
+        "{:<label_width$} {:>15} {:>15} {:>15} {:>15}\n",
+        "traffic_spec", "offered_mbps", "tput_mbps", "mean_power_w", "loss_ratio"
+    );
+    for c in cells {
+        let m = &c.result.metrics;
+        out.push_str(&format!(
+            "{:<label_width$} {:>15} {:>15} {:>15} {:>15}\n",
+            c.spec.spec_string(),
+            pm(&m.offered_mbps, level, 1),
+            pm(&m.throughput_mbps, level, 1),
+            pm(&m.mean_power_w, level, 3),
+            pm(&m.loss_ratio, level, 4),
+        ));
+    }
+    out
+}
+
+/// Renders the replicated Fig. 11 comparison: mean power and
+/// throughput as `mean±half-width`, savings computed from the
+/// replicate means.
+#[must_use]
+pub fn render_replicated_comparison(cmp: &ReplicatedComparison, level: ConfidenceLevel) -> String {
+    let mut out = format!(
+        "benchmark traffic policy {:>15} saving_vs_nodvs {:>17}\n",
+        "mean_power_w", "tput_mbps"
+    );
+    for row in &cmp.rows {
+        let saving = cmp
+            .power_saving(row.benchmark, &row.traffic, row.policy)
+            .unwrap_or(0.0);
+        let m = &row.result.metrics;
+        out.push_str(&format!(
+            "{:>9} {:>7} {:>6} {:>15} {:>14.1}% {:>17}\n",
+            row.benchmark.to_string(),
+            row.traffic.to_string(),
+            row.policy.to_string(),
+            pm(&m.mean_power_w, level, 3),
+            saving * 100.0,
+            pm(&m.throughput_mbps, level, 1),
         ));
     }
     out
@@ -348,6 +503,105 @@ mod tests {
     #[should_panic(expected = "at least two sample points")]
     fn cdf_rejects_single_point() {
         let _ = render_cdf(&tiny_report(), 0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn replicated_tables_render_mean_plus_minus_half_width() {
+        use crate::replicate::{replicated_run, replicated_sweep_tdvs};
+        use crate::Experiment;
+
+        let r = replicated_run(
+            &Experiment {
+                benchmark: Benchmark::Nat,
+                traffic: TrafficLevel::Low.into(),
+                policy: crate::PolicySpec::NoDvs,
+                cycles: 150_000,
+                seed: 3,
+            },
+            3,
+        );
+        let text = render_replicated_run(&r, ConfidenceLevel::P95);
+        assert!(text.contains("3 seeds, 95% CI"), "{text}");
+        assert!(text.contains("mean_power_w"), "{text}");
+        assert!(text.contains("p80_throughput_mbps"), "{text}");
+        // Header + one row per metric field.
+        assert_eq!(text.lines().count(), 1 + r.metrics.fields().len());
+
+        let grid = crate::TdvsGrid {
+            thresholds_mbps: vec![1000.0],
+            windows_cycles: vec![40_000],
+        };
+        let cells = replicated_sweep_tdvs(
+            Benchmark::Ipfwdr,
+            &TrafficLevel::Medium.into(),
+            &grid,
+            150_000,
+            1,
+            2,
+        );
+        let text = render_replicated_sweep(&cells, ConfidenceLevel::P95);
+        assert!(text.starts_with("threshold_mbps"), "{text}");
+        // Every metric cell is a mean±half-width pair.
+        assert!(
+            text.lines().nth(1).unwrap().matches('±').count() >= 4,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn replicated_comparison_table_reports_savings_from_means() {
+        use crate::replicate::replicated_compare;
+        let cfg = ComparisonConfig {
+            cycles: 150_000,
+            ..ComparisonConfig::default()
+        };
+        let cmp = replicated_compare(&[Benchmark::Nat], &[TrafficLevel::Low.into()], &cfg, 2);
+        let text = render_replicated_comparison(&cmp, ConfidenceLevel::P95);
+        assert!(text.contains("saving_vs_nodvs"), "{text}");
+        assert!(text.contains("noDVS"), "{text}");
+        assert!(text.contains("PDVS"), "{text}");
+        assert_eq!(text.lines().count(), 1 + 6);
+        assert!(text.contains('±'), "{text}");
+    }
+
+    #[test]
+    fn replicated_spec_and_traffic_tables_label_rows_with_specs() {
+        use crate::replicate::{try_replicated_sweep_specs, try_replicated_sweep_traffics};
+        let runner = crate::Runner::new();
+        let specs: Vec<crate::PolicySpec> = ["nodvs", "queue"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = crate::experiment::expect_cells(try_replicated_sweep_specs(
+            &runner,
+            Benchmark::Nat,
+            &TrafficLevel::Low.into(),
+            &specs,
+            150_000,
+            1,
+            2,
+        ));
+        let text = render_replicated_spec_sweep(&cells, ConfidenceLevel::P95);
+        assert!(text.starts_with("policy_spec"), "{text}");
+        assert!(text.contains("queue:high="), "{text}");
+
+        let traffics: Vec<TrafficSpec> = ["low", "constant:rate=500"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let cells = crate::experiment::expect_cells(try_replicated_sweep_traffics(
+            &runner,
+            Benchmark::Nat,
+            &traffics,
+            &crate::PolicySpec::NoDvs,
+            150_000,
+            1,
+            2,
+        ));
+        let text = render_replicated_traffic_sweep(&cells, ConfidenceLevel::P95);
+        assert!(text.starts_with("traffic_spec"), "{text}");
+        assert!(text.contains("constant:rate=500"), "{text}");
+        assert_eq!(text.lines().count(), 3);
     }
 
     #[test]

@@ -519,7 +519,7 @@ fn sweep_over_traffic_specs_renders_table_and_json() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"traffic_sweep\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":2"), "{doc}");
+    assert!(doc.contains("\"schema_version\":3"), "{doc}");
     assert!(doc.contains("\"traffic_model\":\"burst\""), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +568,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&run_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":2"), "{doc}");
+    assert!(doc.contains("\"schema_version\":3"), "{doc}");
 
     let sweep_json = dir.join("sweep.json");
     let out = abdex()
@@ -587,7 +587,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&sweep_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":2"), "{doc}");
+    assert!(doc.contains("\"schema_version\":3"), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -639,6 +639,217 @@ fn trace_replay_round_trips_through_the_cli() {
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replicate_reports_per_metric_intervals() {
+    let dir = std::env::temp_dir().join(format!("abdex-cli-replicate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let json_path = dir.join("replicate.json");
+
+    let out = abdex()
+        .args([
+            "replicate",
+            "--benchmark",
+            "ipfwdr",
+            "--traffic",
+            "high",
+            "--policy",
+            "tdvs:threshold=1400",
+            "--cycles",
+            "200000",
+            "--seeds",
+            "4",
+            "--ci",
+            "99",
+            "--jobs",
+            "2",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("4 replicates of seed 42"), "{text}");
+    assert!(text.contains("99% CI"), "{text}");
+    assert!(text.contains("mean_power_w"), "{text}");
+
+    let doc = std::fs::read_to_string(&json_path).expect("JSON written");
+    assert!(doc.contains("\"kind\":\"replicated_run\""), "{doc}");
+    assert!(doc.contains("\"schema_version\":3"), "{doc}");
+    assert!(doc.contains("\"seeds\":4"), "{doc}");
+    assert!(doc.contains("\"ci_level\":99"), "{doc}");
+    assert!(doc.contains("\"half_width\":"), "{doc}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_with_seeds_replicates_serially() {
+    let out = abdex()
+        .args([
+            "run",
+            "--traffic",
+            "low",
+            "--cycles",
+            "200000",
+            "--seeds",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 replicates"), "{text}");
+    assert!(text.contains("half_width"), "{text}");
+}
+
+#[test]
+fn replication_flag_misuse_is_rejected() {
+    // --ci without enough replicates would report a zero-width interval.
+    let out = abdex()
+        .args(["run", "--cycles", "1000", "--ci", "95"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seeds >= 2"));
+
+    // Zero replicates is meaningless.
+    let out = abdex()
+        .args(["sweep", "--cycles", "1000", "--seeds", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one replicate"));
+
+    // `replicate` exists to produce intervals; one seed cannot.
+    let out = abdex()
+        .args(["replicate", "--cycles", "1000", "--seeds", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("abdex run"));
+
+    // Unsupported level names the supported ones.
+    let out = abdex()
+        .args([
+            "replicate",
+            "--cycles",
+            "1000",
+            "--seeds",
+            "2",
+            "--ci",
+            "80",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("90, 95, 99"));
+}
+
+#[test]
+fn replicated_sweep_writes_axis_tagged_document() {
+    let dir = std::env::temp_dir().join(format!("abdex-cli-repsweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let json_path = dir.join("repsweep.json");
+
+    let out = abdex()
+        .args([
+            "sweep",
+            "--policies",
+            "nodvs;queue",
+            "--traffic",
+            "low",
+            "--cycles",
+            "150000",
+            "--seeds",
+            "2",
+            "--jobs",
+            "2",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("policy_spec"), "{text}");
+    assert!(text.contains('±'), "{text}");
+
+    let doc = std::fs::read_to_string(&json_path).expect("JSON written");
+    assert!(doc.contains("\"kind\":\"replicated_sweep\""), "{doc}");
+    assert!(doc.contains("\"axis\":\"policies\""), "{doc}");
+    assert!(doc.contains("\"seeds\":2"), "{doc}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replicated_compare_is_bit_identical_across_jobs() {
+    // The PR-4 acceptance gate: `compare --seeds K --ci 95 --json` must
+    // produce a schema-3 `replicated_compare` document whose per-cell
+    // means and half-widths are byte-for-byte identical between
+    // `--jobs 1` and `--jobs N`.
+    let dir = std::env::temp_dir().join(format!("abdex-cli-repcmp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let run = |jobs: &str, path: &std::path::Path| {
+        let out = abdex()
+            .args([
+                "compare",
+                "--traffics",
+                "low",
+                "--cycles",
+                "150000",
+                "--seeds",
+                "3",
+                "--ci",
+                "95",
+                "--jobs",
+                jobs,
+                "--json",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let serial_json = dir.join("serial.json");
+    let parallel_json = dir.join("parallel.json");
+    let serial_table = run("1", &serial_json);
+    let parallel_table = run("4", &parallel_json);
+
+    assert_eq!(serial_table, parallel_table, "tables diverged");
+    let serial = std::fs::read_to_string(&serial_json).expect("JSON written");
+    let parallel = std::fs::read_to_string(&parallel_json).expect("JSON written");
+    assert!(
+        serial.contains("\"kind\":\"replicated_compare\""),
+        "{serial}"
+    );
+    assert!(serial.contains("\"schema_version\":3"), "{serial}");
+    assert!(serial.contains("\"half_width\":"), "{serial}");
+    assert_eq!(serial, parallel, "JSON documents diverged");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

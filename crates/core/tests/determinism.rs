@@ -5,10 +5,15 @@
 //! spec-described traffic model alike.
 
 use abdex::compare::{try_compare_policies, ComparisonConfig};
+use abdex::replicate::{try_replicated_compare, try_replicated_sweep_tdvs};
 use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
-use abdex::tables::{render_comparison, render_spec_sweep, render_sweep, render_traffic_sweep};
+use abdex::tables::{
+    render_comparison, render_replicated_comparison, render_replicated_sweep, render_spec_sweep,
+    render_sweep, render_traffic_sweep,
+};
 use abdex::{
-    GridCell, PolicyComparison, PolicySpec, Runner, SpecCell, TdvsGrid, TrafficCell, TrafficSpec,
+    ConfidenceLevel, GridCell, PolicyComparison, PolicySpec, ReplicatedComparison,
+    ReplicatedGridCell, Runner, SpecCell, TdvsGrid, TrafficCell, TrafficSpec,
 };
 use nepsim::Benchmark;
 use traffic::TrafficLevel;
@@ -180,6 +185,113 @@ fn traffic_sweep_is_bit_identical_across_worker_counts() {
             p.result.sim.total_energy_uj().to_bits(),
             "{} diverged",
             s.spec
+        );
+    }
+}
+
+#[test]
+fn replicated_tdvs_sweep_is_bit_identical_across_worker_counts() {
+    // The PR-4 contract: a k-seed replicated grid folds per-cell means
+    // and confidence half-widths that are bit-identical for any worker
+    // count — parallelism must not leak into the statistics any more
+    // than into a single run.
+    let seeds = 3;
+    let run = |workers: usize| -> Vec<ReplicatedGridCell> {
+        try_replicated_sweep_tdvs(
+            &Runner::new().with_workers(workers),
+            Benchmark::Ipfwdr,
+            &TrafficLevel::High.into(),
+            &grid(),
+            CYCLES,
+            SEED,
+            seeds,
+        )
+        .into_iter()
+        .map(|o| o.expect("no cell failed"))
+        .collect()
+    };
+    let serial = run(1);
+    for workers in [2, 5] {
+        let parallel = run(workers);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.threshold_mbps, p.threshold_mbps);
+            assert_eq!(s.window_cycles, p.window_cycles);
+            assert_eq!(s.result.replicates(), seeds);
+            for ((name, ss), (_, ps)) in s
+                .result
+                .metrics
+                .fields()
+                .iter()
+                .zip(p.result.metrics.fields())
+            {
+                assert_eq!(
+                    ss.mean().to_bits(),
+                    ps.mean().to_bits(),
+                    "{name} mean diverged at {} Mbps / {} cycles with {workers} workers",
+                    s.threshold_mbps,
+                    s.window_cycles
+                );
+                for level in ConfidenceLevel::ALL {
+                    assert_eq!(
+                        ss.half_width(level).to_bits(),
+                        ps.half_width(level).to_bits(),
+                        "{name} {level} half-width diverged with {workers} workers"
+                    );
+                }
+                assert_eq!(ss.min().to_bits(), ps.min().to_bits());
+                assert_eq!(ss.max().to_bits(), ps.max().to_bits());
+            }
+        }
+        assert_eq!(
+            render_replicated_sweep(&serial, ConfidenceLevel::P95),
+            render_replicated_sweep(&parallel, ConfidenceLevel::P95)
+        );
+    }
+}
+
+#[test]
+fn replicated_comparison_is_bit_identical_across_worker_counts() {
+    let cfg = ComparisonConfig {
+        cycles: CYCLES,
+        seed: SEED,
+        ..ComparisonConfig::default()
+    };
+    let run = |workers: usize| -> ReplicatedComparison {
+        let (cmp, errors) = try_replicated_compare(
+            &Runner::new().with_workers(workers),
+            &[Benchmark::Ipfwdr],
+            &[TrafficLevel::Low.into()],
+            &cfg,
+            2,
+        );
+        assert!(errors.is_empty());
+        cmp
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    assert_eq!(
+        render_replicated_comparison(&serial, ConfidenceLevel::P95),
+        render_replicated_comparison(&parallel, ConfidenceLevel::P95)
+    );
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s.policy, p.policy);
+        assert_eq!(
+            s.result.metrics.total_energy_uj.mean().to_bits(),
+            p.result.metrics.total_energy_uj.mean().to_bits()
+        );
+        assert_eq!(
+            s.result
+                .metrics
+                .total_energy_uj
+                .half_width(ConfidenceLevel::P99)
+                .to_bits(),
+            p.result
+                .metrics
+                .total_energy_uj
+                .half_width(ConfidenceLevel::P99)
+                .to_bits()
         );
     }
 }

@@ -204,7 +204,7 @@ impl PolicyRegistry {
                 name: wanted,
                 known: self.name_list(),
             })?;
-        (entry.build)(params)
+        (entry.build)(params).map_err(|e| e.with_accepted_keys(entry.info.params))
     }
 
     /// Metadata for every registered policy, registration order.

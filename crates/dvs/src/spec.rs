@@ -277,6 +277,38 @@ mod tests {
     }
 
     #[test]
+    fn unknown_param_via_cli_lists_accepted_keys() {
+        let text = PolicySpec::parse("tdvs:flux=9").unwrap_err().to_string();
+        assert!(text.contains("no parameter 'flux'"), "{text}");
+        assert!(
+            text.contains("accepted: threshold, window, hysteresis"),
+            "{text}"
+        );
+        // A parameter-free policy has nothing to list.
+        let text = PolicySpec::parse("nodvs:flux=9").unwrap_err().to_string();
+        assert!(text.ends_with("accepts no parameter 'flux'"), "{text}");
+    }
+
+    #[test]
+    fn unknown_param_via_toml_lists_accepted_keys() {
+        let text = PolicySpec::from_toml_str("policy = \"edvs\"\nflux = 9\n")
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("no parameter 'flux'"), "{text}");
+        assert!(text.contains("accepted: idle, window"), "{text}");
+    }
+
+    #[test]
+    fn unknown_param_via_json_lists_accepted_keys() {
+        let text = PolicySpec::from_json_str(r#"{"policy": "proportional", "flux": 9}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("no parameter 'flux'"), "{text}");
+        assert!(text.contains("accepted: "), "{text}");
+        assert!(text.contains("kp"), "{text}");
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(matches!(
             PolicySpec::parse("warp-drive"),

@@ -161,6 +161,7 @@ impl Params {
             Some(key) => Err(SpecError::UnknownParam {
                 owner: owner.to_owned(),
                 key,
+                known: String::new(),
             }),
         }
     }
@@ -184,6 +185,10 @@ pub enum SpecError {
         owner: String,
         /// The unrecognised key.
         key: String,
+        /// Comma-separated accepted keys (filled by the registry via
+        /// [`SpecError::with_accepted_keys`]; empty when the entry
+        /// takes no parameters or the error never passed a registry).
+        known: String,
     },
     /// A parameter value that failed to parse or is out of range.
     InvalidValue {
@@ -211,14 +216,38 @@ pub enum SpecError {
     },
 }
 
+impl SpecError {
+    /// Fills an [`SpecError::UnknownParam`]'s accepted-key list from a
+    /// registry entry's parameter metadata — mirroring the
+    /// [`SpecError::UnknownName`] treatment, where the registry lists
+    /// the names it knows. Registries call this around their builders
+    /// so an unknown key names the keys that *would* have worked; every
+    /// other error passes through untouched.
+    #[must_use]
+    pub fn with_accepted_keys(self, params: &[ParamInfo]) -> Self {
+        match self {
+            SpecError::UnknownParam { owner, key, .. } => SpecError::UnknownParam {
+                owner,
+                key,
+                known: params.iter().map(|p| p.key).collect::<Vec<_>>().join(", "),
+            },
+            other => other,
+        }
+    }
+}
+
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::UnknownName { kind, name, known } => {
                 write!(f, "unknown {kind} '{name}' (known: {known})")
             }
-            SpecError::UnknownParam { owner, key } => {
-                write!(f, "'{owner}' accepts no parameter '{key}'")
+            SpecError::UnknownParam { owner, key, known } => {
+                write!(f, "'{owner}' accepts no parameter '{key}'")?;
+                if !known.is_empty() {
+                    write!(f, " (accepted: {known})")?;
+                }
+                Ok(())
             }
             SpecError::InvalidValue {
                 key,
@@ -634,5 +663,46 @@ mod tests {
         assert!(text.contains("traffic model"));
         assert!(text.contains("warp"));
         assert!(text.contains("burst"));
+    }
+
+    #[test]
+    fn unknown_param_lists_accepted_keys_when_filled() {
+        let raw = SpecError::UnknownParam {
+            owner: "tdvs".to_owned(),
+            key: "treshold".to_owned(),
+            known: String::new(),
+        };
+        // A bare finish() error names only the offender...
+        assert_eq!(raw.to_string(), "'tdvs' accepts no parameter 'treshold'");
+        // ...and the registry fills in what would have worked.
+        let infos = [
+            ParamInfo {
+                key: "threshold",
+                default: "1000",
+                help: "",
+            },
+            ParamInfo {
+                key: "window",
+                default: "40000",
+                help: "",
+            },
+        ];
+        let filled = raw.with_accepted_keys(&infos);
+        let text = filled.to_string();
+        assert!(text.contains("(accepted: threshold, window)"), "{text}");
+        // A parameter-free entry stays with the plain message.
+        let none = SpecError::UnknownParam {
+            owner: "nodvs".to_owned(),
+            key: "x".to_owned(),
+            known: String::new(),
+        }
+        .with_accepted_keys(&[]);
+        assert_eq!(none.to_string(), "'nodvs' accepts no parameter 'x'");
+        // Every other error passes through untouched.
+        let other = SpecError::Malformed {
+            input: "x".to_owned(),
+            reason: "r".to_owned(),
+        };
+        assert_eq!(other.clone().with_accepted_keys(&infos), other);
     }
 }

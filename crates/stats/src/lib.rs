@@ -1,0 +1,51 @@
+//! **stats** — streaming summary statistics, Student-t confidence
+//! intervals and seed-derived replication batches for the experiment
+//! stack.
+//!
+//! Every number the workspace reproduces from the paper — power
+//! savings, throughput, drop rates per policy × traffic × benchmark
+//! cell — was historically a single-seed point estimate. This crate is
+//! the statistical vocabulary that turns those into honest interval
+//! estimates:
+//!
+//! * [`Summary`] — streaming n/mean/variance (Welford) plus min/max;
+//!   folding is a pure function of observation order, so replicated
+//!   batches keep the workspace's bit-determinism contract;
+//! * [`ConfidenceLevel`] / [`ConfidenceInterval`] — hand-rolled
+//!   two-sided Student-t critical values (90/95/99 %, exact for
+//!   df ≤ 30, conservatively stepped above) and the `mean ± half-width`
+//!   intervals they produce;
+//! * [`RunMetrics`] / [`ReplicatedMetrics`] — the ten scalar metrics a
+//!   simulated cell reports, and their per-field [`Summary`] fold;
+//! * [`Replication`] — fans one [`xrun::JobSpec`] out into k
+//!   seed-derived replicates ([`xrun::derive_seed`]) and folds the
+//!   per-replicate metrics back into one [`ReplicatedMetrics`].
+//!
+//! No external crates: the t-table is compiled in and the moments are
+//! hand-rolled, which keeps the workspace's offline-shims constraint
+//! intact.
+//!
+//! # Example
+//!
+//! ```
+//! use stats::{ConfidenceLevel, Summary};
+//!
+//! let power = Summary::of([1.21, 1.19, 1.24, 1.18, 1.22, 1.20, 1.23, 1.21]);
+//! let ci = power.ci(ConfidenceLevel::P95);
+//! assert!(ci.contains(power.mean()));
+//! // The paper-table cell: mean ± half-width.
+//! assert_eq!(format!("{ci:.2}"), "1.21 ± 0.02");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ci;
+mod metrics;
+mod replication;
+mod summary;
+
+pub use ci::{ConfidenceInterval, ConfidenceLevel};
+pub use metrics::{ReplicatedMetrics, RunMetrics};
+pub use replication::Replication;
+pub use summary::Summary;

@@ -224,11 +224,19 @@ impl TrafficRegistry {
                         name: "trace",
                         aliases: &["replay"],
                         summary: "replay a recorded trace file (see `abdex trace --out`)",
-                        params: &[ParamInfo {
-                            key: "path",
-                            default: "(required)",
-                            help: "path of a trace in RecordedTrace text format",
-                        }],
+                        params: &[
+                            ParamInfo {
+                                key: "path",
+                                default: "(required)",
+                                help: "path of a trace in RecordedTrace text format",
+                            },
+                            ParamInfo {
+                                key: "scale",
+                                default: "1",
+                                help: "offered-rate multiplier via packet \
+                                       thinning (<1) or duplication (>1)",
+                            },
+                        ],
                     },
                     build: build_trace,
                 },
@@ -254,7 +262,7 @@ impl TrafficRegistry {
                 name: wanted,
                 known: self.name_list(),
             })?;
-        (entry.build)(params)
+        (entry.build)(params).map_err(|e| e.with_accepted_keys(entry.info.params))
     }
 
     /// Metadata for every registered model, registration order.
@@ -458,13 +466,14 @@ fn build_constant(mut params: Params) -> Result<TrafficSpec, SpecError> {
 
 fn build_trace(mut params: Params) -> Result<TrafficSpec, SpecError> {
     let path = params.maybe_str("path");
+    let scale = take_positive(&mut params, "scale", 1.0)?;
     params.finish("trace")?;
     let path = path.ok_or_else(|| SpecError::InvalidValue {
         key: "path".to_owned(),
         value: String::new(),
         expected: "a trace-file path (trace:path=...)",
     })?;
-    Ok(TrafficSpec::Replay(ReplayConfig { path }))
+    Ok(TrafficSpec::Replay(ReplayConfig { path, scale }))
 }
 
 #[cfg(test)]

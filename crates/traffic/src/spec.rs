@@ -105,7 +105,7 @@ impl TrafficSpec {
             TrafficSpec::OnOff(c) => Box::new(c.clone()),
             TrafficSpec::Flash(c) => Box::new(c.clone()),
             TrafficSpec::Constant(c) => Box::new(*c),
-            TrafficSpec::Replay(c) => Box::new(c.load()?),
+            TrafficSpec::Replay(c) => Box::new(c.build_model()?),
         })
     }
 
@@ -145,7 +145,10 @@ impl TrafficSpec {
                 ("size", PVal::num_u64(u64::from(c.size_bytes))),
                 ("ports", PVal::num_u64(u64::from(c.ports))),
             ],
-            TrafficSpec::Replay(c) => vec![("path", PVal::Str(c.path.clone()))],
+            TrafficSpec::Replay(c) => vec![
+                ("path", PVal::Str(c.path.clone())),
+                ("scale", PVal::num_f64(c.scale)),
+            ],
         }
     }
 
@@ -291,6 +294,33 @@ mod tests {
     }
 
     #[test]
+    fn unknown_param_via_cli_lists_accepted_keys() {
+        let text = TrafficSpec::parse("burst:flux=9").unwrap_err().to_string();
+        assert!(text.contains("no parameter 'flux'"), "{text}");
+        for key in ["on_mbps", "off_mbps", "period_s", "duty", "ports"] {
+            assert!(text.contains(key), "missing '{key}' in {text}");
+        }
+    }
+
+    #[test]
+    fn unknown_param_via_toml_lists_accepted_keys() {
+        let text = TrafficSpec::from_toml_str("traffic = \"flash\"\nflux = 9\n")
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("no parameter 'flux'"), "{text}");
+        assert!(text.contains("accepted: base_mbps, peak_mbps"), "{text}");
+    }
+
+    #[test]
+    fn unknown_param_via_json_lists_accepted_keys() {
+        let text = TrafficSpec::from_json_str(r#"{"traffic": "constant", "flux": 9}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("no parameter 'flux'"), "{text}");
+        assert!(text.contains("accepted: rate, size, ports"), "{text}");
+    }
+
+    #[test]
     fn every_variant_round_trips_through_all_three_grammars() {
         let specs = [
             TrafficSpec::Level(TrafficLevel::Medium),
@@ -306,6 +336,7 @@ mod tests {
             TrafficSpec::Constant(ConstantConfig::default()),
             TrafficSpec::Replay(ReplayConfig {
                 path: "/tmp/trace.txt".to_owned(),
+                scale: 1.3,
             }),
         ];
         for spec in specs {
@@ -330,6 +361,7 @@ mod tests {
     fn trace_paths_with_grammar_chars_round_trip_via_toml_and_json() {
         let spec = TrafficSpec::Replay(ReplayConfig {
             path: "/tmp/a=b,c \"d\".txt".to_owned(),
+            scale: 1.0,
         });
         let toml = spec.to_toml_string();
         assert_eq!(TrafficSpec::from_toml_str(&toml).unwrap(), spec);
@@ -339,9 +371,7 @@ mod tests {
 
     #[test]
     fn replay_model_surfaces_missing_files_as_unbuildable() {
-        let spec = TrafficSpec::Replay(ReplayConfig {
-            path: "/no/such/trace.txt".to_owned(),
-        });
+        let spec = TrafficSpec::Replay(ReplayConfig::new("/no/such/trace.txt"));
         assert!(matches!(spec.model(), Err(SpecError::Unbuildable { .. })));
     }
 

@@ -38,6 +38,11 @@ fn tested_specs() -> Vec<TrafficSpec> {
     .map(|s| s.parse().expect("builtin spec"))
     .collect();
     specs.push(trace_spec());
+    // The same recording replayed at a scaled offered rate: the
+    // self-described-rate check below covers the thinning/duplication
+    // rule against `expected_rate_mbps`.
+    specs.push(scaled_trace_spec(0.6));
+    specs.push(scaled_trace_spec(1.3));
     specs
 }
 
@@ -59,6 +64,15 @@ fn trace_spec() -> TrafficSpec {
         TrafficSpec::parse(&format!("trace:path={}", path.display())).unwrap()
     })
     .clone()
+}
+
+/// The recorded trace of [`trace_spec`] replayed at `scale` times its
+/// recorded rate.
+fn scaled_trace_spec(scale: f64) -> TrafficSpec {
+    let TrafficSpec::Replay(config) = trace_spec() else {
+        panic!("trace_spec is a replay spec");
+    };
+    TrafficSpec::Replay(traffic::ReplayConfig { scale, ..config })
 }
 
 /// Models with no randomness: the seed legitimately changes nothing.

