@@ -3,11 +3,14 @@
 //! ```text
 //! abdex run       --benchmark ipfwdr --traffic high --policy queue:high=0.8 [--cycles N]
 //! abdex run       --traffic burst:on_mbps=1800,off_mbps=120,period_s=2
+//! abdex run       --traffic "schedule:segments=[low@0..2e6; flash@2e6..4e6; low@4e6..]"
 //! abdex replicate --policy tdvs:threshold=1400 --seeds 16 --ci 99 [--jobs N]
 //! abdex sweep     --benchmark ipfwdr --traffic high [--cycles N] [--seed S] [--jobs N]
 //! abdex sweep     --policies "nodvs;tdvs:threshold=1400;proportional:kp=6" [--seeds K]
 //! abdex sweep     --traffics "low;burst;flash:peak_mbps=2000" [--policy tdvs]
 //! abdex compare   [--traffics "low;high;flash"] [--seeds K] [--ci 90|95|99] [--json FILE]
+//! abdex scenario  run <name|file.toml> [--cycles N] [--seeds K] [--ci L] [--jobs N] [--json FILE|-]
+//! abdex scenario  list
 //! abdex policies
 //! abdex traffics
 //! abdex trace     --benchmark url --traffic medium [--cycles N] [--out FILE]
@@ -35,12 +38,23 @@
 //! (90/95/99, default 95). `abdex replicate` is the single-cell form
 //! with full per-metric statistics (and, unlike `run`, a `--jobs`
 //! flag).
+//!
+//! `abdex scenario run <name|file>` executes a time-varying composite
+//! scenario (see `abdex scenario list` for the built-in library): each
+//! policy × replicate simulates the whole horizon once, snapshotted at
+//! the schedule's segment boundaries, and the tables/JSON report
+//! per-segment metric breakdowns alongside the whole-run numbers.
+//!
+//! `--json -` writes the machine-readable document to **stdout** (the
+//! human-readable tables move to stderr), so any command's results pipe
+//! without a temp file: `abdex scenario run diurnal-day --json - | jq .`
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use abdex::compare::{try_compare_policies, ComparisonConfig};
 use abdex::experiment::partition_cells;
+use abdex::json::scenario_json;
 use abdex::json::{
     comparison_json, experiment_json, replicated_compare_json, replicated_run_json,
     replicated_spec_sweep_json, replicated_tdvs_sweep_json, replicated_traffic_sweep_json,
@@ -51,11 +65,12 @@ use abdex::replicate::{
     try_replicated_compare, try_replicated_run, try_replicated_sweep_specs,
     try_replicated_sweep_tdvs, try_replicated_sweep_traffics,
 };
+use abdex::scenario::{self, Scenario};
 use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
 use abdex::tables::{
     render_comparison, render_replicated_comparison, render_replicated_run,
     render_replicated_spec_sweep, render_replicated_sweep, render_replicated_traffic_sweep,
-    render_spec_sweep, render_surface, render_sweep, render_traffic_sweep,
+    render_scenario, render_spec_sweep, render_surface, render_sweep, render_traffic_sweep,
 };
 use abdex::{
     optimal_tdvs, ConfidenceLevel, DesignPriority, Experiment, JobError, PolicyRegistry,
@@ -67,7 +82,14 @@ const USAGE: &str = "\
 abdex — assertion-based design exploration of DVS in NPU architectures
 
 USAGE:
-    abdex <run|replicate|sweep|compare|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
+    abdex <run|replicate|sweep|compare|scenario|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
+
+SCENARIOS:
+    abdex scenario run <name|file.toml>  run a time-varying composite scenario
+                                         (per-segment metric breakdowns; the
+                                         usual --cycles/--seed/--seeds/--ci/
+                                         --jobs/--progress/--json apply)
+    abdex scenario list                  list the built-in scenario library
 
 OPTIONS (where applicable):
     --benchmark <ipfwdr|url|nat|md4>   benchmark application [ipfwdr]
@@ -100,8 +122,11 @@ OPTIONS (where applicable):
                                        replicate/sweep/compare
                                        (0 = one per CPU) [0]
     --progress  <quiet|dot|line>       batch progress on stderr [quiet]
-    --json      <file>                 also write results as JSON
-                                       (run/sweep/compare)
+    --json      <file|->               also write results as JSON
+                                       (run/replicate/sweep/compare/
+                                       scenario run); `-` writes the
+                                       document to stdout and moves the
+                                       human tables to stderr
     --formula   <text>                 LOC formula (check/analyze/codegen)
     --trace     <file>                 trace file in NePSim text format
     --out       <file>                 output path (trace)
@@ -113,6 +138,17 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `scenario` takes positional arguments (`run <name|file>`), so it
+    // dispatches before the flag-only parser below.
+    if command == "scenario" {
+        return match cmd_scenario(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -343,11 +379,31 @@ fn runner(opts: &Opts) -> Result<Runner, String> {
         .with_progress_mode(progress))
 }
 
+/// `true` when `--json -` claims stdout for the machine document (the
+/// human-readable output then goes to stderr so stdout stays pipeable).
+fn json_to_stdout(opts: &Opts) -> bool {
+    opts.get("json").is_some_and(|path| path == "-")
+}
+
+/// Prints a block of human-readable output: stdout normally, stderr
+/// when `--json -` reserves stdout for the JSON document.
+fn emit(opts: &Opts, text: &str) {
+    if json_to_stdout(opts) {
+        eprintln!("{text}");
+    } else {
+        println!("{text}");
+    }
+}
+
 /// Fails fast when the `--json` path is unwritable, *before* a
 /// potentially minutes-long batch runs. Opens in append mode so an
-/// existing file is probed without being truncated.
+/// existing file is probed without being truncated. `-` (stdout) needs
+/// no probe.
 fn preflight_json(opts: &Opts) -> Result<(), String> {
     if let Some(path) = opts.get("json") {
+        if path == "-" {
+            return Ok(());
+        }
         std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -357,14 +413,23 @@ fn preflight_json(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Writes the rendered JSON document to the `--json` path, if given.
+/// Writes the rendered JSON document to the `--json` path, if given;
+/// `-` prints the document to stdout (and nothing else lands there —
+/// see [`emit`]), so results pipe without a temp file.
 fn write_json(opts: &Opts, render: impl FnOnce() -> String) -> Result<(), String> {
-    if let Some(path) = opts.get("json") {
-        let doc = render();
-        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("wrote {} bytes of JSON to {path}", doc.len());
+    match opts.get("json").map(String::as_str) {
+        None => Ok(()),
+        Some("-") => {
+            println!("{}", render());
+            Ok(())
+        }
+        Some(path) => {
+            let doc = render();
+            std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} bytes of JSON to {path}", doc.len());
+            Ok(())
+        }
     }
-    Ok(())
 }
 
 /// Finishes a batch command: prints every per-cell failure to stderr
@@ -399,18 +464,34 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         return finish_replicated_run(opts, &Runner::serial(), &experiment, seeds, level);
     }
     let r = experiment.run();
-    println!(
-        "{} @ {} under {} for {} cycles (seed {})",
+    let mut text = format!(
+        "{} @ {} under {} for {} cycles (seed {})\n",
         experiment.benchmark, experiment.traffic, r.sim.policy, experiment.cycles, experiment.seed
     );
-    println!("  offered        : {:9.1} Mbps", r.sim.offered_mbps());
-    println!("  throughput     : {:9.1} Mbps", r.sim.throughput_mbps());
-    println!("  mean power     : {:9.3} W", r.sim.mean_power_w());
-    println!("  p80 power      : {:9.3} W", r.p80_power_w());
-    println!("  p80 throughput : {:9.1} Mbps", r.p80_throughput_mbps());
-    println!("  loss ratio     : {:9.4}", r.sim.loss_ratio());
-    println!("  rx idle        : {:9.3}", r.sim.rx_idle_fraction());
-    println!("  VF switches    : {:9}", r.sim.total_switches);
+    text.push_str(&format!(
+        "  offered        : {:9.1} Mbps\n",
+        r.sim.offered_mbps()
+    ));
+    text.push_str(&format!(
+        "  throughput     : {:9.1} Mbps\n",
+        r.sim.throughput_mbps()
+    ));
+    text.push_str(&format!(
+        "  mean power     : {:9.3} W\n",
+        r.sim.mean_power_w()
+    ));
+    text.push_str(&format!("  p80 power      : {:9.3} W\n", r.p80_power_w()));
+    text.push_str(&format!(
+        "  p80 throughput : {:9.1} Mbps\n",
+        r.p80_throughput_mbps()
+    ));
+    text.push_str(&format!("  loss ratio     : {:9.4}\n", r.sim.loss_ratio()));
+    text.push_str(&format!(
+        "  rx idle        : {:9.3}\n",
+        r.sim.rx_idle_fraction()
+    ));
+    text.push_str(&format!("  VF switches    : {:9}", r.sim.total_switches));
+    emit(opts, &text);
     write_json(opts, || experiment_json(&r))
 }
 
@@ -443,17 +524,20 @@ fn finish_replicated_run(
     level: ConfidenceLevel,
 ) -> Result<(), String> {
     let replicated = try_replicated_run(pool, experiment, seeds).map_err(|e| e.to_string())?;
-    println!(
-        "{} @ {} under {} for {} cycles ({} replicates of seed {}, {} CI)",
-        experiment.benchmark,
-        experiment.traffic,
-        experiment.policy.spec_string(),
-        experiment.cycles,
-        seeds,
-        experiment.seed,
-        level,
+    emit(
+        opts,
+        &format!(
+            "{} @ {} under {} for {} cycles ({} replicates of seed {}, {} CI)\n{}",
+            experiment.benchmark,
+            experiment.traffic,
+            experiment.policy.spec_string(),
+            experiment.cycles,
+            seeds,
+            experiment.seed,
+            level,
+            render_replicated_run(&replicated, level),
+        ),
     );
-    println!("{}", render_replicated_run(&replicated, level));
     write_json(opts, || replicated_run_json(&replicated, level))
 }
 
@@ -504,7 +588,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             let (cells, errors) = partition_cells(try_replicated_sweep_traffics(
                 &pool, bench, &traffics, &policy, cycles, seed, seeds,
             ));
-            println!("{}", render_replicated_traffic_sweep(&cells, ci));
+            emit(opts, &render_replicated_traffic_sweep(&cells, ci));
             let json = write_json(opts, || {
                 replicated_traffic_sweep_json(&cells, seeds, ci, &errors)
             });
@@ -513,7 +597,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         let (cells, errors) = partition_cells(try_sweep_traffics(
             &pool, bench, &traffics, &policy, cycles, seed,
         ));
-        println!("{}", render_traffic_sweep(&cells));
+        emit(opts, &render_traffic_sweep(&cells));
         let json = write_json(opts, || traffic_sweep_json(&cells, &errors));
         return finish_batch(json, errors);
     }
@@ -525,7 +609,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             let (cells, errors) = partition_cells(try_replicated_sweep_specs(
                 &pool, bench, &level, &specs, cycles, seed, seeds,
             ));
-            println!("{}", render_replicated_spec_sweep(&cells, ci));
+            emit(opts, &render_replicated_spec_sweep(&cells, ci));
             let json = write_json(opts, || {
                 replicated_spec_sweep_json(&cells, seeds, ci, &errors)
             });
@@ -533,7 +617,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         }
         let (cells, errors) =
             partition_cells(try_sweep_specs(&pool, bench, &level, &specs, cycles, seed));
-        println!("{}", render_spec_sweep(&cells));
+        emit(opts, &render_spec_sweep(&cells));
         let json = write_json(opts, || spec_sweep_json(&cells, &errors));
         return finish_batch(json, errors);
     }
@@ -548,7 +632,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             seed,
             seeds,
         ));
-        println!("{}", render_replicated_sweep(&cells, ci));
+        emit(opts, &render_replicated_sweep(&cells, ci));
         let json = write_json(opts, || {
             replicated_tdvs_sweep_json(&cells, seeds, ci, &errors)
         });
@@ -563,26 +647,29 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         cycles,
         seed,
     ));
-    println!("{}", render_sweep(&cells));
-    println!(
-        "{}",
-        render_surface(&abdex::sweep::power_surface(&cells), "p80 power (W)")
+    emit(opts, &render_sweep(&cells));
+    emit(
+        opts,
+        &render_surface(&abdex::sweep::power_surface(&cells), "p80 power (W)"),
     );
-    println!(
-        "{}",
-        render_surface(
+    emit(
+        opts,
+        &render_surface(
             &abdex::sweep::throughput_surface(&cells),
-            "p80 throughput (Mbps)"
-        )
+            "p80 throughput (Mbps)",
+        ),
     );
     for (p, label) in [
         (DesignPriority::Performance, "performance"),
         (DesignPriority::Power, "power"),
     ] {
         if let Some(best) = optimal_tdvs(&cells, p) {
-            println!(
-                "optimal ({label}): threshold {} Mbps, window {} cycles",
-                best.threshold_mbps, best.window_cycles
+            emit(
+                opts,
+                &format!(
+                    "optimal ({label}): threshold {} Mbps, window {} cycles",
+                    best.threshold_mbps, best.window_cycles
+                ),
             );
         }
     }
@@ -612,14 +699,103 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
     preflight_json(opts)?;
     if seeds > 1 {
         let (cmp, errors) = try_replicated_compare(&pool, &Benchmark::ALL, &traffics, &cfg, seeds);
-        println!("{}", render_replicated_comparison(&cmp, ci));
+        emit(opts, &render_replicated_comparison(&cmp, ci));
         let json = write_json(opts, || replicated_compare_json(&cmp, ci, &errors));
         return finish_batch(json, errors);
     }
     let (cmp, errors) = try_compare_policies(&pool, &Benchmark::ALL, &traffics, &cfg);
-    println!("{}", render_comparison(&cmp));
+    emit(opts, &render_comparison(&cmp));
     let json = write_json(opts, || comparison_json(&cmp, &errors));
     finish_batch(json, errors)
+}
+
+/// Dispatches the `scenario` command: `run <name|file>` and `list`.
+fn cmd_scenario(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("scenario needs a subcommand: `run <name|file>` or `list`".to_owned());
+    };
+    match sub.as_str() {
+        "list" => {
+            if let Some(stray) = rest.first() {
+                return Err(format!("scenario list takes no arguments, found '{stray}'"));
+            }
+            cmd_scenario_list();
+            Ok(())
+        }
+        "run" => {
+            let Some((target, rest)) = rest.split_first() else {
+                return Err(format!(
+                    "scenario run needs a <name|file.toml> (builtin: {})",
+                    scenario::builtin_names()
+                ));
+            };
+            let opts = parse_opts(rest)?;
+            check_opts(
+                &opts,
+                &["cycles", "seed", "seeds", "ci", "jobs", "progress", "json"],
+            )?;
+            cmd_scenario_run(target, &opts)
+        }
+        other => Err(format!(
+            "unknown scenario subcommand '{other}' (expected `run` or `list`)"
+        )),
+    }
+}
+
+/// Resolves a scenario target: a built-in name first, then a TOML file
+/// path.
+fn resolve_scenario(target: &str) -> Result<Scenario, String> {
+    if let Some(found) = scenario::builtin(target) {
+        return Ok(found);
+    }
+    if std::path::Path::new(target).exists() {
+        return Scenario::load(target);
+    }
+    Err(format!(
+        "unknown scenario '{target}' (builtin: {}; or pass a scenario TOML file path)",
+        scenario::builtin_names()
+    ))
+}
+
+fn cmd_scenario_run(target: &str, opts: &Opts) -> Result<(), String> {
+    let mut scenario = resolve_scenario(target)?;
+    // CLI flags override the scenario's own run parameters.
+    scenario.cycles = number(opts, "cycles", scenario.cycles)?;
+    if scenario.cycles == 0 {
+        return Err("--cycles must be positive".to_owned());
+    }
+    scenario.seed = number(opts, "seed", scenario.seed)?;
+    let (seeds, ci) = replication_opts(opts, scenario.seeds)?;
+    scenario.seeds = seeds;
+    let pool = runner(opts)?;
+    preflight_json(opts)?;
+    let (run, errors) = scenario::try_run_scenario(&pool, &scenario);
+    emit(opts, &render_scenario(&run, ci));
+    let json = write_json(opts, || scenario_json(&run, ci, &errors));
+    finish_batch(json, errors)
+}
+
+fn cmd_scenario_list() {
+    println!("built-in scenarios (run with `abdex scenario run <name>`):\n");
+    for s in scenario::builtin_scenarios() {
+        println!("{:<12} {}", s.name, s.summary);
+        println!(
+            "    {} on {}, {} policies, {} cycles, {} seed(s)",
+            s.traffic.name(),
+            s.benchmark,
+            s.policies.len(),
+            s.cycles,
+            s.seeds
+        );
+        println!("    traffic  {}", s.traffic.spec_string());
+        let policies: Vec<String> = s.policies.iter().map(PolicySpec::spec_string).collect();
+        println!("    policies {}\n", policies.join(";"));
+    }
+    println!(
+        "a TOML file works too (`abdex scenario run my.toml`); its fields are\n\
+         name/summary/benchmark/traffic/policies/cycles/seed/seeds — the same\n\
+         shape `scenario::Scenario::to_toml_string` renders."
+    );
 }
 
 fn cmd_policies() -> Result<(), String> {

@@ -9,7 +9,8 @@
 //! downstream tooling (plots, regression trackers) never has to re-parse
 //! the human-readable tables.
 
-use stats::{ConfidenceLevel, Summary};
+use scenario::ScenarioRun;
+use stats::{welch_t, ConfidenceLevel, Summary};
 use xrun::JobError;
 
 use crate::compare::PolicyComparison;
@@ -35,10 +36,21 @@ use crate::sweep::{GridCell, SpecCell, TrafficCell};
 /// `replicated_compare` documents whose `"metrics"` values are
 /// `{mean, half_width, std_dev, min, max, n}` summary objects at the
 /// document's `"ci_level"`; single-run documents are unchanged in
-/// shape.
+/// shape. **4** — scenarios: new `scenario` document (the segment plan
+/// plus, per policy, whole-run and per-segment summary metrics from a
+/// single segment-snapshotted simulation); `replicated_compare` rows
+/// gain `"welch_t_vs_nodvs"` / `"significant_vs_nodvs"` (Welch's
+/// t-test of the row's mean power against the noDVS baseline at the
+/// document's `"ci_level"`). `"significant_vs_nodvs"` is the
+/// authoritative verdict; `"welch_t_vs_nodvs"` is `null` both when no
+/// test ran (the baseline row itself, single-replicate folds — the
+/// verdict is then `false`) and when the statistic is infinite (two
+/// noise-free folds with distinct means, e.g. seed-insensitive CBR
+/// traffic — the verdict is then `true`, and `"saving_vs_nodvs"`'s
+/// sign carries the direction JSON cannot).
 ///
 /// [`TrafficSpec`]: traffic::TrafficSpec
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Escapes a string for a JSON string literal (without the quotes).
 fn escape(s: &str) -> String {
@@ -107,6 +119,13 @@ impl Obj {
     pub(crate) fn int(mut self, key: &str, value: u64) -> Self {
         self.key(key);
         self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a boolean field.
+    pub(crate) fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
         self
     }
 
@@ -437,7 +456,11 @@ pub fn replicated_traffic_sweep_json(
 /// Renders the replicated policy comparison as a JSON document
 /// (`"kind": "replicated_compare"`), one row per completed benchmark ×
 /// traffic × policy cell with its saving vs. the noDVS baseline
-/// computed from the replicate means.
+/// computed from the replicate means, and the significance of that
+/// saving (Welch's t-test on the per-seed mean-power folds at the
+/// document's `"ci_level"`; see [`SCHEMA_VERSION`] for the exact
+/// `welch_t_vs_nodvs`/`significant_vs_nodvs` semantics, including the
+/// infinite-statistic case JSON renders as `null`).
 #[must_use]
 pub fn replicated_compare_json(
     cmp: &ReplicatedComparison,
@@ -450,10 +473,24 @@ pub fn replicated_compare_json(
         .map(|row| {
             let saving = cmp.power_saving(row.benchmark, &row.traffic, row.policy);
             let loss = cmp.throughput_loss(row.benchmark, &row.traffic, row.policy);
+            let welch = cmp
+                .row(row.benchmark, &row.traffic, dvs::PolicyKind::NoDvs)
+                .filter(|base| base.policy != row.policy)
+                .and_then(|base| {
+                    welch_t(
+                        &row.result.metrics.mean_power_w,
+                        &base.result.metrics.mean_power_w,
+                    )
+                });
             replicated_fields(
                 Obj::new()
                     .num("saving_vs_nodvs", saving.unwrap_or(f64::NAN))
-                    .num("throughput_loss_vs_nodvs", loss.unwrap_or(f64::NAN)),
+                    .num("throughput_loss_vs_nodvs", loss.unwrap_or(f64::NAN))
+                    .num("welch_t_vs_nodvs", welch.map_or(f64::NAN, |w| w.t))
+                    .bool(
+                        "significant_vs_nodvs",
+                        welch.is_some_and(|w| w.significant(level)),
+                    ),
                 &row.result,
                 level,
             )
@@ -464,6 +501,80 @@ pub fn replicated_compare_json(
         replicated_header("replicated_compare", cmp.seeds, level)
             .int("rows", rendered.len() as u64)
             .raw("table", &array(&rendered)),
+        failures,
+    )
+    .finish()
+}
+
+/// Renders one metric fold of a scenario slice: one summary object per
+/// [`scenario::SegmentDist`] field.
+fn segment_dist_obj(dist: &scenario::SegmentDist, level: ConfidenceLevel) -> String {
+    let mut metrics = Obj::new();
+    for (name, summary) in dist.fields() {
+        metrics = metrics.raw(name, &summary_obj(summary, level));
+    }
+    metrics.finish()
+}
+
+/// Renders a completed scenario run as a JSON document
+/// (`"kind": "scenario"`): the scenario's description and segment plan,
+/// then one entry per completed policy holding `"whole"` (whole-run)
+/// and `"segments"` (per-window-slice) summary metrics at the
+/// document's `"ci_level"`, plus one `failures` entry per failed
+/// policy.
+#[must_use]
+pub fn scenario_json(run: &ScenarioRun, level: ConfidenceLevel, failures: &[JobError]) -> String {
+    let s = &run.scenario;
+    let plan: Vec<String> = run
+        .plan
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            Obj::new()
+                .int("index", i as u64)
+                .str("label", &p.label)
+                .int("start_cycles", p.start_cycles)
+                .int("end_cycles", p.end_cycles)
+                .finish()
+        })
+        .collect();
+    let policies: Vec<String> = run
+        .policies
+        .iter()
+        .map(|outcome| {
+            let segments: Vec<String> = outcome
+                .segments
+                .iter()
+                .enumerate()
+                .map(|(i, seg)| {
+                    Obj::new()
+                        .int("index", i as u64)
+                        .str("label", &seg.segment.label)
+                        .int("start_cycles", seg.segment.start_cycles)
+                        .int("end_cycles", seg.segment.end_cycles)
+                        .raw("metrics", &segment_dist_obj(&seg.metrics, level))
+                        .finish()
+                })
+                .collect();
+            Obj::new()
+                .str("policy", &outcome.policy.spec_string())
+                .raw("whole", &segment_dist_obj(&outcome.whole, level))
+                .raw("segments", &array(&segments))
+                .finish()
+        })
+        .collect();
+    failure_fields(
+        replicated_header("scenario", s.seeds, level)
+            .str("scenario", &s.name)
+            .str("summary", &s.summary)
+            .str("benchmark", &s.benchmark.to_string())
+            .str("traffic", &s.traffic.spec_string())
+            .int("cycles", s.cycles)
+            .int("seed", s.seed)
+            .int("segments", plan.len() as u64)
+            .raw("plan", &array(&plan))
+            .int("policies", policies.len() as u64)
+            .raw("results", &array(&policies)),
         failures,
     )
     .finish()
@@ -538,7 +649,7 @@ mod tests {
         let json = experiment_json(&r);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":3",
+            "\"schema_version\":4",
             "\"kind\":\"experiment\"",
             "\"benchmark\":\"nat\"",
             "\"traffic\":\"low\"",
@@ -570,7 +681,7 @@ mod tests {
         let json = tdvs_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"tdvs_sweep\""));
-        assert!(json.contains("\"schema_version\":3"));
+        assert!(json.contains("\"schema_version\":4"));
         assert!(json.contains("\"cells\":2"));
         assert!(json.contains("\"failed\":0"));
         assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
@@ -617,7 +728,7 @@ mod tests {
         let json = traffic_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"traffic_sweep\""), "{json}");
-        assert!(json.contains("\"schema_version\":3"), "{json}");
+        assert!(json.contains("\"schema_version\":4"), "{json}");
         assert!(json.contains("\"cells\":2"), "{json}");
         // The exact spec string round-trips through the document.
         assert!(
@@ -638,7 +749,7 @@ mod tests {
         let json = comparison_json(&cmp, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"policy_comparison\""));
-        assert!(json.contains("\"schema_version\":3"));
+        assert!(json.contains("\"schema_version\":4"));
         assert!(json.contains("\"rows\":6"));
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
     }
@@ -658,7 +769,7 @@ mod tests {
         let json = replicated_run_json(&r, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":3",
+            "\"schema_version\":4",
             "\"kind\":\"replicated_run\"",
             "\"seeds\":3",
             "\"ci_level\":95",
@@ -753,11 +864,89 @@ mod tests {
         let json = replicated_compare_json(&cmp, stats::ConfidenceLevel::P95, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"replicated_compare\""), "{json}");
-        assert!(json.contains("\"schema_version\":3"), "{json}");
+        assert!(json.contains("\"schema_version\":4"), "{json}");
         assert!(json.contains("\"seeds\":2"), "{json}");
         assert!(json.contains("\"rows\":6"), "{json}");
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
-        // Every row carries full summary metrics.
+        // Every row carries full summary metrics and the significance
+        // call vs the baseline (the noDVS row itself reports null).
         assert_eq!(json.matches("\"mean_power_w\":{\"mean\":").count(), 6);
+        assert_eq!(json.matches("\"welch_t_vs_nodvs\":").count(), 6);
+        assert_eq!(json.matches("\"significant_vs_nodvs\":").count(), 6);
+        assert!(json.contains("\"welch_t_vs_nodvs\":null"), "{json}");
+    }
+
+    #[test]
+    fn infinite_welch_statistic_keeps_the_significance_verdict() {
+        // Seed-insensitive CBR traffic: every replicate of a cell is
+        // identical, so distinct policies give zero-variance folds with
+        // distinct means — an infinite t. JSON cannot carry infinity
+        // (it renders null), so the documented contract is that
+        // `significant_vs_nodvs` stands alone as the verdict.
+        let cfg = ComparisonConfig {
+            cycles: 150_000,
+            ..ComparisonConfig::default()
+        };
+        let cmp = crate::replicate::replicated_compare(
+            &[Benchmark::Ipfwdr],
+            &["constant:rate=600".parse().unwrap()],
+            &cfg,
+            2,
+        );
+        let json = replicated_compare_json(&cmp, stats::ConfidenceLevel::P95, &[]);
+        assert_balanced(&json);
+        // Every non-baseline row whose power genuinely differs reports
+        // null t (infinite) with a true verdict.
+        assert!(
+            json.contains("\"welch_t_vs_nodvs\":null,\"significant_vs_nodvs\":true"),
+            "{json}"
+        );
+        // The baseline row stays null + false.
+        assert!(
+            json.contains("\"welch_t_vs_nodvs\":null,\"significant_vs_nodvs\":false"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn scenario_document_reports_per_segment_and_whole_run_metrics() {
+        let scenario = scenario::Scenario {
+            name: "doc-test".to_owned(),
+            summary: "a two-window schedule".to_owned(),
+            benchmark: Benchmark::Ipfwdr,
+            traffic: "schedule:segments=[low@0..150000; constant:rate=900@150000..]"
+                .parse()
+                .unwrap(),
+            policies: vec!["nodvs".parse().unwrap(), "queue".parse().unwrap()],
+            cycles: 300_000,
+            seed: 3,
+            seeds: 2,
+        };
+        let (run, errors) = scenario::try_run_scenario(&crate::Runner::new(), &scenario);
+        assert!(errors.is_empty());
+        let json = scenario_json(&run, stats::ConfidenceLevel::P95, &errors);
+        assert_balanced(&json);
+        for key in [
+            "\"schema_version\":4",
+            "\"kind\":\"scenario\"",
+            "\"scenario\":\"doc-test\"",
+            "\"seeds\":2",
+            "\"ci_level\":95",
+            "\"cycles\":300000",
+            "\"segments\":2",
+            "\"plan\":[",
+            "\"label\":\"low\"",
+            "\"start_cycles\":150000",
+            "\"policies\":2",
+            "\"whole\":{",
+            "\"policy\":\"nodvs\"",
+            "\"failed\":0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Per policy: one whole fold + two segment folds, each with a
+        // full summary object per metric field.
+        assert_eq!(json.matches("\"mean_power_w\":{\"mean\":").count(), 2 * 3);
+        assert_eq!(json.matches("\"half_width\":").count(), 2 * 3 * 9);
     }
 }

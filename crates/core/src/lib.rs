@@ -12,9 +12,12 @@
 //! * [`traffic`] — the synthetic NLANR-style IP traffic models,
 //! * [`xrun`] — the parallel experiment runner every sweep, comparison
 //!   and ablation executes on,
-//! * [`stats`] — streaming summaries, Student-t confidence intervals
-//!   and the seed-derived replication batches behind every
-//!   `replicated_*` entry point,
+//! * [`stats`] — streaming summaries, Student-t confidence intervals,
+//!   Welch's t significance tests and the seed-derived replication
+//!   batches behind every `replicated_*` entry point,
+//! * [`scenario`] — time-varying composite scenarios: named workloads
+//!   over `schedule:` traffic specs, scenario files, and the
+//!   segment-aware runner with per-window metric breakdowns,
 //!
 //! and exposes the paper's experiment flow: run a simulation, collect the
 //! trace, apply the LOC distribution formulas (2) and (3), and sweep the
@@ -74,7 +77,13 @@ pub use replicate::{
     ReplicatedComparisonRow, ReplicatedGridCell, ReplicatedResult, ReplicatedSpecCell,
     ReplicatedTrafficCell,
 };
-pub use stats::{ConfidenceInterval, ConfidenceLevel, ReplicatedMetrics, Replication, Summary};
+pub use scenario::{
+    builtin_scenarios, try_run_scenario, PolicyOutcome, Scenario, ScenarioRun, SegmentDist,
+    SegmentMetrics, SegmentOutcome,
+};
+pub use stats::{
+    welch_t, ConfidenceInterval, ConfidenceLevel, ReplicatedMetrics, Replication, Summary, WelchT,
+};
 pub use sweep::{
     sweep_specs, sweep_tdvs, sweep_traffics, try_sweep_specs, try_sweep_tdvs, try_sweep_traffics,
     GridCell, SpecCell, TdvsGrid, TrafficCell,
@@ -87,6 +96,7 @@ pub use desim;
 pub use dvs;
 pub use loc;
 pub use nepsim;
+pub use scenario;
 pub use stats;
 pub use traffic;
 pub use xrun;

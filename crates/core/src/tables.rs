@@ -1,8 +1,10 @@
 //! Text rendering of figures and tables — the workspace's stand-in for
 //! the paper's gnuplot output.
 
+use dvs::PolicyKind;
 use loc::DistributionReport;
-use stats::{ConfidenceLevel, Summary};
+use scenario::ScenarioRun;
+use stats::{welch_t, ConfidenceLevel, Summary};
 
 use crate::compare::PolicyComparison;
 use crate::replicate::{
@@ -303,27 +305,114 @@ pub fn render_replicated_traffic_sweep(
 
 /// Renders the replicated Fig. 11 comparison: mean power and
 /// throughput as `mean±half-width`, savings computed from the
-/// replicate means.
+/// replicate means. A saving marked `*` is significant vs the noDVS
+/// baseline at the table's confidence level (Welch's t-test over the
+/// two per-seed mean-power folds); an unmarked saving is
+/// indistinguishable from replication noise at that level.
 #[must_use]
 pub fn render_replicated_comparison(cmp: &ReplicatedComparison, level: ConfidenceLevel) -> String {
     let mut out = format!(
         "benchmark traffic policy {:>15} saving_vs_nodvs {:>17}\n",
         "mean_power_w", "tput_mbps"
     );
+    let mut any_tested = false;
     for row in &cmp.rows {
         let saving = cmp
             .power_saving(row.benchmark, &row.traffic, row.policy)
             .unwrap_or(0.0);
         let m = &row.result.metrics;
+        let welch = cmp
+            .row(row.benchmark, &row.traffic, PolicyKind::NoDvs)
+            .filter(|base| base.policy != row.policy)
+            .and_then(|base| welch_t(&m.mean_power_w, &base.result.metrics.mean_power_w));
+        any_tested |= welch.is_some();
+        let marker = match welch {
+            Some(w) if w.significant(level) => '*',
+            _ => ' ',
+        };
         out.push_str(&format!(
-            "{:>9} {:>7} {:>6} {:>15} {:>14.1}% {:>17}\n",
+            "{:>9} {:>7} {:>6} {:>15} {:>13.1}%{} {:>17}\n",
             row.benchmark.to_string(),
             row.traffic.to_string(),
             row.policy.to_string(),
             pm(&m.mean_power_w, level, 3),
             saving * 100.0,
+            marker,
             pm(&m.throughput_mbps, level, 1),
         ));
+    }
+    if any_tested {
+        out.push_str(&format!(
+            "(* = power differs from noDVS at the {level} level, Welch's t)\n"
+        ));
+    }
+    out
+}
+
+/// Renders a completed scenario run: one block per policy with the
+/// per-segment breakdown rows and a closing `whole-run` row, every
+/// metric as `mean±half-width` over the replicates.
+#[must_use]
+pub fn render_scenario(run: &ScenarioRun, level: ConfidenceLevel) -> String {
+    let s = &run.scenario;
+    let mut out = format!(
+        "scenario {}: {} @ {} for {} cycles ({} seed(s), {} CI)\n",
+        s.name,
+        s.benchmark,
+        s.traffic.spec_string(),
+        s.cycles,
+        s.seeds,
+        level,
+    );
+    if !s.summary.is_empty() {
+        out.push_str(&format!("  {}\n", s.summary));
+    }
+    let label_width = run
+        .plan
+        .iter()
+        .map(|p| p.label.len())
+        .max()
+        .unwrap_or(0)
+        .max("whole-run".len())
+        .max("segment".len());
+    let row = |out: &mut String, label: &str, cycles: String, m: &scenario::SegmentDist| {
+        out.push_str(&format!(
+            "{label:<label_width$} {cycles:>17} {:>15} {:>15} {:>14} {:>16} {:>13} {:>11}\n",
+            pm(&m.offered_mbps, level, 1),
+            pm(&m.throughput_mbps, level, 1),
+            pm(&m.mean_power_w, level, 3),
+            pm(&m.total_energy_uj, level, 0),
+            pm(&m.rx_idle_fraction, level, 3),
+            pm(&m.dropped_packets, level, 1),
+        ));
+    };
+    for outcome in &run.policies {
+        out.push_str(&format!("\npolicy {}\n", outcome.policy.spec_string()));
+        out.push_str(&format!(
+            "{:<label_width$} {:>17} {:>15} {:>15} {:>14} {:>16} {:>13} {:>11}\n",
+            "segment",
+            "cycles",
+            "offered_mbps",
+            "tput_mbps",
+            "mean_power_w",
+            "energy_uj",
+            "rx_idle",
+            "drops"
+        ));
+        for seg in &outcome.segments {
+            row(
+                &mut out,
+                &seg.segment.label,
+                format!("{}..{}", seg.segment.start_cycles, seg.segment.end_cycles),
+                &seg.metrics,
+            );
+        }
+        row(
+            &mut out,
+            "whole-run",
+            format!("0..{}", s.cycles),
+            &outcome.whole,
+        );
     }
     out
 }
@@ -560,8 +649,37 @@ mod tests {
         assert!(text.contains("saving_vs_nodvs"), "{text}");
         assert!(text.contains("noDVS"), "{text}");
         assert!(text.contains("PDVS"), "{text}");
-        assert_eq!(text.lines().count(), 1 + 6);
+        // Header + 6 policy rows + the Welch significance legend.
+        assert_eq!(text.lines().count(), 1 + 6 + 1);
         assert!(text.contains('±'), "{text}");
+        assert!(text.contains("Welch's t"), "{text}");
+    }
+
+    #[test]
+    fn scenario_table_renders_segment_and_whole_run_rows() {
+        let scenario = scenario::Scenario {
+            name: "table-test".to_owned(),
+            summary: "two windows".to_owned(),
+            benchmark: Benchmark::Ipfwdr,
+            traffic: "schedule:segments=[low@0..150000; constant:rate=900@150000..]"
+                .parse()
+                .unwrap(),
+            policies: vec![crate::PolicySpec::NoDvs],
+            cycles: 300_000,
+            seed: 5,
+            seeds: 2,
+        };
+        let (run, errors) = scenario::try_run_scenario(&crate::Runner::new(), &scenario);
+        assert!(errors.is_empty());
+        let text = render_scenario(&run, ConfidenceLevel::P95);
+        assert!(text.starts_with("scenario table-test:"), "{text}");
+        assert!(text.contains("policy nodvs"), "{text}");
+        assert!(text.contains("whole-run"), "{text}");
+        assert!(text.contains("0..150000"), "{text}");
+        assert!(text.contains("150000..300000"), "{text}");
+        assert!(text.contains('±'), "{text}");
+        // Title + summary + (policy line + header + 2 segments + whole).
+        assert_eq!(text.lines().count(), 2 + 1 + 1 + 1 + 2 + 1);
     }
 
     #[test]

@@ -519,7 +519,7 @@ fn sweep_over_traffic_specs_renders_table_and_json() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"traffic_sweep\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":3"), "{doc}");
+    assert!(doc.contains("\"schema_version\":4"), "{doc}");
     assert!(doc.contains("\"traffic_model\":\"burst\""), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +568,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&run_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":3"), "{doc}");
+    assert!(doc.contains("\"schema_version\":4"), "{doc}");
 
     let sweep_json = dir.join("sweep.json");
     let out = abdex()
@@ -587,7 +587,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&sweep_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":3"), "{doc}");
+    assert!(doc.contains("\"schema_version\":4"), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -683,7 +683,7 @@ fn replicate_reports_per_metric_intervals() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"replicated_run\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":3"), "{doc}");
+    assert!(doc.contains("\"schema_version\":4"), "{doc}");
     assert!(doc.contains("\"seeds\":4"), "{doc}");
     assert!(doc.contains("\"ci_level\":99"), "{doc}");
     assert!(doc.contains("\"half_width\":"), "{doc}");
@@ -800,9 +800,217 @@ fn replicated_sweep_writes_axis_tagged_document() {
 }
 
 #[test]
+fn scenario_list_shows_the_builtin_library() {
+    let out = abdex()
+        .args(["scenario", "list"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["diurnal-day", "flash-noon", "burst-storm", "steady-cbr"] {
+        assert!(text.contains(name), "missing scenario '{name}'");
+    }
+    assert!(text.contains("schedule:segments=["), "{text}");
+}
+
+#[test]
+fn scenario_run_rejects_unknown_names_and_bad_subcommands() {
+    let out = abdex()
+        .args(["scenario", "run", "no-such-scenario", "--cycles", "1000"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("no-such-scenario"), "{text}");
+    assert!(text.contains("diurnal-day"), "should list builtins: {text}");
+
+    let out = abdex()
+        .args(["scenario", "explode"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("run"),
+        "should name the subcommands"
+    );
+
+    // Options it would ignore are rejected like everywhere else.
+    let out = abdex()
+        .args(["scenario", "run", "steady-cbr", "--traffic", "low"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--traffic"));
+}
+
+#[test]
+fn scenario_run_reports_segments_and_writes_schema_4_json() {
+    // The PR-5 acceptance gate, CLI edition: `scenario run diurnal-day
+    // --seeds K --ci 95 --json -` puts a schema-4 scenario document
+    // with per-segment and whole-run mean±half-width metrics on
+    // stdout, byte-identical between --jobs 1 and --jobs 4. (--cycles
+    // shrinks the horizon to keep the gate fast; determinism.rs guards
+    // the library-level multi-segment fold as well.)
+    let run = |jobs: &str| {
+        let out = abdex()
+            .args([
+                "scenario",
+                "run",
+                "diurnal-day",
+                "--cycles",
+                "2500000",
+                "--seeds",
+                "4",
+                "--ci",
+                "95",
+                "--jobs",
+                jobs,
+                "--json",
+                "-",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (serial_doc, serial_err) = run("1");
+    let (parallel_doc, _) = run("4");
+
+    // stdout is exactly one JSON document (pipeable without a temp
+    // file); the human table moved to stderr.
+    assert!(serial_doc.starts_with('{'), "{serial_doc}");
+    assert_eq!(
+        serial_doc.trim_end().matches('\n').count(),
+        0,
+        "{serial_doc}"
+    );
+    assert!(serial_err.contains("whole-run"), "{serial_err}");
+    assert!(serial_err.contains("policy nodvs"), "{serial_err}");
+
+    for key in [
+        "\"schema_version\":4",
+        "\"kind\":\"scenario\"",
+        "\"scenario\":\"diurnal-day\"",
+        "\"seeds\":4",
+        "\"ci_level\":95",
+        "\"plan\":[",
+        "\"segments\":2",
+        "\"whole\":{",
+        "\"half_width\":",
+        "\"failed\":0",
+    ] {
+        assert!(serial_doc.contains(key), "missing {key} in {serial_doc}");
+    }
+    // 2.5e6 cycles clip diurnal-day to two windows; every policy block
+    // carries one metrics object per window plus the whole-run one.
+    assert_eq!(
+        serial_doc.matches("\"start_cycles\":2000000").count(),
+        1 + 3
+    );
+
+    assert_eq!(
+        serial_doc, parallel_doc,
+        "scenario JSON diverged across --jobs"
+    );
+}
+
+#[test]
+fn scenario_run_accepts_a_toml_file() {
+    let dir = std::env::temp_dir().join(format!("abdex-cli-scenario-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("my-scenario.toml");
+    std::fs::write(
+        &path,
+        "name = \"file-scenario\"\n\
+         summary = \"from disk\"\n\
+         traffic = \"schedule:segments=[low@0..150000; constant:rate=900@150000..]\"\n\
+         policies = \"nodvs\"\n\
+         cycles = 300000\n\
+         seeds = 2\n",
+    )
+    .expect("write scenario file");
+
+    let out = abdex()
+        .args(["scenario", "run", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("scenario file-scenario"), "{text}");
+    assert!(text.contains("constant:rate=900"), "{text}");
+    assert!(text.contains("whole-run"), "{text}");
+
+    // A malformed file reports the offending key, not a panic.
+    let bad = dir.join("bad.toml");
+    std::fs::write(&bad, "name = \"x\"\ntraffic = \"low\"\n").expect("write bad file");
+    let out = abdex()
+        .args(["scenario", "run", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("policies"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_dash_pipes_every_command_kind() {
+    // `--json -` must put exactly the document on stdout for the other
+    // subcommands too (the scenario test covers `scenario run`).
+    let out = abdex()
+        .args([
+            "run",
+            "--traffic",
+            "low",
+            "--cycles",
+            "200000",
+            "--json",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert!(doc.starts_with('{'), "{doc}");
+    assert!(doc.contains("\"kind\":\"experiment\""), "{doc}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mean power"));
+
+    let out = abdex()
+        .args([
+            "sweep",
+            "--policies",
+            "nodvs",
+            "--traffic",
+            "low",
+            "--cycles",
+            "200000",
+            "--json",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert!(doc.starts_with('{'), "{doc}");
+    assert!(doc.contains("\"kind\":\"spec_sweep\""), "{doc}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("policy_spec"));
+}
+
+#[test]
 fn replicated_compare_is_bit_identical_across_jobs() {
     // The PR-4 acceptance gate: `compare --seeds K --ci 95 --json` must
-    // produce a schema-3 `replicated_compare` document whose per-cell
+    // produce a schema-4 `replicated_compare` document whose per-cell
     // means and half-widths are byte-for-byte identical between
     // `--jobs 1` and `--jobs N`.
     let dir = std::env::temp_dir().join(format!("abdex-cli-repcmp-{}", std::process::id()));
@@ -847,7 +1055,7 @@ fn replicated_compare_is_bit_identical_across_jobs() {
         serial.contains("\"kind\":\"replicated_compare\""),
         "{serial}"
     );
-    assert!(serial.contains("\"schema_version\":3"), "{serial}");
+    assert!(serial.contains("\"schema_version\":4"), "{serial}");
     assert!(serial.contains("\"half_width\":"), "{serial}");
     assert_eq!(serial, parallel, "JSON documents diverged");
 

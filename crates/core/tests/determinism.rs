@@ -5,11 +5,13 @@
 //! spec-described traffic model alike.
 
 use abdex::compare::{try_compare_policies, ComparisonConfig};
+use abdex::json::scenario_json;
 use abdex::replicate::{try_replicated_compare, try_replicated_sweep_tdvs};
+use abdex::scenario::{try_run_scenario, Scenario, ScenarioRun};
 use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
 use abdex::tables::{
-    render_comparison, render_replicated_comparison, render_replicated_sweep, render_spec_sweep,
-    render_sweep, render_traffic_sweep,
+    render_comparison, render_replicated_comparison, render_replicated_sweep, render_scenario,
+    render_spec_sweep, render_sweep, render_traffic_sweep,
 };
 use abdex::{
     ConfidenceLevel, GridCell, PolicyComparison, PolicySpec, ReplicatedComparison,
@@ -248,6 +250,99 @@ fn replicated_tdvs_sweep_is_bit_identical_across_worker_counts() {
             render_replicated_sweep(&parallel, ConfidenceLevel::P95)
         );
     }
+}
+
+#[test]
+fn scenario_run_is_bit_identical_across_worker_counts() {
+    // The PR-5 acceptance gate: a segment-aware scenario run — every
+    // policy × replicate simulated once with per-segment snapshots —
+    // folds per-segment and whole-run means/half-widths that are
+    // bit-identical for any worker count, down to the rendered table
+    // and the schema-4 JSON document `--json -` emits.
+    let scenario = Scenario {
+        name: "determinism".to_owned(),
+        summary: "three-window schedule".to_owned(),
+        benchmark: Benchmark::Ipfwdr,
+        traffic: "schedule:segments=[low@0..150000; constant:rate=1500@150000..300000; \
+                  low@300000..]"
+            .parse()
+            .unwrap(),
+        policies: vec![
+            PolicySpec::NoDvs,
+            "tdvs:threshold=1200".parse().unwrap(),
+            "edvs".parse().unwrap(),
+        ],
+        cycles: CYCLES + 150_000,
+        seed: SEED,
+        seeds: 3,
+    };
+    let run_with = |workers: usize| -> ScenarioRun {
+        let (run, errors) = try_run_scenario(&Runner::new().with_workers(workers), &scenario);
+        assert!(errors.is_empty(), "{errors:?}");
+        run
+    };
+    let serial = run_with(1);
+    for workers in [2, 4] {
+        let parallel = run_with(workers);
+        assert_eq!(serial.plan, parallel.plan);
+        assert_eq!(serial.policies.len(), parallel.policies.len());
+        for (s, p) in serial.policies.iter().zip(&parallel.policies) {
+            assert_eq!(s.policy, p.policy);
+            for ((name, ss), (_, ps)) in s.whole.fields().iter().zip(p.whole.fields()) {
+                assert_eq!(
+                    ss.mean().to_bits(),
+                    ps.mean().to_bits(),
+                    "whole-run {name} diverged with {workers} workers"
+                );
+                for level in ConfidenceLevel::ALL {
+                    assert_eq!(
+                        ss.half_width(level).to_bits(),
+                        ps.half_width(level).to_bits(),
+                        "whole-run {name} {level} half-width diverged with {workers} workers"
+                    );
+                }
+            }
+            for (sseg, pseg) in s.segments.iter().zip(&p.segments) {
+                assert_eq!(sseg.segment, pseg.segment);
+                for ((name, ss), (_, ps)) in sseg.metrics.fields().iter().zip(pseg.metrics.fields())
+                {
+                    assert_eq!(
+                        ss.mean().to_bits(),
+                        ps.mean().to_bits(),
+                        "segment '{}' {name} diverged with {workers} workers",
+                        sseg.segment.label
+                    );
+                    assert_eq!(
+                        ss.half_width(ConfidenceLevel::P95).to_bits(),
+                        ps.half_width(ConfidenceLevel::P95).to_bits(),
+                        "segment '{}' {name} half-width diverged",
+                        sseg.segment.label
+                    );
+                }
+            }
+        }
+        // Table and JSON document byte-for-byte — what the CLI gate
+        // (`--seeds K --ci 95 --json -` under --jobs 1 vs N) compares.
+        assert_eq!(
+            render_scenario(&serial, ConfidenceLevel::P95),
+            render_scenario(&parallel, ConfidenceLevel::P95)
+        );
+        assert_eq!(
+            scenario_json(&serial, ConfidenceLevel::P95, &[]),
+            scenario_json(&parallel, ConfidenceLevel::P95, &[])
+        );
+    }
+    // The middle window genuinely differs from the lulls (a 1500 Mbps
+    // CBR storm vs the 450 Mbps MMPP lull), so per-segment breakdowns
+    // carry real signal — guard against a plan that slices nothing.
+    let nodvs = &serial.policies[0];
+    assert!(
+        nodvs.segments[1].metrics.offered_mbps.mean()
+            > 1.2 * nodvs.segments[0].metrics.offered_mbps.mean(),
+        "storm window should offer more than the lull ({} vs {})",
+        nodvs.segments[1].metrics.offered_mbps.mean(),
+        nodvs.segments[0].metrics.offered_mbps.mean(),
+    );
 }
 
 #[test]

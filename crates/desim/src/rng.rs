@@ -38,6 +38,28 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed of position `index` from a family seed.
+///
+/// The derivation is a pure function of `(family_seed, index)` — a
+/// SplitMix64 finaliser over the sequence position — so a derived
+/// random stream depends only on its position in the family, never on
+/// which thread ran it or when. This is the primitive behind both
+/// `xrun::derive_seed` (replication batches: one experiment fanned into
+/// k seeds) and the `traffic` schedule model (one composite stream,
+/// independently seeded per segment); both must agree bit-for-bit,
+/// which is why the single implementation lives here in the substrate.
+#[must_use]
+pub fn derive_seed(family_seed: u64, index: u64) -> u64 {
+    let z = family_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    // Inline the finaliser's tail (the add above already mixed in the
+    // first SplitMix64 increment, keeping the historical xrun values).
+    let mut z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Draws an exponentially distributed value with the given `rate`
 /// (mean `1/rate`) — the inter-arrival primitive for Poisson processes.
 ///

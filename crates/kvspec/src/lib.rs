@@ -26,6 +26,17 @@
 //! line, in a config-file fragment and in a JSON results document, and
 //! what makes exact round-tripping ([`render_cli`] and friends)
 //! feasible without a full serializer.
+//!
+//! The one escape hatch is the **bracketed list** value
+//! (`key=[item; item; item]`, [`parse_list`]/[`render_list`]): a value
+//! that is itself a `;`-separated list of arbitrary sub-spec strings.
+//! Commas and colons inside `[...]` do not split CLI pairs, so a
+//! composite spec such as
+//! `schedule:segments=[low@0..2e6; flash:peak_mbps=900@2e6..4e6]`
+//! stays one parameter. In TOML and JSON the whole bracketed list is an
+//! ordinary (quoted) string value, so lists ride through all three
+//! grammars unchanged. The list *contents* are opaque to this crate —
+//! the owning registry parses the items.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -289,7 +300,9 @@ pub fn parse_cli(input: &str) -> Result<(String, Params), SpecError> {
     }
     let mut params = Params::default();
     if let Some(rest) = rest {
-        for pair in rest.split(',') {
+        // Commas inside a bracketed list value (`segments=[a; b,c]`) do
+        // not separate pairs — they belong to the list's items.
+        for pair in split_outside_brackets(rest, ',') {
             let pair = pair.trim();
             if pair.is_empty() {
                 continue;
@@ -304,6 +317,82 @@ pub fn parse_cli(input: &str) -> Result<(String, Params), SpecError> {
         }
     }
     Ok((name.to_owned(), params))
+}
+
+/// Splits on `sep` occurrences that are not inside `[...]` (nesting
+/// respected). Unbalanced brackets simply stop splitting — the registry
+/// parsing the offending value reports the real error.
+fn split_outside_brackets(body: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut depth = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            c if c == sep && depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+/// Parses a bracketed list value `[item; item; ...]` into its items
+/// (trimmed; empty items are skipped, so `[]` and `[ ]` are the empty
+/// list). Semicolons inside nested `[...]` stay with their item.
+///
+/// This is the one non-scalar value the flat grammars carry: the whole
+/// bracketed text travels as an ordinary parameter value ([`parse_cli`]
+/// protects the commas inside it; TOML/JSON carry it as a quoted
+/// string), and the registry owning the parameter splits it here.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Malformed`] when `input` is not wrapped in
+/// `[...]` or the brackets do not balance.
+pub fn parse_list(input: &str) -> Result<Vec<String>, SpecError> {
+    let trimmed = input.trim();
+    let malformed = |reason: String| SpecError::Malformed {
+        input: input.to_owned(),
+        reason,
+    };
+    let body = trimmed
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or_else(|| malformed("expected a [item; item; ...] list".to_owned()))?;
+    let mut depth = 0i64;
+    for c in body.chars() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            return Err(malformed("unbalanced ']' inside the list".to_owned()));
+        }
+    }
+    if depth != 0 {
+        return Err(malformed("unbalanced '[' inside the list".to_owned()));
+    }
+    Ok(split_outside_brackets(body, ';')
+        .into_iter()
+        .map(str::trim)
+        .filter(|item| !item.is_empty())
+        .map(str::to_owned)
+        .collect())
+}
+
+/// Renders items as the bracketed list `[a; b; c]`; [`parse_list`] of
+/// the result round-trips (items are assumed non-empty and trimmed, as
+/// [`parse_list`] produces them).
+#[must_use]
+pub fn render_list<S: AsRef<str>>(items: &[S]) -> String {
+    let body: Vec<&str> = items.iter().map(AsRef::as_ref).collect();
+    format!("[{}]", body.join("; "))
 }
 
 /// Parses a flat TOML fragment: a `<name_key> = "name"` entry plus one
@@ -650,6 +739,75 @@ mod tests {
         let mut p = Params::default();
         p.insert("window", "40000.5");
         assert!(p.u64("window", 0).is_err());
+    }
+
+    #[test]
+    fn cli_grammar_keeps_bracketed_lists_whole() {
+        let (name, mut p) =
+            parse_cli("schedule:segments=[low@0..2e6; flash:peak_mbps=900,ramp_ms=1@2e6..4e6],x=1")
+                .unwrap();
+        assert_eq!(name, "schedule");
+        assert_eq!(p.u64("x", 0).unwrap(), 1);
+        let raw = p.maybe_str("segments").unwrap();
+        assert_eq!(raw, "[low@0..2e6; flash:peak_mbps=900,ramp_ms=1@2e6..4e6]");
+        let items = parse_list(&raw).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], "low@0..2e6");
+        assert_eq!(items[1], "flash:peak_mbps=900,ramp_ms=1@2e6..4e6");
+    }
+
+    #[test]
+    fn list_round_trips_through_render() {
+        let items = ["low@0..2e6", "constant:rate=500@2e6.."];
+        let rendered = render_list(&items);
+        assert_eq!(rendered, "[low@0..2e6; constant:rate=500@2e6..]");
+        assert_eq!(parse_list(&rendered).unwrap(), items.to_vec());
+        // Empty lists render and reparse.
+        assert_eq!(render_list::<&str>(&[]), "[]");
+        assert!(parse_list("[]").unwrap().is_empty());
+        assert!(parse_list("[ ; ]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn nested_lists_keep_inner_semicolons() {
+        let items = parse_list("[schedule:segments=[a@0..1; b@1..]@0..5; low@5..]").unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], "schedule:segments=[a@0..1; b@1..]@0..5");
+        assert_eq!(items[1], "low@5..");
+    }
+
+    #[test]
+    fn list_rejects_missing_or_unbalanced_brackets() {
+        assert!(matches!(
+            parse_list("a; b"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_list("[a; [b]"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_list("[a]; b]"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn bracketed_values_survive_toml_and_json_as_strings() {
+        let list = "[low@0..2e6; flash:peak_mbps=900@2e6..]";
+        let params = [("segments", PVal::Str(list.to_owned()))];
+        let toml = render_flat_toml("traffic", "schedule", &params);
+        let (name, mut p) = parse_flat_toml(&toml, "traffic").unwrap();
+        assert_eq!(name, "schedule");
+        assert_eq!(p.maybe_str("segments").unwrap(), list);
+        let json = render_flat_json("traffic", "schedule", &params);
+        let (_, mut p) = parse_flat_json(&json, "traffic").unwrap();
+        assert_eq!(p.maybe_str("segments").unwrap(), list);
+        // And through the CLI renderer, where the list stays bare.
+        let cli = render_cli("schedule", &params);
+        assert_eq!(cli, format!("schedule:segments={list}"));
+        let (_, mut p) = parse_cli(&cli).unwrap();
+        assert_eq!(p.maybe_str("segments").unwrap(), list);
     }
 
     #[test]

@@ -117,7 +117,9 @@ impl NpuConfig {
     /// # Panics
     ///
     /// Panics when the configuration cannot describe a runnable machine
-    /// (no MEs, no threads, zero-capacity FIFOs, non-positive bus rate).
+    /// (no MEs, no threads, zero-capacity FIFOs, non-positive bus rate),
+    /// or when `schedule:` traffic rides a ladder whose base clock is
+    /// not the one schedule windows are defined in.
     pub fn validate(&self) {
         assert!(self.rx_mes > 0, "need at least one receive ME");
         assert!(self.tx_mes > 0, "need at least one transmit ME");
@@ -132,6 +134,19 @@ impl NpuConfig {
             self.stats_window_cycles > 0,
             "stats window must be non-empty"
         );
+        // Schedule windows are cycle counts of a fixed base clock; a
+        // ladder topping at another frequency would convert `cycles`
+        // horizons and traffic windows at different rates, silently
+        // shifting every segment boundary relative to the run.
+        if matches!(self.traffic, TrafficSpec::Schedule(_)) {
+            assert!(
+                self.base_freq().as_khz() == traffic::ScheduleConfig::base_clock().as_khz(),
+                "schedule traffic windows are defined in cycles of the {} MHz base \
+                 clock, but this ladder tops at {} MHz",
+                traffic::ScheduleConfig::base_clock().as_mhz(),
+                self.base_freq().as_mhz(),
+            );
+        }
     }
 }
 
@@ -263,6 +278,38 @@ impl Default for NpuConfigBuilder {
 mod tests {
     use super::*;
     use dvs::{EdvsConfig, PolicyKind, TdvsConfig};
+
+    #[test]
+    fn schedule_traffic_requires_the_schedule_base_clock() {
+        let schedule: TrafficSpec = "schedule:segments=[low@0..200000; high@200000..]"
+            .parse()
+            .unwrap();
+        // On the reference 600 MHz ladder a schedule validates fine...
+        let _ = NpuConfig::builder().traffic(schedule.clone()).build();
+        // ...but a ladder topping elsewhere would convert the windows
+        // at a different rate than the horizon, so it is rejected.
+        let mut config = NpuConfig::builder().traffic(schedule).build();
+        config.ladder = dvs::VfLadder::from_points(vec![
+            dvs::VfPoint {
+                freq_mhz: 200,
+                voltage_mv: 900,
+            },
+            dvs::VfPoint {
+                freq_mhz: 800,
+                voltage_mv: 1400,
+            },
+        ]);
+        let panic = std::panic::catch_unwind(move || config.validate()).unwrap_err();
+        let message = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("600"), "unhelpful panic: {message}");
+        // A non-schedule spec stays free to use any ladder.
+        let mut config = NpuConfig::builder().traffic(TrafficLevel::Low).build();
+        config.ladder = dvs::VfLadder::from_points(vec![dvs::VfPoint {
+            freq_mhz: 800,
+            voltage_mv: 1400,
+        }]);
+        config.validate();
+    }
 
     #[test]
     fn default_is_reference_platform() {

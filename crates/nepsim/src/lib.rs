@@ -50,7 +50,7 @@ mod workload;
 
 pub use config::{NpuConfig, NpuConfigBuilder, PowerParams, TraceConfig};
 pub use dvs::PolicySpec;
-pub use engine::{MeMode, MeRole};
+pub use engine::{MeMode, MeRole, ModeAcc};
 pub use memory::{MemoryController, MemoryParams};
 pub use power::EnergyMeter;
 pub use report::{MeReport, SimReport, WindowIdleSample};

@@ -230,12 +230,59 @@ impl Simulator {
     ///
     /// Panics if called twice — a simulator instance models one run.
     pub fn run_for(&mut self, dur: SimTime) -> SimReport {
+        self.start(dur);
+        self.drain_until(dur);
+        self.close_accounting(dur);
+        self.build_report(dur)
+    }
+
+    /// Runs one simulation to each of the strictly increasing cycle
+    /// `boundaries` (of the base 600 MHz clock) and returns one
+    /// **cumulative** report snapshot per boundary; the last boundary
+    /// is the run's horizon, so the final snapshot is the whole-run
+    /// report [`Simulator::run_cycles`] would have produced.
+    ///
+    /// This is the primitive behind per-segment scenario metrics: a
+    /// caller diffs consecutive snapshots to attribute energy, drops
+    /// and idle time to each window slice, from a *single* simulation —
+    /// the chip state (FIFO contents, VF levels, policy state) carries
+    /// across boundaries exactly as in an unsegmented run. Events
+    /// landing exactly on a boundary are included in the earlier slice,
+    /// matching the inclusive-horizon semantics of [`run_for`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulator has run, if `boundaries` is
+    /// empty, or if the boundaries are not strictly increasing from a
+    /// non-zero first boundary.
+    pub fn run_cycle_segments(&mut self, boundaries: &[u64]) -> Vec<SimReport> {
+        assert!(!boundaries.is_empty(), "need at least one boundary");
+        assert!(boundaries[0] > 0, "the first boundary must be positive");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly increasing"
+        );
+        let times: Vec<SimTime> = boundaries
+            .iter()
+            .map(|&c| self.config.base_freq().cycles_to_time(c))
+            .collect();
+        self.start(*times.last().expect("non-empty boundaries"));
+        let mut reports = Vec::with_capacity(times.len());
+        for t in times {
+            self.drain_until(t);
+            self.close_accounting(t);
+            reports.push(self.build_report(t));
+        }
+        reports
+    }
+
+    /// Marks the run started and schedules the bootstrap events: first
+    /// arrival, first window, and a step for every ME (which parks them
+    /// polling their empty input queues).
+    fn start(&mut self, dur: SimTime) {
         assert!(!self.started, "a Simulator instance runs exactly once");
         self.started = true;
         self.end = dur;
-
-        // Bootstrap: first arrival, first window, and a step for every ME
-        // (which parks them polling their empty input queues).
         if let Some(p) = self.arrivals.next() {
             self.queue.schedule(p.arrival, Ev::Arrival(p));
         }
@@ -245,20 +292,27 @@ impl Simulator {
             self.queue
                 .schedule(SimTime::ZERO, Ev::MeStep { me: m, token });
         }
+    }
 
+    /// Processes every queued event at or before `cap`, leaving later
+    /// events queued. Popping is globally time-ordered, so draining in
+    /// stages processes the exact event sequence of a single drain.
+    fn drain_until(&mut self, cap: SimTime) {
         while let Some(t) = self.queue.peek_time() {
-            if t > self.end {
+            if t > cap {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event exists");
             self.handle(ev, now);
         }
+    }
 
-        // Close all accounting intervals at the horizon.
+    /// Closes every ME's open accounting interval at `at` (safe
+    /// mid-run: accounting resumes from `at`).
+    fn close_accounting(&mut self, at: SimTime) {
         for m in 0..self.mes.len() {
-            self.mes[m].account(self.end, &self.config.ladder, &self.config.power);
+            self.mes[m].account(at, &self.config.ladder, &self.config.power);
         }
-        self.build_report()
     }
 
     /// The trace collected so far (borrow).
@@ -651,7 +705,10 @@ impl Simulator {
         }
     }
 
-    fn build_report(&self) -> SimReport {
+    /// Builds the cumulative report as of `at` (the run horizon for a
+    /// whole run, an intermediate boundary for segment snapshots; every
+    /// accounting interval must already be closed at `at`).
+    fn build_report(&self, at: SimTime) -> SimReport {
         let mes: Vec<MeReport> = self
             .mes
             .iter()
@@ -667,7 +724,7 @@ impl Simulator {
             .collect();
         SimReport {
             policy: self.policy.kind(),
-            duration: self.end,
+            duration: at,
             arrived_packets: self.arrived_packets,
             arrived_bits: self.arrived_bits,
             dropped_packets: self.dropped_packets,
@@ -677,7 +734,7 @@ impl Simulator {
             me_energy_uj: self.mes.iter().map(|m| m.energy_uj).sum(),
             sram_energy_uj: self.sram.energy_uj(),
             sdram_energy_uj: self.sdram.energy_uj(),
-            static_energy_uj: EnergyMeter::static_uj(self.config.power.static_w, self.end),
+            static_energy_uj: EnergyMeter::static_uj(self.config.power.static_w, at),
             monitor_energy_uj: self.meter.monitor_uj,
             sram_accesses: self.sram.accesses(),
             sdram_accesses: self.sdram.accesses(),
@@ -892,6 +949,75 @@ mod tests {
         let mut sim = Simulator::new(base_config());
         let _ = sim.run_cycles(1_000);
         let _ = sim.run_cycles(1_000);
+    }
+
+    #[test]
+    fn segment_snapshots_are_cumulative_and_monotone() {
+        let mut sim = Simulator::new(base_config());
+        let reports = sim.run_cycle_segments(&[150_000, 300_000, 450_000]);
+        assert_eq!(reports.len(), 3);
+        for w in reports.windows(2) {
+            assert!(w[0].duration < w[1].duration);
+            assert!(w[0].arrived_packets <= w[1].arrived_packets);
+            assert!(w[0].forwarded_packets <= w[1].forwarded_packets);
+            assert!(w[0].total_energy_uj() < w[1].total_energy_uj());
+            for (a, b) in w[0].mes.iter().zip(&w[1].mes) {
+                assert!(a.acc.total() <= b.acc.total());
+                assert!(a.energy_uj <= b.energy_uj);
+            }
+        }
+        // Each snapshot genuinely progressed the simulation.
+        assert!(reports[0].forwarded_packets > 0);
+        assert!(reports[2].forwarded_packets > reports[0].forwarded_packets);
+    }
+
+    #[test]
+    fn segmented_run_matches_the_plain_run_event_for_event() {
+        // Snapshot boundaries only close accounting intervals early —
+        // the event trajectory (packets, drops, switches, windows) must
+        // be exactly that of an unsegmented run, and time accounting
+        // (integer picoseconds) must agree exactly too.
+        let plain = Simulator::new(base_config()).run_cycles(450_000);
+        let mut sim = Simulator::new(base_config());
+        let last = sim
+            .run_cycle_segments(&[100_000, 250_000, 450_000])
+            .pop()
+            .expect("three snapshots");
+        assert_eq!(plain.arrived_packets, last.arrived_packets);
+        assert_eq!(plain.forwarded_packets, last.forwarded_packets);
+        assert_eq!(plain.forwarded_bits, last.forwarded_bits);
+        assert_eq!(plain.dropped_packets, last.dropped_packets);
+        assert_eq!(plain.total_switches, last.total_switches);
+        assert_eq!(plain.windows, last.windows);
+        assert_eq!(plain.duration, last.duration);
+        for (a, b) in plain.mes.iter().zip(&last.mes) {
+            assert_eq!(a.acc, b.acc, "per-mode time diverged");
+            assert_eq!(a.switches, b.switches);
+            assert_eq!(a.final_level, b.final_level);
+        }
+        // Energy is a float fold split at the boundaries: equal to
+        // rounding, not necessarily to the bit.
+        assert!((plain.total_energy_uj() - last.total_energy_uj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segmented_runs_are_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(base_config());
+            let reports = sim.run_cycle_segments(&[150_000, 450_000]);
+            reports
+                .iter()
+                .map(|r| (r.forwarded_packets, r.total_energy_uj().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn segment_boundaries_must_increase() {
+        let mut sim = Simulator::new(base_config());
+        let _ = sim.run_cycle_segments(&[100_000, 100_000]);
     }
 
     #[test]

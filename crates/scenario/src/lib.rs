@@ -1,0 +1,54 @@
+//! **scenario** — time-varying composite scenarios for the DVS study:
+//! named workloads, scenario files and the segment-aware runner.
+//!
+//! Every other experiment axis in the workspace holds one traffic spec
+//! fixed for a whole run. The paper's motivating workloads *change over
+//! time* — diurnal load, flash crowds, burst storms — so this crate
+//! turns the `traffic` layer's `schedule:` composite specs into
+//! runnable, nameable experiments:
+//!
+//! * [`Scenario`] — the declarative description (benchmark, traffic
+//!   schedule, policy set, cycles, seeds), loadable from flat-TOML
+//!   files ([`Scenario::from_toml_str`] / [`Scenario::load`]) and
+//!   renderable back ([`Scenario::to_toml_string`]);
+//! * [`builtin_scenarios`] — the paper-grounded library
+//!   (`diurnal-day`, `flash-noon`, `burst-storm`, `steady-cbr`);
+//! * [`plan_segments`] — the window plan: schedule segments clipped to
+//!   the run horizon;
+//! * [`try_run_scenario`] — the segment-aware runner: each policy ×
+//!   replicate simulates the horizon **once** and is snapshotted at the
+//!   window boundaries, so per-segment energy/idle/drop breakdowns come
+//!   from a single continuous simulation ([`SegmentMetrics`]), folded
+//!   over seed-derived replicates into interval estimates
+//!   ([`SegmentDist`]).
+//!
+//! The `core` crate renders [`ScenarioRun`]s as tables and
+//! `schema_version` 4 JSON documents; `abdex scenario run <name|file>`
+//! is the command-line entry point.
+//!
+//! # Example
+//!
+//! ```
+//! use scenario::{builtin, try_run_scenario};
+//! use xrun::Runner;
+//!
+//! let mut scenario = builtin("diurnal-day").expect("builtin");
+//! scenario.cycles = 150_000; // smoke-sized horizon (paper runs 8e6)
+//! scenario.policies.truncate(1);
+//! let (run, errors) = try_run_scenario(&Runner::new(), &scenario);
+//! assert!(errors.is_empty());
+//! assert!(run.policies[0].whole.forwarded_packets.mean() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod metrics;
+mod registry;
+mod runner;
+mod scenario;
+
+pub use metrics::{SegmentDist, SegmentMetrics};
+pub use registry::{builtin, builtin_names, builtin_scenarios};
+pub use runner::{run_scenario, try_run_scenario, PolicyOutcome, ScenarioRun, SegmentOutcome};
+pub use scenario::{plan_segments, PlannedSegment, Scenario};

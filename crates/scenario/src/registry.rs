@@ -1,0 +1,128 @@
+//! The built-in scenario library: paper-grounded, nameable workloads
+//! runnable as `abdex scenario run <name>`.
+
+use crate::Scenario;
+
+/// Builds the built-in scenarios, registration order.
+///
+/// Each is a full paper-length (8×10⁶-cycle) experiment; `--cycles`
+/// scales them down for smoke runs (the plan clips to the horizon).
+#[must_use]
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    let make = |name: &str, summary: &str, traffic: &str, policies: &[&str]| Scenario {
+        name: name.to_owned(),
+        summary: summary.to_owned(),
+        benchmark: nepsim::Benchmark::Ipfwdr,
+        traffic: traffic.parse().expect("builtin traffic spec"),
+        policies: policies
+            .iter()
+            .map(|s| s.parse().expect("builtin policy spec"))
+            .collect(),
+        cycles: 8_000_000,
+        seed: 42,
+        seeds: 1,
+    };
+    vec![
+        make(
+            "diurnal-day",
+            "the paper's Fig. 2 day profile in four phases: night lull, \
+             morning ramp, afternoon peak, evening decay",
+            "schedule:segments=[diurnal:hour=3@0..2e6; diurnal:hour=9@2e6..4e6; \
+             diurnal:hour=15@4e6..6e6; diurnal:hour=21@6e6..]",
+            &["nodvs", "tdvs:threshold=1400,window=40000", "edvs"],
+        ),
+        make(
+            "flash-noon",
+            "steady noon load interrupted by a flash crowd — the \
+             reaction-time stress for threshold policies",
+            "schedule:segments=[diurnal:hour=12@0..3e6; \
+             flash:base_mbps=700,peak_mbps=1900,at_ms=0.5,ramp_ms=0.5,hold_ms=2@3e6..6e6; \
+             diurnal:hour=12@6e6..]",
+            &["nodvs", "tdvs:threshold=1400,window=40000", "queue"],
+        ),
+        make(
+            "burst-storm",
+            "a night lull broken by a storm of millisecond on/off bursts \
+             spanning many monitor windows",
+            "schedule:segments=[low@0..2e6; \
+             burst:on_mbps=1900,off_mbps=100,period_s=0.001@2e6..6e6; low@6e6..]",
+            &["nodvs", "tdvs:threshold=1200,window=40000", "edvs"],
+        ),
+        make(
+            "steady-cbr",
+            "constant bit rate end to end — the seed-insensitive \
+             calibration scenario (one segment, zero-variance replicates)",
+            "constant:rate=600",
+            &["nodvs", "tdvs:threshold=1000,window=40000"],
+        ),
+    ]
+}
+
+/// Looks a built-in scenario up by name (case-insensitive).
+#[must_use]
+pub fn builtin(name: &str) -> Option<Scenario> {
+    let wanted = name.to_ascii_lowercase();
+    builtin_scenarios().into_iter().find(|s| s.name == wanted)
+}
+
+/// Comma-separated built-in names (for error messages and help).
+#[must_use]
+pub fn builtin_names() -> String {
+    builtin_scenarios()
+        .iter()
+        .map(|s| s.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_well_formed() {
+        let scenarios = builtin_scenarios();
+        assert_eq!(scenarios.len(), 4);
+        for s in &scenarios {
+            assert!(!s.summary.is_empty(), "{} lacks a summary", s.name);
+            assert!(!s.policies.is_empty(), "{} has no policies", s.name);
+            assert_eq!(s.cycles, 8_000_000, "{}", s.name);
+            // Every builtin round-trips through the file format, so
+            // `scenario list` output can seed custom files.
+            let reparsed = Scenario::from_toml_str(&s.to_toml_string())
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(&reparsed, s);
+            // Traffic models build (no broken child specs).
+            s.traffic
+                .model()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            // Plans cover the horizon contiguously.
+            let plan = s.plan();
+            assert_eq!(plan[0].start_cycles, 0);
+            assert_eq!(plan.last().unwrap().end_cycles, s.cycles);
+            for w in plan.windows(2) {
+                assert_eq!(w[0].end_cycles, w[1].start_cycles, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        assert!(builtin("diurnal-day").is_some());
+        assert!(builtin("DIURNAL-DAY").is_some());
+        assert!(builtin("no-such-scenario").is_none());
+        let names = builtin_names();
+        for name in ["diurnal-day", "flash-noon", "burst-storm", "steady-cbr"] {
+            assert!(names.contains(name), "{names}");
+        }
+    }
+
+    #[test]
+    fn multi_phase_builtins_have_multi_segment_plans() {
+        for name in ["diurnal-day", "flash-noon", "burst-storm"] {
+            let s = builtin(name).unwrap();
+            assert!(s.plan().len() >= 3, "{name} plan too small");
+        }
+        assert_eq!(builtin("steady-cbr").unwrap().plan().len(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! The segment-aware scenario runner: every policy × replicate becomes
+//! one [`xrun`] job that simulates the scenario **once** and snapshots
+//! the cumulative report at each planned segment boundary
+//! ([`nepsim::Simulator::run_cycle_segments`]); the snapshots are
+//! diffed into per-segment metrics and folded — in replicate order —
+//! into per-segment and whole-run interval estimates.
+//!
+//! Determinism contract: jobs are submitted policy-major (policy 0's
+//! replicates, then policy 1's, ...), replicate `i` of every policy
+//! runs seed `derive_seed(scenario.seed, i)`, and folds walk the
+//! results in submission order — so every mean and half-width is a pure
+//! function of the scenario description, bit-identical for any
+//! `--jobs` value (guarded in `crates/core/tests/determinism.rs`).
+//!
+//! Error semantics follow `core::replicate`: a panicking replicate
+//! fails its *policy* (reported as the first failing replicate's
+//! [`JobError`]) while the other policies complete.
+
+use dvs::PolicySpec;
+use nepsim::{SimReport, Simulator};
+use xrun::{derive_seed, Job, JobError, JobSpec, Runner};
+
+use crate::metrics::{SegmentDist, SegmentMetrics};
+use crate::scenario::{PlannedSegment, Scenario};
+
+/// One window of a completed scenario run: where it falls, what child
+/// spec drove it, and the replicated fold of its slice metrics.
+#[derive(Debug, Clone)]
+pub struct SegmentOutcome {
+    /// The planned window this outcome measures.
+    pub segment: PlannedSegment,
+    /// Per-field summaries over the replicates.
+    pub metrics: SegmentDist,
+}
+
+/// One policy's completed scenario run: the whole-run fold plus one
+/// outcome per planned segment.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The policy that ran.
+    pub policy: PolicySpec,
+    /// Whole-run metrics (the slice from cycle 0 to the horizon).
+    pub whole: SegmentDist,
+    /// Per-segment breakdowns, in plan order.
+    pub segments: Vec<SegmentOutcome>,
+}
+
+/// A completed scenario run: the (possibly overridden) scenario, its
+/// segment plan, and one outcome per policy that completed.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The scenario exactly as executed (overrides applied).
+    pub scenario: Scenario,
+    /// The window plan every policy ran against.
+    pub plan: Vec<PlannedSegment>,
+    /// One completed outcome per policy, in scenario order (failed
+    /// policies are absent — see the errors returned alongside).
+    pub policies: Vec<PolicyOutcome>,
+}
+
+/// Runs a scenario on the given runner: `policies × seeds` jobs, each
+/// simulating the full horizon once with per-segment snapshots.
+///
+/// Returns the run built from every policy whose replicates all
+/// completed, plus one [`JobError`] per failed policy.
+#[must_use]
+pub fn try_run_scenario(runner: &Runner, scenario: &Scenario) -> (ScenarioRun, Vec<JobError>) {
+    let plan = scenario.plan();
+    let boundaries: Vec<u64> = plan.iter().map(|p| p.end_cycles).collect();
+    let seeds = scenario.seeds;
+    let mut jobs: Vec<Job<'_, Vec<SimReport>>> = Vec::new();
+    for policy in &scenario.policies {
+        for replicate in 0..seeds {
+            let spec = JobSpec {
+                benchmark: scenario.benchmark,
+                traffic: scenario.traffic.clone(),
+                policy: policy.clone(),
+                cycles: scenario.cycles,
+                seed: derive_seed(scenario.seed, replicate),
+            };
+            let label = format!("{}/{}", scenario.name, spec.label());
+            let bounds = boundaries.clone();
+            jobs.push(Job::new(label, move || {
+                Simulator::new(spec.npu_config()).run_cycle_segments(&bounds)
+            }));
+        }
+    }
+    let mut outcomes = runner
+        .run(jobs)
+        .into_iter()
+        .map(|r| r.outcome)
+        .collect::<Vec<_>>()
+        .into_iter();
+
+    let mut policies = Vec::with_capacity(scenario.policies.len());
+    let mut errors = Vec::new();
+    for policy in &scenario.policies {
+        // Consume exactly this policy's replicates, folding in
+        // replicate order; the first failing replicate fails the policy
+        // (the rest of its chunk is still consumed for alignment).
+        let mut whole = SegmentDist::default();
+        let mut segments: Vec<SegmentDist> = vec![SegmentDist::default(); plan.len()];
+        let mut failure: Option<JobError> = None;
+        for outcome in outcomes.by_ref().take(seeds as usize) {
+            match outcome {
+                Ok(snapshots) => {
+                    debug_assert_eq!(snapshots.len(), plan.len());
+                    whole.push(&SegmentMetrics::slice(
+                        None,
+                        snapshots.last().expect("plans are non-empty"),
+                    ));
+                    let mut prev: Option<&SimReport> = None;
+                    for (dist, snap) in segments.iter_mut().zip(&snapshots) {
+                        dist.push(&SegmentMetrics::slice(prev, snap));
+                        prev = Some(snap);
+                    }
+                }
+                Err(e) => failure = failure.or(Some(e)),
+            }
+        }
+        match failure {
+            Some(e) => errors.push(e),
+            None => policies.push(PolicyOutcome {
+                policy: policy.clone(),
+                whole,
+                segments: plan
+                    .iter()
+                    .zip(segments)
+                    .map(|(segment, metrics)| SegmentOutcome {
+                        segment: segment.clone(),
+                        metrics,
+                    })
+                    .collect(),
+            }),
+        }
+    }
+    (
+        ScenarioRun {
+            scenario: scenario.clone(),
+            plan,
+            policies,
+        },
+        errors,
+    )
+}
+
+/// Infallible form of [`try_run_scenario`] on a default runner.
+///
+/// # Panics
+///
+/// Panics when any policy's replicates fail.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
+    let (run, errors) = try_run_scenario(&Runner::new(), scenario);
+    assert!(
+        errors.is_empty(),
+        "{} policy cell(s) failed:\n  {}",
+        errors.len(),
+        errors
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::builtin;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "tiny".to_owned(),
+            summary: "test scenario".to_owned(),
+            benchmark: nepsim::Benchmark::Ipfwdr,
+            traffic: "schedule:segments=[low@0..150000; \
+                      constant:rate=1200@150000..300000; low@300000..]"
+                .parse()
+                .unwrap(),
+            policies: vec![
+                "nodvs".parse().unwrap(),
+                "tdvs:threshold=1200".parse().unwrap(),
+            ],
+            cycles: 450_000,
+            seed: 7,
+            seeds: 2,
+        }
+    }
+
+    #[test]
+    fn runner_reports_per_segment_and_whole_run_folds() {
+        let (run, errors) = try_run_scenario(&Runner::new(), &tiny_scenario());
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(run.plan.len(), 3);
+        assert_eq!(run.policies.len(), 2);
+        for outcome in &run.policies {
+            assert_eq!(outcome.whole.replicates(), 2);
+            assert_eq!(outcome.segments.len(), 3);
+            for seg in &outcome.segments {
+                assert_eq!(seg.metrics.replicates(), 2);
+            }
+            // The middle window offers ~1200 Mbps vs ~450 for the lulls:
+            // per-segment offered rates must actually differ.
+            let lull = outcome.segments[0].metrics.offered_mbps.mean();
+            let storm = outcome.segments[1].metrics.offered_mbps.mean();
+            assert!(
+                storm > 1.5 * lull,
+                "storm {storm:.0} Mbps vs lull {lull:.0} Mbps"
+            );
+            // Whole-run energy is the sum of the segment energies.
+            let sum: f64 = outcome
+                .segments
+                .iter()
+                .map(|s| s.metrics.total_energy_uj.mean())
+                .sum();
+            let whole = outcome.whole.total_energy_uj.mean();
+            assert!((sum - whole).abs() < 1e-6, "{sum} vs {whole}");
+        }
+        // TDVS saves energy vs noDVS on this lull-heavy schedule.
+        let nodvs = run.policies[0].whole.total_energy_uj.mean();
+        let tdvs = run.policies[1].whole.total_energy_uj.mean();
+        assert!(tdvs < nodvs, "TDVS {tdvs:.0} µJ vs noDVS {nodvs:.0} µJ");
+    }
+
+    #[test]
+    fn runner_is_bit_identical_across_worker_counts() {
+        let run_with = |workers: usize| {
+            let (run, errors) =
+                try_run_scenario(&Runner::new().with_workers(workers), &tiny_scenario());
+            assert!(errors.is_empty());
+            run
+        };
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        for (s, p) in serial.policies.iter().zip(&parallel.policies) {
+            assert_eq!(s.policy, p.policy);
+            for ((name, ss), (_, ps)) in s.whole.fields().iter().zip(p.whole.fields()) {
+                assert_eq!(ss.mean().to_bits(), ps.mean().to_bits(), "whole {name}");
+                assert_eq!(
+                    ss.half_width(stats::ConfidenceLevel::P95).to_bits(),
+                    ps.half_width(stats::ConfidenceLevel::P95).to_bits(),
+                    "whole {name} half-width"
+                );
+            }
+            for (sseg, pseg) in s.segments.iter().zip(&p.segments) {
+                for ((name, ss), (_, ps)) in sseg.metrics.fields().iter().zip(pseg.metrics.fields())
+                {
+                    assert_eq!(
+                        ss.mean().to_bits(),
+                        ps.mean().to_bits(),
+                        "{} {name}",
+                        sseg.segment.label
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failing_policy_fails_only_itself() {
+        let mut scenario = tiny_scenario();
+        scenario.traffic = "trace:path=/no/such/scenario-trace.txt".parse().unwrap();
+        // Both policies fail (the traffic is broken for every cell)...
+        let (run, errors) = try_run_scenario(&Runner::serial(), &scenario);
+        assert_eq!(run.policies.len(), 0);
+        assert_eq!(errors.len(), 2);
+        assert!(errors[0].message.contains("cannot build"), "{}", errors[0]);
+    }
+
+    #[test]
+    fn builtin_smoke_runs_at_a_reduced_horizon() {
+        let mut scenario = builtin("diurnal-day").unwrap();
+        scenario.cycles = 200_000;
+        scenario.seeds = 1;
+        let run = run_scenario(&scenario);
+        // 200k cycles sit inside the first 2e6-cycle phase: one window.
+        assert_eq!(run.plan.len(), 1);
+        assert_eq!(run.policies.len(), 3);
+        for outcome in &run.policies {
+            assert!(outcome.whole.forwarded_packets.mean() > 0.0);
+        }
+    }
+}

@@ -19,7 +19,10 @@
 //!   simulated cell reports, and their per-field [`Summary`] fold;
 //! * [`Replication`] — fans one [`xrun::JobSpec`] out into k
 //!   seed-derived replicates ([`xrun::derive_seed`]) and folds the
-//!   per-replicate metrics back into one [`ReplicatedMetrics`].
+//!   per-replicate metrics back into one [`ReplicatedMetrics`];
+//! * [`welch_t`] / [`WelchT`] — Welch's unequal-variances t-test
+//!   between two folds, the significance call behind "policy A really
+//!   beats policy B" claims in the comparison tables.
 //!
 //! No external crates: the t-table is compiled in and the moments are
 //! hand-rolled, which keeps the workspace's offline-shims constraint
@@ -44,8 +47,10 @@ mod ci;
 mod metrics;
 mod replication;
 mod summary;
+mod welch;
 
 pub use ci::{ConfidenceInterval, ConfidenceLevel};
 pub use metrics::{ReplicatedMetrics, RunMetrics};
 pub use replication::Replication;
 pub use summary::Summary;
+pub use welch::{welch_t, WelchT};

@@ -26,7 +26,12 @@
 //! * [`FlashConfig`] (`flash`) — a transient flash-crowd spike;
 //! * [`ConstantConfig`] (`constant`) — a CBR calibration source;
 //! * [`RecordedTrace`]/[`ReplayConfig`] (`trace`) — byte-exact replay
-//!   of a recorded trace.
+//!   of a recorded trace;
+//! * [`ScheduleConfig`] (`schedule`) — piecewise composition of any of
+//!   the above over contiguous cycle windows
+//!   (`schedule:segments=[low@0..2e6; flash@2e6..4e6; low@4e6..]`),
+//!   each segment independently seeded — the time-varying workloads
+//!   behind the `scenario` layer.
 //!
 //! The property the DVS study depends on — *unbalanced* load with burst
 //! and lull phases long enough to span several monitor windows — is
@@ -59,6 +64,7 @@ mod onoff;
 mod packet;
 mod registry;
 mod replay;
+mod schedule;
 mod spec;
 
 pub use arrivals::{ArrivalConfig, PacketStream};
@@ -73,6 +79,7 @@ pub use onoff::OnOffConfig;
 pub use packet::{Packet, SizeMix};
 pub use registry::{TrafficInfo, TrafficRegistry};
 pub use replay::{RecordedTrace, ReplayConfig};
+pub use schedule::{ScheduleConfig, ScheduleModel, ScheduleSegment};
 pub use spec::TrafficSpec;
 
 use serde::{Deserialize, Serialize};

@@ -240,6 +240,21 @@ impl TrafficRegistry {
                     },
                     build: build_trace,
                 },
+                Entry {
+                    info: TrafficInfo {
+                        name: "schedule",
+                        aliases: &["piecewise", "composite"],
+                        summary: "piecewise composition of other models over cycle windows",
+                        params: &[ParamInfo {
+                            key: "segments",
+                            default: "(required)",
+                            help: "[child@start..end; ...] windows in 600 MHz base-clock \
+                                   cycles, contiguous from 0; the last end may stay open \
+                                   (start..)",
+                        }],
+                    },
+                    build: build_schedule,
+                },
             ],
         })
     }
@@ -262,7 +277,14 @@ impl TrafficRegistry {
                 name: wanted,
                 known: self.name_list(),
             })?;
-        (entry.build)(params).map_err(|e| e.with_accepted_keys(entry.info.params))
+        // Fill the accepted-key list only for errors this entry itself
+        // raised: a `schedule` builder recurses into child entries, and
+        // a child's already-attributed error (its `owner` is the child)
+        // must keep the child's accepted keys, not gain schedule's.
+        (entry.build)(params).map_err(|e| match &e {
+            SpecError::UnknownParam { owner, .. } if owner != entry.info.name => e,
+            _ => e.with_accepted_keys(entry.info.params),
+        })
     }
 
     /// Metadata for every registered model, registration order.
@@ -476,19 +498,50 @@ fn build_trace(mut params: Params) -> Result<TrafficSpec, SpecError> {
     Ok(TrafficSpec::Replay(ReplayConfig { path, scale }))
 }
 
+fn build_schedule(mut params: Params) -> Result<TrafficSpec, SpecError> {
+    let raw = params.maybe_str("segments");
+    params.finish("schedule")?;
+    let raw = raw.ok_or_else(|| SpecError::InvalidValue {
+        key: "segments".to_owned(),
+        value: String::new(),
+        expected: "a segment list (schedule:segments=[child@start..end; ...])",
+    })?;
+    let items = kvspec::parse_list(&raw)?;
+    if items.is_empty() {
+        return Err(SpecError::Malformed {
+            input: raw,
+            reason: "a schedule needs at least one segment".to_owned(),
+        });
+    }
+    let segments = items
+        .iter()
+        .map(|item| crate::ScheduleSegment::parse(item))
+        .collect::<Result<Vec<_>, _>>()?;
+    let config = crate::ScheduleConfig { segments };
+    config.check()?;
+    Ok(TrafficSpec::Schedule(config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Fills the parameters an entry *requires* (those without a usable
+    /// default) with valid sample values.
+    fn fill_required(name: &str, params: &mut Params) {
+        match name {
+            "trace" => params.insert("path", "/tmp/x.txt"),
+            "schedule" => params.insert("segments", "[low@0..2e6; high@2e6..]"),
+            _ => {}
+        }
+    }
 
     #[test]
     fn every_entry_builds_with_defaults() {
         let registry = TrafficRegistry::builtin();
         for info in registry.infos() {
             let mut params = Params::default();
-            // `trace` has one required parameter; supply it.
-            if info.name == "trace" {
-                params.insert("path", "/tmp/x.txt");
-            }
+            fill_required(info.name, &mut params);
             let spec = registry
                 .build_spec(info.name, params)
                 .unwrap_or_else(|e| panic!("{}: {e}", info.name));
@@ -500,12 +553,13 @@ mod tests {
     fn aliases_resolve_to_the_same_spec() {
         let registry = TrafficRegistry::builtin();
         for info in registry.infos() {
-            if info.name == "trace" {
-                continue;
-            }
-            let canonical = registry.build_spec(info.name, Params::default()).unwrap();
+            let mut canonical_params = Params::default();
+            fill_required(info.name, &mut canonical_params);
+            let canonical = registry.build_spec(info.name, canonical_params).unwrap();
             for alias in info.aliases {
-                let via_alias = registry.build_spec(alias, Params::default()).unwrap();
+                let mut params = Params::default();
+                fill_required(info.name, &mut params);
+                let via_alias = registry.build_spec(alias, params).unwrap();
                 assert_eq!(via_alias, canonical, "alias {alias}");
             }
         }
@@ -525,18 +579,19 @@ mod tests {
         for info in registry.infos() {
             let mut params = Params::default();
             for p in info.params {
-                let value = if p.key == "path" { "/tmp/x" } else { p.default };
-                params.insert(p.key, value);
+                if p.default == "(required)" {
+                    continue; // filled below with a valid sample value
+                }
+                params.insert(p.key, p.default);
             }
+            fill_required(info.name, &mut params);
             registry
                 .build_spec(info.name, params)
                 .unwrap_or_else(|e| panic!("{} rejects its own defaults: {e}", info.name));
 
             let mut bogus = Params::default();
             bogus.insert("definitely-not-a-param", "1");
-            if info.name == "trace" {
-                bogus.insert("path", "/tmp/x");
-            }
+            fill_required(info.name, &mut bogus);
             assert!(
                 matches!(
                     registry.build_spec(info.name, bogus),
@@ -554,6 +609,24 @@ mod tests {
             .build_spec("trace", Params::default())
             .unwrap_err();
         assert!(matches!(err, SpecError::InvalidValue { ref key, .. } if key == "path"));
+    }
+
+    #[test]
+    fn schedule_requires_a_segment_list() {
+        let err = TrafficRegistry::builtin()
+            .build_spec("schedule", Params::default())
+            .unwrap_err();
+        assert!(matches!(err, SpecError::InvalidValue { ref key, .. } if key == "segments"));
+        // A child error propagates with its own context.
+        let mut params = Params::default();
+        params.insert("segments", "[burst:flux=9@0..]");
+        let err = TrafficRegistry::builtin()
+            .build_spec("schedule", params)
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecError::UnknownParam { ref key, .. } if key == "flux"),
+            "{err}"
+        );
     }
 
     #[test]

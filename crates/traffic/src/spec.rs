@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 use crate::registry::TrafficRegistry;
 use crate::{
     ArrivalConfig, ConstantConfig, DiurnalConfig, FlashConfig, OnOffConfig, ReplayConfig,
-    TrafficLevel, TrafficModel,
+    ScheduleConfig, TrafficLevel, TrafficModel,
 };
 
 /// A fully parameterised, buildable traffic-model description.
@@ -61,6 +61,8 @@ pub enum TrafficSpec {
     Constant(ConstantConfig),
     /// Replay of a recorded trace file.
     Replay(ReplayConfig),
+    /// Piecewise schedule of other specs over cycle windows.
+    Schedule(ScheduleConfig),
 }
 
 impl TrafficSpec {
@@ -84,6 +86,7 @@ impl TrafficSpec {
             TrafficSpec::Flash(_) => "flash",
             TrafficSpec::Constant(_) => "constant",
             TrafficSpec::Replay(_) => "trace",
+            TrafficSpec::Schedule(_) => "schedule",
         }
     }
 
@@ -106,6 +109,7 @@ impl TrafficSpec {
             TrafficSpec::Flash(c) => Box::new(c.clone()),
             TrafficSpec::Constant(c) => Box::new(*c),
             TrafficSpec::Replay(c) => Box::new(c.build_model()?),
+            TrafficSpec::Schedule(c) => Box::new(c.build_model()?),
         })
     }
 
@@ -149,6 +153,7 @@ impl TrafficSpec {
                 ("path", PVal::Str(c.path.clone())),
                 ("scale", PVal::num_f64(c.scale)),
             ],
+            TrafficSpec::Schedule(c) => c.params(),
         }
     }
 
@@ -338,6 +343,10 @@ mod tests {
                 path: "/tmp/trace.txt".to_owned(),
                 scale: 1.3,
             }),
+            TrafficSpec::parse(
+                "schedule:segments=[low@0..2e6; flash:peak_mbps=900@2e6..4e6; low@4e6..]",
+            )
+            .unwrap(),
         ];
         for spec in specs {
             let cli = spec.spec_string();
@@ -367,6 +376,29 @@ mod tests {
         assert_eq!(TrafficSpec::from_toml_str(&toml).unwrap(), spec);
         let json = spec.to_json_string();
         assert_eq!(TrafficSpec::from_json_str(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn acceptance_schedule_spec_parses_and_renders_canonically() {
+        let spec = TrafficSpec::parse(
+            "schedule:segments=[low@0..2e6; flash:peak_mbps=900@2e6..4e6; low@4e6..]",
+        )
+        .unwrap();
+        let TrafficSpec::Schedule(c) = &spec else {
+            panic!("wrong variant: {spec:?}");
+        };
+        assert_eq!(c.segments.len(), 3);
+        assert_eq!(c.segments[0].spec.name(), "low");
+        assert_eq!(c.segments[1].start_cycles, 2_000_000);
+        assert_eq!(c.segments[2].end_cycles, None);
+        // The canonical rendering expands the child's full spec string
+        // and integer cycle counts, and reparses to the same spec.
+        let cli = spec.spec_string();
+        assert!(
+            cli.starts_with("schedule:segments=[low@0..2000000; flash:"),
+            "{cli}"
+        );
+        assert_eq!(TrafficSpec::parse(&cli).unwrap(), spec);
     }
 
     #[test]

@@ -33,6 +33,12 @@ fn tested_specs() -> Vec<TrafficSpec> {
         "burst",
         "flash:at_ms=20,ramp_ms=5,hold_ms=40",
         "constant",
+        // A composite schedule spanning the statistical horizon: 150 ms
+        // = 9e7 base-clock cycles, so the boundary at 4.5e7 splits it in
+        // half. The rate check below therefore covers the time-weighted
+        // `expected_rate_mbps` composition, and the seed checks cover
+        // the per-segment seed derivation (mmpp child is random).
+        "schedule:segments=[mmpp:rate=500@0..4.5e7; constant:rate=1000@4.5e7..]",
     ]
     .iter()
     .map(|s| s.parse().expect("builtin spec"))

@@ -113,6 +113,58 @@ proptest! {
     fn levels_round_trip(which in 0usize..3) {
         assert_round_trips(&TrafficSpec::paper_levels()[which].clone());
     }
+
+    #[test]
+    fn schedule_specs_round_trip(
+        // Randomly sized contiguous windows (1..=4 segments), each with
+        // a randomly drawn child family and child parameters — the
+        // list-grammar satellite: nested child specs with their own
+        // params must survive all three grammars exactly.
+        lengths in proptest::collection::vec(1u64..5_000_000, 1..4),
+        child in 0usize..4,
+        rate in 1.0f64..4000.0,
+        duty in 0.01f64..0.99,
+        open_flag in 0u64..2,
+    ) {
+        let open_ended = open_flag == 1;
+        let mut items = Vec::new();
+        let mut start = 0u64;
+        let last = lengths.len() - 1;
+        for (i, len) in lengths.iter().enumerate() {
+            let child_spec = match (child + i) % 4 {
+                0 => "low".to_owned(),
+                1 => format!("constant:rate={rate}"),
+                2 => format!("burst:on_mbps={rate},duty={duty}"),
+                _ => format!("mmpp:rate={rate},burstiness=1.4"),
+            };
+            let end = start + len;
+            if i == last && open_ended {
+                items.push(format!("{child_spec}@{start}.."));
+            } else {
+                items.push(format!("{child_spec}@{start}..{end}"));
+            }
+            start = end;
+        }
+        let text = format!("schedule:segments=[{}]", items.join("; "));
+        assert_round_trips(&spec(text));
+    }
+
+    #[test]
+    fn nested_schedule_specs_round_trip(
+        inner_len in 1u64..1_000_000,
+        outer_tail in 1u64..1_000_000,
+        rate in 1.0f64..4000.0,
+    ) {
+        // A schedule whose first segment is itself a schedule: inner
+        // brackets and semicolons must survive the outer list.
+        let inner_end = inner_len * 2;
+        let text = format!(
+            "schedule:segments=[schedule:segments=[constant:rate={rate}@0..{inner_len}; \
+             low@{inner_len}..{inner_end}]@0..{inner_end}; high@{inner_end}..{}]",
+            inner_end + outer_tail,
+        );
+        assert_round_trips(&spec(text));
+    }
 }
 
 #[test]

@@ -84,15 +84,14 @@ impl fmt::Display for JobSpec {
 /// shim uses — so a job's random stream depends only on its position in
 /// the batch, never on which worker ran it or when. That is what makes
 /// parallel batches bit-identical to serial ones.
+///
+/// The implementation lives in [`desim::rng::derive_seed`] so the
+/// traffic layer's schedule model can derive per-segment seeds from the
+/// very same function; this re-wrap keeps the historical `xrun` entry
+/// point (and its values) stable.
 #[must_use]
 pub fn derive_seed(batch_seed: u64, index: u64) -> u64 {
-    // SplitMix64 finalizer over the sequence position.
-    let mut z = batch_seed
-        .wrapping_add(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    desim::rng::derive_seed(batch_seed, index)
 }
 
 /// A named unit of work: what one worker thread executes.

@@ -69,3 +69,20 @@ fn derivation_is_a_fixed_function() {
     let b: HashSet<u64> = (0..1_000).map(|i| derive_seed(8, i)).collect();
     assert!(a.is_disjoint(&b), "batch families 7 and 8 overlap");
 }
+
+#[test]
+fn derivation_agrees_with_the_substrate_function() {
+    // `xrun::derive_seed` delegates to `desim::rng::derive_seed` so the
+    // traffic schedule model derives per-segment seeds from the same
+    // family function. If the two ever diverged, a scheduled segment
+    // and a replicate could silently share a stream.
+    for batch in BATCH_SEEDS {
+        for index in [0, 1, 2, 63, 4096] {
+            assert_eq!(
+                derive_seed(batch, index),
+                desim::rng::derive_seed(batch, index),
+                "divergence at ({batch}, {index})"
+            );
+        }
+    }
+}

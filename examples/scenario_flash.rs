@@ -1,0 +1,57 @@
+//! A flash crowd at noon, defined entirely as data: this example
+//! builds a scenario from the same TOML text a `.toml` file would
+//! hold, runs it through the segment-aware runner, and uses the
+//! per-segment breakdown to measure what the comparison tables hide —
+//! how much of a policy's energy saving evaporates (and how many
+//! packets drop) *during* the crowd itself.
+//!
+//! Run with: `cargo run --release -p abdex --example scenario_flash`
+
+use abdex::scenario::{try_run_scenario, Scenario};
+use abdex::tables::render_scenario;
+use abdex::{ConfidenceLevel, Runner};
+
+const SCENARIO_TOML: &str = r#"
+name = "flash-noon-mini"
+summary = "steady noon load, one flash crowd, the aftermath"
+benchmark = "ipfwdr"
+traffic = "schedule:segments=[diurnal:hour=12@0..600000; flash:base_mbps=700,peak_mbps=1900,at_ms=0.1,ramp_ms=0.1,hold_ms=0.5@600000..1200000; diurnal:hour=12@1200000..]"
+policies = "nodvs;tdvs:threshold=1400;queue"
+cycles = 1800000
+seed = 42
+seeds = 3
+"#;
+
+fn main() {
+    let scenario = Scenario::from_toml_str(SCENARIO_TOML).expect("valid scenario file");
+    let (run, errors) = try_run_scenario(&Runner::new(), &scenario);
+    assert!(errors.is_empty(), "scenario cells failed: {errors:?}");
+    println!("{}", render_scenario(&run, ConfidenceLevel::P95));
+
+    // During-the-crowd accounting: segment 1 is the flash window.
+    let baseline = &run.policies[0];
+    println!(
+        "inside the flash window (vs {}):",
+        baseline.policy.spec_string()
+    );
+    let base_energy = baseline.segments[1].metrics.total_energy_uj.mean();
+    for outcome in &run.policies {
+        let m = &outcome.segments[1].metrics;
+        println!(
+            "  {:<28} energy {:>7.0} µJ ({:+5.1}%)  drops {:>6.1}  tput {:>7.1} Mbps",
+            outcome.policy.spec_string(),
+            m.total_energy_uj.mean(),
+            (m.total_energy_uj.mean() / base_energy - 1.0) * 100.0,
+            m.dropped_packets.mean(),
+            m.throughput_mbps.mean(),
+        );
+    }
+    println!(
+        "\na policy that scaled down for the noon baseline pays for the\n\
+         crowd in forwarding rate: the ramp arrives before the next\n\
+         monitor window, so the first spike milliseconds run at reduced\n\
+         frequency — the per-segment throughput gap above (and any drop\n\
+         counts, once the spike saturates the FIFO) is that reaction\n\
+         time made visible."
+    );
+}
