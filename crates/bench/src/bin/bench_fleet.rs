@@ -1,0 +1,83 @@
+//! Machine-readable perf baseline for the fleet runner: wall-time of a
+//! replicated fleet run at increasing `--chips`, written as
+//! `BENCH_fleet.json`.
+//!
+//! ```text
+//! cargo run --release -p abdex-bench --bin bench_fleet -- [CYCLES] [SEEDS] [OUT]
+//! ```
+//!
+//! Defaults: 2×10⁵ cycles per chip, 2 replicates, `BENCH_fleet.json`
+//! in the current directory. Each point simulates a least-loaded fleet
+//! of 1/4/16/64 chips under cap-and-reallocate — chips × seeds jobs on
+//! the `xrun` pool — so the file records how wall time scales with
+//! fleet size on this machine. The largest fleet is also re-run on a
+//! serial pool and byte-compared through the JSON document, so the
+//! baseline doubles as a worker-count-determinism smoke test.
+
+use std::time::Instant;
+
+use abdex::fleet::{run_fleet, FleetConfig};
+use abdex::json::fleet_json;
+use abdex::stats::ConfidenceLevel;
+use abdex::Runner;
+
+const FLEET_SIZES: [usize; 4] = [1, 4, 16, 64];
+
+fn config(chips: usize, cycles: u64) -> FleetConfig {
+    let mut config = FleetConfig::new(chips);
+    config.cycles = cycles;
+    config.seed = 42;
+    config.dispatch = "least-loaded".parse().expect("builtin dispatcher");
+    config.fleet_policy = "cap-realloc:budget=8,period=100000"
+        .parse()
+        .expect("builtin fleet policy");
+    config
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let seeds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let out = args.next().unwrap_or_else(|| "BENCH_fleet.json".to_owned());
+
+    let runner = Runner::new();
+    eprintln!(
+        "bench_fleet: fleets of {FLEET_SIZES:?} chips x {seeds} seeds x {cycles} cycles on {} \
+         workers",
+        runner.workers()
+    );
+
+    let mut points = Vec::new();
+    let mut largest_doc = String::new();
+    for chips in FLEET_SIZES {
+        let config = config(chips, cycles);
+        let start = Instant::now();
+        let outcome = run_fleet(&config, seeds, &runner);
+        let wall_s = start.elapsed().as_secs_f64();
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        points.push(format!(
+            "{{\"chips\":{chips},\"jobs\":{},\"wall_s\":{wall_s:.4}}}",
+            chips * seeds
+        ));
+        eprintln!("  {chips:>3} chips: {wall_s:.2}s");
+        largest_doc = fleet_json(&outcome, ConfidenceLevel::P95);
+    }
+
+    // Re-run the largest fleet serially; the emitted document must be
+    // byte-identical for any worker count.
+    let largest = *FLEET_SIZES.last().expect("non-empty size list");
+    let serial = run_fleet(&config(largest, cycles), seeds, &Runner::serial());
+    let identical = fleet_json(&serial, ConfidenceLevel::P95) == largest_doc;
+
+    let doc = format!(
+        "{{\"bench\":\"fleet\",\"cycles_per_chip\":{cycles},\"seeds\":{seeds},\
+         \"available_parallelism\":{},\"workers\":{},\"points\":[{}],\
+         \"identical_results\":{identical}}}\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        runner.workers(),
+        points.join(","),
+    );
+    std::fs::write(&out, &doc).expect("write baseline JSON");
+    eprintln!("identical={identical} -> {out}");
+    assert!(identical, "fleet results diverged from serial");
+}

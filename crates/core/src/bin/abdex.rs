@@ -11,6 +11,9 @@
 //! abdex compare   [--traffics "low;high;flash"] [--seeds K] [--ci 90|95|99] [--json FILE]
 //! abdex scenario  run <name|file.toml> [--cycles N] [--seeds K] [--ci L] [--jobs N] [--json FILE|-]
 //! abdex scenario  list
+//! abdex fleet     run [--chips N] [--dispatch SPEC] [--fleet-policy SPEC] [--seeds K] [--ci L] [--jobs N] [--json FILE|-]
+//! abdex fleet     dispatchers
+//! abdex fleet     policies
 //! abdex policies
 //! abdex traffics
 //! abdex trace     --benchmark url --traffic medium [--cycles N] [--out FILE]
@@ -45,6 +48,13 @@
 //! the schedule's segment boundaries, and the tables/JSON report
 //! per-segment metric breakdowns alongside the whole-run numbers.
 //!
+//! `abdex fleet run` simulates `--chips` NPUs behind a load balancer:
+//! `--dispatch` shards the aggregate `--traffic` stream across the
+//! chips (see `abdex fleet dispatchers`), every chip runs its own
+//! `--policy`, and `--fleet-policy` turns a fleet-wide watt budget into
+//! per-chip power caps (see `abdex fleet policies`). Results are
+//! bit-identical for any `--jobs` value.
+//!
 //! `--json -` writes the machine-readable document to **stdout** (the
 //! human-readable tables move to stderr), so any command's results pipe
 //! without a temp file: `abdex scenario run diurnal-day --json - | jq .`
@@ -54,12 +64,13 @@ use std::process::ExitCode;
 
 use abdex::compare::{try_compare_policies, ComparisonConfig};
 use abdex::experiment::partition_cells;
-use abdex::json::scenario_json;
+use abdex::fleet::{run_fleet, DispatchRegistry, FleetConfig, FleetPolicyRegistry};
 use abdex::json::{
     comparison_json, experiment_json, replicated_compare_json, replicated_run_json,
     replicated_spec_sweep_json, replicated_tdvs_sweep_json, replicated_traffic_sweep_json,
     spec_sweep_json, tdvs_sweep_json, traffic_sweep_json,
 };
+use abdex::json::{fleet_json, scenario_json};
 use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
 use abdex::replicate::{
     try_replicated_compare, try_replicated_run, try_replicated_sweep_specs,
@@ -68,7 +79,7 @@ use abdex::replicate::{
 use abdex::scenario::{self, Scenario};
 use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
 use abdex::tables::{
-    render_comparison, render_replicated_comparison, render_replicated_run,
+    render_comparison, render_fleet, render_replicated_comparison, render_replicated_run,
     render_replicated_spec_sweep, render_replicated_sweep, render_replicated_traffic_sweep,
     render_scenario, render_spec_sweep, render_surface, render_sweep, render_traffic_sweep,
 };
@@ -82,7 +93,7 @@ const USAGE: &str = "\
 abdex — assertion-based design exploration of DVS in NPU architectures
 
 USAGE:
-    abdex <run|replicate|sweep|compare|scenario|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
+    abdex <run|replicate|sweep|compare|scenario|fleet|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
 
 SCENARIOS:
     abdex scenario run <name|file.toml>  run a time-varying composite scenario
@@ -90,6 +101,17 @@ SCENARIOS:
                                          usual --cycles/--seed/--seeds/--ci/
                                          --jobs/--progress/--json apply)
     abdex scenario list                  list the built-in scenario library
+
+FLEETS:
+    abdex fleet run                      simulate --chips NPUs behind a load
+                                         balancer: --dispatch shards the
+                                         aggregate --traffic stream, each chip
+                                         runs --policy, --fleet-policy caps
+                                         chip power from a fleet watt budget
+                                         (plus --benchmark/--cycles/--seed/
+                                         --seeds/--ci/--jobs/--progress/--json)
+    abdex fleet dispatchers              list the registered dispatchers
+    abdex fleet policies                 list the registered fleet policies
 
 OPTIONS (where applicable):
     --benchmark <ipfwdr|url|nat|md4>   benchmark application [ipfwdr]
@@ -106,6 +128,15 @@ OPTIONS (where applicable):
                                        tdvs:threshold=1400,window=40000
                                        (see `abdex policies` for names/keys)
     --policies  <spec;spec;...>        policy-spec sweep list (sweep)
+    --chips     <N>                    fleet size (fleet run) [8]
+    --dispatch  <spec>                 dispatcher sharding the aggregate
+                                       stream (fleet run) [round-robin]
+                                       grammar: name[:key=val,...], e.g.
+                                       least-loaded:flows=512 (see
+                                       `abdex fleet dispatchers`)
+    --fleet-policy <spec>              fleet-wide power policy (fleet run)
+                                       [none], e.g. cap-realloc:budget=8
+                                       (see `abdex fleet policies`)
     --threshold <Mbps>                 legacy: TDVS top threshold, only with
                                        bare --policy tdvs [1000]
     --window    <cycles>               legacy: monitor window, only with bare
@@ -140,8 +171,13 @@ fn main() -> ExitCode {
     };
     // `scenario` takes positional arguments (`run <name|file>`), so it
     // dispatches before the flag-only parser below.
-    if command == "scenario" {
-        return match cmd_scenario(rest) {
+    if command == "scenario" || command == "fleet" {
+        let result = if command == "scenario" {
+            cmd_scenario(rest)
+        } else {
+            cmd_fleet(rest)
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -796,6 +832,123 @@ fn cmd_scenario_list() {
          name/summary/benchmark/traffic/policies/cycles/seed/seeds — the same\n\
          shape `scenario::Scenario::to_toml_string` renders."
     );
+}
+
+/// Dispatches the `fleet` command: `run`, `dispatchers` and
+/// `policies`.
+fn cmd_fleet(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err(
+            "fleet needs a subcommand: `run [OPTIONS]`, `dispatchers` or `policies`".to_owned(),
+        );
+    };
+    match sub.as_str() {
+        "run" => {
+            let opts = parse_opts(rest)?;
+            check_opts(
+                &opts,
+                &[
+                    "chips",
+                    "dispatch",
+                    "benchmark",
+                    "traffic",
+                    "policy",
+                    "fleet-policy",
+                    "cycles",
+                    "seed",
+                    "seeds",
+                    "ci",
+                    "jobs",
+                    "progress",
+                    "json",
+                ],
+            )?;
+            cmd_fleet_run(&opts)
+        }
+        "dispatchers" => {
+            if let Some(stray) = rest.first() {
+                return Err(format!(
+                    "fleet dispatchers takes no arguments, found '{stray}'"
+                ));
+            }
+            cmd_fleet_dispatchers();
+            Ok(())
+        }
+        "policies" => {
+            if let Some(stray) = rest.first() {
+                return Err(format!(
+                    "fleet policies takes no arguments, found '{stray}'"
+                ));
+            }
+            cmd_fleet_policies();
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown fleet subcommand '{other}' (expected `run`, `dispatchers` or `policies`)"
+        )),
+    }
+}
+
+fn cmd_fleet_run(opts: &Opts) -> Result<(), String> {
+    let mut config = FleetConfig::new(number(opts, "chips", 8)?);
+    if config.chips == 0 {
+        return Err("--chips needs at least one chip".to_owned());
+    }
+    if let Some(spec) = opts.get("dispatch") {
+        config.dispatch = abdex::DispatchSpec::parse(spec).map_err(|e| e.to_string())?;
+    }
+    config.benchmark = benchmark(opts)?;
+    config.traffic = traffic(opts)?;
+    config.policy = policy(opts)?;
+    if let Some(spec) = opts.get("fleet-policy") {
+        config.fleet_policy = abdex::FleetPolicySpec::parse(spec).map_err(|e| e.to_string())?;
+    }
+    config.cycles = number(opts, "cycles", config.cycles)?;
+    if config.cycles == 0 {
+        return Err("--cycles must be positive".to_owned());
+    }
+    config.seed = number(opts, "seed", config.seed)?;
+    let (seeds, ci) = replication_opts(opts, 1)?;
+    let pool = runner(opts)?;
+    preflight_json(opts)?;
+    let outcome = run_fleet(&config, seeds as usize, &pool);
+    emit(opts, &render_fleet(&outcome.report, ci));
+    let json = write_json(opts, || fleet_json(&outcome, ci));
+    finish_batch(json, outcome.errors)
+}
+
+fn cmd_fleet_dispatchers() {
+    let registry = DispatchRegistry::builtin();
+    println!("registered dispatchers (spec grammar: name[:key=val,...]):\n");
+    for info in registry.infos() {
+        let aliases = if info.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", info.aliases.join(", "))
+        };
+        println!("{:<14} {}{}", info.name, info.summary, aliases);
+        for p in info.params {
+            println!("    {:<12} [{}] {}", p.key, p.default, p.help);
+        }
+        println!();
+    }
+}
+
+fn cmd_fleet_policies() {
+    let registry = FleetPolicyRegistry::builtin();
+    println!("registered fleet policies (spec grammar: name[:key=val,...]):\n");
+    for info in registry.infos() {
+        let aliases = if info.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", info.aliases.join(", "))
+        };
+        println!("{:<14} {}{}", info.name, info.summary, aliases);
+        for p in info.params {
+            println!("    {:<12} [{}] {}", p.key, p.default, p.help);
+        }
+        println!();
+    }
 }
 
 fn cmd_policies() -> Result<(), String> {

@@ -47,10 +47,14 @@ use crate::sweep::{GridCell, SpecCell, TrafficCell};
 /// verdict is then `false`) and when the statistic is infinite (two
 /// noise-free folds with distinct means, e.g. seed-insensitive CBR
 /// traffic — the verdict is then `true`, and `"saving_vs_nodvs"`'s
-/// sign carries the direction JSON cannot).
+/// sign carries the direction JSON cannot). **5** — fleets: new
+/// `fleet` document (the fleet's axes — `chips`, `dispatch`,
+/// `fleet_policy`, per-chip `share`s — plus fleet-wide and per-chip
+/// summary-metric objects over the replicates); existing documents are
+/// unchanged in shape.
 ///
 /// [`TrafficSpec`]: traffic::TrafficSpec
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Escapes a string for a JSON string literal (without the quotes).
 fn escape(s: &str) -> String {
@@ -580,6 +584,51 @@ pub fn scenario_json(run: &ScenarioRun, level: ConfidenceLevel, failures: &[JobE
     .finish()
 }
 
+/// Renders a fleet run as a JSON document (`"kind": "fleet"`): the
+/// fleet's axes, the dispatcher's per-chip shares, fleet-wide summary
+/// metrics over the replicates and one metrics object per chip.
+#[must_use]
+pub fn fleet_json(outcome: &fleet::FleetOutcome, level: ConfidenceLevel) -> String {
+    let report = &outcome.report;
+    let c = &report.config;
+    let mut metrics = Obj::new();
+    for (name, summary) in report.fleet.fields() {
+        metrics = metrics.raw(name, &summary_obj(summary, level));
+    }
+    let per_chip: Vec<String> = report
+        .chips
+        .iter()
+        .enumerate()
+        .map(|(index, chip)| {
+            let mut chip_metrics = Obj::new();
+            for (name, summary) in chip.fields() {
+                chip_metrics = chip_metrics.raw(name, &summary_obj(summary, level));
+            }
+            Obj::new()
+                .int("chip", index as u64)
+                .num("share", chip.share)
+                .raw("metrics", &chip_metrics.finish())
+                .finish()
+        })
+        .collect();
+    failure_fields(
+        replicated_header("fleet", report.seeds as u64, level)
+            .int("chips", c.chips as u64)
+            .str("dispatch", &c.dispatch.spec_string())
+            .str("benchmark", &c.benchmark.to_string())
+            .str("traffic", &c.traffic.spec_string())
+            .str("policy", &c.policy.spec_string())
+            .str("fleet_policy", &c.fleet_policy.spec_string())
+            .int("cycles", c.cycles)
+            .int("seed", c.seed)
+            .int("replicates", report.fleet.replicates())
+            .raw("metrics", &metrics.finish())
+            .raw("per_chip", &array(&per_chip)),
+        &outcome.errors,
+    )
+    .finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,7 +698,7 @@ mod tests {
         let json = experiment_json(&r);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":4",
+            "\"schema_version\":5",
             "\"kind\":\"experiment\"",
             "\"benchmark\":\"nat\"",
             "\"traffic\":\"low\"",
@@ -681,7 +730,7 @@ mod tests {
         let json = tdvs_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"tdvs_sweep\""));
-        assert!(json.contains("\"schema_version\":4"));
+        assert!(json.contains("\"schema_version\":5"));
         assert!(json.contains("\"cells\":2"));
         assert!(json.contains("\"failed\":0"));
         assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
@@ -728,7 +777,7 @@ mod tests {
         let json = traffic_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"traffic_sweep\""), "{json}");
-        assert!(json.contains("\"schema_version\":4"), "{json}");
+        assert!(json.contains("\"schema_version\":5"), "{json}");
         assert!(json.contains("\"cells\":2"), "{json}");
         // The exact spec string round-trips through the document.
         assert!(
@@ -749,7 +798,7 @@ mod tests {
         let json = comparison_json(&cmp, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"policy_comparison\""));
-        assert!(json.contains("\"schema_version\":4"));
+        assert!(json.contains("\"schema_version\":5"));
         assert!(json.contains("\"rows\":6"));
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
     }
@@ -769,7 +818,7 @@ mod tests {
         let json = replicated_run_json(&r, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":4",
+            "\"schema_version\":5",
             "\"kind\":\"replicated_run\"",
             "\"seeds\":3",
             "\"ci_level\":95",
@@ -864,7 +913,7 @@ mod tests {
         let json = replicated_compare_json(&cmp, stats::ConfidenceLevel::P95, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"replicated_compare\""), "{json}");
-        assert!(json.contains("\"schema_version\":4"), "{json}");
+        assert!(json.contains("\"schema_version\":5"), "{json}");
         assert!(json.contains("\"seeds\":2"), "{json}");
         assert!(json.contains("\"rows\":6"), "{json}");
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
@@ -927,7 +976,7 @@ mod tests {
         let json = scenario_json(&run, stats::ConfidenceLevel::P95, &errors);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":4",
+            "\"schema_version\":5",
             "\"kind\":\"scenario\"",
             "\"scenario\":\"doc-test\"",
             "\"seeds\":2",
@@ -948,5 +997,43 @@ mod tests {
         // full summary object per metric field.
         assert_eq!(json.matches("\"mean_power_w\":{\"mean\":").count(), 2 * 3);
         assert_eq!(json.matches("\"half_width\":").count(), 2 * 3 * 9);
+    }
+
+    #[test]
+    fn fleet_document_reports_fleet_and_per_chip_metrics() {
+        let mut config = fleet::FleetConfig::new(3);
+        config.cycles = 150_000;
+        config.dispatch = "least-loaded:flows=64".parse().unwrap();
+        config.fleet_policy = "static-cap:budget=4".parse().unwrap();
+        let outcome = fleet::run_fleet(&config, 2, &crate::Runner::new());
+        assert!(outcome.errors.is_empty());
+        let json = fleet_json(&outcome, stats::ConfidenceLevel::P95);
+        assert_balanced(&json);
+        for key in [
+            "\"schema_version\":5",
+            "\"kind\":\"fleet\"",
+            "\"seeds\":2",
+            "\"ci_level\":95",
+            "\"chips\":3",
+            "\"dispatch\":\"least-loaded:flows=64\"",
+            "\"benchmark\":\"ipfwdr\"",
+            "\"traffic\":\"high\"",
+            "\"policy\":\"nodvs\"",
+            "\"fleet_policy\":\"static-cap:budget=4\"",
+            "\"cycles\":150000",
+            "\"seed\":42",
+            "\"replicates\":2",
+            "\"imbalance\":{\"mean\":",
+            "\"per_chip\":[",
+            "\"chip\":2",
+            "\"share\":",
+            "\"failed\":0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // One fleet-level summary per FleetDist field plus one per chip
+        // and ChipDist field.
+        assert_eq!(json.matches("\"half_width\":").count(), 9 + 3 * 7);
+        assert_eq!(json.matches("\"chip\":").count(), 3);
     }
 }

@@ -18,6 +18,9 @@
 //! * [`scenario`] — time-varying composite scenarios: named workloads
 //!   over `schedule:` traffic specs, scenario files, and the
 //!   segment-aware runner with per-window metric breakdowns,
+//! * [`fleet`] — N NPUs behind a load balancer: pluggable dispatchers
+//!   shard one aggregate stream across chips, and fleet power policies
+//!   turn a fleet-wide watt budget into per-chip caps,
 //!
 //! and exposes the paper's experiment flow: run a simulation, collect the
 //! trace, apply the LOC distribution formulas (2) and (3), and sweep the
@@ -67,6 +70,10 @@ pub use ablation::{
 pub use compare::{compare_policies, try_compare_policies, ComparisonRow, PolicyComparison};
 pub use dvs::{DvsPolicy, PolicyKind, PolicyRegistry, PolicySpec};
 pub use experiment::{run_experiments, Experiment, ExperimentResult, PAPER_RUN_CYCLES};
+pub use fleet::{
+    run_fleet, DispatchRegistry, DispatchSpec, Dispatcher, FleetConfig, FleetOutcome, FleetPolicy,
+    FleetPolicyRegistry, FleetPolicySpec, FleetReport,
+};
 pub use json::SCHEMA_VERSION;
 pub use optimal::{optimal_tdvs, DesignPriority};
 pub use replicate::{
@@ -94,6 +101,7 @@ pub use xrun::{Job, JobError, JobResult, JobSpec, ProgressMode, Runner};
 // Re-export the substrate crates so downstream users need only `abdex`.
 pub use desim;
 pub use dvs;
+pub use fleet;
 pub use loc;
 pub use nepsim;
 pub use scenario;

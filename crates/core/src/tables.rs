@@ -417,6 +417,60 @@ pub fn render_scenario(run: &ScenarioRun, level: ConfidenceLevel) -> String {
     out
 }
 
+/// Renders a completed fleet run: a title line naming every axis, a
+/// fleet-wide metric-per-row summary table, and a per-chip table with
+/// the dispatcher's share next to the key chip metrics as
+/// `mean±half-width` over the replicates.
+#[must_use]
+pub fn render_fleet(report: &fleet::FleetReport, level: ConfidenceLevel) -> String {
+    let mut out = format!(
+        "{} ({} seed(s), {} CI)\n",
+        report.config.label(),
+        report.seeds,
+        level,
+    );
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>12} {:>10} {:>12} {:>12}\n",
+        "fleet metric", "mean", "half_width", "std_dev", "min", "max"
+    ));
+    for (name, summary) in report.fleet.fields() {
+        out.push_str(&format!(
+            "{name:<20} {:>12.4} {:>12.4} {:>10.4} {:>12.4} {:>12.4}\n",
+            summary.mean(),
+            summary.half_width(level),
+            summary.std_dev(),
+            summary.min(),
+            summary.max(),
+        ));
+    }
+    out.push_str(&format!(
+        "\n{:>4} {:>7} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12}\n",
+        "chip",
+        "share",
+        "offered_mbps",
+        "tput_mbps",
+        "mean_power_w",
+        "energy_uj",
+        "loss_ratio",
+        "drops",
+        "switches"
+    ));
+    for (index, chip) in report.chips.iter().enumerate() {
+        out.push_str(&format!(
+            "{index:>4} {:>7.4} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12}\n",
+            chip.share,
+            pm(&chip.offered_mbps, level, 1),
+            pm(&chip.throughput_mbps, level, 1),
+            pm(&chip.mean_power_w, level, 3),
+            pm(&chip.total_energy_uj, level, 0),
+            pm(&chip.loss_ratio, level, 4),
+            pm(&chip.dropped_packets, level, 1),
+            pm(&chip.total_switches, level, 1),
+        ));
+    }
+    out
+}
+
 /// Renders a distribution's cumulative curve as CSV (`x,fraction`), ready
 /// for gnuplot/matplotlib — the workspace's equivalent of the paper's
 /// plotted series.
@@ -720,6 +774,33 @@ mod tests {
         assert!(text.starts_with("traffic_spec"), "{text}");
         assert!(text.contains("constant:rate=500"), "{text}");
         assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn fleet_table_renders_fleet_and_per_chip_rows() {
+        let mut config = fleet::FleetConfig::new(3);
+        config.cycles = 150_000;
+        config.dispatch = "hash:flows=64".parse().unwrap();
+        let outcome = fleet::run_fleet(&config, 2, &crate::Runner::new());
+        assert!(outcome.errors.is_empty());
+        let text = render_fleet(&outcome.report, ConfidenceLevel::P95);
+        assert!(
+            text.starts_with("fleet chips=3 dispatch=hash:flows=64"),
+            "{text}"
+        );
+        assert!(text.contains("2 seed(s), 95% CI"), "{text}");
+        assert!(text.contains("imbalance"), "{text}");
+        assert!(text.contains('±'), "{text}");
+        // Title + fleet header + 9 fleet metrics + blank + chip header
+        // + 3 chip rows.
+        assert_eq!(text.lines().count(), 1 + 1 + 9 + 1 + 1 + 3);
+        // Shares sum to 1 across the chip rows.
+        let shares: f64 = text
+            .lines()
+            .skip(1 + 1 + 9 + 1 + 1)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((shares - 1.0).abs() < 1e-6, "{text}");
     }
 
     #[test]

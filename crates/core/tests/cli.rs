@@ -519,7 +519,7 @@ fn sweep_over_traffic_specs_renders_table_and_json() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"traffic_sweep\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":4"), "{doc}");
+    assert!(doc.contains("\"schema_version\":5"), "{doc}");
     assert!(doc.contains("\"traffic_model\":\"burst\""), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +568,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&run_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":4"), "{doc}");
+    assert!(doc.contains("\"schema_version\":5"), "{doc}");
 
     let sweep_json = dir.join("sweep.json");
     let out = abdex()
@@ -587,7 +587,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&sweep_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":4"), "{doc}");
+    assert!(doc.contains("\"schema_version\":5"), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -683,7 +683,7 @@ fn replicate_reports_per_metric_intervals() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"replicated_run\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":4"), "{doc}");
+    assert!(doc.contains("\"schema_version\":5"), "{doc}");
     assert!(doc.contains("\"seeds\":4"), "{doc}");
     assert!(doc.contains("\"ci_level\":99"), "{doc}");
     assert!(doc.contains("\"half_width\":"), "{doc}");
@@ -895,7 +895,7 @@ fn scenario_run_reports_segments_and_writes_schema_4_json() {
     assert!(serial_err.contains("policy nodvs"), "{serial_err}");
 
     for key in [
-        "\"schema_version\":4",
+        "\"schema_version\":5",
         "\"kind\":\"scenario\"",
         "\"scenario\":\"diurnal-day\"",
         "\"seeds\":4",
@@ -1055,9 +1055,187 @@ fn replicated_compare_is_bit_identical_across_jobs() {
         serial.contains("\"kind\":\"replicated_compare\""),
         "{serial}"
     );
-    assert!(serial.contains("\"schema_version\":4"), "{serial}");
+    assert!(serial.contains("\"schema_version\":5"), "{serial}");
     assert!(serial.contains("\"half_width\":"), "{serial}");
     assert_eq!(serial, parallel, "JSON documents diverged");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_listings_show_dispatchers_and_policies() {
+    let out = abdex()
+        .args(["fleet", "dispatchers"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["round-robin", "hash", "least-loaded"] {
+        assert!(text.contains(name), "missing dispatcher '{name}': {text}");
+    }
+    assert!(text.contains("flows"), "{text}");
+
+    let out = abdex()
+        .args(["fleet", "policies"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["none", "static-cap", "cap-realloc"] {
+        assert!(text.contains(name), "missing fleet policy '{name}': {text}");
+    }
+    assert!(text.contains("budget"), "{text}");
+    assert!(text.contains("period"), "{text}");
+}
+
+#[test]
+fn fleet_run_rejects_bad_specs_and_misuse() {
+    // An unknown dispatcher fails fast and lists the registered names.
+    let out = abdex()
+        .args(["fleet", "run", "--dispatch", "teleport", "--cycles", "1000"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("teleport"), "{text}");
+    assert!(text.contains("least-loaded"), "should list known: {text}");
+
+    // Same for fleet policies.
+    let out = abdex()
+        .args([
+            "fleet",
+            "run",
+            "--fleet-policy",
+            "chaos",
+            "--cycles",
+            "1000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("chaos"), "{text}");
+    assert!(text.contains("cap-realloc"), "should list known: {text}");
+
+    // An empty fleet is refused before anything runs.
+    let out = abdex()
+        .args(["fleet", "run", "--chips", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--chips"));
+
+    // Options it would ignore are rejected like everywhere else.
+    let out = abdex()
+        .args(["fleet", "run", "--threshold", "900"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threshold"));
+
+    let out = abdex()
+        .args(["fleet", "explode"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("dispatchers"),
+        "should name the subcommands"
+    );
+}
+
+#[test]
+fn fleet_run_reports_table_and_writes_schema_5_json() {
+    let out = abdex()
+        .args([
+            "fleet",
+            "run",
+            "--chips",
+            "4",
+            "--dispatch",
+            "least-loaded",
+            "--fleet-policy",
+            "static-cap:budget=5",
+            "--cycles",
+            "200000",
+            "--json",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert!(doc.starts_with('{'), "{doc}");
+    for key in [
+        "\"schema_version\":5",
+        "\"kind\":\"fleet\"",
+        "\"chips\":4",
+        "\"dispatch\":\"least-loaded:flows=256\"",
+        "\"fleet_policy\":\"static-cap:budget=5\"",
+        "\"metrics\":{",
+        "\"imbalance\":{",
+        "\"per_chip\":[",
+        "\"share\":",
+        "\"failed\":0",
+    ] {
+        assert!(doc.contains(key), "missing {key} in {doc}");
+    }
+    // The human table moves to stderr under `--json -`.
+    let table = String::from_utf8_lossy(&out.stderr);
+    assert!(table.contains("fleet chips=4"), "{table}");
+    assert!(table.contains("imbalance"), "{table}");
+}
+
+#[test]
+fn fleet_run_is_bit_identical_across_jobs() {
+    // The PR-6 acceptance gate, CLI edition: `fleet run --chips 64
+    // --dispatch least-loaded --seeds 4 --ci 95 --json -` puts a
+    // schema-5 fleet document on stdout, byte-identical between
+    // --jobs 1 and --jobs 4. (--cycles shrinks the horizon to keep the
+    // gate fast; determinism.rs guards the library-level fold as
+    // well.)
+    let run = |jobs: &str| {
+        let out = abdex()
+            .args([
+                "fleet",
+                "run",
+                "--chips",
+                "64",
+                "--dispatch",
+                "least-loaded",
+                "--seeds",
+                "4",
+                "--ci",
+                "95",
+                "--cycles",
+                "100000",
+                "--jobs",
+                jobs,
+                "--json",
+                "-",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (serial_doc, serial_table) = run("1");
+    let (parallel_doc, parallel_table) = run("4");
+    assert!(serial_doc.contains("\"kind\":\"fleet\""), "{serial_doc}");
+    assert!(serial_doc.contains("\"chips\":64"), "{serial_doc}");
+    assert!(serial_doc.contains("\"seeds\":4"), "{serial_doc}");
+    assert!(serial_doc.contains("\"ci_level\":95"), "{serial_doc}");
+    assert_eq!(serial_doc, parallel_doc, "JSON documents diverged");
+    assert_eq!(serial_table, parallel_table, "tables diverged");
 }

@@ -5,16 +5,17 @@
 //! spec-described traffic model alike.
 
 use abdex::compare::{try_compare_policies, ComparisonConfig};
-use abdex::json::scenario_json;
+use abdex::fleet::{chip_seed, run_fleet, FleetConfig};
+use abdex::json::{fleet_json, scenario_json};
 use abdex::replicate::{try_replicated_compare, try_replicated_sweep_tdvs};
 use abdex::scenario::{try_run_scenario, Scenario, ScenarioRun};
 use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
 use abdex::tables::{
-    render_comparison, render_replicated_comparison, render_replicated_sweep, render_scenario,
-    render_spec_sweep, render_sweep, render_traffic_sweep,
+    render_comparison, render_fleet, render_replicated_comparison, render_replicated_sweep,
+    render_scenario, render_spec_sweep, render_sweep, render_traffic_sweep,
 };
 use abdex::{
-    ConfidenceLevel, GridCell, PolicyComparison, PolicySpec, ReplicatedComparison,
+    ConfidenceLevel, GridCell, JobSpec, PolicyComparison, PolicySpec, ReplicatedComparison,
     ReplicatedGridCell, Runner, SpecCell, TdvsGrid, TrafficCell, TrafficSpec,
 };
 use nepsim::Benchmark;
@@ -343,6 +344,128 @@ fn scenario_run_is_bit_identical_across_worker_counts() {
         nodvs.segments[1].metrics.offered_mbps.mean(),
         nodvs.segments[0].metrics.offered_mbps.mean(),
     );
+}
+
+#[test]
+fn degenerate_fleet_is_identical_to_the_single_chip_path() {
+    // The PR-6 identity gate: a one-chip fleet under round-robin
+    // dispatch and no fleet policy is *literally* the single-chip
+    // experiment — the 1/1 share takes the pass-through branch of the
+    // traffic thinner, so the packet stream, and with it every metric,
+    // is bit-identical to a bare `JobSpec` run at the derived chip
+    // seed.
+    let mut config = FleetConfig::new(1);
+    config.cycles = CYCLES;
+    config.seed = SEED;
+    let outcome = run_fleet(&config, 1, &Runner::serial());
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    let fleet = &outcome.report.fleet;
+
+    let solo = JobSpec {
+        benchmark: config.benchmark,
+        traffic: config.traffic.clone(),
+        policy: config.policy.clone(),
+        cycles: CYCLES,
+        seed: chip_seed(SEED, 0),
+    }
+    .simulate();
+
+    assert_eq!(outcome.report.shares, vec![1.0]);
+    assert_eq!(
+        fleet.forwarded_packets.mean(),
+        solo.forwarded_packets as f64
+    );
+    assert_eq!(
+        fleet.total_energy_uj.mean().to_bits(),
+        solo.total_energy_uj().to_bits()
+    );
+    assert_eq!(
+        fleet.throughput_mbps.mean().to_bits(),
+        solo.throughput_mbps().to_bits()
+    );
+    assert_eq!(
+        fleet.mean_power_w.mean().to_bits(),
+        solo.mean_power_w().to_bits()
+    );
+    assert_eq!(
+        fleet.offered_mbps.mean().to_bits(),
+        solo.offered_mbps().to_bits()
+    );
+}
+
+#[test]
+fn fleet_run_is_bit_identical_across_worker_counts() {
+    // The PR-6 acceptance gate: a replicated fleet run — skewed hash
+    // dispatch, per-chip TDVS, cap-and-reallocate on top — folds
+    // fleet-wide and per-chip means/half-widths that are bit-identical
+    // for any worker count, down to the rendered table and the schema-5
+    // JSON document `--json -` emits.
+    let mut config = FleetConfig::new(5);
+    config.cycles = CYCLES;
+    config.seed = SEED;
+    config.dispatch = "hash:flows=64".parse().unwrap();
+    config.policy = "tdvs:threshold=1200".parse().unwrap();
+    config.fleet_policy = "cap-realloc:budget=6,period=100000".parse().unwrap();
+    let run = |workers: usize| {
+        let outcome = run_fleet(&config, 3, &Runner::new().with_workers(workers));
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        outcome
+    };
+    let serial = run(1);
+    for workers in [2, 4] {
+        let parallel = run(workers);
+        assert_eq!(serial.report.shares, parallel.report.shares);
+        for ((name, ss), (_, ps)) in serial
+            .report
+            .fleet
+            .fields()
+            .iter()
+            .zip(parallel.report.fleet.fields())
+        {
+            assert_eq!(
+                ss.mean().to_bits(),
+                ps.mean().to_bits(),
+                "fleet {name} mean diverged with {workers} workers"
+            );
+            for level in ConfidenceLevel::ALL {
+                assert_eq!(
+                    ss.half_width(level).to_bits(),
+                    ps.half_width(level).to_bits(),
+                    "fleet {name} {level} half-width diverged with {workers} workers"
+                );
+            }
+        }
+        for (chip, (sc, pc)) in serial
+            .report
+            .chips
+            .iter()
+            .zip(&parallel.report.chips)
+            .enumerate()
+        {
+            assert_eq!(sc.share.to_bits(), pc.share.to_bits());
+            for ((name, ss), (_, ps)) in sc.fields().iter().zip(pc.fields()) {
+                assert_eq!(
+                    ss.mean().to_bits(),
+                    ps.mean().to_bits(),
+                    "chip {chip} {name} diverged with {workers} workers"
+                );
+            }
+        }
+        assert_eq!(
+            render_fleet(&serial.report, ConfidenceLevel::P95),
+            render_fleet(&parallel.report, ConfidenceLevel::P95)
+        );
+        assert_eq!(
+            fleet_json(&serial, ConfidenceLevel::P95),
+            fleet_json(&parallel, ConfidenceLevel::P95)
+        );
+    }
+    // The hash dispatcher's heavy-tailed flow weights genuinely skew
+    // the shares, so the per-chip breakdown carries real signal.
+    let shares = &serial.report.shares;
+    let max = shares.iter().cloned().fold(0.0, f64::max);
+    let min = shares.iter().cloned().fold(1.0, f64::min);
+    assert!(max > 1.2 * min, "expected skewed shares, got {shares:?}");
 }
 
 #[test]

@@ -1,0 +1,178 @@
+//! [`CappedPolicy`] — the enforcement shim between the fleet tier and a
+//! chip's own DVS policy.
+//!
+//! The fleet tier speaks watts; a chip speaks VF levels. The runner
+//! converts each chip's per-epoch power caps into maximum ladder levels
+//! (via [`crate::cap_level`]) and wraps the chip's configured
+//! [`DvsPolicy`] in a `CappedPolicy`, which filters the inner policy's
+//! per-window decisions so no microengine ever sits above the epoch's
+//! cap. The inner policy still observes every window — its internal
+//! state advances exactly as it would uncapped — it just cannot drive a
+//! level through the ceiling.
+
+use dvs::{DvsPolicy, PolicyKind, PolicyObservation, PolicyResponse, ScalingDecision};
+
+/// A [`DvsPolicy`] wrapper enforcing per-epoch maximum VF levels.
+#[derive(Debug)]
+pub struct CappedPolicy {
+    inner: Box<dyn DvsPolicy>,
+    /// Monitor window in base-clock cycles (the inner policy's, or the
+    /// platform default when the inner policy defines none).
+    window_cycles: u64,
+    /// Epoch length in base-clock cycles.
+    period_cycles: u64,
+    /// Maximum allowed ladder level per epoch.
+    max_levels: Vec<usize>,
+}
+
+impl CappedPolicy {
+    /// Wraps `inner`, enforcing `max_levels[epoch]` as the level
+    /// ceiling; epoch boundaries fall every `period_cycles` base-clock
+    /// cycles and windows fire every `window_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_levels` is empty or either cycle count is zero.
+    #[must_use]
+    pub fn new(
+        inner: Box<dyn DvsPolicy>,
+        window_cycles: u64,
+        period_cycles: u64,
+        max_levels: Vec<usize>,
+    ) -> Self {
+        assert!(!max_levels.is_empty(), "need at least one epoch cap");
+        assert!(window_cycles > 0, "window must be non-empty");
+        assert!(period_cycles > 0, "period must be non-empty");
+        CappedPolicy {
+            inner,
+            window_cycles,
+            period_cycles,
+            max_levels,
+        }
+    }
+
+    /// The cap in force for the window *after* `window` — decisions
+    /// taken at a boundary apply going forward, so they are checked
+    /// against the epoch the next window falls in.
+    fn cap_after(&self, window: u64) -> usize {
+        let next_start = (window + 1).saturating_mul(self.window_cycles);
+        let epoch = (next_start / self.period_cycles) as usize;
+        self.max_levels[epoch.min(self.max_levels.len() - 1)]
+    }
+}
+
+impl DvsPolicy for CappedPolicy {
+    fn kind(&self) -> PolicyKind {
+        self.inner.kind()
+    }
+
+    fn window_cycles(&self) -> Option<u64> {
+        Some(self.window_cycles)
+    }
+
+    fn monitors_traffic(&self) -> bool {
+        self.inner.monitors_traffic()
+    }
+
+    fn on_window(&mut self, obs: &PolicyObservation<'_>) -> PolicyResponse {
+        // The inner policy always observes the window, cap or no cap —
+        // its automaton state must match an uncapped run's.
+        let mut response = self.inner.on_window(obs);
+        let cap = self.cap_after(obs.window);
+        for (decision, me) in response.decisions.iter_mut().zip(obs.mes) {
+            if me.level > cap {
+                *decision = ScalingDecision::Down;
+            } else if me.level == cap && *decision == ScalingDecision::Up {
+                *decision = ScalingDecision::Hold;
+            }
+        }
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dvs::{MeObservation, QueueObservation};
+
+    use super::*;
+
+    /// An inner policy that always asks every ME to step up.
+    #[derive(Debug)]
+    struct AlwaysUp;
+
+    impl DvsPolicy for AlwaysUp {
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::Custom
+        }
+        fn window_cycles(&self) -> Option<u64> {
+            Some(40_000)
+        }
+        fn on_window(&mut self, obs: &PolicyObservation<'_>) -> PolicyResponse {
+            PolicyResponse::uniform(ScalingDecision::Up, obs.mes.len())
+        }
+    }
+
+    fn observe(window: u64, levels: &[usize]) -> (Vec<MeObservation>, u64) {
+        let mes: Vec<MeObservation> = levels
+            .iter()
+            .map(|&level| MeObservation {
+                idle_fraction: 0.0,
+                level,
+            })
+            .collect();
+        (mes, window)
+    }
+
+    fn respond(policy: &mut CappedPolicy, window: u64, levels: &[usize]) -> Vec<ScalingDecision> {
+        let (mes, window) = observe(window, levels);
+        let queue = QueueObservation {
+            occupancy: 0,
+            capacity: 16,
+            dropped: 0,
+        };
+        policy
+            .on_window(&PolicyObservation {
+                window,
+                window_us: 66.67,
+                aggregate_mbps: 0.0,
+                mes: &mes,
+                rx_fifo: queue,
+                tx_queue: queue,
+            })
+            .decisions
+    }
+
+    #[test]
+    fn levels_above_the_cap_are_forced_down() {
+        let mut p = CappedPolicy::new(Box::new(AlwaysUp), 40_000, 1_000_000, vec![1]);
+        assert_eq!(
+            respond(&mut p, 0, &[4, 3, 1, 0]),
+            vec![
+                ScalingDecision::Down,
+                ScalingDecision::Down,
+                ScalingDecision::Hold, // at the cap: Up is filtered
+                ScalingDecision::Up,   // below the cap: inner rules
+            ]
+        );
+    }
+
+    #[test]
+    fn caps_switch_at_epoch_boundaries_causally() {
+        // Two epochs of 80 000 cycles each, windows of 40 000: windows
+        // 0 ends at 40 000 (next window still epoch 0), window 1 ends
+        // at 80 000 (the next window is epoch 1).
+        let mut p = CappedPolicy::new(Box::new(AlwaysUp), 40_000, 80_000, vec![4, 0]);
+        assert_eq!(respond(&mut p, 0, &[2])[0], ScalingDecision::Up);
+        assert_eq!(respond(&mut p, 1, &[2])[0], ScalingDecision::Down);
+        // Past the last epoch the final cap stays in force.
+        assert_eq!(respond(&mut p, 7, &[2])[0], ScalingDecision::Down);
+    }
+
+    #[test]
+    fn wrapper_reports_the_inner_identity() {
+        let p = CappedPolicy::new(Box::new(AlwaysUp), 20_000, 100_000, vec![2]);
+        assert_eq!(p.kind(), PolicyKind::Custom);
+        assert_eq!(p.window_cycles(), Some(20_000));
+        assert!(!p.monitors_traffic());
+    }
+}

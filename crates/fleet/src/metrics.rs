@@ -1,0 +1,197 @@
+//! Fleet-level metric folds: per-replicate samples aggregated across
+//! chips, and [`stats::Summary`] distributions over replicates.
+//!
+//! One [`FleetSample`] summarises one replicate (all chips of one
+//! fleet run); pushing samples into a [`FleetDist`] — and per-chip
+//! reports into [`ChipDist`]s — builds the distributions the tables
+//! and JSON documents render, with confidence intervals when the run
+//! was replicated. Push order is replicate order, which the runner
+//! guarantees is independent of worker count, so every summary is
+//! bit-deterministic.
+
+use nepsim::SimReport;
+use stats::Summary;
+
+/// Fleet-wide aggregates of one replicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSample {
+    /// Aggregate offered load across all chips, Mbps.
+    pub offered_mbps: f64,
+    /// Aggregate forwarded throughput across all chips, Mbps.
+    pub throughput_mbps: f64,
+    /// Total fleet power, watts (sum of per-chip mean power).
+    pub mean_power_w: f64,
+    /// Total fleet energy, microjoules.
+    pub total_energy_uj: f64,
+    /// Fleet-wide packet-loss ratio (drops / arrivals over all chips).
+    pub loss_ratio: f64,
+    /// Total dropped packets (receive + transmit) across all chips.
+    pub dropped_packets: f64,
+    /// Total forwarded packets across all chips.
+    pub forwarded_packets: f64,
+    /// Total VF switches across all chips.
+    pub total_switches: f64,
+    /// Load imbalance: the hottest chip's offered load over the mean
+    /// chip's (1 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl FleetSample {
+    /// Folds the per-chip reports of one replicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reports` is empty.
+    #[must_use]
+    pub fn from_reports(reports: &[SimReport]) -> Self {
+        assert!(!reports.is_empty(), "a fleet has at least one chip");
+        let offered: f64 = reports.iter().map(SimReport::offered_mbps).sum();
+        let arrived: u64 = reports.iter().map(|r| r.arrived_packets).sum();
+        let dropped: u64 = reports
+            .iter()
+            .map(|r| r.dropped_packets + r.dropped_tx_packets)
+            .sum();
+        let hottest = reports
+            .iter()
+            .map(SimReport::offered_mbps)
+            .fold(0.0, f64::max);
+        let mean_offered = offered / reports.len() as f64;
+        FleetSample {
+            offered_mbps: offered,
+            throughput_mbps: reports.iter().map(SimReport::throughput_mbps).sum(),
+            mean_power_w: reports.iter().map(SimReport::mean_power_w).sum(),
+            total_energy_uj: reports.iter().map(SimReport::total_energy_uj).sum(),
+            loss_ratio: if arrived == 0 {
+                0.0
+            } else {
+                dropped as f64 / arrived as f64
+            },
+            dropped_packets: dropped as f64,
+            forwarded_packets: reports.iter().map(|r| r.forwarded_packets).sum::<u64>() as f64,
+            total_switches: reports.iter().map(|r| r.total_switches).sum::<u64>() as f64,
+            imbalance: if mean_offered > 0.0 {
+                hottest / mean_offered
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+/// Distributions of the fleet-wide metrics over replicates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetDist {
+    /// Aggregate offered load, Mbps.
+    pub offered_mbps: Summary,
+    /// Aggregate forwarded throughput, Mbps.
+    pub throughput_mbps: Summary,
+    /// Total fleet power, watts.
+    pub mean_power_w: Summary,
+    /// Total fleet energy, microjoules.
+    pub total_energy_uj: Summary,
+    /// Fleet-wide packet-loss ratio.
+    pub loss_ratio: Summary,
+    /// Total dropped packets.
+    pub dropped_packets: Summary,
+    /// Total forwarded packets.
+    pub forwarded_packets: Summary,
+    /// Total VF switches.
+    pub total_switches: Summary,
+    /// Hottest-chip / mean-chip offered load.
+    pub imbalance: Summary,
+}
+
+impl FleetDist {
+    /// Folds one replicate's sample into every distribution.
+    pub fn push(&mut self, sample: &FleetSample) {
+        self.offered_mbps.push(sample.offered_mbps);
+        self.throughput_mbps.push(sample.throughput_mbps);
+        self.mean_power_w.push(sample.mean_power_w);
+        self.total_energy_uj.push(sample.total_energy_uj);
+        self.loss_ratio.push(sample.loss_ratio);
+        self.dropped_packets.push(sample.dropped_packets);
+        self.forwarded_packets.push(sample.forwarded_packets);
+        self.total_switches.push(sample.total_switches);
+        self.imbalance.push(sample.imbalance);
+    }
+
+    /// Number of replicates folded in.
+    #[must_use]
+    pub fn replicates(&self) -> u64 {
+        self.offered_mbps.n()
+    }
+
+    /// Every metric with its name, table order.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, &Summary); 9] {
+        [
+            ("offered_mbps", &self.offered_mbps),
+            ("throughput_mbps", &self.throughput_mbps),
+            ("mean_power_w", &self.mean_power_w),
+            ("total_energy_uj", &self.total_energy_uj),
+            ("loss_ratio", &self.loss_ratio),
+            ("dropped_packets", &self.dropped_packets),
+            ("forwarded_packets", &self.forwarded_packets),
+            ("total_switches", &self.total_switches),
+            ("imbalance", &self.imbalance),
+        ]
+    }
+}
+
+/// Distributions of one chip's metrics over replicates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChipDist {
+    /// The dispatcher's share of the aggregate load for this chip.
+    pub share: f64,
+    /// Offered load at this chip, Mbps.
+    pub offered_mbps: Summary,
+    /// Forwarded throughput, Mbps.
+    pub throughput_mbps: Summary,
+    /// Mean chip power, watts.
+    pub mean_power_w: Summary,
+    /// Chip energy, microjoules.
+    pub total_energy_uj: Summary,
+    /// Chip packet-loss ratio.
+    pub loss_ratio: Summary,
+    /// Dropped packets (receive + transmit).
+    pub dropped_packets: Summary,
+    /// VF switches.
+    pub total_switches: Summary,
+}
+
+impl ChipDist {
+    /// A fresh distribution for a chip carrying `share` of the load.
+    #[must_use]
+    pub fn new(share: f64) -> Self {
+        ChipDist {
+            share,
+            ..ChipDist::default()
+        }
+    }
+
+    /// Folds one replicate's chip report into every distribution.
+    pub fn push(&mut self, report: &SimReport) {
+        self.offered_mbps.push(report.offered_mbps());
+        self.throughput_mbps.push(report.throughput_mbps());
+        self.mean_power_w.push(report.mean_power_w());
+        self.total_energy_uj.push(report.total_energy_uj());
+        self.loss_ratio.push(report.loss_ratio());
+        self.dropped_packets
+            .push((report.dropped_packets + report.dropped_tx_packets) as f64);
+        self.total_switches.push(report.total_switches as f64);
+    }
+
+    /// Every metric with its name, table order.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, &Summary); 7] {
+        [
+            ("offered_mbps", &self.offered_mbps),
+            ("throughput_mbps", &self.throughput_mbps),
+            ("mean_power_w", &self.mean_power_w),
+            ("total_energy_uj", &self.total_energy_uj),
+            ("loss_ratio", &self.loss_ratio),
+            ("dropped_packets", &self.dropped_packets),
+            ("total_switches", &self.total_switches),
+        ]
+    }
+}

@@ -1,0 +1,348 @@
+//! The fleet runner: N chips executed as one deterministic job batch.
+//!
+//! Each (replicate, chip) pair becomes one job on the shared
+//! [`xrun::Runner`] pool, submitted replicate-major / chip-minor. The
+//! pool returns results in submission order regardless of worker
+//! count, and every fold below walks that order — which is what makes
+//! `--jobs 1` and `--jobs 4` byte-identical.
+//!
+//! Seeding is two-level: replicate `r` of fleet seed `S` runs from
+//! `derive_seed(S, r)` (the same convention `stats::Replication` uses;
+//! a single-replicate run uses `S` itself), and chip `c` of a replicate
+//! with seed `R` runs from `derive_seed(R, c)`. Distinct family seeds
+//! give disjoint derived families, so chip streams never collide with
+//! replicate streams — the seed-quality suites pin this.
+
+use desim::rng::derive_seed;
+use nepsim::{NpuConfig, SimReport, Simulator};
+use traffic::{Thinned, TrafficModel};
+use xrun::{Job, JobError, Runner};
+
+use crate::policy::{cap_level, CapPlan, FleetTelemetry};
+use crate::{CappedPolicy, ChipDist, FleetConfig, FleetDist, FleetSample};
+
+/// The aggregated outcome of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The configuration that produced this report.
+    pub config: FleetConfig,
+    /// Replicates requested (a failed chip drops its whole replicate
+    /// from the folds; `fleet.replicates()` reports how many survived).
+    pub seeds: usize,
+    /// The dispatcher's per-chip load shares (from the fleet seed).
+    pub shares: Vec<f64>,
+    /// Fleet-wide metric distributions over replicates.
+    pub fleet: FleetDist,
+    /// Per-chip metric distributions over replicates.
+    pub chips: Vec<ChipDist>,
+}
+
+/// A [`FleetReport`] plus any per-job failures.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The aggregated report.
+    pub report: FleetReport,
+    /// Errors from chips whose simulation panicked.
+    pub errors: Vec<JobError>,
+}
+
+/// The replicate seed family for fleet seed `seed`: `seed` itself for
+/// a single run, `derive_seed(seed, r)` per replicate otherwise —
+/// matching the `stats::Replication` convention.
+#[must_use]
+pub fn replicate_seeds(seed: u64, replicates: usize) -> Vec<u64> {
+    if replicates <= 1 {
+        vec![seed]
+    } else {
+        (0..replicates as u64)
+            .map(|r| derive_seed(seed, r))
+            .collect()
+    }
+}
+
+/// The seed chip `chip` runs from within a replicate.
+#[must_use]
+pub fn chip_seed(replicate_seed: u64, chip: u64) -> u64 {
+    derive_seed(replicate_seed, chip)
+}
+
+/// Runs a fleet of `config.chips` chips, `seeds` replicates, on
+/// `runner`'s worker pool, and folds the per-chip reports into a
+/// [`FleetReport`].
+///
+/// # Panics
+///
+/// Panics when the config is invalid, `seeds` is zero, or the traffic
+/// spec cannot build a model (callers preflight specs; see
+/// [`FleetConfig::validate`]).
+#[must_use]
+pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOutcome {
+    config.validate();
+    assert!(seeds > 0, "need at least one replicate");
+
+    let chips = config.chips;
+    let shares = config.dispatch.build().shares(chips, config.seed);
+    let rep_seeds = replicate_seeds(config.seed, seeds);
+    let fleet_policy = config.fleet_policy.build();
+
+    // One cap plan per replicate: telemetry depends on the replicate's
+    // chip streams.
+    let plans: Vec<Option<CapPlan>> = rep_seeds
+        .iter()
+        .map(|&rep_seed| {
+            let telemetry = match fleet_policy.period_cycles() {
+                None => FleetTelemetry::whole_run(chips, config.cycles),
+                Some(period) => gather_telemetry(config, &shares, rep_seed, period),
+            };
+            fleet_policy.plan(chips, &telemetry)
+        })
+        .collect();
+
+    let mut jobs: Vec<Job<'_, SimReport>> = Vec::with_capacity(seeds * chips);
+    for (r, &rep_seed) in rep_seeds.iter().enumerate() {
+        for (c, &share) in shares.iter().enumerate() {
+            let seed = chip_seed(rep_seed, c as u64);
+            let chip_caps: Option<(u64, Vec<f64>)> = plans[r]
+                .as_ref()
+                .map(|plan| (plan.period_cycles, plan.caps_w[c].clone()));
+            let config = config.clone();
+            jobs.push(Job::new(
+                format!("fleet r{r} chip{c} seed={seed}"),
+                move || run_chip(&config, seed, share, chip_caps.as_ref()),
+            ));
+        }
+    }
+
+    let results = runner.run(jobs);
+    let mut errors = Vec::new();
+    let mut fleet = FleetDist::default();
+    let mut chip_dists: Vec<ChipDist> = shares.iter().map(|&s| ChipDist::new(s)).collect();
+
+    for replicate in results.chunks(chips) {
+        let mut reports = Vec::with_capacity(chips);
+        let mut failed = false;
+        for result in replicate {
+            match &result.outcome {
+                Ok(report) => reports.push(report.clone()),
+                Err(err) => {
+                    errors.push(err.clone());
+                    failed = true;
+                }
+            }
+        }
+        // A failed chip invalidates its whole replicate: fleet totals
+        // over a partial fleet would silently understate load.
+        if failed {
+            continue;
+        }
+        fleet.push(&FleetSample::from_reports(&reports));
+        for (dist, report) in chip_dists.iter_mut().zip(&reports) {
+            dist.push(report);
+        }
+    }
+
+    FleetOutcome {
+        report: FleetReport {
+            config: config.clone(),
+            seeds,
+            shares,
+            fleet,
+            chips: chip_dists,
+        },
+        errors,
+    }
+}
+
+/// Simulates one chip: its thinned sub-stream, its DVS policy, and —
+/// when the fleet tier assigned caps — the [`CappedPolicy`] shim.
+fn run_chip(
+    config: &FleetConfig,
+    seed: u64,
+    share: f64,
+    caps: Option<&(u64, Vec<f64>)>,
+) -> SimReport {
+    let npu = NpuConfig::builder()
+        .benchmark(config.benchmark)
+        .seed(seed)
+        .traffic(config.traffic.clone())
+        .policy(config.policy.clone())
+        .build();
+    let model = config
+        .traffic
+        .model()
+        .unwrap_or_else(|e| panic!("invalid traffic spec: {e}"));
+    let thinned = Thinned::new(model, share);
+    let mut sim = Simulator::new(npu).with_traffic(&thinned);
+    if let Some((period, caps_w)) = caps {
+        let chip = sim.config();
+        let window = config
+            .policy
+            .window_cycles()
+            .unwrap_or(chip.stats_window_cycles);
+        let levels: Vec<usize> = caps_w.iter().map(|&w| cap_level(w, chip)).collect();
+        let inner = config.policy.build(&chip.ladder);
+        sim = sim.with_policy(Box::new(CappedPolicy::new(inner, window, *period, levels)));
+    }
+    sim.run_cycles(config.cycles)
+}
+
+/// Streams every chip's thinned sub-stream and buckets its bits into
+/// telemetry epochs — the load-balancer byte counters the fleet
+/// policies plan from. No simulation runs here; arrivals are a pure
+/// function of `(traffic, chip seed, share)`.
+fn gather_telemetry(
+    config: &FleetConfig,
+    shares: &[f64],
+    rep_seed: u64,
+    period: u64,
+) -> FleetTelemetry {
+    // Epoch boundaries in simulated time, using the same base clock the
+    // simulator converts cycles with.
+    let base = NpuConfig::builder().build().base_freq();
+    let horizon = base.cycles_to_time(config.cycles);
+    let epochs = config.cycles.div_ceil(period).max(1) as usize;
+    let boundaries: Vec<_> = (1..=epochs as u64)
+        .map(|e| base.cycles_to_time((e * period).min(config.cycles)))
+        .collect();
+
+    let offered_bits = shares
+        .iter()
+        .enumerate()
+        .map(|(c, &share)| {
+            let seed = chip_seed(rep_seed, c as u64);
+            let thinned = Thinned::new(
+                config
+                    .traffic
+                    .model()
+                    .unwrap_or_else(|e| panic!("invalid traffic spec: {e}")),
+                share,
+            );
+            let mut bits = vec![0u64; epochs];
+            let mut epoch = 0;
+            for packet in thinned.stream(seed).take_while(|p| p.arrival < horizon) {
+                while epoch + 1 < epochs && packet.arrival >= boundaries[epoch] {
+                    epoch += 1;
+                }
+                bits[epoch] += packet.size_bits();
+            }
+            bits
+        })
+        .collect();
+    FleetTelemetry {
+        period_cycles: period,
+        offered_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use xrun::JobSpec;
+
+    use super::*;
+    use crate::{DispatchSpec, FleetPolicySpec};
+
+    const CYCLES: u64 = 200_000;
+
+    fn config(chips: usize) -> FleetConfig {
+        let mut c = FleetConfig::new(chips);
+        c.cycles = CYCLES;
+        c
+    }
+
+    #[test]
+    fn replicate_seed_family_matches_the_convention() {
+        assert_eq!(replicate_seeds(42, 1), vec![42]);
+        assert_eq!(
+            replicate_seeds(42, 3),
+            vec![derive_seed(42, 0), derive_seed(42, 1), derive_seed(42, 2)]
+        );
+    }
+
+    #[test]
+    fn degenerate_fleet_matches_the_single_chip_path() {
+        // One chip, round-robin, pass-through fleet policy: the fleet
+        // run is *bit-identical* to a bare single-chip simulation with
+        // the derived chip seed.
+        let outcome = run_fleet(&config(1), 1, &Runner::serial());
+        assert!(outcome.errors.is_empty());
+        let fleet = &outcome.report.fleet;
+
+        let bare = JobSpec {
+            benchmark: nepsim::Benchmark::Ipfwdr,
+            traffic: traffic::TrafficLevel::High.into(),
+            policy: nepsim::PolicySpec::NoDvs,
+            cycles: CYCLES,
+            seed: chip_seed(42, 0),
+        }
+        .simulate();
+
+        assert_eq!(
+            fleet.total_energy_uj.mean().to_bits(),
+            bare.total_energy_uj().to_bits()
+        );
+        assert_eq!(
+            fleet.throughput_mbps.mean().to_bits(),
+            bare.throughput_mbps().to_bits()
+        );
+        assert_eq!(
+            fleet.forwarded_packets.mean(),
+            bare.forwarded_packets as f64
+        );
+    }
+
+    #[test]
+    fn folds_are_identical_across_worker_counts() {
+        let mut cfg = config(4);
+        cfg.dispatch = DispatchSpec::Hash { flows: 64 };
+        cfg.fleet_policy = FleetPolicySpec::CapRealloc {
+            budget_w: 4.0,
+            period_cycles: 100_000,
+            floor_w: 0.5,
+        };
+        let serial = run_fleet(&cfg, 2, &Runner::serial());
+        let parallel = run_fleet(&cfg, 2, &Runner::new().with_workers(3));
+        assert_eq!(
+            serial.report.fleet.total_energy_uj.mean().to_bits(),
+            parallel.report.fleet.total_energy_uj.mean().to_bits()
+        );
+        assert_eq!(
+            serial.report.fleet.loss_ratio.mean().to_bits(),
+            parallel.report.fleet.loss_ratio.mean().to_bits()
+        );
+        for (a, b) in serial.report.chips.iter().zip(&parallel.report.chips) {
+            assert_eq!(
+                a.mean_power_w.mean().to_bits(),
+                b.mean_power_w.mean().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn static_cap_reduces_fleet_power() {
+        let mut uncapped = config(2);
+        uncapped.dispatch = DispatchSpec::RoundRobin;
+        let mut capped = uncapped.clone();
+        // ~0.8 W per chip pins both chips near the ladder bottom.
+        capped.fleet_policy = FleetPolicySpec::StaticCap { budget_w: 1.7 };
+        let base = run_fleet(&uncapped, 1, &Runner::serial());
+        let cap = run_fleet(&capped, 1, &Runner::serial());
+        assert!(
+            cap.report.fleet.mean_power_w.mean() < base.report.fleet.mean_power_w.mean(),
+            "cap {} vs base {}",
+            cap.report.fleet.mean_power_w.mean(),
+            base.report.fleet.mean_power_w.mean()
+        );
+    }
+
+    #[test]
+    fn a_panicking_replicate_is_excluded_but_reported() {
+        let mut cfg = config(2);
+        // An unbuildable traffic spec panics inside the job; both chips
+        // of the replicate fail, the errors surface, and the folds stay
+        // empty rather than lying.
+        cfg.traffic = traffic::TrafficSpec::Replay(traffic::ReplayConfig::new("/no/such.trace"));
+        let outcome = run_fleet(&cfg, 1, &Runner::serial());
+        assert_eq!(outcome.errors.len(), 2);
+        assert_eq!(outcome.report.fleet.replicates(), 0);
+    }
+}

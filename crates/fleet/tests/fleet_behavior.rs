@@ -1,0 +1,124 @@
+//! Behavioral contract of the fleet power tier — the PR-6 acceptance
+//! comparison: under a skewed dispatch, `cap-realloc` demonstrably
+//! shifts the watt budget (and with it energy and throughput) toward
+//! the hot chip compared to `static-cap` at the same fleet budget.
+//!
+//! Everything here is deterministic (fixed seeds, submission-ordered
+//! folds), so the assertions pin exact directional relationships, not
+//! statistical tendencies.
+
+use fleet::{run_fleet, FleetConfig, FleetOutcome};
+use xrun::Runner;
+
+/// A 4-chip fleet under heavily skewed flow hashing: one elephant flow
+/// population concentrates ~86 % of a 1800 Mbps aggregate on one chip.
+fn skewed_fleet(fleet_policy: &str) -> FleetOutcome {
+    let mut config = FleetConfig::new(4);
+    config.cycles = 600_000;
+    config.seed = 17;
+    config.traffic = "constant:rate=1800".parse().unwrap();
+    config.dispatch = "hash:flows=12".parse().unwrap();
+    config.fleet_policy = fleet_policy.parse().unwrap();
+    let outcome = run_fleet(&config, 2, &Runner::new());
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    outcome
+}
+
+/// Index of the chip carrying the largest dispatch share.
+fn hottest(outcome: &FleetOutcome) -> usize {
+    let shares = &outcome.report.shares;
+    (0..shares.len())
+        .max_by(|&a, &b| shares[a].partial_cmp(&shares[b]).unwrap())
+        .unwrap()
+}
+
+#[test]
+fn cap_realloc_shifts_budget_toward_the_hot_chip() {
+    let uncapped = skewed_fleet("none");
+    let statically = skewed_fleet("static-cap:budget=2.4");
+    let realloc = skewed_fleet("cap-realloc:budget=2.4,period=100000,floor=0.4");
+
+    // The dispatch is genuinely skewed, and identical across policies
+    // (shares depend only on the dispatcher and the fleet seed).
+    assert_eq!(uncapped.report.shares, statically.report.shares);
+    assert_eq!(uncapped.report.shares, realloc.report.shares);
+    let hot = hottest(&uncapped);
+    assert!(
+        uncapped.report.shares[hot] > 0.5,
+        "expected an elephant chip, got {:?}",
+        uncapped.report.shares
+    );
+
+    // Both capped fleets draw visibly less power than the uncapped one.
+    let power = |o: &FleetOutcome| o.report.fleet.mean_power_w.mean();
+    assert!(power(&statically) < 0.8 * power(&uncapped));
+    assert!(power(&realloc) < 0.8 * power(&uncapped));
+
+    // The shift: under the same 2.4 W budget, cap-realloc grants the
+    // hot chip a larger cap than budget/N, so the hot chip spends more
+    // energy and forwards more than under the static split...
+    let hot_energy = |o: &FleetOutcome| o.report.chips[hot].total_energy_uj.mean();
+    let hot_tput = |o: &FleetOutcome| o.report.chips[hot].throughput_mbps.mean();
+    assert!(
+        hot_energy(&realloc) > 1.05 * hot_energy(&statically),
+        "hot-chip energy did not shift: realloc {} vs static {}",
+        hot_energy(&realloc),
+        hot_energy(&statically)
+    );
+    assert!(
+        hot_tput(&realloc) > hot_tput(&statically) + 10.0,
+        "hot-chip throughput did not recover: realloc {} vs static {}",
+        hot_tput(&realloc),
+        hot_tput(&statically)
+    );
+
+    // ...which lifts fleet-wide throughput toward the uncapped level.
+    let tput = |o: &FleetOutcome| o.report.fleet.throughput_mbps.mean();
+    assert!(
+        tput(&realloc) > tput(&statically) + 10.0,
+        "fleet throughput did not recover: realloc {} vs static {}",
+        tput(&realloc),
+        tput(&statically)
+    );
+    assert!(tput(&uncapped) >= tput(&realloc));
+
+    // The cold chips sit at the ladder floor under both splits, so the
+    // whole fleet-level difference is the hot chip's reallocation.
+    for (chip, (s, r)) in statically
+        .report
+        .chips
+        .iter()
+        .zip(&realloc.report.chips)
+        .enumerate()
+    {
+        if chip == hot {
+            continue;
+        }
+        assert_eq!(
+            s.total_energy_uj.mean().to_bits(),
+            r.total_energy_uj.mean().to_bits(),
+            "cold chip {chip} diverged between the splits"
+        );
+    }
+}
+
+#[test]
+fn fleet_power_ordering_holds_under_even_dispatch_too() {
+    // Round-robin spreads the load evenly, so static-cap and
+    // cap-realloc converge to (nearly) the same per-chip split; both
+    // must still sit below the uncapped fleet.
+    let run = |fp: &str| {
+        let mut config = FleetConfig::new(3);
+        config.cycles = 300_000;
+        config.seed = 17;
+        config.fleet_policy = fp.parse().unwrap();
+        let outcome = run_fleet(&config, 1, &Runner::new());
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        outcome.report.fleet.mean_power_w.mean()
+    };
+    let uncapped = run("none");
+    let statically = run("static-cap:budget=2.7");
+    let realloc = run("cap-realloc:budget=2.7,period=100000,floor=0.5");
+    assert!(statically < uncapped, "{statically} vs {uncapped}");
+    assert!(realloc < uncapped, "{realloc} vs {uncapped}");
+}

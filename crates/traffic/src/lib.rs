@@ -33,6 +33,11 @@
 //!   each segment independently seeded — the time-varying workloads
 //!   behind the `scenario` layer.
 //!
+//! [`Thinned`] is a combinator rather than a registered model: it
+//! carries a *share* of any other model's load via Bernoulli thinning,
+//! which is how the `fleet` layer shards one aggregate stream across N
+//! chips.
+//!
 //! The property the DVS study depends on — *unbalanced* load with burst
 //! and lull phases long enough to span several monitor windows — is
 //! preserved by the MMPP and on/off models.
@@ -66,6 +71,7 @@ mod registry;
 mod replay;
 mod schedule;
 mod spec;
+mod thin;
 
 pub use arrivals::{ArrivalConfig, PacketStream};
 pub use constant::ConstantConfig;
@@ -81,6 +87,7 @@ pub use registry::{TrafficInfo, TrafficRegistry};
 pub use replay::{RecordedTrace, ReplayConfig};
 pub use schedule::{ScheduleConfig, ScheduleModel, ScheduleSegment};
 pub use spec::TrafficSpec;
+pub use thin::Thinned;
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,162 @@
+//! [`Thinned`] — a share-of-load combinator over any [`TrafficModel`].
+//!
+//! The fleet layer shards one aggregate arrival process across N chips:
+//! a dispatcher assigns each chip a *share* of the offered load, and the
+//! chip's sub-stream is the aggregate model thinned to that share. This
+//! is classical Bernoulli thinning — each packet is kept independently
+//! with probability `share` — which preserves the arrival process
+//! family (a thinned Poisson process is Poisson) while scaling its rate
+//! exactly by the share.
+//!
+//! Two contracts matter for the fleet determinism guarantees:
+//!
+//! * the keep/drop stream is derived from the chip's own seed via
+//!   [`desim::rng::derive_stream`], so a chip's sub-stream is a pure
+//!   function of `(aggregate model, chip seed, share)`;
+//! * `share >= 1` is a literal pass-through — no RNG is created and no
+//!   draw is made — so a one-chip fleet sees *bit-identical* arrivals
+//!   to a bare single-chip run with the same seed.
+
+use desim::rng::derive_stream;
+use rand::Rng;
+
+use crate::model::{PacketSource, TrafficModel};
+
+/// The substream label the keep/drop coin flips are derived from.
+/// Fixed so thinning never perturbs the aggregate model's own draws.
+const THIN_LABEL: &str = "fleet.thin";
+
+/// A [`TrafficModel`] carrying `share` of another model's load.
+///
+/// # Example
+///
+/// ```
+/// use desim::SimTime;
+/// use traffic::{Thinned, TrafficModel, TrafficSpec};
+///
+/// let spec = "high".parse::<TrafficSpec>().unwrap();
+/// let full_rate = spec.model().unwrap().mean_rate_mbps();
+/// let half = Thinned::new(spec.model().unwrap(), 0.5);
+/// assert!((half.mean_rate_mbps() - 0.5 * full_rate).abs() < 1e-9);
+/// // Same (seed, share) -> same packets.
+/// let horizon = SimTime::from_ms(1);
+/// assert_eq!(
+///     half.packets_until(7, horizon),
+///     half.packets_until(7, horizon)
+/// );
+/// ```
+#[derive(Debug)]
+pub struct Thinned {
+    inner: Box<dyn TrafficModel>,
+    share: f64,
+}
+
+impl Thinned {
+    /// Wraps `inner`, keeping each packet with probability `share`.
+    ///
+    /// The share is clamped to `[0, 1]`; a share of exactly `1` (or
+    /// more) forwards the inner stream untouched.
+    #[must_use]
+    pub fn new(inner: Box<dyn TrafficModel>, share: f64) -> Self {
+        Thinned {
+            inner,
+            share: share.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The effective share of the inner model's load this stream
+    /// carries.
+    #[must_use]
+    pub fn share(&self) -> f64 {
+        self.share
+    }
+}
+
+impl TrafficModel for Thinned {
+    fn mean_rate_mbps(&self) -> f64 {
+        self.share * self.inner.mean_rate_mbps()
+    }
+
+    fn expected_rate_mbps(&self, horizon_us: f64) -> f64 {
+        self.share * self.inner.expected_rate_mbps(horizon_us)
+    }
+
+    fn stream(&self, seed: u64) -> PacketSource {
+        if self.share >= 1.0 {
+            // Bit-identical pass-through: the degenerate one-chip fleet
+            // must reproduce the single-chip run exactly.
+            return self.inner.stream(seed);
+        }
+        if self.share <= 0.0 {
+            return PacketSource::new(std::iter::empty());
+        }
+        let share = self.share;
+        let mut coin = derive_stream(seed, THIN_LABEL);
+        PacketSource::new(
+            self.inner
+                .stream(seed)
+                .filter(move |_| coin.gen::<f64>() < share),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use desim::SimTime;
+
+    use super::*;
+    use crate::TrafficSpec;
+
+    fn aggregate() -> Box<dyn TrafficModel> {
+        "high".parse::<TrafficSpec>().unwrap().model().unwrap()
+    }
+
+    #[test]
+    fn full_share_is_a_bit_identical_pass_through() {
+        let horizon = SimTime::from_ms(2);
+        let raw = aggregate().packets_until(42, horizon);
+        let thinned = Thinned::new(aggregate(), 1.0).packets_until(42, horizon);
+        assert_eq!(raw, thinned);
+    }
+
+    #[test]
+    fn zero_share_yields_no_packets() {
+        let thinned = Thinned::new(aggregate(), 0.0);
+        assert!(thinned.packets_until(42, SimTime::from_ms(2)).is_empty());
+    }
+
+    #[test]
+    fn thinning_is_deterministic_per_seed() {
+        let a = Thinned::new(aggregate(), 0.25);
+        let horizon = SimTime::from_ms(2);
+        assert_eq!(a.packets_until(7, horizon), a.packets_until(7, horizon));
+        assert_ne!(a.packets_until(7, horizon), a.packets_until(8, horizon));
+    }
+
+    #[test]
+    fn kept_fraction_converges_on_the_share() {
+        let share = 0.3;
+        let horizon = SimTime::from_ms(20);
+        let total = aggregate().packets_until(11, horizon).len() as f64;
+        let kept = Thinned::new(aggregate(), share)
+            .packets_until(11, horizon)
+            .len() as f64;
+        let realised = kept / total;
+        assert!(
+            (realised - share).abs() < 0.05,
+            "kept fraction {realised} far from share {share}"
+        );
+    }
+
+    #[test]
+    fn share_is_clamped_and_scales_the_self_description() {
+        let m = Thinned::new(aggregate(), 2.5);
+        assert_eq!(m.share(), 1.0);
+        let half = Thinned::new(aggregate(), 0.5);
+        let full = aggregate();
+        assert!((half.mean_rate_mbps() - 0.5 * full.mean_rate_mbps()).abs() < 1e-9);
+        assert!(
+            (half.expected_rate_mbps(500.0) - 0.5 * full.expected_rate_mbps(500.0)).abs() < 1e-9
+        );
+    }
+}

@@ -71,6 +71,36 @@ fn derivation_is_a_fixed_function() {
 }
 
 #[test]
+fn two_level_fleet_derivation_stays_collision_free() {
+    // A fleet run derives seeds in two levels: replicate r gets
+    // `derive_seed(batch, r)`, and chip c within it runs from
+    // `derive_seed(replicate_seed, c)` (see `fleet::chip_seed`). Every
+    // chip stream across every replicate must be pairwise distinct, and
+    // none may collide with the first-level replicate family itself —
+    // otherwise a chip would silently share its packet stream with a
+    // sibling or with a whole-fleet replicate.
+    const REPLICATES: u64 = 64;
+    const CHIPS: u64 = 256;
+    for batch in BATCH_SEEDS {
+        let mut chip_seeds = HashSet::with_capacity((REPLICATES * CHIPS) as usize);
+        for r in 0..REPLICATES {
+            let rep = derive_seed(batch, r);
+            for c in 0..CHIPS {
+                assert!(
+                    chip_seeds.insert(derive_seed(rep, c)),
+                    "chip-seed collision in batch {batch} at replicate {r}, chip {c}"
+                );
+            }
+        }
+        let replicate_family: HashSet<u64> = (0..FAMILY).map(|r| derive_seed(batch, r)).collect();
+        assert!(
+            chip_seeds.is_disjoint(&replicate_family),
+            "a chip seed collides with the replicate family of batch {batch}"
+        );
+    }
+}
+
+#[test]
 fn derivation_agrees_with_the_substrate_function() {
     // `xrun::derive_seed` delegates to `desim::rng::derive_seed` so the
     // traffic schedule model derives per-segment seeds from the same
