@@ -1,0 +1,80 @@
+//! Machine-readable perf baseline for the desim event kernel: the
+//! simulated-cycles-per-wall-second and events-per-second throughput
+//! of one paper-workload simulation, written as `BENCH_kernel.json`.
+//!
+//! ```text
+//! cargo run --release -p abdex-bench --bin bench_kernel -- [CYCLES] [REPS] [OUT]
+//! ```
+//!
+//! Defaults: 4×10⁶ cycles, 3 repetitions, `BENCH_kernel.json` in the
+//! current directory. The workload is TDVS on `ipfwdr` under high
+//! traffic — the paper's §4.1 cell. Every repetition must produce the
+//! same [`obs::KernelCounters`] (they are a pure function of the event
+//! sequence), so the baseline doubles as a kernel-determinism smoke
+//! test; the fastest repetition is reported, as is conventional for
+//! throughput baselines.
+
+use std::time::Instant;
+
+use abdex::nepsim::SimReport;
+use abdex::xrun::{Benchmark, JobSpec, PolicySpec, TrafficLevel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000_000);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let out = args
+        .next()
+        .unwrap_or_else(|| "BENCH_kernel.json".to_owned());
+
+    let spec = JobSpec {
+        benchmark: Benchmark::Ipfwdr,
+        traffic: TrafficLevel::High.into(),
+        policy: PolicySpec::parse("tdvs:threshold=1200").expect("builtin policy"),
+        cycles,
+        seed: 42,
+    };
+
+    eprintln!("bench_kernel: {reps} x {cycles} cycles of {}", spec.label());
+
+    let mut best_s = f64::INFINITY;
+    let mut report: Option<SimReport> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = spec.simulate();
+        let elapsed = start.elapsed().as_secs_f64();
+        best_s = best_s.min(elapsed);
+        if let Some(prev) = &report {
+            assert_eq!(
+                prev.kernel, r.kernel,
+                "kernel counters diverged across repetitions"
+            );
+        }
+        report = Some(r);
+    }
+    let report = report.expect("at least one repetition ran");
+    let kernel = report.kernel;
+
+    let cycles_per_s = cycles as f64 / best_s;
+    let events_per_s = kernel.events_processed as f64 / best_s;
+    let doc = format!(
+        "{{\"bench\":\"desim_kernel\",\"cycles\":{cycles},\"reps\":{},\
+         \"events_scheduled\":{},\"events_processed\":{},\"heap_ops\":{},\
+         \"peak_heap_len\":{},\"best_s\":{best_s:.4},\
+         \"sim_cycles_per_s\":{cycles_per_s:.0},\"events_per_s\":{events_per_s:.0}}}\n",
+        reps.max(1),
+        kernel.events_scheduled,
+        kernel.events_processed,
+        kernel.heap_ops(),
+        kernel.peak_heap_len,
+    );
+    std::fs::write(&out, &doc).expect("write baseline JSON");
+    eprintln!(
+        "best {best_s:.3}s: {cycles_per_s:.3e} sim cycles/s, {events_per_s:.3e} events/s, \
+         {} events, peak heap {} -> {out}",
+        kernel.events_processed, kernel.peak_heap_len
+    );
+}

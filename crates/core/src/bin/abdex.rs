@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! abdex run       --benchmark ipfwdr --traffic high --policy queue:high=0.8 [--cycles N]
-//! abdex run       --traffic burst:on_mbps=1800,off_mbps=120,period_s=2
+//! abdex run       --traffic burst:on_mbps=1800,off_mbps=120,period_s=2 [--record FILE] [--obs-stats]
 //! abdex run       --traffic "schedule:segments=[low@0..2e6; flash@2e6..4e6; low@4e6..]"
 //! abdex replicate --policy tdvs:threshold=1400 --seeds 16 --ci 99 [--jobs N]
 //! abdex sweep     --benchmark ipfwdr --traffic high [--cycles N] [--seed S] [--jobs N]
@@ -32,8 +32,13 @@
 //! Sweeps and comparisons execute on the [`xrun`] thread pool: `--jobs`
 //! picks the worker count (default: one per CPU; results are
 //! bit-identical for any value), `--progress` selects a stderr progress
-//! style, and `--json` writes the results as a machine-readable document
-//! next to the human tables.
+//! style (`stats` appends per-worker busy/wait telemetry), and `--json`
+//! writes the results as a machine-readable document next to the human
+//! tables. `--record` additionally exports the recorded per-window
+//! timeseries as schema-versioned JSONL (`run`, `replicate`,
+//! `scenario run`, `fleet run`; byte-identical for any `--jobs`), and
+//! `--obs-stats` prints the event kernel's counters and
+//! simulated-cycles-per-second on stderr.
 //!
 //! `--seeds K` replicates every cell K times over seed-derived streams
 //! (`derive_seed(seed, i)`) and reports each metric as a `mean ±
@@ -61,6 +66,7 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use abdex::compare::{try_compare_policies, ComparisonConfig};
 use abdex::experiment::partition_cells;
@@ -72,6 +78,10 @@ use abdex::json::{
 };
 use abdex::json::{fleet_json, scenario_json};
 use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
+use abdex::record::{
+    fleet_record_series, record_jsonl, render_obs_stats, scenario_record_series,
+    try_replicated_run_recorded, RecordedSeries,
+};
 use abdex::replicate::{
     try_replicated_compare, try_replicated_run, try_replicated_sweep_specs,
     try_replicated_sweep_tdvs, try_replicated_sweep_traffics,
@@ -152,12 +162,21 @@ OPTIONS (where applicable):
     --jobs      <N>                    parallel workers for
                                        replicate/sweep/compare
                                        (0 = one per CPU) [0]
-    --progress  <quiet|dot|line>       batch progress on stderr [quiet]
+    --progress  <quiet|dot|line|stats> batch progress on stderr [quiet]
+                                       (stats appends per-worker busy/
+                                       wait telemetry after the batch)
     --json      <file|->               also write results as JSON
                                        (run/replicate/sweep/compare/
                                        scenario run); `-` writes the
                                        document to stdout and moves the
                                        human tables to stderr
+    --record    <file>                 also write the recorded per-window
+                                       timeseries as JSONL (run/replicate/
+                                       scenario run/fleet run); byte-
+                                       identical for any --jobs value
+    --obs-stats                        print event-kernel counters and
+                                       simulated-cycles-per-second on
+                                       stderr (run/replicate)
     --formula   <text>                 LOC formula (check/analyze/codegen)
     --trace     <file>                 trace file in NePSim text format
     --out       <file>                 output path (trace)
@@ -209,6 +228,8 @@ fn main() -> ExitCode {
                 "seeds",
                 "ci",
                 "json",
+                "record",
+                "obs-stats",
             ],
         )
         .and_then(|()| cmd_run(&opts)),
@@ -225,6 +246,8 @@ fn main() -> ExitCode {
                 "jobs",
                 "progress",
                 "json",
+                "record",
+                "obs-stats",
             ],
         )
         .and_then(|()| cmd_replicate(&opts)),
@@ -277,6 +300,9 @@ fn main() -> ExitCode {
 
 type Opts = HashMap<String, String>;
 
+/// The flags that are switches rather than `--flag value` pairs.
+const VALUELESS_FLAGS: &[&str] = &["obs-stats"];
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = HashMap::new();
     let mut it = args.iter();
@@ -284,6 +310,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, found '{flag}'"));
         };
+        if VALUELESS_FLAGS.contains(&name) {
+            opts.insert(name.to_owned(), String::new());
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         opts.insert(name.to_owned(), value.clone());
     }
@@ -431,22 +461,54 @@ fn emit(opts: &Opts, text: &str) {
     }
 }
 
-/// Fails fast when the `--json` path is unwritable, *before* a
-/// potentially minutes-long batch runs. Opens in append mode so an
-/// existing file is probed without being truncated. `-` (stdout) needs
-/// no probe.
+/// Fails fast when the `--json` or `--record` path is unwritable,
+/// *before* a potentially minutes-long batch runs. Opens in append
+/// mode so an existing file is probed without being truncated. `-`
+/// (stdout) needs no probe.
 fn preflight_json(opts: &Opts) -> Result<(), String> {
-    if let Some(path) = opts.get("json") {
-        if path == "-" {
-            return Ok(());
+    for key in ["json", "record"] {
+        if let Some(path) = opts.get(key) {
+            if key == "json" && path == "-" {
+                continue;
+            }
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     Ok(())
+}
+
+/// Whether this invocation needs the recorded execution path at all
+/// (`--record` exports the samples, `--obs-stats` the kernel tallies).
+fn wants_recording(opts: &Opts) -> bool {
+    opts.contains_key("record") || opts.contains_key("obs-stats")
+}
+
+/// Writes the recorded timeseries to the `--record` path, if given.
+/// The byte count lands on stderr so stdout stays identical to an
+/// unrecorded invocation.
+fn write_record(opts: &Opts, source: &str, series: &[RecordedSeries]) -> Result<(), String> {
+    let Some(path) = opts.get("record") else {
+        return Ok(());
+    };
+    let doc = record_jsonl(source, series);
+    std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "wrote {} bytes of record JSONL ({} series) to {path}",
+        doc.len(),
+        series.len()
+    );
+    Ok(())
+}
+
+/// Prints the `--obs-stats` kernel-counter block to stderr, if asked.
+fn emit_obs_stats(opts: &Opts, series: &[RecordedSeries], cycles: u64, start: Instant) {
+    if opts.contains_key("obs-stats") {
+        eprintln!("{}", render_obs_stats(series, cycles, start.elapsed()));
+    }
 }
 
 /// Writes the rendered JSON document to the `--json` path, if given;
@@ -499,7 +561,23 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         // form.
         return finish_replicated_run(opts, &Runner::serial(), &experiment, seeds, level);
     }
-    let r = experiment.run();
+    // The recorded path is taken only on request, so a plain `run`
+    // keeps the exact execution (and output bytes) it always had.
+    let start = Instant::now();
+    let (r, series) = if wants_recording(opts) {
+        let (r, recording) = experiment.run_recorded();
+        let kernel = r.sim.kernel;
+        (
+            r,
+            vec![RecordedSeries {
+                label: "rep0".to_owned(),
+                kernel,
+                recording,
+            }],
+        )
+    } else {
+        (experiment.run(), Vec::new())
+    };
     let mut text = format!(
         "{} @ {} under {} for {} cycles (seed {})\n",
         experiment.benchmark, experiment.traffic, r.sim.policy, experiment.cycles, experiment.seed
@@ -528,6 +606,8 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     ));
     text.push_str(&format!("  VF switches    : {:9}", r.sim.total_switches));
     emit(opts, &text);
+    emit_obs_stats(opts, &series, experiment.cycles, start);
+    write_record(opts, "run", &series)?;
     write_json(opts, || experiment_json(&r))
 }
 
@@ -559,7 +639,13 @@ fn finish_replicated_run(
     seeds: u64,
     level: ConfidenceLevel,
 ) -> Result<(), String> {
-    let replicated = try_replicated_run(pool, experiment, seeds).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    let (replicated, series) = if wants_recording(opts) {
+        try_replicated_run_recorded(pool, experiment, seeds).map_err(|e| e.to_string())?
+    } else {
+        let replicated = try_replicated_run(pool, experiment, seeds).map_err(|e| e.to_string())?;
+        (replicated, Vec::new())
+    };
     emit(
         opts,
         &format!(
@@ -574,6 +660,8 @@ fn finish_replicated_run(
             render_replicated_run(&replicated, level),
         ),
     );
+    emit_obs_stats(opts, &series, experiment.cycles, start);
+    write_record(opts, "run", &series)?;
     write_json(opts, || replicated_run_json(&replicated, level))
 }
 
@@ -768,7 +856,9 @@ fn cmd_scenario(rest: &[String]) -> Result<(), String> {
             let opts = parse_opts(rest)?;
             check_opts(
                 &opts,
-                &["cycles", "seed", "seeds", "ci", "jobs", "progress", "json"],
+                &[
+                    "cycles", "seed", "seeds", "ci", "jobs", "progress", "json", "record",
+                ],
             )?;
             cmd_scenario_run(target, &opts)
         }
@@ -805,7 +895,19 @@ fn cmd_scenario_run(target: &str, opts: &Opts) -> Result<(), String> {
     scenario.seeds = seeds;
     let pool = runner(opts)?;
     preflight_json(opts)?;
-    let (run, errors) = scenario::try_run_scenario(&pool, &scenario);
+    // The recorded runner is taken only with `--record`, so a plain
+    // `scenario run` keeps the exact execution it always had.
+    let (run, errors) = if opts.contains_key("record") {
+        let (run, errors, recordings) = scenario::try_run_scenario_recorded(&pool, &scenario);
+        write_record(
+            opts,
+            "scenario",
+            &scenario_record_series(&scenario, &recordings),
+        )?;
+        (run, errors)
+    } else {
+        scenario::try_run_scenario(&pool, &scenario)
+    };
     emit(opts, &render_scenario(&run, ci));
     let json = write_json(opts, || scenario_json(&run, ci, &errors));
     finish_batch(json, errors)
@@ -861,6 +963,7 @@ fn cmd_fleet(rest: &[String]) -> Result<(), String> {
                     "jobs",
                     "progress",
                     "json",
+                    "record",
                 ],
             )?;
             cmd_fleet_run(&opts)
@@ -913,6 +1016,7 @@ fn cmd_fleet_run(opts: &Opts) -> Result<(), String> {
     preflight_json(opts)?;
     let outcome = run_fleet(&config, seeds as usize, &pool);
     emit(opts, &render_fleet(&outcome.report, ci));
+    write_record(opts, "fleet", &fleet_record_series(&outcome))?;
     let json = write_json(opts, || fleet_json(&outcome, ci));
     finish_batch(json, outcome.errors)
 }

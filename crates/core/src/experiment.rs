@@ -1,7 +1,7 @@
 //! Single-configuration experiments: simulate, trace, analyze.
 
 use loc::{AnalyzerBank, DistributionReport};
-use nepsim::{Benchmark, NpuConfig, PolicySpec, SimReport, Simulator};
+use nepsim::{Benchmark, MemRecorder, NpuConfig, PolicySpec, Recording, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
 use traffic::TrafficSpec;
 use xrun::{Job, JobError, JobSpec, Runner};
@@ -74,7 +74,28 @@ impl Experiment {
     /// analyzers, which would be a bug in this crate.
     #[must_use]
     pub fn run(&self) -> ExperimentResult {
-        let mut sim = Simulator::new(self.npu_config());
+        self.finish(Simulator::new(self.npu_config())).0
+    }
+
+    /// [`Experiment::run`] with a [`nepsim::MemRecorder`] attached: the
+    /// same result (bit-identical — recording is pure observation) plus
+    /// the per-window [`Recording`] of every [`nepsim::Channel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the canonical paper formulas fail to compile into
+    /// analyzers, which would be a bug in this crate.
+    #[must_use]
+    pub fn run_recorded(&self) -> (ExperimentResult, Recording) {
+        let sim = Simulator::new(self.npu_config()).with_recorder(Box::new(MemRecorder::new()));
+        self.finish(sim)
+    }
+
+    /// Shared tail of [`Experiment::run`] and
+    /// [`Experiment::run_recorded`]: simulate, analyze, take whatever
+    /// the simulator's recorder captured (empty for the default
+    /// [`nepsim::NullRecorder`]).
+    fn finish(&self, mut sim: Simulator) -> (ExperimentResult, Recording) {
         let report = sim.run_cycles(self.cycles);
 
         // Both paper formulas evaluate in one pass over the trace.
@@ -90,12 +111,16 @@ impl Experiment {
         debug_assert_eq!((power, throughput), (0, 1));
         let throughput = results.distributions.pop().expect("two analyzers ran");
         let power = results.distributions.pop().expect("two analyzers ran");
-        ExperimentResult {
-            experiment: self.clone(),
-            sim: report,
-            power,
-            throughput,
-        }
+        let recording = sim.take_recording();
+        (
+            ExperimentResult {
+                experiment: self.clone(),
+                sim: report,
+                power,
+                throughput,
+            },
+            recording,
+        )
     }
 }
 

@@ -51,13 +51,19 @@ use crate::sweep::{GridCell, SpecCell, TrafficCell};
 /// `fleet` document (the fleet's axes — `chips`, `dispatch`,
 /// `fleet_policy`, per-chip `share`s — plus fleet-wide and per-chip
 /// summary-metric objects over the replicates); existing documents are
-/// unchanged in shape.
+/// unchanged in shape. **6** — observability: `fleet` per-chip entries
+/// gain `"queue_depth"`, a `{p50, p95, p99, n}` object of queue-depth
+/// percentiles from a deterministic log2 [`HistogramSketch`] over
+/// every recorded epoch of every replicate; new `--record` JSONL
+/// timeseries export (a `meta` header line then one object per
+/// recorded sample — see [`crate::record`]) shares this version.
 ///
 /// [`TrafficSpec`]: traffic::TrafficSpec
-pub const SCHEMA_VERSION: u64 = 5;
+/// [`HistogramSketch`]: obs::HistogramSketch
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Escapes a string for a JSON string literal (without the quotes).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -147,7 +153,7 @@ impl Obj {
 }
 
 /// Renders a JSON array from already-rendered element documents.
-fn array(items: &[String]) -> String {
+pub(crate) fn array(items: &[String]) -> String {
     format!("[{}]", items.join(","))
 }
 
@@ -604,10 +610,23 @@ pub fn fleet_json(outcome: &fleet::FleetOutcome, level: ConfidenceLevel) -> Stri
             for (name, summary) in chip.fields() {
                 chip_metrics = chip_metrics.raw(name, &summary_obj(summary, level));
             }
+            // Queue-depth percentiles come from the recorder's sketch,
+            // not a replicate fold: exact merges make them worker-count
+            // invariant (nulls when no epoch was recorded).
+            let (p50, p95, p99) =
+                chip.queue_percentiles()
+                    .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+            let queue = Obj::new()
+                .num("p50", p50)
+                .num("p95", p95)
+                .num("p99", p99)
+                .int("n", chip.queue_depth.count())
+                .finish();
             Obj::new()
                 .int("chip", index as u64)
                 .num("share", chip.share)
                 .raw("metrics", &chip_metrics.finish())
+                .raw("queue_depth", &queue)
                 .finish()
         })
         .collect();
@@ -698,7 +717,7 @@ mod tests {
         let json = experiment_json(&r);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":5",
+            "\"schema_version\":6",
             "\"kind\":\"experiment\"",
             "\"benchmark\":\"nat\"",
             "\"traffic\":\"low\"",
@@ -730,7 +749,7 @@ mod tests {
         let json = tdvs_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"tdvs_sweep\""));
-        assert!(json.contains("\"schema_version\":5"));
+        assert!(json.contains("\"schema_version\":6"));
         assert!(json.contains("\"cells\":2"));
         assert!(json.contains("\"failed\":0"));
         assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
@@ -777,7 +796,7 @@ mod tests {
         let json = traffic_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"traffic_sweep\""), "{json}");
-        assert!(json.contains("\"schema_version\":5"), "{json}");
+        assert!(json.contains("\"schema_version\":6"), "{json}");
         assert!(json.contains("\"cells\":2"), "{json}");
         // The exact spec string round-trips through the document.
         assert!(
@@ -798,7 +817,7 @@ mod tests {
         let json = comparison_json(&cmp, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"policy_comparison\""));
-        assert!(json.contains("\"schema_version\":5"));
+        assert!(json.contains("\"schema_version\":6"));
         assert!(json.contains("\"rows\":6"));
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
     }
@@ -818,7 +837,7 @@ mod tests {
         let json = replicated_run_json(&r, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":5",
+            "\"schema_version\":6",
             "\"kind\":\"replicated_run\"",
             "\"seeds\":3",
             "\"ci_level\":95",
@@ -913,7 +932,7 @@ mod tests {
         let json = replicated_compare_json(&cmp, stats::ConfidenceLevel::P95, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"replicated_compare\""), "{json}");
-        assert!(json.contains("\"schema_version\":5"), "{json}");
+        assert!(json.contains("\"schema_version\":6"), "{json}");
         assert!(json.contains("\"seeds\":2"), "{json}");
         assert!(json.contains("\"rows\":6"), "{json}");
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
@@ -976,7 +995,7 @@ mod tests {
         let json = scenario_json(&run, stats::ConfidenceLevel::P95, &errors);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":5",
+            "\"schema_version\":6",
             "\"kind\":\"scenario\"",
             "\"scenario\":\"doc-test\"",
             "\"seeds\":2",
@@ -1010,7 +1029,7 @@ mod tests {
         let json = fleet_json(&outcome, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":5",
+            "\"schema_version\":6",
             "\"kind\":\"fleet\"",
             "\"seeds\":2",
             "\"ci_level\":95",

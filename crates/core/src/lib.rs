@@ -58,6 +58,7 @@ pub mod experiment;
 pub mod formulas;
 pub mod json;
 pub mod optimal;
+pub mod record;
 pub mod reference;
 pub mod replicate;
 pub mod sweep;
@@ -76,6 +77,10 @@ pub use fleet::{
 };
 pub use json::SCHEMA_VERSION;
 pub use optimal::{optimal_tdvs, DesignPriority};
+pub use record::{
+    fleet_record_series, record_jsonl, render_obs_stats, scenario_record_series,
+    try_replicated_run_recorded, RecordedSeries,
+};
 pub use replicate::{
     replicated_compare, replicated_run, replicated_sweep_tdvs, run_replicated_experiments,
     try_replicated_compare, try_replicated_run, try_replicated_sweep_edvs_idle_threshold,
@@ -104,6 +109,7 @@ pub use dvs;
 pub use fleet;
 pub use loc;
 pub use nepsim;
+pub use obs;
 pub use scenario;
 pub use stats;
 pub use traffic;

@@ -444,7 +444,7 @@ pub fn render_fleet(report: &fleet::FleetReport, level: ConfidenceLevel) -> Stri
         ));
     }
     out.push_str(&format!(
-        "\n{:>4} {:>7} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12}\n",
+        "\n{:>4} {:>7} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12} {:>7} {:>7} {:>7}\n",
         "chip",
         "share",
         "offered_mbps",
@@ -453,11 +453,22 @@ pub fn render_fleet(report: &fleet::FleetReport, level: ConfidenceLevel) -> Stri
         "energy_uj",
         "loss_ratio",
         "drops",
-        "switches"
+        "switches",
+        "q_p50",
+        "q_p95",
+        "q_p99"
     ));
     for (index, chip) in report.chips.iter().enumerate() {
+        // Queue-depth percentiles come from the recorder's epoch
+        // sketch, not a replicate fold — `-` when nothing was recorded
+        // (e.g. every replicate of the chip failed).
+        let quantile = |q: Option<f64>| q.map_or_else(|| "-".to_owned(), |v| format!("{v:.1}"));
+        let (p50, p95, p99) = match chip.queue_percentiles() {
+            Some((p50, p95, p99)) => (Some(p50), Some(p95), Some(p99)),
+            None => (None, None, None),
+        };
         out.push_str(&format!(
-            "{index:>4} {:>7.4} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12}\n",
+            "{index:>4} {:>7.4} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12} {:>7} {:>7} {:>7}\n",
             chip.share,
             pm(&chip.offered_mbps, level, 1),
             pm(&chip.throughput_mbps, level, 1),
@@ -466,6 +477,9 @@ pub fn render_fleet(report: &fleet::FleetReport, level: ConfidenceLevel) -> Stri
             pm(&chip.loss_ratio, level, 4),
             pm(&chip.dropped_packets, level, 1),
             pm(&chip.total_switches, level, 1),
+            quantile(p50),
+            quantile(p95),
+            quantile(p99),
         ));
     }
     out
@@ -794,12 +808,17 @@ mod tests {
         // Title + fleet header + 9 fleet metrics + blank + chip header
         // + 3 chip rows.
         assert_eq!(text.lines().count(), 1 + 1 + 9 + 1 + 1 + 3);
-        // Shares sum to 1 across the chip rows.
-        let shares: f64 = text
-            .lines()
-            .skip(1 + 1 + 9 + 1 + 1)
-            .map(|l| l.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap())
-            .sum();
+        // Shares sum to 1 across the chip rows, and every chip row ends
+        // with its three recorder-sketch queue-depth percentiles.
+        assert!(text.contains("q_p50"), "{text}");
+        let mut shares = 0.0;
+        for line in text.lines().skip(1 + 1 + 9 + 1 + 1) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            shares += cols[1].parse::<f64>().unwrap();
+            let p50: f64 = cols[cols.len() - 3].parse().unwrap();
+            let p99: f64 = cols[cols.len() - 1].parse().unwrap();
+            assert!(p50 >= 0.0 && p99 >= p50, "{line}");
+        }
         assert!((shares - 1.0).abs() < 1e-6, "{text}");
     }
 

@@ -519,7 +519,7 @@ fn sweep_over_traffic_specs_renders_table_and_json() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"traffic_sweep\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":5"), "{doc}");
+    assert!(doc.contains("\"schema_version\":6"), "{doc}");
     assert!(doc.contains("\"traffic_model\":\"burst\""), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +568,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&run_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":5"), "{doc}");
+    assert!(doc.contains("\"schema_version\":6"), "{doc}");
 
     let sweep_json = dir.join("sweep.json");
     let out = abdex()
@@ -587,7 +587,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&sweep_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":5"), "{doc}");
+    assert!(doc.contains("\"schema_version\":6"), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -683,7 +683,7 @@ fn replicate_reports_per_metric_intervals() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"replicated_run\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":5"), "{doc}");
+    assert!(doc.contains("\"schema_version\":6"), "{doc}");
     assert!(doc.contains("\"seeds\":4"), "{doc}");
     assert!(doc.contains("\"ci_level\":99"), "{doc}");
     assert!(doc.contains("\"half_width\":"), "{doc}");
@@ -844,9 +844,9 @@ fn scenario_run_rejects_unknown_names_and_bad_subcommands() {
 }
 
 #[test]
-fn scenario_run_reports_segments_and_writes_schema_4_json() {
+fn scenario_run_reports_segments_and_writes_schema_6_json() {
     // The PR-5 acceptance gate, CLI edition: `scenario run diurnal-day
-    // --seeds K --ci 95 --json -` puts a schema-4 scenario document
+    // --seeds K --ci 95 --json -` puts a schema-6 scenario document
     // with per-segment and whole-run mean±half-width metrics on
     // stdout, byte-identical between --jobs 1 and --jobs 4. (--cycles
     // shrinks the horizon to keep the gate fast; determinism.rs guards
@@ -895,7 +895,7 @@ fn scenario_run_reports_segments_and_writes_schema_4_json() {
     assert!(serial_err.contains("policy nodvs"), "{serial_err}");
 
     for key in [
-        "\"schema_version\":5",
+        "\"schema_version\":6",
         "\"kind\":\"scenario\"",
         "\"scenario\":\"diurnal-day\"",
         "\"seeds\":4",
@@ -1010,7 +1010,7 @@ fn json_dash_pipes_every_command_kind() {
 #[test]
 fn replicated_compare_is_bit_identical_across_jobs() {
     // The PR-4 acceptance gate: `compare --seeds K --ci 95 --json` must
-    // produce a schema-4 `replicated_compare` document whose per-cell
+    // produce a schema-6 `replicated_compare` document whose per-cell
     // means and half-widths are byte-for-byte identical between
     // `--jobs 1` and `--jobs N`.
     let dir = std::env::temp_dir().join(format!("abdex-cli-repcmp-{}", std::process::id()));
@@ -1055,7 +1055,7 @@ fn replicated_compare_is_bit_identical_across_jobs() {
         serial.contains("\"kind\":\"replicated_compare\""),
         "{serial}"
     );
-    assert!(serial.contains("\"schema_version\":5"), "{serial}");
+    assert!(serial.contains("\"schema_version\":6"), "{serial}");
     assert!(serial.contains("\"half_width\":"), "{serial}");
     assert_eq!(serial, parallel, "JSON documents diverged");
 
@@ -1145,7 +1145,7 @@ fn fleet_run_rejects_bad_specs_and_misuse() {
 }
 
 #[test]
-fn fleet_run_reports_table_and_writes_schema_5_json() {
+fn fleet_run_reports_table_and_writes_schema_6_json() {
     let out = abdex()
         .args([
             "fleet",
@@ -1171,7 +1171,7 @@ fn fleet_run_reports_table_and_writes_schema_5_json() {
     let doc = String::from_utf8_lossy(&out.stdout);
     assert!(doc.starts_with('{'), "{doc}");
     for key in [
-        "\"schema_version\":5",
+        "\"schema_version\":6",
         "\"kind\":\"fleet\"",
         "\"chips\":4",
         "\"dispatch\":\"least-loaded:flows=256\"",
@@ -1180,6 +1180,7 @@ fn fleet_run_reports_table_and_writes_schema_5_json() {
         "\"imbalance\":{",
         "\"per_chip\":[",
         "\"share\":",
+        "\"queue_depth\":{\"p50\":",
         "\"failed\":0",
     ] {
         assert!(doc.contains(key), "missing {key} in {doc}");
@@ -1188,13 +1189,14 @@ fn fleet_run_reports_table_and_writes_schema_5_json() {
     let table = String::from_utf8_lossy(&out.stderr);
     assert!(table.contains("fleet chips=4"), "{table}");
     assert!(table.contains("imbalance"), "{table}");
+    assert!(table.contains("q_p99"), "{table}");
 }
 
 #[test]
 fn fleet_run_is_bit_identical_across_jobs() {
     // The PR-6 acceptance gate, CLI edition: `fleet run --chips 64
     // --dispatch least-loaded --seeds 4 --ci 95 --json -` puts a
-    // schema-5 fleet document on stdout, byte-identical between
+    // schema-6 fleet document on stdout, byte-identical between
     // --jobs 1 and --jobs 4. (--cycles shrinks the horizon to keep the
     // gate fast; determinism.rs guards the library-level fold as
     // well.)
@@ -1238,4 +1240,172 @@ fn fleet_run_is_bit_identical_across_jobs() {
     assert!(serial_doc.contains("\"ci_level\":95"), "{serial_doc}");
     assert_eq!(serial_doc, parallel_doc, "JSON documents diverged");
     assert_eq!(serial_table, parallel_table, "tables diverged");
+}
+
+#[test]
+fn run_record_exports_schema_6_jsonl_without_touching_stdout() {
+    let dir = std::env::temp_dir().join(format!("abdex-cli-record-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let record_path = dir.join("run.jsonl");
+
+    let base_args = ["run", "--traffic", "low", "--cycles", "200000"];
+    let plain = abdex().args(base_args).output().expect("binary runs");
+    assert!(plain.status.success());
+
+    let out = abdex()
+        .args(base_args)
+        .args(["--record", record_path.to_str().unwrap(), "--obs-stats"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Recording is pure observation: stdout is byte-identical to the
+    // unrecorded invocation (the export note and stats go to stderr).
+    assert_eq!(plain.stdout, out.stdout, "stdout changed under --record");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("kernel stats"), "{err}");
+    assert!(err.contains("events processed"), "{err}");
+    assert!(err.contains("sim cycles/s"), "{err}");
+
+    let doc = std::fs::read_to_string(&record_path).expect("JSONL written");
+    let lines: Vec<&str> = doc.lines().collect();
+    assert!(lines.len() > 1, "header plus at least one sample: {doc}");
+    assert!(lines[0].contains("\"schema_version\":6"), "{}", lines[0]);
+    assert!(lines[0].contains("\"kind\":\"record\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"source\":\"run\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"power_w\""), "{}", lines[0]);
+    assert!(
+        lines[1].starts_with("{\"series\":0,\"channel\":"),
+        "{}",
+        lines[1]
+    );
+    assert!(doc.contains("\"channel\":\"queue_depth\""), "{doc}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn record_flag_is_rejected_where_it_would_be_ignored() {
+    // Sweeps do not record; silently accepting --record would promise
+    // an export that never happens.
+    let out = abdex()
+        .args(["sweep", "--record", "/tmp/x.jsonl", "--cycles", "1000"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--record"));
+
+    // An unwritable record path fails in the preflight, before the run.
+    let out = abdex()
+        .args(["run", "--record", "/no/such/dir/out.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot write"));
+}
+
+#[test]
+fn recorded_jsonl_is_byte_identical_across_jobs() {
+    // The --record acceptance gate, CLI edition: the exported document
+    // is a pure function of the batch description, so fleet and
+    // scenario exports are byte-identical between --jobs 1 and
+    // --jobs 4 (determinism.rs guards the library-level recordings).
+    let dir = std::env::temp_dir().join(format!("abdex-cli-recjobs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let fleet = |jobs: &str, path: &std::path::Path| {
+        let out = abdex()
+            .args([
+                "fleet",
+                "run",
+                "--chips",
+                "3",
+                "--seeds",
+                "2",
+                "--cycles",
+                "150000",
+                "--jobs",
+                jobs,
+                "--record",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(path).expect("JSONL written")
+    };
+    let serial = fleet("1", &dir.join("fleet1.jsonl"));
+    let parallel = fleet("4", &dir.join("fleet4.jsonl"));
+    assert!(serial.contains("\"source\":\"fleet\""), "{serial}");
+    assert!(serial.contains("\"rep1/chip2\""), "{serial}");
+    assert_eq!(serial, parallel, "fleet record diverged across --jobs");
+
+    let scenario = |jobs: &str, path: &std::path::Path| {
+        let out = abdex()
+            .args([
+                "scenario",
+                "run",
+                "steady-cbr",
+                "--seeds",
+                "2",
+                "--cycles",
+                "150000",
+                "--jobs",
+                jobs,
+                "--record",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(path).expect("JSONL written")
+    };
+    let serial = scenario("1", &dir.join("scen1.jsonl"));
+    let parallel = scenario("4", &dir.join("scen4.jsonl"));
+    assert!(serial.contains("\"source\":\"scenario\""), "{serial}");
+    assert!(serial.contains("/rep1\""), "{serial}");
+    assert_eq!(serial, parallel, "scenario record diverged across --jobs");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn progress_stats_reports_worker_telemetry() {
+    let out = abdex()
+        .args([
+            "replicate",
+            "--traffic",
+            "low",
+            "--cycles",
+            "150000",
+            "--seeds",
+            "4",
+            "--jobs",
+            "2",
+            "--progress",
+            "stats",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("batch stats:"), "{err}");
+    assert!(err.contains("4 jobs"), "{err}");
+    assert!(err.contains("workers:"), "{err}");
+    assert!(err.contains("queue wait"), "{err}");
 }

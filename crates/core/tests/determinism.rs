@@ -513,3 +513,104 @@ fn replicated_comparison_is_bit_identical_across_worker_counts() {
         );
     }
 }
+
+#[test]
+fn recording_is_pure_observation_at_the_experiment_level() {
+    // The obs-layer contract from the experiment's point of view: a
+    // recorder-attached run produces the exact same report and
+    // distributions as the NullRecorder default, plus a non-empty
+    // recording (nepsim guards the simulator-level identity).
+    let experiment = abdex::Experiment {
+        benchmark: Benchmark::Ipfwdr,
+        traffic: TrafficLevel::High.into(),
+        policy: "tdvs:threshold=1200".parse().unwrap(),
+        cycles: CYCLES,
+        seed: SEED,
+    };
+    let plain = experiment.run();
+    let (recorded, recording) = experiment.run_recorded();
+    assert_eq!(plain.sim, recorded.sim, "recording perturbed the report");
+    assert_eq!(
+        plain.p80_power_w().to_bits(),
+        recorded.p80_power_w().to_bits()
+    );
+    assert_eq!(
+        plain.p80_throughput_mbps().to_bits(),
+        recorded.p80_throughput_mbps().to_bits()
+    );
+    assert!(!recording.is_empty());
+    // Every stats window emits one sample per channel.
+    assert_eq!(recording.len() % nepsim::Channel::ALL.len(), 0);
+}
+
+#[test]
+fn recorded_jsonl_is_byte_identical_across_worker_counts() {
+    // The --record acceptance gate at the library level: the JSONL
+    // export of every recorded source — run, scenario, fleet — is a
+    // pure function of the batch description, byte-identical for any
+    // worker count.
+    use abdex::record::{
+        fleet_record_series, record_jsonl, scenario_record_series, try_replicated_run_recorded,
+    };
+
+    let experiment = abdex::Experiment {
+        benchmark: Benchmark::Ipfwdr,
+        traffic: TrafficLevel::High.into(),
+        policy: PolicySpec::NoDvs,
+        cycles: CYCLES,
+        seed: SEED,
+    };
+    let run = |workers: usize| {
+        let (replicated, series) =
+            try_replicated_run_recorded(&Runner::new().with_workers(workers), &experiment, 3)
+                .expect("no replicate failed");
+        (replicated, record_jsonl("run", &series))
+    };
+    let (serial_fold, serial_doc) = run(1);
+    let (parallel_fold, parallel_doc) = run(4);
+    assert_eq!(serial_doc, parallel_doc, "run record diverged");
+    assert_eq!(
+        serial_fold.metrics.mean_power_w.mean().to_bits(),
+        parallel_fold.metrics.mean_power_w.mean().to_bits()
+    );
+    // The recorded fold matches the unrecorded one bit-for-bit.
+    let plain = abdex::replicate::try_replicated_run(&Runner::serial(), &experiment, 3)
+        .expect("no replicate failed");
+    assert_eq!(
+        plain.metrics.total_energy_uj.mean().to_bits(),
+        serial_fold.metrics.total_energy_uj.mean().to_bits()
+    );
+
+    let scenario = Scenario {
+        name: "record-determinism".to_owned(),
+        summary: "two-window schedule".to_owned(),
+        benchmark: Benchmark::Ipfwdr,
+        traffic: "schedule:segments=[low@0..150000; constant:rate=1500@150000..]"
+            .parse()
+            .unwrap(),
+        policies: vec![PolicySpec::NoDvs, "tdvs:threshold=1200".parse().unwrap()],
+        cycles: CYCLES,
+        seed: SEED,
+        seeds: 2,
+    };
+    let scenario_doc = |workers: usize| {
+        let (_, errors, recordings) = abdex::scenario::try_run_scenario_recorded(
+            &Runner::new().with_workers(workers),
+            &scenario,
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+        record_jsonl("scenario", &scenario_record_series(&scenario, &recordings))
+    };
+    assert_eq!(scenario_doc(1), scenario_doc(4), "scenario record diverged");
+
+    let mut config = FleetConfig::new(3);
+    config.cycles = CYCLES;
+    config.seed = SEED;
+    config.dispatch = "hash:flows=64".parse().unwrap();
+    let fleet_doc = |workers: usize| {
+        let outcome = run_fleet(&config, 2, &Runner::new().with_workers(workers));
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        record_jsonl("fleet", &fleet_record_series(&outcome))
+    };
+    assert_eq!(fleet_doc(1), fleet_doc(4), "fleet record diverged");
+}

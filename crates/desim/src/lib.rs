@@ -38,5 +38,6 @@ pub mod rng;
 pub mod stats;
 mod time;
 
+pub use obs::KernelCounters;
 pub use queue::EventQueue;
 pub use time::{Frequency, SimTime};

@@ -3,6 +3,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use obs::KernelCounters;
+
 use crate::SimTime;
 
 /// One pending entry in the [`EventQueue`].
@@ -57,6 +59,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    counters: KernelCounters,
 }
 
 impl<E> EventQueue<E> {
@@ -67,6 +70,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            counters: KernelCounters::default(),
         }
     }
 
@@ -96,6 +100,8 @@ impl<E> EventQueue<E> {
             seq,
             payload,
         });
+        self.counters.events_scheduled += 1;
+        self.counters.peak_heap_len = self.counters.peak_heap_len.max(self.heap.len() as u64);
     }
 
     /// Schedules `payload` at `delay` after the current time.
@@ -110,6 +116,7 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| {
             debug_assert!(e.time >= self.now, "event heap yielded out-of-order time");
             self.now = e.time;
+            self.counters.events_processed += 1;
             (e.time, e.payload)
         })
     }
@@ -133,8 +140,19 @@ impl<E> EventQueue<E> {
     }
 
     /// Discards all pending events without advancing the clock.
+    ///
+    /// Kernel counters are lifetime tallies and survive a `clear` —
+    /// discarded events stay counted as scheduled, never as processed.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Lifetime kernel tallies: events scheduled/processed and the peak
+    /// number pending at once. Pure functions of the schedule/pop call
+    /// sequence, so they are bit-identical across repeated runs.
+    #[must_use]
+    pub fn counters(&self) -> KernelCounters {
+        self.counters
     }
 }
 
@@ -197,6 +215,27 @@ mod tests {
         q.schedule(SimTime::from_ns(10), ());
         q.pop();
         q.schedule(SimTime::from_ns(1), ());
+    }
+
+    #[test]
+    fn counters_track_heap_traffic() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.counters(), KernelCounters::default());
+        q.schedule(SimTime::from_ns(1), ());
+        q.schedule(SimTime::from_ns(2), ());
+        q.schedule(SimTime::from_ns(3), ());
+        q.pop();
+        q.pop();
+        q.schedule(SimTime::from_ns(4), ());
+        let c = q.counters();
+        assert_eq!(c.events_scheduled, 4);
+        assert_eq!(c.events_processed, 2);
+        assert_eq!(c.peak_heap_len, 3);
+        assert_eq!(c.heap_ops(), 6);
+        // clear() keeps the tallies: discarded events stay scheduled-only.
+        q.clear();
+        assert_eq!(q.counters().events_scheduled, 4);
+        assert_eq!(q.counters().events_processed, 2);
     }
 
     #[test]

@@ -67,3 +67,7 @@ pub use policy::{
     FleetPolicySpec, FleetTelemetry, PassThrough, StaticCap,
 };
 pub use runner::{chip_seed, replicate_seeds, run_fleet, FleetOutcome, FleetReport};
+
+// Re-export the observability types a [`FleetOutcome`] carries, so
+// downstream callers need only `fleet` to consume recordings.
+pub use obs::{Channel, HistogramSketch, Recording};

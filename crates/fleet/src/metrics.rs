@@ -10,6 +10,7 @@
 //! bit-deterministic.
 
 use nepsim::SimReport;
+use obs::{Channel, HistogramSketch, Recording};
 use stats::Summary;
 
 /// Fleet-wide aggregates of one replicate.
@@ -157,6 +158,11 @@ pub struct ChipDist {
     pub dropped_packets: Summary,
     /// VF switches.
     pub total_switches: Summary,
+    /// Queue-depth sketch over every recorded epoch of every replicate
+    /// (RX FIFO + TX queue packets at each window boundary). Merged
+    /// sketches fold exactly, so p50/p95/p99 are bit-identical for any
+    /// worker count.
+    pub queue_depth: HistogramSketch,
 }
 
 impl ChipDist {
@@ -179,6 +185,24 @@ impl ChipDist {
         self.dropped_packets
             .push((report.dropped_packets + report.dropped_tx_packets) as f64);
         self.total_switches.push(report.total_switches as f64);
+    }
+
+    /// Folds one replicate's recorded queue-depth samples into the
+    /// chip's percentile sketch.
+    pub fn absorb_queue_depth(&mut self, recording: &Recording) {
+        self.queue_depth
+            .merge(&recording.sketch(Channel::QueueDepth));
+    }
+
+    /// The chip's queue-depth percentiles `(p50, p95, p99)`; `None`
+    /// when no epoch was recorded.
+    #[must_use]
+    pub fn queue_percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.queue_depth.p50()?,
+            self.queue_depth.p95()?,
+            self.queue_depth.p99()?,
+        ))
     }
 
     /// Every metric with its name, table order.

@@ -15,6 +15,7 @@
 
 use desim::rng::derive_seed;
 use nepsim::{NpuConfig, SimReport, Simulator};
+use obs::{MemRecorder, Recording};
 use traffic::{Thinned, TrafficModel};
 use xrun::{Job, JobError, Runner};
 
@@ -37,13 +38,23 @@ pub struct FleetReport {
     pub chips: Vec<ChipDist>,
 }
 
-/// A [`FleetReport`] plus any per-job failures.
+/// A [`FleetReport`] plus any per-job failures and the raw per-chip
+/// observability data the folds were built from.
 #[derive(Debug, Clone)]
 pub struct FleetOutcome {
     /// The aggregated report.
     pub report: FleetReport,
     /// Errors from chips whose simulation panicked.
     pub errors: Vec<JobError>,
+    /// One recording per `(replicate, chip)` job, in submission order
+    /// (replicate-major, chip-minor — `recordings[r * chips + c]`);
+    /// `None` for a chip whose job panicked. Every chip run carries a
+    /// recorder, so epoch timelines are always available for export
+    /// and assertions.
+    pub recordings: Vec<Option<Recording>>,
+    /// The cap plan each replicate ran under (`None` for uncapped
+    /// replicates), aligned with [`replicate_seeds`].
+    pub plans: Vec<Option<CapPlan>>,
 }
 
 /// The replicate seed family for fleet seed `seed`: `seed` itself for
@@ -98,7 +109,7 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
         })
         .collect();
 
-    let mut jobs: Vec<Job<'_, SimReport>> = Vec::with_capacity(seeds * chips);
+    let mut jobs: Vec<Job<'_, (SimReport, Recording)>> = Vec::with_capacity(seeds * chips);
     for (r, &rep_seed) in rep_seeds.iter().enumerate() {
         for (c, &share) in shares.iter().enumerate() {
             let seed = chip_seed(rep_seed, c as u64);
@@ -117,15 +128,20 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
     let mut errors = Vec::new();
     let mut fleet = FleetDist::default();
     let mut chip_dists: Vec<ChipDist> = shares.iter().map(|&s| ChipDist::new(s)).collect();
+    let mut recordings: Vec<Option<Recording>> = Vec::with_capacity(results.len());
 
     for replicate in results.chunks(chips) {
         let mut reports = Vec::with_capacity(chips);
         let mut failed = false;
         for result in replicate {
             match &result.outcome {
-                Ok(report) => reports.push(report.clone()),
+                Ok((report, recording)) => {
+                    reports.push(report.clone());
+                    recordings.push(Some(recording.clone()));
+                }
                 Err(err) => {
                     errors.push(err.clone());
+                    recordings.push(None);
                     failed = true;
                 }
             }
@@ -136,8 +152,12 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
             continue;
         }
         fleet.push(&FleetSample::from_reports(&reports));
-        for (dist, report) in chip_dists.iter_mut().zip(&reports) {
+        let replicate_recs = &recordings[recordings.len() - chips..];
+        for ((dist, report), rec) in chip_dists.iter_mut().zip(&reports).zip(replicate_recs) {
             dist.push(report);
+            if let Some(rec) = rec {
+                dist.absorb_queue_depth(rec);
+            }
         }
     }
 
@@ -150,17 +170,22 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
             chips: chip_dists,
         },
         errors,
+        recordings,
+        plans,
     }
 }
 
 /// Simulates one chip: its thinned sub-stream, its DVS policy, and —
-/// when the fleet tier assigned caps — the [`CappedPolicy`] shim.
+/// when the fleet tier assigned caps — the [`CappedPolicy`] shim. Every
+/// chip run carries a [`MemRecorder`], so the per-epoch timeline comes
+/// back alongside the report (recording is pure observation: the
+/// report is bit-identical to an unrecorded run).
 fn run_chip(
     config: &FleetConfig,
     seed: u64,
     share: f64,
     caps: Option<&(u64, Vec<f64>)>,
-) -> SimReport {
+) -> (SimReport, Recording) {
     let npu = NpuConfig::builder()
         .benchmark(config.benchmark)
         .seed(seed)
@@ -172,7 +197,9 @@ fn run_chip(
         .model()
         .unwrap_or_else(|e| panic!("invalid traffic spec: {e}"));
     let thinned = Thinned::new(model, share);
-    let mut sim = Simulator::new(npu).with_traffic(&thinned);
+    let mut sim = Simulator::new(npu)
+        .with_traffic(&thinned)
+        .with_recorder(Box::new(MemRecorder::new()));
     if let Some((period, caps_w)) = caps {
         let chip = sim.config();
         let window = config
@@ -183,7 +210,8 @@ fn run_chip(
         let inner = config.policy.build(&chip.ladder);
         sim = sim.with_policy(Box::new(CappedPolicy::new(inner, window, *period, levels)));
     }
-    sim.run_cycles(config.cycles)
+    let report = sim.run_cycles(config.cycles);
+    (report, sim.take_recording())
 }
 
 /// Streams every chip's thinned sub-stream and buckets its bits into

@@ -52,6 +52,7 @@ pub use config::{NpuConfig, NpuConfigBuilder, PowerParams, TraceConfig};
 pub use dvs::PolicySpec;
 pub use engine::{MeMode, MeRole, ModeAcc};
 pub use memory::{MemoryController, MemoryParams};
+pub use obs::{Channel, MemRecorder, NullRecorder, Recorder, Recording};
 pub use power::EnergyMeter;
 pub use report::{MeReport, SimReport, WindowIdleSample};
 pub use sim::Simulator;

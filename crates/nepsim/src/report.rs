@@ -2,6 +2,7 @@
 
 use desim::SimTime;
 use dvs::PolicyKind;
+use obs::KernelCounters;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{MeMode, MeRole, ModeAcc};
@@ -110,6 +111,10 @@ pub struct SimReport {
     pub bus_bits: u64,
     /// The IX bus rate, Mbps.
     pub bus_rate_mbps: f64,
+    /// Event-kernel tallies (events, heap ops) for this run. Pure
+    /// functions of the event sequence — deterministic like every
+    /// other field; wall-clock rates are measured by callers.
+    pub kernel: KernelCounters,
     /// Per-window, per-ME idle fractions (§4.2 bimodality data).
     pub window_idle: Vec<WindowIdleSample>,
 }
@@ -264,6 +269,7 @@ mod tests {
             windows: 0,
             bus_bits: 95_000,
             bus_rate_mbps: 1300.0,
+            kernel: KernelCounters::default(),
             window_idle: Vec::new(),
         }
     }

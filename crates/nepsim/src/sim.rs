@@ -31,6 +31,7 @@ use dvs::{
     MONITOR_ADDER_ENERGY_UJ, SWITCH_PENALTY,
 };
 use loc::{Annotations, Trace};
+use obs::{Channel, NullRecorder, Recorder, Recording};
 use traffic::{Packet, PacketSource, RecordedTrace, TrafficModel};
 
 use crate::config::NpuConfig;
@@ -82,6 +83,13 @@ pub struct Simulator {
     monitor_per_packet: bool,
     meter: EnergyMeter,
     trace: TraceCollector,
+    recorder: Box<dyn Recorder>,
+    /// Chip energy at the last recorded window boundary, µJ. Touched
+    /// only when the recorder is enabled (power-channel deltas).
+    rec_energy_uj: f64,
+    /// Forwarded bits at the last recorded window boundary. Touched
+    /// only when the recorder is enabled (served-bytes deltas).
+    rec_forwarded_bits: u64,
     window_dur: SimTime,
     window_bits: u64,
     window_rx_drops: u64,
@@ -141,6 +149,9 @@ impl Simulator {
             policy,
             meter: EnergyMeter::new(),
             trace: TraceCollector::new(config.trace),
+            recorder: Box::new(NullRecorder),
+            rec_energy_uj: 0.0,
+            rec_forwarded_bits: 0,
             window_dur,
             window_bits: 0,
             window_rx_drops: 0,
@@ -193,6 +204,30 @@ impl Simulator {
         assert!(!self.started, "cannot swap arrivals after running");
         self.arrivals = model.stream(self.config.seed);
         self
+    }
+
+    /// Attaches a [`Recorder`] receiving one sample per [`Channel`] at
+    /// every monitor-window boundary. The default [`NullRecorder`]
+    /// reports disabled, so an unattached run computes no samples; an
+    /// attached recorder never feeds back into the simulation, so the
+    /// run's [`SimReport`] stays bit-identical either way
+    /// (`crates/core/tests/determinism.rs` guards this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already run.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        assert!(!self.started, "cannot attach a recorder after running");
+        self.recorder = recorder;
+        self
+    }
+
+    /// Takes the recording accumulated so far, leaving the recorder
+    /// empty. Empty unless a [`Simulator::with_recorder`] recorder was
+    /// attached before the run.
+    pub fn take_recording(&mut self) -> Recording {
+        self.recorder.take()
     }
 
     /// Replaces the configured policy with an arbitrary [`DvsPolicy`]
@@ -415,6 +450,41 @@ impl Simulator {
                 idle_fraction: idle,
                 level: me.level_idx,
             });
+        }
+
+        // Emit the epoch's observability samples. Everything inside the
+        // guard is pure observation — the branch computes nothing the
+        // simulation reads back, so a disabled recorder costs one
+        // virtual call per window and an enabled one cannot perturb
+        // the run.
+        if self.recorder.enabled() {
+            let cycle = self.config.base_freq().time_to_cycles(now);
+            // Accounting was closed above, so the energy is exact; the
+            // delta over the window duration is the epoch's mean power
+            // (µJ / µs = W).
+            let energy_uj = self.total_energy_uj(now);
+            let power_w = (energy_uj - self.rec_energy_uj) / window_dur.as_us();
+            self.rec_energy_uj = energy_uj;
+            let served_bits = self.forwarded_bits - self.rec_forwarded_bits;
+            self.rec_forwarded_bits = self.forwarded_bits;
+            let mean_level =
+                me_obs.iter().map(|o| o.level as f64).sum::<f64>() / me_obs.len() as f64;
+            self.recorder.record(Channel::Power, cycle, power_w);
+            self.recorder.record(Channel::VfLevel, cycle, mean_level);
+            self.recorder.record(
+                Channel::QueueDepth,
+                cycle,
+                (self.rx_fifo.len() + self.tx_queue.len()) as f64,
+            );
+            self.recorder.record(
+                Channel::Drops,
+                cycle,
+                (self.window_rx_drops + self.window_tx_drops) as f64,
+            );
+            self.recorder
+                .record(Channel::OfferedBytes, cycle, self.window_bits as f64 / 8.0);
+            self.recorder
+                .record(Channel::ServedBytes, cycle, served_bits as f64 / 8.0);
         }
 
         let observation = PolicyObservation {
@@ -742,6 +812,7 @@ impl Simulator {
             windows: self.windows,
             bus_bits: self.bus.bits_sent(),
             bus_rate_mbps: self.bus.rate_mbps(),
+            kernel: self.queue.counters(),
             window_idle: self.window_idle.clone(),
             mes,
         }
@@ -1119,6 +1190,54 @@ mod tests {
             .build();
         let base = Simulator::new(baseline_config).run_cycles(2_000_000);
         assert!(r.mean_power_w() < base.mean_power_w());
+    }
+
+    #[test]
+    fn recorder_samples_every_channel_without_perturbing_the_run() {
+        use obs::MemRecorder;
+
+        let baseline = Simulator::new(base_config()).run_cycles(500_000);
+        let mut sim = Simulator::new(base_config()).with_recorder(Box::new(MemRecorder::new()));
+        let recorded = sim.run_cycles(500_000);
+        // Attaching a recorder is pure observation: the report is the
+        // bit-identical report of the unattached run.
+        assert_eq!(baseline, recorded);
+
+        let rec = sim.take_recording();
+        let windows = recorded.windows as usize;
+        assert_eq!(rec.len(), windows * Channel::ALL.len());
+        for channel in Channel::ALL {
+            assert_eq!(rec.values(channel).len(), windows, "{channel}");
+        }
+        // Epoch powers average out to the run's mean power, and the
+        // served bytes total the forwarded bits.
+        let powers = rec.values(Channel::Power);
+        let mean = powers.iter().sum::<f64>() / powers.len() as f64;
+        assert!(
+            (mean - recorded.mean_power_w()).abs() < 0.05,
+            "epoch power mean {mean:.3} vs run {:.3}",
+            recorded.mean_power_w()
+        );
+        let served: f64 = rec.values(Channel::ServedBytes).iter().sum();
+        assert!(served * 8.0 <= recorded.forwarded_bits as f64);
+        // Sample timestamps advance one window at a time.
+        let cycles: Vec<u64> = rec.channel(Channel::Power).map(|s| s.cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        // A second take is empty: the recording was moved out.
+        assert!(sim.take_recording().is_empty());
+    }
+
+    #[test]
+    fn kernel_counters_tally_the_event_loop() {
+        let mut sim = Simulator::new(base_config());
+        let r = sim.run_cycles(300_000);
+        assert!(r.kernel.events_processed > 1_000, "{:?}", r.kernel);
+        assert!(r.kernel.events_scheduled >= r.kernel.events_processed);
+        assert!(r.kernel.peak_heap_len >= 2);
+        // Determinism: the tallies are part of the report and must
+        // reproduce exactly.
+        let again = Simulator::new(base_config()).run_cycles(300_000);
+        assert_eq!(r.kernel, again.kernel);
     }
 
     #[test]

@@ -50,5 +50,11 @@ mod scenario;
 
 pub use metrics::{SegmentDist, SegmentMetrics};
 pub use registry::{builtin, builtin_names, builtin_scenarios};
-pub use runner::{run_scenario, try_run_scenario, PolicyOutcome, ScenarioRun, SegmentOutcome};
+pub use runner::{
+    run_scenario, try_run_scenario, try_run_scenario_recorded, PolicyOutcome, ScenarioRun,
+    SegmentOutcome,
+};
 pub use scenario::{plan_segments, PlannedSegment, Scenario};
+
+// Re-export the recording types [`try_run_scenario_recorded`] returns.
+pub use nepsim::{Channel, Recording};

@@ -17,7 +17,7 @@
 //! [`JobError`]) while the other policies complete.
 
 use dvs::PolicySpec;
-use nepsim::{SimReport, Simulator};
+use nepsim::{MemRecorder, Recording, SimReport, Simulator};
 use xrun::{derive_seed, Job, JobError, JobSpec, Runner};
 
 use crate::metrics::{SegmentDist, SegmentMetrics};
@@ -65,10 +65,34 @@ pub struct ScenarioRun {
 /// completed, plus one [`JobError`] per failed policy.
 #[must_use]
 pub fn try_run_scenario(runner: &Runner, scenario: &Scenario) -> (ScenarioRun, Vec<JobError>) {
+    let (run, errors, _) = run_impl(runner, scenario, false);
+    (run, errors)
+}
+
+/// [`try_run_scenario`] with a [`MemRecorder`] attached to every
+/// replicate: additionally returns one [`Recording`] per job in
+/// submission order (policy-major, replicate-minor —
+/// `recordings[p * seeds + i]`), `None` for replicates that panicked.
+///
+/// Recording is pure observation: the returned [`ScenarioRun`] is
+/// bit-identical to [`try_run_scenario`]'s.
+#[must_use]
+pub fn try_run_scenario_recorded(
+    runner: &Runner,
+    scenario: &Scenario,
+) -> (ScenarioRun, Vec<JobError>, Vec<Option<Recording>>) {
+    run_impl(runner, scenario, true)
+}
+
+fn run_impl(
+    runner: &Runner,
+    scenario: &Scenario,
+    record: bool,
+) -> (ScenarioRun, Vec<JobError>, Vec<Option<Recording>>) {
     let plan = scenario.plan();
     let boundaries: Vec<u64> = plan.iter().map(|p| p.end_cycles).collect();
     let seeds = scenario.seeds;
-    let mut jobs: Vec<Job<'_, Vec<SimReport>>> = Vec::new();
+    let mut jobs: Vec<Job<'_, (Vec<SimReport>, Recording)>> = Vec::new();
     for policy in &scenario.policies {
         for replicate in 0..seeds {
             let spec = JobSpec {
@@ -81,7 +105,12 @@ pub fn try_run_scenario(runner: &Runner, scenario: &Scenario) -> (ScenarioRun, V
             let label = format!("{}/{}", scenario.name, spec.label());
             let bounds = boundaries.clone();
             jobs.push(Job::new(label, move || {
-                Simulator::new(spec.npu_config()).run_cycle_segments(&bounds)
+                let mut sim = Simulator::new(spec.npu_config());
+                if record {
+                    sim = sim.with_recorder(Box::new(MemRecorder::new()));
+                }
+                let snapshots = sim.run_cycle_segments(&bounds);
+                (snapshots, sim.take_recording())
             }));
         }
     }
@@ -94,6 +123,7 @@ pub fn try_run_scenario(runner: &Runner, scenario: &Scenario) -> (ScenarioRun, V
 
     let mut policies = Vec::with_capacity(scenario.policies.len());
     let mut errors = Vec::new();
+    let mut recordings = Vec::new();
     for policy in &scenario.policies {
         // Consume exactly this policy's replicates, folding in
         // replicate order; the first failing replicate fails the policy
@@ -103,7 +133,8 @@ pub fn try_run_scenario(runner: &Runner, scenario: &Scenario) -> (ScenarioRun, V
         let mut failure: Option<JobError> = None;
         for outcome in outcomes.by_ref().take(seeds as usize) {
             match outcome {
-                Ok(snapshots) => {
+                Ok((snapshots, recording)) => {
+                    recordings.push(Some(recording));
                     debug_assert_eq!(snapshots.len(), plan.len());
                     whole.push(&SegmentMetrics::slice(
                         None,
@@ -115,7 +146,10 @@ pub fn try_run_scenario(runner: &Runner, scenario: &Scenario) -> (ScenarioRun, V
                         prev = Some(snap);
                     }
                 }
-                Err(e) => failure = failure.or(Some(e)),
+                Err(e) => {
+                    recordings.push(None);
+                    failure = failure.or(Some(e));
+                }
             }
         }
         match failure {
@@ -141,6 +175,7 @@ pub fn try_run_scenario(runner: &Runner, scenario: &Scenario) -> (ScenarioRun, V
             policies,
         },
         errors,
+        recordings,
     )
 }
 
@@ -256,6 +291,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn recording_is_pure_observation() {
+        let scenario = tiny_scenario();
+        let (bare, errors) = try_run_scenario(&Runner::serial(), &scenario);
+        assert!(errors.is_empty());
+        let (recorded, errors, recordings) =
+            try_run_scenario_recorded(&Runner::serial(), &scenario);
+        assert!(errors.is_empty());
+
+        // The attached recorder must not perturb a single bit of the
+        // folds.
+        for (b, r) in bare.policies.iter().zip(&recorded.policies) {
+            for ((name, bs), (_, rs)) in b.whole.fields().iter().zip(r.whole.fields()) {
+                assert_eq!(bs.mean().to_bits(), rs.mean().to_bits(), "{name}");
+            }
+        }
+
+        // One recording per policy × replicate, submission order, all
+        // populated: every channel at every window of the horizon.
+        assert_eq!(recordings.len(), 4);
+        for recording in &recordings {
+            let recording = recording.as_ref().expect("no replicate panicked");
+            assert!(!recording.is_empty());
+            assert_eq!(recording.len() % nepsim::Channel::ALL.len(), 0);
+        }
+
+        // And the recordings themselves are worker-count invariant.
+        let (_, _, parallel) = try_run_scenario_recorded(&Runner::new().with_workers(4), &scenario);
+        assert_eq!(recordings, parallel);
     }
 
     #[test]

@@ -20,7 +20,8 @@
 //!   panicking jobs as per-job [`JobError`]s instead of killing the
 //!   batch,
 //! * [`ProgressSink`] — a pluggable observer ([`Quiet`], [`Dots`],
-//!   [`Lines`]) for long batches.
+//!   [`Lines`], [`Stats`]) for long batches; `Stats` aggregates runner
+//!   telemetry (per-worker busy time, queue wait, jobs/sec).
 //!
 //! No external crates: workers are `std::thread::scope` threads pulling
 //! jobs off a shared queue, which keeps the workspace's offline-shims
@@ -60,7 +61,7 @@ mod progress;
 mod runner;
 
 pub use job::{derive_seed, Job, JobError, JobResult, JobSpec};
-pub use progress::{Dots, Lines, ProgressMode, ProgressSink, Quiet};
+pub use progress::{Dots, Lines, ProgressMode, ProgressSink, Quiet, Stats};
 pub use runner::Runner;
 
 // Re-export the domain types a `JobSpec` is made of, so downstream

@@ -9,7 +9,8 @@
 use std::fmt;
 use std::io::Write;
 use std::str::FromStr;
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Observer of a running batch. Implementations must be thread-safe:
 /// worker threads call these hooks concurrently.
@@ -67,21 +68,47 @@ impl ProgressSink for Dots {
     }
 }
 
-/// One line per finished job — `[ 3/16] ok    1.23s name` — plus a
-/// batch summary line. The counter is the number of *completed* jobs,
-/// so it stays monotonic even when parallel jobs finish out of
-/// submission order; the name identifies which cell just landed.
+/// One line per finished job — `[ 3/16] ok    1.23s name  2.4/s eta 5s`
+/// — plus a batch summary line. The counter is the number of
+/// *completed* jobs, so it stays monotonic even when parallel jobs
+/// finish out of submission order; the name identifies which cell just
+/// landed. The trailing rate and ETA come from the batch clock (started
+/// when the first job is picked up): completed ÷ elapsed, extrapolated
+/// over the jobs still outstanding.
 #[derive(Debug, Default)]
 pub struct Lines {
-    done: std::sync::atomic::AtomicUsize,
+    state: Mutex<LinesState>,
+}
+
+#[derive(Debug, Default)]
+struct LinesState {
+    done: usize,
+    start: Option<Instant>,
 }
 
 impl ProgressSink for Lines {
+    fn job_started(&self, _index: usize, _total: usize, _name: &str) {
+        let mut state = self.state.lock().expect("progress state poisoned");
+        state.start.get_or_insert_with(Instant::now);
+    }
+
     fn job_finished(&self, _index: usize, total: usize, name: &str, ok: bool, elapsed: Duration) {
-        let done = self.done.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+        let (done, running) = {
+            let mut state = self.state.lock().expect("progress state poisoned");
+            state.done += 1;
+            let running = state.start.get_or_insert_with(Instant::now).elapsed();
+            (state.done, running)
+        };
         let width = total.to_string().len();
+        let pace = if running.as_secs_f64() > 0.0 {
+            let rate = done as f64 / running.as_secs_f64();
+            let eta = (total - done) as f64 / rate;
+            format!("  {rate:.1}/s eta {eta:.0}s")
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[{done:>width$}/{total}] {} {:>7.2}s {name}",
+            "[{done:>width$}/{total}] {} {:>7.2}s {name}{pace}",
             if ok { "ok  " } else { "FAIL" },
             elapsed.as_secs_f64(),
         );
@@ -89,16 +116,89 @@ impl ProgressSink for Lines {
 
     fn batch_finished(&self, total: usize, failed: usize, elapsed: Duration) {
         // Reset so a reused runner counts the next batch from 1 again.
-        self.done.store(0, std::sync::atomic::Ordering::SeqCst);
+        *self.state.lock().expect("progress state poisoned") = LinesState::default();
+        let secs = elapsed.as_secs_f64();
+        let rate = if secs > 0.0 { total as f64 / secs } else { 0.0 };
+        eprintln!("batch done: {total} jobs, {failed} failed, {secs:.2}s ({rate:.1} jobs/s)");
+    }
+}
+
+/// Aggregate runner telemetry instead of per-job lines: tracks each
+/// worker thread's busy time and every job's queue wait (batch start →
+/// pickup), then prints one summary block when the batch drains —
+/// jobs/sec, per-worker busy seconds and utilisation, mean queue wait.
+#[derive(Debug, Default)]
+pub struct Stats {
+    state: Mutex<StatsState>,
+}
+
+#[derive(Debug, Default)]
+struct StatsState {
+    start: Option<Instant>,
+    /// Busy time per worker thread, keyed by thread id.
+    busy: std::collections::HashMap<std::thread::ThreadId, Duration>,
+    queue_wait: Duration,
+    picked_up: usize,
+}
+
+impl ProgressSink for Stats {
+    fn job_started(&self, _index: usize, _total: usize, _name: &str) {
+        let mut state = self.state.lock().expect("progress state poisoned");
+        let waited = state.start.get_or_insert_with(Instant::now).elapsed();
+        state.queue_wait += waited;
+        state.picked_up += 1;
+    }
+
+    fn job_finished(
+        &self,
+        _index: usize,
+        _total: usize,
+        _name: &str,
+        _ok: bool,
+        elapsed: Duration,
+    ) {
+        let mut state = self.state.lock().expect("progress state poisoned");
+        *state
+            .busy
+            .entry(std::thread::current().id())
+            .or_insert(Duration::ZERO) += elapsed;
+    }
+
+    fn batch_finished(&self, total: usize, failed: usize, elapsed: Duration) {
+        let state = std::mem::take(&mut *self.state.lock().expect("progress state poisoned"));
+        let secs = elapsed.as_secs_f64();
+        let rate = if secs > 0.0 { total as f64 / secs } else { 0.0 };
+        // Thread ids are arbitrary: sort busy times so output is stable.
+        let mut busy: Vec<f64> = state.busy.values().map(Duration::as_secs_f64).collect();
+        busy.sort_by(|a, b| b.total_cmp(a));
+        let busy_total: f64 = busy.iter().sum();
+        let utilisation = if secs > 0.0 && !busy.is_empty() {
+            busy_total / (secs * busy.len() as f64)
+        } else {
+            0.0
+        };
+        let mean_wait = if state.picked_up > 0 {
+            state.queue_wait.as_secs_f64() / state.picked_up as f64
+        } else {
+            0.0
+        };
+        let busy_list = busy
+            .iter()
+            .map(|b| format!("{b:.2}s"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        eprintln!("batch stats: {total} jobs, {failed} failed, {secs:.2}s wall ({rate:.1} jobs/s)");
         eprintln!(
-            "batch done: {total} jobs, {failed} failed, {:.2}s",
-            elapsed.as_secs_f64()
+            "  workers: {} busy [{busy_list}] utilisation {:.0}%",
+            busy.len(),
+            utilisation * 100.0
         );
+        eprintln!("  mean queue wait: {mean_wait:.2}s");
     }
 }
 
 /// The built-in sink selection, parseable from CLI flags
-/// (`--progress quiet|dot|line`).
+/// (`--progress quiet|dot|line|stats`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProgressMode {
     /// No output ([`Quiet`]).
@@ -108,6 +208,8 @@ pub enum ProgressMode {
     Dot,
     /// One line per job ([`Lines`]).
     Line,
+    /// End-of-batch runner telemetry ([`Stats`]).
+    Stats,
 }
 
 impl ProgressMode {
@@ -118,6 +220,7 @@ impl ProgressMode {
             ProgressMode::Quiet => Box::new(Quiet),
             ProgressMode::Dot => Box::new(Dots),
             ProgressMode::Line => Box::new(Lines::default()),
+            ProgressMode::Stats => Box::new(Stats::default()),
         }
     }
 }
@@ -130,8 +233,9 @@ impl FromStr for ProgressMode {
             "quiet" => Ok(ProgressMode::Quiet),
             "dot" | "dots" => Ok(ProgressMode::Dot),
             "line" | "lines" => Ok(ProgressMode::Line),
+            "stats" => Ok(ProgressMode::Stats),
             other => Err(format!(
-                "unknown progress mode '{other}' (expected quiet, dot or line)"
+                "unknown progress mode '{other}' (expected quiet, dot, line or stats)"
             )),
         }
     }
@@ -143,6 +247,7 @@ impl fmt::Display for ProgressMode {
             ProgressMode::Quiet => "quiet",
             ProgressMode::Dot => "dot",
             ProgressMode::Line => "line",
+            ProgressMode::Stats => "stats",
         })
     }
 }
@@ -153,11 +258,35 @@ mod tests {
 
     #[test]
     fn modes_parse_and_round_trip() {
-        for mode in [ProgressMode::Quiet, ProgressMode::Dot, ProgressMode::Line] {
+        for mode in [
+            ProgressMode::Quiet,
+            ProgressMode::Dot,
+            ProgressMode::Line,
+            ProgressMode::Stats,
+        ] {
             assert_eq!(mode.to_string().parse::<ProgressMode>().unwrap(), mode);
         }
         assert_eq!("dots".parse::<ProgressMode>().unwrap(), ProgressMode::Dot);
         assert!("loud".parse::<ProgressMode>().is_err());
+    }
+
+    #[test]
+    fn stats_sink_survives_a_full_batch_protocol() {
+        // Drive the hook protocol by hand: two workers' worth of calls,
+        // then the batch summary; the sink must reset for reuse.
+        let sink = Stats::default();
+        for i in 0..3 {
+            sink.job_started(i, 3, "job");
+            sink.job_finished(i, 3, "job", i != 1, Duration::from_millis(10));
+        }
+        sink.batch_finished(3, 1, Duration::from_millis(40));
+        // After the reset a second batch starts from scratch.
+        sink.job_started(0, 1, "again");
+        sink.job_finished(0, 1, "again", true, Duration::from_millis(5));
+        sink.batch_finished(1, 0, Duration::from_millis(10));
+        let state = sink.state.lock().unwrap();
+        assert_eq!(state.picked_up, 0, "batch_finished must reset the state");
+        assert!(state.busy.is_empty());
     }
 
     #[test]
