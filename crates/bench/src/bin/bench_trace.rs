@@ -1,0 +1,80 @@
+//! Machine-readable perf baseline for the trace subsystem: packets
+//! generated per wall-second (`abdex trace generate`'s inner loop) and
+//! packets analyzed per wall-second serial vs parallel, written as
+//! `BENCH_trace.json`.
+//!
+//! ```text
+//! cargo run --release -p abdex-bench --bin bench_trace -- [CYCLES] [REPS] [OUT]
+//! ```
+//!
+//! Defaults: 2×10⁷ cycles, 3 repetitions, `BENCH_trace.json` in the
+//! current directory. The workload is the PR-8 acceptance spec —
+//! Pareto gaps × lognormal sizes. Every repetition re-checks that the
+//! parallel analysis equals the serial one bit-for-bit, so the
+//! baseline doubles as a worker-count-invariance smoke test; the
+//! fastest repetition is reported, as is conventional for throughput
+//! baselines.
+
+use std::time::Instant;
+
+use abdex::traceio::{analyze_trace, generate_trace};
+use abdex::{Runner, TrafficSpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000_000);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let out = args.next().unwrap_or_else(|| "BENCH_trace.json".to_owned());
+
+    // The acceptance dists at a dense renewal rate (sub-microsecond
+    // Pareto scale), so the baseline measures per-packet cost rather
+    // than empty simulated time.
+    let spec: TrafficSpec =
+        "stochastic:gap=pareto:alpha=1.3,scale=0.5,max=500,size=lognormal:mu=6,sigma=1.2"
+            .parse()
+            .expect("builtin spec");
+    eprintln!(
+        "bench_trace: {reps} x {cycles} cycles of {}",
+        spec.spec_string()
+    );
+
+    let mut best_gen_s = f64::INFINITY;
+    let mut best_serial_s = f64::INFINITY;
+    let mut best_parallel_s = f64::INFINITY;
+    let mut packets = 0u64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let (trace, _text) = generate_trace(&spec, cycles, 42).expect("spec builds");
+        best_gen_s = best_gen_s.min(start.elapsed().as_secs_f64());
+        packets = trace.len() as u64;
+
+        let start = Instant::now();
+        let serial = analyze_trace(&trace, &Runner::serial());
+        best_serial_s = best_serial_s.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let parallel = analyze_trace(&trace, &Runner::new());
+        best_parallel_s = best_parallel_s.min(start.elapsed().as_secs_f64());
+
+        assert_eq!(serial, parallel, "analysis diverged between worker counts");
+    }
+
+    let gen_pps = packets as f64 / best_gen_s;
+    let serial_pps = packets as f64 / best_serial_s;
+    let parallel_pps = packets as f64 / best_parallel_s;
+    let doc = format!(
+        "{{\"bench\":\"trace\",\"cycles\":{cycles},\"reps\":{},\"packets\":{packets},\
+         \"best_generate_s\":{best_gen_s:.4},\"generate_packets_per_s\":{gen_pps:.0},\
+         \"best_analyze_serial_s\":{best_serial_s:.4},\"analyze_serial_packets_per_s\":{serial_pps:.0},\
+         \"best_analyze_parallel_s\":{best_parallel_s:.4},\"analyze_parallel_packets_per_s\":{parallel_pps:.0}}}\n",
+        reps.max(1),
+    );
+    std::fs::write(&out, &doc).expect("write baseline JSON");
+    eprintln!(
+        "{packets} packets: generate {gen_pps:.3e} pkt/s, analyze {serial_pps:.3e} serial / \
+         {parallel_pps:.3e} parallel pkt/s -> {out}"
+    );
+}

@@ -16,6 +16,8 @@
 //! abdex fleet     policies
 //! abdex policies
 //! abdex traffics
+//! abdex trace     generate --traffic "stochastic:gap=pareto:alpha=1.3,size=lognormal:mu=6" -o t.trace
+//! abdex trace     analyze t.trace [--json FILE|-] [--jobs N]
 //! abdex trace     --benchmark url --traffic medium [--cycles N] [--out FILE]
 //! abdex check     --formula "cycle(deq[i]) - cycle(enq[i]) <= 50" --trace FILE
 //! abdex analyze   --formula "... dist== (a, b, s)" --trace FILE
@@ -76,7 +78,7 @@ use abdex::json::{
     replicated_spec_sweep_json, replicated_tdvs_sweep_json, replicated_traffic_sweep_json,
     spec_sweep_json, tdvs_sweep_json, traffic_sweep_json,
 };
-use abdex::json::{fleet_json, scenario_json};
+use abdex::json::{fleet_json, scenario_json, trace_analysis_json};
 use abdex::nepsim::{Benchmark, NpuConfig, Simulator, TraceConfig};
 use abdex::record::{
     fleet_record_series, record_jsonl, render_obs_stats, scenario_record_series,
@@ -91,8 +93,11 @@ use abdex::sweep::{try_sweep_specs, try_sweep_tdvs, try_sweep_traffics};
 use abdex::tables::{
     render_comparison, render_fleet, render_replicated_comparison, render_replicated_run,
     render_replicated_spec_sweep, render_replicated_sweep, render_replicated_traffic_sweep,
-    render_scenario, render_spec_sweep, render_surface, render_sweep, render_traffic_sweep,
+    render_scenario, render_spec_sweep, render_surface, render_sweep, render_trace_analysis,
+    render_traffic_sweep,
 };
+use abdex::traceio::{analyze_trace, generate_trace};
+use abdex::traffic::RecordedTrace;
 use abdex::{
     optimal_tdvs, ConfidenceLevel, DesignPriority, Experiment, JobError, PolicyRegistry,
     PolicySpec, ProgressMode, Runner, TdvsGrid, TrafficRegistry, TrafficSpec, PAPER_RUN_CYCLES,
@@ -122,6 +127,20 @@ FLEETS:
                                          --seeds/--ci/--jobs/--progress/--json)
     abdex fleet dispatchers              list the registered dispatchers
     abdex fleet policies                 list the registered fleet policies
+
+TRACES:
+    abdex trace generate                 record --traffic's packet stream
+                                         (--seed, --cycles of 600 MHz base
+                                         clock) as a replayable trace file
+                                         (--out/-o FILE, else stdout); replay
+                                         it with --traffic trace:file=FILE
+    abdex trace analyze <file>           inter-arrival/size statistics and a
+                                         Hurst-style burstiness proxy of a
+                                         recorded trace (--json FILE|-,
+                                         --jobs N; output is byte-identical
+                                         for any worker count)
+    abdex trace --benchmark ...          legacy: LOC-event trace of one run
+                                         (--traffic/--cycles/--seed/--out)
 
 OPTIONS (where applicable):
     --benchmark <ipfwdr|url|nat|md4>   benchmark application [ipfwdr]
@@ -188,13 +207,14 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `scenario` takes positional arguments (`run <name|file>`), so it
-    // dispatches before the flag-only parser below.
-    if command == "scenario" || command == "fleet" {
-        let result = if command == "scenario" {
-            cmd_scenario(rest)
-        } else {
-            cmd_fleet(rest)
+    // `scenario`, `fleet` and `trace` take positional arguments
+    // (`run <name|file>`, `analyze <file>`), so they dispatch before
+    // the flag-only parser below.
+    if command == "scenario" || command == "fleet" || command == "trace" {
+        let result = match command.as_str() {
+            "scenario" => cmd_scenario(rest),
+            "fleet" => cmd_fleet(rest),
+            _ => cmd_trace_dispatch(rest),
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,
@@ -278,8 +298,6 @@ fn main() -> ExitCode {
         .and_then(|()| cmd_compare(&opts)),
         "policies" => check_opts(&opts, &[]).and_then(|()| cmd_policies()),
         "traffics" => check_opts(&opts, &[]).and_then(|()| cmd_traffics()),
-        "trace" => check_opts(&opts, &["benchmark", "traffic", "cycles", "seed", "out"])
-            .and_then(|()| cmd_trace(&opts)),
         "check" => check_opts(&opts, &["formula", "trace"]).and_then(|()| cmd_check(&opts)),
         "analyze" => check_opts(&opts, &["formula", "trace"]).and_then(|()| cmd_analyze(&opts)),
         "codegen" => check_opts(&opts, &["formula"]).and_then(|()| cmd_codegen(&opts)),
@@ -1095,6 +1113,90 @@ fn cmd_traffics() -> Result<(), String> {
         println!();
     }
     Ok(())
+}
+
+/// `trace` grew positional subcommands (`generate`, `analyze`) around
+/// the original flag-only LOC-event form; a leading flag (or nothing)
+/// keeps the legacy behaviour byte-for-byte.
+fn cmd_trace_dispatch(rest: &[String]) -> Result<(), String> {
+    match rest.first().map(String::as_str) {
+        Some("generate") => {
+            // `-o` is the conventional shorthand for `--out`.
+            let args: Vec<String> = rest[1..]
+                .iter()
+                .map(|a| {
+                    if a == "-o" {
+                        "--out".to_owned()
+                    } else {
+                        a.clone()
+                    }
+                })
+                .collect();
+            let opts = parse_opts(&args)?;
+            check_opts(&opts, &["traffic", "cycles", "seed", "out"])?;
+            cmd_trace_generate(&opts)
+        }
+        Some("analyze") => {
+            let Some((path, flags)) = rest[1..].split_first() else {
+                return Err(
+                    "trace analyze needs a trace file: `abdex trace analyze <file> \
+                     [--json FILE|-] [--jobs N]`"
+                        .to_owned(),
+                );
+            };
+            if path.starts_with("--") {
+                return Err(format!(
+                    "trace analyze takes the trace file first, found flag '{path}'"
+                ));
+            }
+            let opts = parse_opts(flags)?;
+            check_opts(&opts, &["json", "jobs", "progress"])?;
+            cmd_trace_analyze(path, &opts)
+        }
+        None => cmd_trace(&Opts::new()),
+        Some(flag) if flag.starts_with("--") => {
+            let opts = parse_opts(rest)?;
+            check_opts(&opts, &["benchmark", "traffic", "cycles", "seed", "out"])?;
+            cmd_trace(&opts)
+        }
+        Some(other) => Err(format!(
+            "unknown trace subcommand '{other}' (expected `generate`, `analyze`, \
+             or the legacy flag form `abdex trace --benchmark ...`)"
+        )),
+    }
+}
+
+/// `trace generate`: materialise a traffic spec into a replayable
+/// recorded-trace file.
+fn cmd_trace_generate(opts: &Opts) -> Result<(), String> {
+    let spec = traffic(opts)?;
+    let cycles: u64 = number(opts, "cycles", 1_000_000)?;
+    let seed: u64 = number(opts, "seed", 42)?;
+    let (trace, text) = generate_trace(&spec, cycles, seed)?;
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "recorded {} packets of `{}` (seed {seed}, {cycles} cycles) to {path}",
+                trace.len(),
+                spec.spec_string()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `trace analyze`: characterise a recorded trace file (table and/or
+/// `trace_analysis` JSON document).
+fn cmd_trace_analyze(path: &str, opts: &Opts) -> Result<(), String> {
+    preflight_json(opts)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = RecordedTrace::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    let runner = runner(opts)?;
+    let analysis = analyze_trace(&trace, &runner);
+    emit(opts, &render_trace_analysis(path, &analysis));
+    write_json(opts, || trace_analysis_json(path, &analysis))
 }
 
 fn cmd_trace(opts: &Opts) -> Result<(), String> {

@@ -20,6 +20,7 @@ use crate::replicate::{
     ReplicatedTrafficCell,
 };
 use crate::sweep::{GridCell, SpecCell, TrafficCell};
+use crate::traceio::{StreamStats, TraceAnalysis};
 
 /// Version of the hand-rolled `--json` schema. Bump whenever a document's
 /// shape or field semantics change; every document carries it as
@@ -57,10 +58,17 @@ use crate::sweep::{GridCell, SpecCell, TrafficCell};
 /// every recorded epoch of every replicate; new `--record` JSONL
 /// timeseries export (a `meta` header line then one object per
 /// recorded sample — see [`crate::record`]) shares this version.
+/// **7** — stochastic traffic & traces: new `trace_analysis` document
+/// (`abdex trace analyze`: inter-arrival and size statistics — mean,
+/// CV, sketch percentiles — plus a Hurst-style burstiness proxy,
+/// byte-identical for any `--jobs`); `fleet` per-chip entries gain
+/// `"queue_wait_us"`, a `{p50, p95, p99, n}` object of per-epoch mean
+/// forwarded-packet sojourn percentiles from the recorder's new
+/// `queue_wait_us` channel; `--record` exports carry that channel too.
 ///
 /// [`TrafficSpec`]: traffic::TrafficSpec
 /// [`HistogramSketch`]: obs::HistogramSketch
-pub const SCHEMA_VERSION: u64 = 6;
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Escapes a string for a JSON string literal (without the quotes).
 pub(crate) fn escape(s: &str) -> String {
@@ -622,11 +630,21 @@ pub fn fleet_json(outcome: &fleet::FleetOutcome, level: ConfidenceLevel) -> Stri
                 .num("p99", p99)
                 .int("n", chip.queue_depth.count())
                 .finish();
+            let (w50, w95, w99) = chip
+                .wait_percentiles()
+                .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+            let wait = Obj::new()
+                .num("p50", w50)
+                .num("p95", w95)
+                .num("p99", w99)
+                .int("n", chip.queue_wait_us.count())
+                .finish();
             Obj::new()
                 .int("chip", index as u64)
                 .num("share", chip.share)
                 .raw("metrics", &chip_metrics.finish())
                 .raw("queue_depth", &queue)
+                .raw("queue_wait_us", &wait)
                 .finish()
         })
         .collect();
@@ -646,6 +664,35 @@ pub fn fleet_json(outcome: &fleet::FleetOutcome, level: ConfidenceLevel) -> Stri
         &outcome.errors,
     )
     .finish()
+}
+
+/// Renders one trace characterisation as a JSON document
+/// (`"kind": "trace_analysis"`). The analysis itself is worker-count
+/// invariant, so the document bytes are too.
+#[must_use]
+pub fn trace_analysis_json(path: &str, a: &TraceAnalysis) -> String {
+    let stream = |s: &Option<StreamStats>| match s {
+        None => "null".to_owned(),
+        Some(s) => Obj::new()
+            .num("mean", s.mean)
+            .num("cv", s.cv)
+            .num("p50", s.p50)
+            .num("p95", s.p95)
+            .num("p99", s.p99)
+            .finish(),
+    };
+    Obj::new()
+        .int("schema_version", SCHEMA_VERSION)
+        .str("kind", "trace_analysis")
+        .str("trace", path)
+        .int("packets", a.packets)
+        .num("duration_us", a.duration_us)
+        .int("total_bytes", a.total_bytes)
+        .num("mean_rate_mbps", a.mean_rate_mbps)
+        .raw("gap_us", &stream(&a.gap_us))
+        .raw("size_bytes", &stream(&a.size_bytes))
+        .num("hurst", a.hurst.unwrap_or(f64::NAN))
+        .finish()
 }
 
 #[cfg(test)]
@@ -717,7 +764,7 @@ mod tests {
         let json = experiment_json(&r);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":6",
+            "\"schema_version\":7",
             "\"kind\":\"experiment\"",
             "\"benchmark\":\"nat\"",
             "\"traffic\":\"low\"",
@@ -749,7 +796,7 @@ mod tests {
         let json = tdvs_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"tdvs_sweep\""));
-        assert!(json.contains("\"schema_version\":6"));
+        assert!(json.contains("\"schema_version\":7"));
         assert!(json.contains("\"cells\":2"));
         assert!(json.contains("\"failed\":0"));
         assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
@@ -796,7 +843,7 @@ mod tests {
         let json = traffic_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"traffic_sweep\""), "{json}");
-        assert!(json.contains("\"schema_version\":6"), "{json}");
+        assert!(json.contains("\"schema_version\":7"), "{json}");
         assert!(json.contains("\"cells\":2"), "{json}");
         // The exact spec string round-trips through the document.
         assert!(
@@ -817,7 +864,7 @@ mod tests {
         let json = comparison_json(&cmp, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"policy_comparison\""));
-        assert!(json.contains("\"schema_version\":6"));
+        assert!(json.contains("\"schema_version\":7"));
         assert!(json.contains("\"rows\":6"));
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
     }
@@ -837,7 +884,7 @@ mod tests {
         let json = replicated_run_json(&r, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":6",
+            "\"schema_version\":7",
             "\"kind\":\"replicated_run\"",
             "\"seeds\":3",
             "\"ci_level\":95",
@@ -932,7 +979,7 @@ mod tests {
         let json = replicated_compare_json(&cmp, stats::ConfidenceLevel::P95, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"replicated_compare\""), "{json}");
-        assert!(json.contains("\"schema_version\":6"), "{json}");
+        assert!(json.contains("\"schema_version\":7"), "{json}");
         assert!(json.contains("\"seeds\":2"), "{json}");
         assert!(json.contains("\"rows\":6"), "{json}");
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
@@ -995,7 +1042,7 @@ mod tests {
         let json = scenario_json(&run, stats::ConfidenceLevel::P95, &errors);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":6",
+            "\"schema_version\":7",
             "\"kind\":\"scenario\"",
             "\"scenario\":\"doc-test\"",
             "\"seeds\":2",
@@ -1029,7 +1076,7 @@ mod tests {
         let json = fleet_json(&outcome, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":6",
+            "\"schema_version\":7",
             "\"kind\":\"fleet\"",
             "\"seeds\":2",
             "\"ci_level\":95",

@@ -63,6 +63,7 @@ pub mod reference;
 pub mod replicate;
 pub mod sweep;
 pub mod tables;
+pub mod traceio;
 
 pub use ablation::{
     sweep_edvs_idle_threshold, sweep_tdvs_hysteresis, try_sweep_edvs_idle_threshold,
@@ -100,6 +101,7 @@ pub use sweep::{
     sweep_specs, sweep_tdvs, sweep_traffics, try_sweep_specs, try_sweep_tdvs, try_sweep_traffics,
     GridCell, SpecCell, TdvsGrid, TrafficCell,
 };
+pub use traceio::{analyze_trace, generate_trace, StreamStats, TraceAnalysis};
 pub use traffic::{TrafficModel, TrafficRegistry, TrafficSpec};
 pub use xrun::{Job, JobError, JobResult, JobSpec, ProgressMode, Runner};
 

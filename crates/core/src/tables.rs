@@ -12,6 +12,7 @@ use crate::replicate::{
     ReplicatedTrafficCell,
 };
 use crate::sweep::{GridCell, SpecCell, TrafficCell};
+use crate::traceio::{StreamStats, TraceAnalysis};
 
 /// Renders a cumulative "fraction of instances ≤ x" curve (Fig. 6 style)
 /// sampled at `points` evenly spaced x values over `[lo, hi]`.
@@ -444,7 +445,7 @@ pub fn render_fleet(report: &fleet::FleetReport, level: ConfidenceLevel) -> Stri
         ));
     }
     out.push_str(&format!(
-        "\n{:>4} {:>7} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12} {:>7} {:>7} {:>7}\n",
+        "\n{:>4} {:>7} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
         "chip",
         "share",
         "offered_mbps",
@@ -456,19 +457,27 @@ pub fn render_fleet(report: &fleet::FleetReport, level: ConfidenceLevel) -> Stri
         "switches",
         "q_p50",
         "q_p95",
-        "q_p99"
+        "q_p99",
+        "w_p50",
+        "w_p95",
+        "w_p99"
     ));
     for (index, chip) in report.chips.iter().enumerate() {
-        // Queue-depth percentiles come from the recorder's epoch
-        // sketch, not a replicate fold — `-` when nothing was recorded
-        // (e.g. every replicate of the chip failed).
+        // Queue-depth (q_*, packets) and queue-wait (w_*, µs)
+        // percentiles come from the recorder's epoch sketches, not a
+        // replicate fold — `-` when nothing was recorded (e.g. every
+        // replicate of the chip failed).
         let quantile = |q: Option<f64>| q.map_or_else(|| "-".to_owned(), |v| format!("{v:.1}"));
         let (p50, p95, p99) = match chip.queue_percentiles() {
             Some((p50, p95, p99)) => (Some(p50), Some(p95), Some(p99)),
             None => (None, None, None),
         };
+        let (w50, w95, w99) = match chip.wait_percentiles() {
+            Some((w50, w95, w99)) => (Some(w50), Some(w95), Some(w99)),
+            None => (None, None, None),
+        };
         out.push_str(&format!(
-            "{index:>4} {:>7.4} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12} {:>7} {:>7} {:>7}\n",
+            "{index:>4} {:>7.4} {:>15} {:>15} {:>14} {:>16} {:>13} {:>12} {:>12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
             chip.share,
             pm(&chip.offered_mbps, level, 1),
             pm(&chip.throughput_mbps, level, 1),
@@ -480,7 +489,40 @@ pub fn render_fleet(report: &fleet::FleetReport, level: ConfidenceLevel) -> Stri
             quantile(p50),
             quantile(p95),
             quantile(p99),
+            quantile(w50),
+            quantile(w95),
+            quantile(w99),
         ));
+    }
+    out
+}
+
+/// Renders one trace characterisation: header line, one row per
+/// stream (inter-arrival gaps and sizes), then the burstiness proxy.
+#[must_use]
+pub fn render_trace_analysis(path: &str, a: &TraceAnalysis) -> String {
+    let mut out = format!(
+        "trace {path}: {} packets, {:.1} us span, {} bytes, {:.1} Mbps mean rate\n",
+        a.packets, a.duration_us, a.total_bytes, a.mean_rate_mbps
+    );
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>8} {:>12} {:>12} {:>12}\n",
+        "stream", "mean", "cv", "p50", "p95", "p99"
+    ));
+    let row = |out: &mut String, name: &str, s: &Option<StreamStats>| match s {
+        Some(s) => out.push_str(&format!(
+            "{name:<12} {:>12.4} {:>8.3} {:>12.4} {:>12.4} {:>12.4}\n",
+            s.mean, s.cv, s.p50, s.p95, s.p99
+        )),
+        None => out.push_str(&format!("{name:<12} {:>12}\n", "(empty)")),
+    };
+    row(&mut out, "gap_us", &a.gap_us);
+    row(&mut out, "size_bytes", &a.size_bytes);
+    match a.hurst {
+        Some(h) => out.push_str(&format!(
+            "hurst estimate {h:.3} (aggregated-variance proxy; 0.5 ~ Poisson, -> 1 long-range dependent)\n"
+        )),
+        None => out.push_str("hurst estimate n/a (trace too short)\n"),
     }
     out
 }

@@ -1,0 +1,417 @@
+//! Trace synthesis and characterisation behind `abdex trace generate`
+//! and `abdex trace analyze`.
+//!
+//! **Generate** materialises any traffic spec into an on-disk
+//! [`RecordedTrace`]: the spec's packet stream at one seed, captured up
+//! to a base-clock cycle horizon and written in the replayable
+//! `arrival_ps size_bytes port` text format under a versioned `#`
+//! provenance header. Replaying the file (`trace:file=...`) feeds the
+//! simulator the exact packet sequence the live generator would have
+//! produced, so a recorded run is byte-identical to a direct one at the
+//! same seed and horizon.
+//!
+//! **Analyze** characterises a trace file: inter-arrival-gap and
+//! packet-size statistics (mean, coefficient of variation, sketch
+//! percentiles) plus a Hurst-style burstiness proxy from the
+//! aggregated-variance method. The fold is chunked over fixed
+//! boundaries and reduced in chunk order, so the result — and the
+//! `trace_analysis` JSON document — is bit-identical for any `--jobs`
+//! value, exactly like every other batch command.
+
+use desim::SimTime;
+use obs::HistogramSketch;
+use traffic::{Packet, RecordedTrace, ScheduleConfig, TrafficSpec};
+use xrun::{Job, Runner};
+
+/// Version tag of the `#` provenance header `generate` writes. The
+/// replay parser skips every `#` line, so the header is free to grow
+/// without breaking old readers.
+pub const TRACE_FORMAT_VERSION: &str = "abdex-trace v1";
+
+/// Packets per analysis chunk. Fixed — chunk boundaries must depend
+/// only on the trace, never on the worker count, or the floating-point
+/// fold order (and thus the output bytes) would vary with `--jobs`.
+const ANALYZE_CHUNK: usize = 65_536;
+
+/// Bins of the arrival-count series behind the Hurst proxy (a power of
+/// two, so every dyadic aggregation level divides it exactly).
+const HURST_BINS: usize = 1024;
+
+/// Synthesizes a recorded trace: `spec`'s stream at `seed`, captured
+/// through `cycles` base-clock (600 MHz) cycles — every packet a
+/// simulation of the same spec/seed/cycle-count would consume.
+///
+/// Returns the trace plus its serialized text (provenance header +
+/// [`RecordedTrace::to_text`] body).
+///
+/// # Errors
+///
+/// Returns a message when the spec's model cannot be built (e.g. a
+/// `trace:` source whose file is missing).
+pub fn generate_trace(
+    spec: &TrafficSpec,
+    cycles: u64,
+    seed: u64,
+) -> Result<(RecordedTrace, String), String> {
+    let model = spec.model().map_err(|e| e.to_string())?;
+    let horizon = ScheduleConfig::base_clock().cycles_to_time(cycles);
+    // `<=`, not `<`: the simulator schedules arrivals with
+    // `arrival <= end`, and the recording must be a superset of what a
+    // direct run consumes for replay to be byte-identical.
+    let packets: Vec<Packet> = model
+        .stream(seed)
+        .take_while(|p| p.arrival <= horizon)
+        .collect();
+    let trace = RecordedTrace::from_packets(packets);
+    let mut text = format!(
+        "# {TRACE_FORMAT_VERSION}\n# traffic: {}\n# seed: {seed}\n# cycles: {cycles}\n",
+        spec.spec_string()
+    );
+    text.push_str(&trace.to_text());
+    Ok((trace, text))
+}
+
+/// Mean, dispersion and percentiles of one per-packet stream (gaps or
+/// sizes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Coefficient of variation (population std-dev over mean; 1 for a
+    /// Poisson gap stream, above 1 for burstier-than-Poisson).
+    pub cv: f64,
+    /// Median, from the log2 histogram sketch.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// The full characterisation of one trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Recorded packets.
+    pub packets: u64,
+    /// First-to-last arrival span, microseconds.
+    pub duration_us: f64,
+    /// Total recorded payload bytes.
+    pub total_bytes: u64,
+    /// Mean rate over the recorded span, Mbps.
+    pub mean_rate_mbps: f64,
+    /// Inter-arrival gap statistics, microseconds (`None` for traces
+    /// shorter than two packets).
+    pub gap_us: Option<StreamStats>,
+    /// Packet-size statistics, bytes (`None` for empty traces).
+    pub size_bytes: Option<StreamStats>,
+    /// Hurst-style burstiness proxy from the aggregated-variance
+    /// method: ~0.5 for Poisson-like arrivals, toward 1 for
+    /// long-range-dependent ones. `None` when the trace is too short
+    /// to aggregate (or arrivals are degenerate).
+    pub hurst: Option<f64>,
+}
+
+/// Running count/sum/sum-of-squares of one stream. Merging partials in
+/// a fixed order reproduces the serial fold bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+struct Moments {
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Moments {
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    fn merge(&mut self, other: &Moments) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    fn mean(&self) -> f64 {
+        self.sum / self.n as f64
+    }
+
+    /// Population coefficient of variation.
+    fn cv(&self) -> f64 {
+        let mean = self.mean();
+        let var = (self.sum_sq / self.n as f64 - mean * mean).max(0.0);
+        if mean > 0.0 {
+            var.sqrt() / mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One chunk's partial fold: exact-mergeable sketches and counts plus
+/// order-sensitive float sums that the caller reduces in chunk order.
+#[derive(Debug, Clone)]
+struct ChunkStats {
+    gaps: Moments,
+    sizes: Moments,
+    gap_sketch: HistogramSketch,
+    size_sketch: HistogramSketch,
+    total_bytes: u64,
+    /// Arrival counts on the global [`HURST_BINS`] grid (integer adds,
+    /// so this merge is exact in any order).
+    bins: Vec<u64>,
+}
+
+impl ChunkStats {
+    fn new() -> Self {
+        ChunkStats {
+            gaps: Moments::default(),
+            sizes: Moments::default(),
+            gap_sketch: HistogramSketch::new(),
+            size_sketch: HistogramSketch::new(),
+            total_bytes: 0,
+            bins: vec![0; HURST_BINS],
+        }
+    }
+}
+
+/// Folds one chunk. `prev_arrival` is the arrival of the packet just
+/// before the chunk (None for the first chunk, whose first packet
+/// starts the gap stream).
+fn chunk_stats(prev_arrival: Option<SimTime>, chunk: &[Packet], duration_ps: u64) -> ChunkStats {
+    let mut s = ChunkStats::new();
+    let mut prev = prev_arrival;
+    for p in chunk {
+        if let Some(prev) = prev {
+            let gap = p.arrival.saturating_sub(prev).as_us();
+            s.gaps.push(gap);
+            s.gap_sketch.record(gap);
+        }
+        prev = Some(p.arrival);
+        let size = f64::from(p.size_bytes);
+        s.sizes.push(size);
+        s.size_sketch.record(size);
+        s.total_bytes += u64::from(p.size_bytes);
+        // Integer binning (exact, overflow-safe via u128): the last
+        // arrival maps to the last bin because of the `+ 1`.
+        let bin = (u128::from(p.arrival.as_ps()) * HURST_BINS as u128
+            / (u128::from(duration_ps) + 1)) as usize;
+        s.bins[bin.min(HURST_BINS - 1)] += 1;
+    }
+    s
+}
+
+/// Least-squares slope of `log(variance)` vs `log(m)` over dyadic
+/// aggregation levels of the arrival-count series; the Hurst estimate
+/// is `1 + slope/2` (clamped to `[0, 1]`). Slope −1 (iid counts) gives
+/// H = 0.5; a flatter variance decay signals long-range dependence.
+fn hurst_aggregated_variance(bins: &[u64], packets: u64) -> Option<f64> {
+    // Too few arrivals and the count series is mostly zeros — the fit
+    // would be noise dressed up as a number.
+    if packets < 64 {
+        return None;
+    }
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut m = 1;
+    // Aggregate down to series of at least 8 points (m up to 128).
+    while bins.len() / m >= 8 {
+        let series: Vec<f64> = bins
+            .chunks(m)
+            .map(|block| block.iter().sum::<u64>() as f64 / m as f64)
+            .collect();
+        let n = series.len() as f64;
+        let mean = series.iter().sum::<f64>() / n;
+        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        if var > 0.0 {
+            points.push(((m as f64).ln(), var.ln()));
+        }
+        m *= 2;
+    }
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    Some((1.0 + slope / 2.0).clamp(0.0, 1.0))
+}
+
+fn stream_stats(moments: &Moments, sketch: &HistogramSketch) -> Option<StreamStats> {
+    if moments.n == 0 {
+        return None;
+    }
+    Some(StreamStats {
+        mean: moments.mean(),
+        cv: moments.cv(),
+        p50: sketch.p50()?,
+        p95: sketch.p95()?,
+        p99: sketch.p99()?,
+    })
+}
+
+/// Characterises a trace on the given runner. Chunk boundaries are
+/// fixed and partials are reduced in chunk order, so the analysis is
+/// bit-identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if an analysis chunk panics (it performs no I/O and cannot
+/// fail on valid traces).
+#[must_use]
+pub fn analyze_trace(trace: &RecordedTrace, runner: &Runner) -> TraceAnalysis {
+    let packets = trace.packets();
+    let duration_ps = packets.last().map_or(0, |p| p.arrival.as_ps());
+    let jobs: Vec<Job<'_, ChunkStats>> = packets
+        .chunks(ANALYZE_CHUNK)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let prev = i
+                .checked_mul(ANALYZE_CHUNK)
+                .and_then(|start| start.checked_sub(1))
+                .map(|j| packets[j].arrival);
+            Job::new(format!("chunk {i}"), move || {
+                chunk_stats(prev, chunk, duration_ps)
+            })
+        })
+        .collect();
+    let mut results = runner.run(jobs);
+    results.sort_by_key(|r| r.index);
+    let mut total = ChunkStats::new();
+    for result in results {
+        let part = result.outcome.expect("analysis chunk panicked");
+        total.gaps.merge(&part.gaps);
+        total.sizes.merge(&part.sizes);
+        total.gap_sketch.merge(&part.gap_sketch);
+        total.size_sketch.merge(&part.size_sketch);
+        total.total_bytes += part.total_bytes;
+        for (t, p) in total.bins.iter_mut().zip(&part.bins) {
+            *t += p;
+        }
+    }
+    let duration_us = match (packets.first(), packets.last()) {
+        (Some(first), Some(last)) => (last.arrival - first.arrival).as_us(),
+        _ => 0.0,
+    };
+    TraceAnalysis {
+        packets: packets.len() as u64,
+        duration_us,
+        total_bytes: total.total_bytes,
+        mean_rate_mbps: trace.mean_rate_mbps(),
+        gap_us: stream_stats(&total.gaps, &total.gap_sketch),
+        size_bytes: stream_stats(&total.sizes, &total.size_sketch),
+        hurst: hurst_aggregated_variance(&total.bins, packets.len() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(text: &str) -> TrafficSpec {
+        TrafficSpec::parse(text).expect("valid spec")
+    }
+
+    #[test]
+    fn generated_trace_carries_header_and_replays() {
+        let (trace, text) = generate_trace(&spec("high"), 600_000, 7).unwrap();
+        assert!(!trace.is_empty());
+        assert!(text.starts_with(&format!("# {TRACE_FORMAT_VERSION}\n")));
+        assert!(text.contains("# traffic: high\n"));
+        assert!(text.contains("# seed: 7\n"));
+        let back = RecordedTrace::from_text(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn generated_trace_covers_every_consumed_arrival() {
+        // The horizon is inclusive: every packet with arrival <= end —
+        // exactly what a simulation of the same cycle count schedules.
+        let cycles = 300_000;
+        let horizon = ScheduleConfig::base_clock().cycles_to_time(cycles);
+        let (trace, _) = generate_trace(&spec("stochastic"), cycles, 3).unwrap();
+        let model = spec("stochastic").model().unwrap();
+        let direct: Vec<Packet> = model
+            .stream(3)
+            .take_while(|p| p.arrival <= horizon)
+            .collect();
+        assert_eq!(trace.packets(), direct.as_slice());
+    }
+
+    #[test]
+    fn analysis_is_worker_count_invariant() {
+        let (trace, _) = generate_trace(&spec("high"), 4_000_000, 11).unwrap();
+        assert!(
+            trace.len() > 2 * ANALYZE_CHUNK / 64,
+            "{} packets",
+            trace.len()
+        );
+        let serial = analyze_trace(&trace, &Runner::serial());
+        let parallel = analyze_trace(&trace, &Runner::new().with_workers(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.packets, trace.len() as u64);
+    }
+
+    #[test]
+    fn constant_bitrate_has_zero_gap_cv() {
+        let (trace, _) = generate_trace(
+            &spec("stochastic:gap=constant:value=5,size=constant:value=500"),
+            3_000_000,
+            1,
+        )
+        .unwrap();
+        let a = analyze_trace(&trace, &Runner::serial());
+        let gap = a.gap_us.expect("gaps");
+        assert!((gap.mean - 5.0).abs() < 1e-9, "mean gap {}", gap.mean);
+        assert!(gap.cv < 1e-9, "cv {}", gap.cv);
+        let size = a.size_bytes.expect("sizes");
+        assert!((size.mean - 500.0).abs() < 1e-12);
+        assert_eq!(a.total_bytes, a.packets * 500);
+        assert!(
+            (a.mean_rate_mbps - 800.0).abs() / 800.0 < 0.01,
+            "{}",
+            a.mean_rate_mbps
+        );
+    }
+
+    #[test]
+    fn hurst_proxy_separates_poisson_from_heavy_tails() {
+        let poisson = spec("stochastic:gap=exponential:mean=2,size=constant:value=500");
+        let (trace, _) = generate_trace(&poisson, 60_000_000, 5).unwrap();
+        let h_poisson = analyze_trace(&trace, &Runner::serial())
+            .hurst
+            .expect("enough packets");
+        assert!(
+            (h_poisson - 0.5).abs() < 0.15,
+            "Poisson arrivals should look short-range dependent, got H={h_poisson}"
+        );
+        let heavy =
+            spec("stochastic:gap=pareto:alpha=1.2,scale=0.4,max=100000,size=constant:value=500");
+        let (trace, _) = generate_trace(&heavy, 60_000_000, 5).unwrap();
+        let h_heavy = analyze_trace(&trace, &Runner::serial())
+            .hurst
+            .expect("enough packets");
+        assert!(
+            h_heavy > h_poisson + 0.05,
+            "heavy-tailed gaps should raise the proxy: {h_heavy} vs {h_poisson}"
+        );
+    }
+
+    #[test]
+    fn degenerate_traces_are_benign() {
+        let empty = RecordedTrace::default();
+        let a = analyze_trace(&empty, &Runner::serial());
+        assert_eq!(a.packets, 0);
+        assert_eq!(a.gap_us, None);
+        assert_eq!(a.size_bytes, None);
+        assert_eq!(a.hurst, None);
+        let one = RecordedTrace::from_text("1000 40 0\n").unwrap();
+        let a = analyze_trace(&one, &Runner::serial());
+        assert_eq!(a.packets, 1);
+        assert_eq!(a.gap_us, None, "one packet has no gaps");
+        assert!(a.size_bytes.is_some());
+    }
+}

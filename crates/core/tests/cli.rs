@@ -519,7 +519,7 @@ fn sweep_over_traffic_specs_renders_table_and_json() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"traffic_sweep\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":6"), "{doc}");
+    assert!(doc.contains("\"schema_version\":7"), "{doc}");
     assert!(doc.contains("\"traffic_model\":\"burst\""), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +568,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&run_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":6"), "{doc}");
+    assert!(doc.contains("\"schema_version\":7"), "{doc}");
 
     let sweep_json = dir.join("sweep.json");
     let out = abdex()
@@ -587,7 +587,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&sweep_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":6"), "{doc}");
+    assert!(doc.contains("\"schema_version\":7"), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -644,6 +644,147 @@ fn trace_replay_round_trips_through_the_cli() {
 }
 
 #[test]
+fn trace_generate_then_analyze_is_jobs_invariant() {
+    // The PR-8 acceptance pipeline: synthesize a stochastic trace, then
+    // analyze it — the schema-7 JSON document must be byte-identical
+    // for any worker count.
+    let dir = std::env::temp_dir().join(format!("abdex-cli-tracegen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let trace_path = dir.join("t.trace");
+
+    let out = abdex()
+        .args([
+            "trace",
+            "generate",
+            "--traffic",
+            "stochastic:gap=pareto:alpha=1.3,size=lognormal:mu=6,sigma=1.2",
+            "--cycles",
+            "2000000",
+            "-o",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let header = std::fs::read_to_string(&trace_path).expect("trace written");
+    assert!(header.starts_with("# abdex-trace v1\n"), "{header:.80}");
+    assert!(
+        header.contains("# traffic: stochastic:gap="),
+        "missing provenance"
+    );
+
+    let analyze = |jobs: &str| {
+        let out = abdex()
+            .args([
+                "trace",
+                "analyze",
+                trace_path.to_str().unwrap(),
+                "--json",
+                "-",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = analyze("1");
+    let parallel = analyze("4");
+    assert_eq!(serial, parallel, "analysis must not depend on --jobs");
+    let doc = String::from_utf8_lossy(&serial);
+    assert!(doc.contains("\"schema_version\":7"), "{doc}");
+    assert!(doc.contains("\"kind\":\"trace_analysis\""), "{doc}");
+    assert!(doc.contains("\"gap_us\":{\"mean\":"), "{doc}");
+    assert!(doc.contains("\"hurst\":"), "{doc}");
+    // The human table moved to stderr (--json - owns stdout).
+    let table = abdex()
+        .args(["trace", "analyze", trace_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(table.status.success());
+    let text = String::from_utf8_lossy(&table.stdout);
+    assert!(text.contains("gap_us"), "{text}");
+    assert!(text.contains("hurst estimate"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generated_trace_replays_byte_identically() {
+    // Simulating `trace:file=t.trace` must reproduce the direct
+    // stochastic run bit-for-bit: the recording covers every arrival
+    // the simulator would consume at the same seed and horizon.
+    let dir = std::env::temp_dir().join(format!("abdex-cli-replayid-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let trace_path = dir.join("t.trace");
+    let spec = "stochastic:gap=pareto:alpha=1.3,size=lognormal:mu=6,sigma=1.2";
+    let cycles = "400000";
+    let seed = "9";
+
+    let out = abdex()
+        .args([
+            "trace",
+            "generate",
+            "--traffic",
+            spec,
+            "--cycles",
+            cycles,
+            "--seed",
+            seed,
+            "-o",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run = |traffic: &str| {
+        let out = abdex()
+            .args([
+                "run",
+                "--traffic",
+                traffic,
+                "--cycles",
+                cycles,
+                "--seed",
+                seed,
+                "--json",
+                "-",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = String::from_utf8_lossy(&out.stdout).into_owned();
+        // The documents differ only in their traffic spec string;
+        // every measured quantity lives under "metrics".
+        let start = doc.find("\"metrics\":").expect("metrics object");
+        doc[start..].to_owned()
+    };
+    let direct = run(spec);
+    let replayed = run(&format!("trace:file={}", trace_path.display()));
+    assert_eq!(direct, replayed, "replay must be byte-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn replicate_reports_per_metric_intervals() {
     let dir = std::env::temp_dir().join(format!("abdex-cli-replicate-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("scratch dir");
@@ -683,7 +824,7 @@ fn replicate_reports_per_metric_intervals() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"replicated_run\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":6"), "{doc}");
+    assert!(doc.contains("\"schema_version\":7"), "{doc}");
     assert!(doc.contains("\"seeds\":4"), "{doc}");
     assert!(doc.contains("\"ci_level\":99"), "{doc}");
     assert!(doc.contains("\"half_width\":"), "{doc}");
@@ -895,7 +1036,7 @@ fn scenario_run_reports_segments_and_writes_schema_6_json() {
     assert!(serial_err.contains("policy nodvs"), "{serial_err}");
 
     for key in [
-        "\"schema_version\":6",
+        "\"schema_version\":7",
         "\"kind\":\"scenario\"",
         "\"scenario\":\"diurnal-day\"",
         "\"seeds\":4",
@@ -1055,7 +1196,7 @@ fn replicated_compare_is_bit_identical_across_jobs() {
         serial.contains("\"kind\":\"replicated_compare\""),
         "{serial}"
     );
-    assert!(serial.contains("\"schema_version\":6"), "{serial}");
+    assert!(serial.contains("\"schema_version\":7"), "{serial}");
     assert!(serial.contains("\"half_width\":"), "{serial}");
     assert_eq!(serial, parallel, "JSON documents diverged");
 
@@ -1171,7 +1312,7 @@ fn fleet_run_reports_table_and_writes_schema_6_json() {
     let doc = String::from_utf8_lossy(&out.stdout);
     assert!(doc.starts_with('{'), "{doc}");
     for key in [
-        "\"schema_version\":6",
+        "\"schema_version\":7",
         "\"kind\":\"fleet\"",
         "\"chips\":4",
         "\"dispatch\":\"least-loaded:flows=256\"",
@@ -1273,7 +1414,7 @@ fn run_record_exports_schema_6_jsonl_without_touching_stdout() {
     let doc = std::fs::read_to_string(&record_path).expect("JSONL written");
     let lines: Vec<&str> = doc.lines().collect();
     assert!(lines.len() > 1, "header plus at least one sample: {doc}");
-    assert!(lines[0].contains("\"schema_version\":6"), "{}", lines[0]);
+    assert!(lines[0].contains("\"schema_version\":7"), "{}", lines[0]);
     assert!(lines[0].contains("\"kind\":\"record\""), "{}", lines[0]);
     assert!(lines[0].contains("\"source\":\"run\""), "{}", lines[0]);
     assert!(lines[0].contains("\"power_w\""), "{}", lines[0]);

@@ -163,6 +163,10 @@ pub struct ChipDist {
     /// sketches fold exactly, so p50/p95/p99 are bit-identical for any
     /// worker count.
     pub queue_depth: HistogramSketch,
+    /// Queue-wait sketch over every recorded epoch of every replicate:
+    /// each sample is an epoch's mean forwarded-packet sojourn
+    /// (arrival to forward), microseconds.
+    pub queue_wait_us: HistogramSketch,
 }
 
 impl ChipDist {
@@ -187,11 +191,13 @@ impl ChipDist {
         self.total_switches.push(report.total_switches as f64);
     }
 
-    /// Folds one replicate's recorded queue-depth samples into the
-    /// chip's percentile sketch.
+    /// Folds one replicate's recorded queue-depth and queue-wait
+    /// samples into the chip's percentile sketches.
     pub fn absorb_queue_depth(&mut self, recording: &Recording) {
         self.queue_depth
             .merge(&recording.sketch(Channel::QueueDepth));
+        self.queue_wait_us
+            .merge(&recording.sketch(Channel::QueueWaitUs));
     }
 
     /// The chip's queue-depth percentiles `(p50, p95, p99)`; `None`
@@ -202,6 +208,17 @@ impl ChipDist {
             self.queue_depth.p50()?,
             self.queue_depth.p95()?,
             self.queue_depth.p99()?,
+        ))
+    }
+
+    /// The chip's per-epoch queue-wait percentiles `(p50, p95, p99)`,
+    /// microseconds; `None` when no epoch was recorded.
+    #[must_use]
+    pub fn wait_percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.queue_wait_us.p50()?,
+            self.queue_wait_us.p95()?,
+            self.queue_wait_us.p99()?,
         ))
     }
 

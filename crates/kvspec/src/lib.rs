@@ -41,7 +41,6 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Metadata for one accepted parameter key, rendered by `abdex
@@ -90,15 +89,43 @@ impl PVal {
 
 /// Key/value parameters collected by the spec grammars, with typed,
 /// consumption-tracked access for registry builder functions.
+///
+/// Pairs keep their **grammar order**: builders that reassociate
+/// free-floating keys with a preceding structured value — the
+/// `stochastic` traffic model's nested `dist:` specs — drain them with
+/// [`Params::into_pairs`]. The map-style accessors (`f64`, `maybe_str`,
+/// ...) are last-wins on duplicate keys, matching the old
+/// map-overwrite behaviour.
 #[derive(Debug, Clone, Default)]
 pub struct Params {
-    values: BTreeMap<String, String>,
+    values: Vec<(String, String)>,
 }
 
 impl Params {
-    /// Adds (or overwrites) a raw parameter.
+    /// Adds a raw parameter. Duplicate keys are kept in order; the
+    /// typed accessors resolve them last-wins.
     pub fn insert(&mut self, key: &str, value: &str) {
-        self.values.insert(key.to_owned(), value.to_owned());
+        self.values.push((key.to_owned(), value.to_owned()));
+    }
+
+    /// Removes every pair under `key`, returning the last value.
+    fn remove(&mut self, key: &str) -> Option<String> {
+        let mut found = None;
+        self.values.retain_mut(|(k, v)| {
+            if k == key {
+                found = Some(std::mem::take(v));
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// Drains the remaining pairs in grammar order (duplicates kept).
+    #[must_use]
+    pub fn into_pairs(self) -> Vec<(String, String)> {
+        self.values
     }
 
     /// Takes a float parameter if present (`None` when absent).
@@ -107,7 +134,7 @@ impl Params {
     ///
     /// Returns [`SpecError::InvalidValue`] when present but unparsable.
     pub fn maybe_f64(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
-        match self.values.remove(key) {
+        match self.remove(key) {
             None => Ok(None),
             Some(raw) => raw.parse().map(Some).map_err(|_| SpecError::InvalidValue {
                 key: key.to_owned(),
@@ -133,7 +160,7 @@ impl Params {
     ///
     /// Returns [`SpecError::InvalidValue`] when present but unparsable.
     pub fn u64(&mut self, key: &str, default: u64) -> Result<u64, SpecError> {
-        match self.values.remove(key) {
+        match self.remove(key) {
             None => Ok(default),
             Some(raw) => {
                 let direct: Result<u64, _> = raw.parse();
@@ -158,7 +185,7 @@ impl Params {
 
     /// Takes a string parameter if present (`None` when absent).
     pub fn maybe_str(&mut self, key: &str) -> Option<String> {
-        self.values.remove(key)
+        self.remove(key)
     }
 
     /// Errors on any parameter no builder consumed (typo protection).
@@ -167,9 +194,9 @@ impl Params {
     ///
     /// Returns [`SpecError::UnknownParam`] naming the first leftover key.
     pub fn finish(self, owner: &str) -> Result<(), SpecError> {
-        match self.values.into_keys().next() {
+        match self.values.into_iter().next() {
             None => Ok(()),
-            Some(key) => Err(SpecError::UnknownParam {
+            Some((key, _)) => Err(SpecError::UnknownParam {
                 owner: owner.to_owned(),
                 key,
                 known: String::new(),
@@ -729,6 +756,26 @@ mod tests {
         assert_eq!(p.u64("known", 0).unwrap(), 1);
         let err = p.finish("thing").unwrap_err();
         assert!(matches!(err, SpecError::UnknownParam { ref key, .. } if key == "typo"));
+    }
+
+    #[test]
+    fn params_keep_grammar_order_and_resolve_duplicates_last_wins() {
+        let (_, mut p) = parse_cli("m:b=1,a=2,b=3,c=4").unwrap();
+        // Last-wins on the duplicate...
+        assert_eq!(p.u64("b", 0).unwrap(), 3);
+        // ...and the drain keeps the survivors in grammar order.
+        let pairs = p.into_pairs();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".to_owned(), "2".to_owned()),
+                ("c".to_owned(), "4".to_owned())
+            ]
+        );
+        // finish() names the *first* leftover in grammar order.
+        let (_, p) = parse_cli("m:zz=1,aa=2").unwrap();
+        let err = p.finish("m").unwrap_err();
+        assert!(matches!(err, SpecError::UnknownParam { ref key, .. } if key == "zz"));
     }
 
     #[test]

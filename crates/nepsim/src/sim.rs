@@ -90,6 +90,15 @@ pub struct Simulator {
     /// Forwarded bits at the last recorded window boundary. Touched
     /// only when the recorder is enabled (served-bytes deltas).
     rec_forwarded_bits: u64,
+    /// Cached `recorder.enabled()` — consulted on every forwarded
+    /// packet, mirroring `monitor_per_packet`.
+    rec_enabled: bool,
+    /// Sojourn time (arrival to forward) summed over the packets
+    /// forwarded this window, µs. Touched only when the recorder is
+    /// enabled (queue-wait channel).
+    window_wait_us: f64,
+    /// Packets behind `window_wait_us`.
+    window_wait_n: u64,
     window_dur: SimTime,
     window_bits: u64,
     window_rx_drops: u64,
@@ -152,6 +161,9 @@ impl Simulator {
             recorder: Box::new(NullRecorder),
             rec_energy_uj: 0.0,
             rec_forwarded_bits: 0,
+            rec_enabled: false,
+            window_wait_us: 0.0,
+            window_wait_n: 0,
             window_dur,
             window_bits: 0,
             window_rx_drops: 0,
@@ -219,6 +231,7 @@ impl Simulator {
     #[must_use]
     pub fn with_recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
         assert!(!self.started, "cannot attach a recorder after running");
+        self.rec_enabled = recorder.enabled();
         self.recorder = recorder;
         self
     }
@@ -485,6 +498,15 @@ impl Simulator {
                 .record(Channel::OfferedBytes, cycle, self.window_bits as f64 / 8.0);
             self.recorder
                 .record(Channel::ServedBytes, cycle, served_bits as f64 / 8.0);
+            let mean_wait_us = if self.window_wait_n == 0 {
+                0.0
+            } else {
+                self.window_wait_us / self.window_wait_n as f64
+            };
+            self.recorder
+                .record(Channel::QueueWaitUs, cycle, mean_wait_us);
+            self.window_wait_us = 0.0;
+            self.window_wait_n = 0;
         }
 
         let observation = PolicyObservation {
@@ -724,6 +746,12 @@ impl Simulator {
             MeRole::Tx => {
                 self.forwarded_packets += 1;
                 self.forwarded_bits += pkt.size_bits();
+                if self.rec_enabled {
+                    // The packet kept its source arrival time through
+                    // both queues, so this is its full chip sojourn.
+                    self.window_wait_us += now.saturating_sub(pkt.arrival).as_us();
+                    self.window_wait_n += 1;
+                }
                 let annots = self.forward_annotations(now);
                 self.trace.forward(annots);
             }

@@ -50,17 +50,21 @@ pub enum Channel {
     OfferedBytes,
     /// Bytes forwarded out of the chip during the epoch.
     ServedBytes,
+    /// Mean sojourn (arrival to forward) of packets forwarded during
+    /// the epoch, microseconds — 0 for epochs that forwarded nothing.
+    QueueWaitUs,
 }
 
 impl Channel {
     /// Every channel, in canonical order.
-    pub const ALL: [Channel; 6] = [
+    pub const ALL: [Channel; 7] = [
         Channel::Power,
         Channel::VfLevel,
         Channel::QueueDepth,
         Channel::Drops,
         Channel::OfferedBytes,
         Channel::ServedBytes,
+        Channel::QueueWaitUs,
     ];
 
     /// The channel's stable wire name (used in JSONL export).
@@ -73,6 +77,7 @@ impl Channel {
             Channel::Drops => "drops",
             Channel::OfferedBytes => "offered_bytes",
             Channel::ServedBytes => "served_bytes",
+            Channel::QueueWaitUs => "queue_wait_us",
         }
     }
 }

@@ -27,6 +27,9 @@
 //! * [`ConstantConfig`] (`constant`) — a CBR calibration source;
 //! * [`RecordedTrace`]/[`ReplayConfig`] (`trace`) — byte-exact replay
 //!   of a recorded trace;
+//! * [`StochasticConfig`] (`stochastic`) — renewal arrivals with any
+//!   [`dist`] gap/size distributions
+//!   (`stochastic:gap=pareto:alpha=1.3,size=lognormal:mu=6,sigma=1.2`);
 //! * [`ScheduleConfig`] (`schedule`) — piecewise composition of any of
 //!   the above over contiguous cycle windows
 //!   (`schedule:segments=[low@0..2e6; flash@2e6..4e6; low@4e6..]`),
@@ -71,6 +74,7 @@ mod registry;
 mod replay;
 mod schedule;
 mod spec;
+mod stochastic;
 mod thin;
 
 pub use arrivals::{ArrivalConfig, PacketStream};
@@ -87,6 +91,7 @@ pub use registry::{TrafficInfo, TrafficRegistry};
 pub use replay::{RecordedTrace, ReplayConfig};
 pub use schedule::{ScheduleConfig, ScheduleModel, ScheduleSegment};
 pub use spec::TrafficSpec;
+pub use stochastic::StochasticConfig;
 pub use thin::Thinned;
 
 use serde::{Deserialize, Serialize};

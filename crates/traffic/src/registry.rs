@@ -18,9 +18,11 @@ use std::sync::OnceLock;
 pub use kvspec::ParamInfo;
 use kvspec::{Params, SpecError};
 
+use dist::DistSpec;
+
 use crate::{
     ArrivalConfig, ConstantConfig, DiurnalConfig, FlashConfig, OnOffConfig, ReplayConfig, SizeMix,
-    TrafficLevel, TrafficSpec,
+    StochasticConfig, TrafficLevel, TrafficSpec,
 };
 
 /// Metadata for one registered traffic model.
@@ -231,6 +233,11 @@ impl TrafficRegistry {
                                 help: "path of a trace in RecordedTrace text format",
                             },
                             ParamInfo {
+                                key: "file",
+                                default: "(required)",
+                                help: "synonym for path (trace:file=t.trace)",
+                            },
+                            ParamInfo {
                                 key: "scale",
                                 default: "1",
                                 help: "offered-rate multiplier via packet \
@@ -239,6 +246,29 @@ impl TrafficRegistry {
                         ],
                     },
                     build: build_trace,
+                },
+                Entry {
+                    info: TrafficInfo {
+                        name: "stochastic",
+                        aliases: &["renewal", "dist"],
+                        summary: "renewal arrivals: dist-driven gaps (us) and sizes (bytes)",
+                        params: &[
+                            ParamInfo {
+                                key: "gap",
+                                default: "pareto:alpha=1.5,scale=2.6,max=1000",
+                                help: "inter-arrival gap distribution, microseconds \
+                                       (a dist spec; following keys bind to it)",
+                            },
+                            ParamInfo {
+                                key: "size",
+                                default: "lognormal:mu=6,sigma=1.2,min=40,max=1500",
+                                help: "packet size distribution, bytes (a dist spec; \
+                                       following keys bind to it)",
+                            },
+                            PORTS_PARAM,
+                        ],
+                    },
+                    build: build_stochastic,
                 },
                 Entry {
                     info: TrafficInfo {
@@ -487,7 +517,11 @@ fn build_constant(mut params: Params) -> Result<TrafficSpec, SpecError> {
 }
 
 fn build_trace(mut params: Params) -> Result<TrafficSpec, SpecError> {
+    // `file` is an accepted synonym for `path` (`trace:file=t.trace`);
+    // when both are given, `path` wins.
     let path = params.maybe_str("path");
+    let file = params.maybe_str("file");
+    let path = path.or(file);
     let scale = take_positive(&mut params, "scale", 1.0)?;
     params.finish("trace")?;
     let path = path.ok_or_else(|| SpecError::InvalidValue {
@@ -496,6 +530,96 @@ fn build_trace(mut params: Params) -> Result<TrafficSpec, SpecError> {
         expected: "a trace-file path (trace:path=...)",
     })?;
     Ok(TrafficSpec::Replay(ReplayConfig { path, scale }))
+}
+
+/// Builds the `stochastic` spec from ordered key/value pairs.
+///
+/// Nested dist grammar: the CLI splits `gap=pareto:alpha=1.3,max=1500`
+/// into a `gap` pair and orphan `alpha`-less `max` pairs, so this
+/// builder re-associates in grammar order — `gap`/`size` open a dist
+/// spec string, every following non-top-level key appends to the most
+/// recently opened one, and `ports` always binds to `stochastic`
+/// itself (it is not a dist parameter). TOML/JSON carry each dist as
+/// one quoted string, which parses through the same path.
+fn build_stochastic(params: Params) -> Result<TrafficSpec, SpecError> {
+    enum Open {
+        None,
+        Gap,
+        Size,
+    }
+    let mut gap: Option<String> = None;
+    let mut size: Option<String> = None;
+    let mut ports_raw: Option<String> = None;
+    let mut open = Open::None;
+    for (key, value) in params.into_pairs() {
+        match key.as_str() {
+            "gap" => {
+                gap = Some(value);
+                open = Open::Gap;
+            }
+            "size" => {
+                size = Some(value);
+                open = Open::Size;
+            }
+            "ports" => ports_raw = Some(value),
+            _ => {
+                let target = match open {
+                    Open::Gap => gap.as_mut().expect("gap opened"),
+                    Open::Size => size.as_mut().expect("size opened"),
+                    Open::None => {
+                        return Err(SpecError::UnknownParam {
+                            owner: "stochastic".to_owned(),
+                            key,
+                            known: String::new(),
+                        });
+                    }
+                };
+                target.push(',');
+                target.push_str(&key);
+                target.push('=');
+                target.push_str(&value);
+            }
+        }
+    }
+
+    let defaults = StochasticConfig::default();
+    let gap = match gap {
+        Some(s) => DistSpec::parse(&s)?,
+        None => defaults.gap,
+    };
+    let size = match size {
+        Some(s) => DistSpec::parse(&s)?,
+        None => defaults.size,
+    };
+    let ports = {
+        let mut p = Params::default();
+        if let Some(raw) = &ports_raw {
+            p.insert("ports", raw);
+        }
+        take_ports(&mut p)?
+    };
+
+    let gap_mean = gap.mean();
+    if !gap_mean.is_finite() || gap_mean <= 0.0 || gap.support_min() < 0.0 {
+        return Err(SpecError::InvalidValue {
+            key: "gap".to_owned(),
+            value: gap.spec_string(),
+            expected: "a non-negative gap distribution with a finite positive mean",
+        });
+    }
+    let size_mean = size.mean();
+    if !size_mean.is_finite() || size_mean < 1.0 {
+        return Err(SpecError::InvalidValue {
+            key: "size".to_owned(),
+            value: size.spec_string(),
+            expected: "a size distribution with a finite mean of at least one byte",
+        });
+    }
+    Ok(TrafficSpec::Stochastic(StochasticConfig {
+        gap,
+        size,
+        ports,
+    }))
 }
 
 fn build_schedule(mut params: Params) -> Result<TrafficSpec, SpecError> {

@@ -121,6 +121,10 @@ impl RecordedTrace {
 
     /// Parses the format produced by [`RecordedTrace::to_text`].
     ///
+    /// `#`-prefixed lines are comments — `abdex trace generate` writes
+    /// a versioned provenance header with them — and are skipped along
+    /// with the column header.
+    ///
     /// # Errors
     ///
     /// Returns a message naming the offending line for malformed input or
@@ -129,7 +133,7 @@ impl RecordedTrace {
         let mut packets = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
-            if line.is_empty() || line.starts_with("arrival_ps") {
+            if line.is_empty() || line.starts_with('#') || line.starts_with("arrival_ps") {
                 continue;
             }
             let cols: Vec<&str> = line.split_whitespace().collect();
@@ -453,6 +457,14 @@ mod tests {
         assert!(RecordedTrace::from_text("x 40 0").is_err());
         assert!(RecordedTrace::from_text("100 40 0\n50 40 0").is_err());
         assert_eq!(RecordedTrace::from_text("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn from_text_skips_comment_headers() {
+        let text = "# abdex-trace v1\n# traffic: stochastic\n1000 40 0\n2000 64 1\n";
+        let trace = RecordedTrace::from_text(text).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.packets()[1].size_bytes, 64);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 use crate::registry::TrafficRegistry;
 use crate::{
     ArrivalConfig, ConstantConfig, DiurnalConfig, FlashConfig, OnOffConfig, ReplayConfig,
-    ScheduleConfig, TrafficLevel, TrafficModel,
+    ScheduleConfig, StochasticConfig, TrafficLevel, TrafficModel,
 };
 
 /// A fully parameterised, buildable traffic-model description.
@@ -61,6 +61,8 @@ pub enum TrafficSpec {
     Constant(ConstantConfig),
     /// Replay of a recorded trace file.
     Replay(ReplayConfig),
+    /// Renewal arrivals with dist-driven gaps and packet sizes.
+    Stochastic(StochasticConfig),
     /// Piecewise schedule of other specs over cycle windows.
     Schedule(ScheduleConfig),
 }
@@ -86,6 +88,7 @@ impl TrafficSpec {
             TrafficSpec::Flash(_) => "flash",
             TrafficSpec::Constant(_) => "constant",
             TrafficSpec::Replay(_) => "trace",
+            TrafficSpec::Stochastic(_) => "stochastic",
             TrafficSpec::Schedule(_) => "schedule",
         }
     }
@@ -109,6 +112,7 @@ impl TrafficSpec {
             TrafficSpec::Flash(c) => Box::new(c.clone()),
             TrafficSpec::Constant(c) => Box::new(*c),
             TrafficSpec::Replay(c) => Box::new(c.build_model()?),
+            TrafficSpec::Stochastic(c) => Box::new(c.clone()),
             TrafficSpec::Schedule(c) => Box::new(c.build_model()?),
         })
     }
@@ -152,6 +156,15 @@ impl TrafficSpec {
             TrafficSpec::Replay(c) => vec![
                 ("path", PVal::Str(c.path.clone())),
                 ("scale", PVal::num_f64(c.scale)),
+            ],
+            // Each dist renders as its full spec string. In the CLI
+            // grammar that inlines the dist's own `key=val` pairs, which
+            // the stochastic builder re-associates by grammar order, so
+            // the rendering still round-trips exactly.
+            TrafficSpec::Stochastic(c) => vec![
+                ("gap", PVal::Str(c.gap.spec_string())),
+                ("size", PVal::Str(c.size.spec_string())),
+                ("ports", PVal::num_u64(u64::from(c.ports))),
             ],
             TrafficSpec::Schedule(c) => c.params(),
         }
@@ -343,6 +356,12 @@ mod tests {
                 path: "/tmp/trace.txt".to_owned(),
                 scale: 1.3,
             }),
+            TrafficSpec::Stochastic(StochasticConfig::default()),
+            TrafficSpec::parse(
+                "stochastic:gap=weibull:shape=0.7,scale=3,min=0.5,max=800,\
+                 size=uniform:low=64,high=1500,ports=8",
+            )
+            .unwrap(),
             TrafficSpec::parse(
                 "schedule:segments=[low@0..2e6; flash:peak_mbps=900@2e6..4e6; low@4e6..]",
             )
@@ -399,6 +418,79 @@ mod tests {
             "{cli}"
         );
         assert_eq!(TrafficSpec::parse(&cli).unwrap(), spec);
+    }
+
+    #[test]
+    fn acceptance_stochastic_spec_parses_with_nested_dists() {
+        // The ISSUE.md acceptance grammar: the orphan `sigma=1.2` pair
+        // must re-associate with the preceding `size` dist.
+        let spec =
+            TrafficSpec::parse("stochastic:gap=pareto:alpha=1.3,size=lognormal:mu=6,sigma=1.2")
+                .unwrap();
+        let TrafficSpec::Stochastic(c) = &spec else {
+            panic!("wrong variant: {spec:?}");
+        };
+        assert_eq!(c.gap.spec_string(), "pareto:alpha=1.3,scale=100");
+        assert_eq!(c.size.spec_string(), "lognormal:mu=6,sigma=1.2");
+        assert_eq!(c.ports, 16);
+        // Clamp keys bind to the dist most recently opened.
+        let spec = TrafficSpec::parse(
+            "stochastic:gap=pareto:alpha=1.3,max=1500,size=lognormal:mu=6,max=9000",
+        )
+        .unwrap();
+        let TrafficSpec::Stochastic(c) = &spec else {
+            panic!("wrong variant: {spec:?}");
+        };
+        assert_eq!(c.gap.spec_string(), "pareto:alpha=1.3,scale=100,max=1500");
+        assert_eq!(c.size.spec_string(), "lognormal:mu=6,sigma=1,max=9000");
+        assert_eq!(TrafficSpec::parse(&spec.spec_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn stochastic_rejects_orphan_keys_and_bad_dists() {
+        // A dist parameter before any gap/size key has no home.
+        assert!(matches!(
+            TrafficSpec::parse("stochastic:sigma=1.2"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        // Child dist errors keep the child's attribution.
+        let text = TrafficSpec::parse("stochastic:gap=gaussian:mu=3")
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("distribution"), "{text}");
+        let text = TrafficSpec::parse("stochastic:gap=pareto:flux=9")
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("'pareto'"), "{text}");
+        // A heavy tail with an infinite mean is rejected as dishonest.
+        assert!(matches!(
+            TrafficSpec::parse("stochastic:gap=pareto:alpha=0.9"),
+            Err(SpecError::InvalidValue { ref key, .. }) if key == "gap"
+        ));
+        // Gaps must not go negative.
+        assert!(matches!(
+            TrafficSpec::parse("stochastic:gap=uniform:low=-5,high=5"),
+            Err(SpecError::InvalidValue { ref key, .. }) if key == "gap"
+        ));
+    }
+
+    #[test]
+    fn stochastic_toml_and_json_carry_dists_as_strings() {
+        let spec = TrafficSpec::from_toml_str(
+            "traffic = \"stochastic\"\ngap = \"constant:value=10\"\nsize = \"constant:value=500\"\n",
+        )
+        .unwrap();
+        let model = spec.model().unwrap();
+        assert!((model.mean_rate_mbps() - 400.0).abs() < 1e-9);
+        let spec = TrafficSpec::from_json_str(
+            r#"{"traffic": "stochastic", "gap": "exponential:mean=5", "ports": 4}"#,
+        )
+        .unwrap();
+        let TrafficSpec::Stochastic(c) = &spec else {
+            panic!("wrong variant: {spec:?}");
+        };
+        assert_eq!(c.gap.spec_string(), "exponential:mean=5");
+        assert_eq!(c.ports, 4);
     }
 
     #[test]

@@ -39,6 +39,17 @@ fn tested_specs() -> Vec<TrafficSpec> {
         // `expected_rate_mbps` composition, and the seed checks cover
         // the per-segment seed derivation (mmpp child is random).
         "schedule:segments=[mmpp:rate=500@0..4.5e7; constant:rate=1000@4.5e7..]",
+        // The dist-driven renewal model, exercising every registered
+        // distribution in a gap or size role. The self-described rate
+        // is the honest truncated mean, so even the clamped heavy
+        // tails (Pareto alpha=1.3, Weibull shape<1) must land inside
+        // the suite's 15% tolerance over the 150 ms horizon.
+        "stochastic",
+        "stochastic:gap=exponential:mean=4,size=uniform:low=64,high=1500",
+        "stochastic:gap=weibull:shape=0.8,scale=3,size=poisson:lambda=500",
+        "stochastic:gap=constant:value=5,size=constant:value=576",
+        "stochastic:gap=uniform:low=1,high=9,size=pareto:alpha=2.5,scale=100,max=1500",
+        "stochastic:gap=lognormal:mu=1,sigma=0.5,size=exponential:mean=500,min=40,max=1500",
     ]
     .iter()
     .map(|s| s.parse().expect("builtin spec"))

@@ -150,6 +150,61 @@ proptest! {
     }
 
     #[test]
+    fn stochastic_specs_round_trip(
+        // Random (gap, size) dist pairs with random clamps: the nested
+        // `dist:` grammar — whose parameters arrive as orphan CLI pairs
+        // re-associated by order — must survive all three grammars.
+        gap_kind in 0usize..7,
+        size_kind in 0usize..5,
+        a in 0.6f64..3.0,
+        b in 1.0f64..500.0,
+        clamp in 0u64..4,
+        ports in 1u64..255,
+    ) {
+        let dist_of = |kind: usize| match kind {
+            0 => format!("exponential:mean={b}"),
+            1 => format!("uniform:low={a},high={}", a + b),
+            2 => format!("constant:value={b}"),
+            3 => format!("lognormal:mu={a},sigma=0.8"),
+            4 => format!("weibull:shape={a},scale={b}"),
+            5 => format!("pareto:alpha={},scale={b}", a + 1.0),
+            _ => "poisson:lambda=400".to_owned(),
+        };
+        let mut gap = dist_of(gap_kind);
+        // Pareto alpha<=1 has an infinite mean; the builder rejects it
+        // unless clamped, and a heavy gap tail deserves one anyway.
+        if clamp % 2 == 0 || gap_kind == 5 {
+            gap.push_str(&format!(",max={}", b + 10_000.0));
+        }
+        let mut size = dist_of(size_kind);
+        if clamp >= 2 {
+            size.push_str(&format!(",min={},max=100000", a + b));
+        }
+        assert_round_trips(&spec(format!(
+            "stochastic:gap={gap},size={size},ports={ports}"
+        )));
+    }
+
+    #[test]
+    fn stochastic_inside_schedule_segments_round_trips(
+        boundary in 1u64..5_000_000,
+        tail in 1u64..5_000_000,
+        mean in 1.0f64..50.0,
+        mu in 4.0f64..7.0,
+    ) {
+        // A dist-driven segment nested in the schedule list grammar:
+        // the dist's commas and `=` signs must survive both the outer
+        // bracket list and the inner spec split.
+        let text = format!(
+            "schedule:segments=[stochastic:gap=exponential:mean={mean},\
+             size=lognormal:mu={mu},sigma=1.1,min=40,max=1500@0..{boundary}; \
+             low@{boundary}..{}]",
+            boundary + tail,
+        );
+        assert_round_trips(&spec(text));
+    }
+
+    #[test]
     fn nested_schedule_specs_round_trip(
         inner_len in 1u64..1_000_000,
         outer_tail in 1u64..1_000_000,
