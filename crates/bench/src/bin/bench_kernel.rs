@@ -62,10 +62,12 @@ fn main() {
     let events_per_s = kernel.events_processed as f64 / best_s;
     let doc = format!(
         "{{\"bench\":\"desim_kernel\",\"cycles\":{cycles},\"reps\":{},\
+         \"available_parallelism\":{},\
          \"events_scheduled\":{},\"events_processed\":{},\"heap_ops\":{},\
          \"peak_heap_len\":{},\"best_s\":{best_s:.4},\
          \"sim_cycles_per_s\":{cycles_per_s:.0},\"events_per_s\":{events_per_s:.0}}}\n",
         reps.max(1),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         kernel.events_scheduled,
         kernel.events_processed,
         kernel.heap_ops(),

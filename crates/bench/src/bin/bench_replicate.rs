@@ -77,11 +77,13 @@ fn main() {
 
     let doc = format!(
         "{{\"bench\":\"replicate\",\"cells\":{},\"seeds\":{seeds},\"cycles_per_job\":{cycles},\
-         \"jobs\":{},\"workers\":{},\"wall_s\":{wall_s:.4},\"ci_level\":{},\
+         \"jobs\":{},\"available_parallelism\":{},\"workers\":{},\"wall_s\":{wall_s:.4},\
+         \"ci_level\":{},\
          \"widest_ci\":{{\"cell\":\"threshold={} window={}\",\"metric\":\"{metric}\",\
          \"mean\":{},\"half_width\":{},\"relative\":{:.6}}}}}\n",
         cells.len(),
         cells.len() as u64 * seeds,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         runner.workers(),
         level.percent(),
         cell.threshold_mbps,

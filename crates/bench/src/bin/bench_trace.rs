@@ -67,10 +67,12 @@ fn main() {
     let parallel_pps = packets as f64 / best_parallel_s;
     let doc = format!(
         "{{\"bench\":\"trace\",\"cycles\":{cycles},\"reps\":{},\"packets\":{packets},\
+         \"available_parallelism\":{},\
          \"best_generate_s\":{best_gen_s:.4},\"generate_packets_per_s\":{gen_pps:.0},\
          \"best_analyze_serial_s\":{best_serial_s:.4},\"analyze_serial_packets_per_s\":{serial_pps:.0},\
          \"best_analyze_parallel_s\":{best_parallel_s:.4},\"analyze_parallel_packets_per_s\":{parallel_pps:.0}}}\n",
         reps.max(1),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     );
     std::fs::write(&out, &doc).expect("write baseline JSON");
     eprintln!(

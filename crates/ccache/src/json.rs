@@ -1,0 +1,378 @@
+//! A minimal JSON reader (and two writer helpers) for cache payloads.
+//!
+//! Numbers keep their **raw token** ([`Value::Num`]) instead of eagerly
+//! converting to `f64`: a `u64` parses back exactly (no 2^53 loss), and
+//! an `f64` written with Rust's shortest round-trip `Display` reparses
+//! to the very same bits. That is what lets a cache hit reproduce a
+//! cold run byte-for-byte through every renderer.
+//!
+//! The reader is deliberately strict-enough-and-no-more: it accepts the
+//! JSON this workspace writes (objects, arrays, strings with standard
+//! escapes, numbers, booleans, null) and returns `None` on anything
+//! malformed — corruption tolerance at the parse layer, so a damaged
+//! entry degrades to a cache miss instead of a panic.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token.
+    Num(String),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses a complete JSON document; `None` on any syntax error or
+    /// trailing garbage.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Value> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        (pos == bytes.len()).then_some(v)
+    }
+
+    /// Object member lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` (exact — parses the raw token).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `usize`.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (bit-exact for tokens written by
+    /// [`num_f64`], which uses shortest round-trip formatting).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// `self[key]` as `u64`.
+    #[must_use]
+    pub fn u64_of(&self, key: &str) -> Option<u64> {
+        self.get(key)?.as_u64()
+    }
+
+    /// `self[key]` as `usize`.
+    #[must_use]
+    pub fn usize_of(&self, key: &str) -> Option<usize> {
+        self.get(key)?.as_usize()
+    }
+
+    /// `self[key]` as `f64`.
+    #[must_use]
+    pub fn f64_of(&self, key: &str) -> Option<f64> {
+        self.get(key)?.as_f64()
+    }
+
+    /// `self[key]` as a string.
+    #[must_use]
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        self.get(key)?.as_str()
+    }
+
+    /// `self[key]` as an array.
+    #[must_use]
+    pub fn arr_of(&self, key: &str) -> Option<&[Value]> {
+        self.get(key)?.as_arr()
+    }
+}
+
+/// JSON string escaping (quotes, backslash, `\u00XX` for controls) —
+/// the same convention the CLI's JSON renderers use.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An `f64` as its shortest round-trip decimal token. Finite values
+/// only — non-finite values render as `null`, which fails decoding and
+/// degrades to a cache miss (the simulator never reports them).
+#[must_use]
+pub fn num_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_obj(bytes, pos),
+        b'[' => parse_arr(bytes, pos),
+        b'"' => parse_string(bytes, pos).map(Value::Str),
+        b't' => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        b'n' => parse_literal(bytes, pos, "null", Value::Null),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Option<Value> {
+    let end = *pos + lit.len();
+    if bytes.get(*pos..end)? == lit.as_bytes() {
+        *pos = end;
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' => *pos += 1,
+            _ => break,
+        }
+    }
+    if *pos == start {
+        return None;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).ok()?;
+    // Validate the token is numeric at all; exactness is the caller's
+    // accessor's job.
+    token.parse::<f64>().ok()?;
+    Some(Value::Num(token.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos)? != &b'"' {
+        return None;
+    }
+    *pos += 1;
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).ok();
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(bytes.get(*pos + 1..*pos + 5)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        // BMP only — all this workspace ever escapes.
+                        let c = char::from_u32(code)?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            &b => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos)? == &b']' {
+        *pos += 1;
+        return Some(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Value::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos)? == &b'}' {
+        *pos += 1;
+        return Some(Value::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos)? != &b':' {
+            return None;
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Value::Obj(members));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = Value::parse(r#"{"a":[1,2.5,"x"],"b":{"c":true,"d":null}}"#).unwrap();
+        assert_eq!(v.arr_of("a").unwrap().len(), 3);
+        assert_eq!(v.arr_of("a").unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.arr_of("a").unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.arr_of("a").unwrap()[2].as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn u64_round_trips_exactly_beyond_2_53() {
+        let big = u64::MAX - 3;
+        let v = Value::parse(&format!("{{\"n\":{big}}}")).unwrap();
+        assert_eq!(v.u64_of("n"), Some(big));
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for x in [0.1, 1.0 / 3.0, 2.5e-7, 123_456.789_012_345, -0.0, 1e300] {
+            let tok = num_f64(x);
+            let v = Value::parse(&format!("{{\"x\":{tok}}}")).unwrap();
+            assert_eq!(v.f64_of("x").unwrap().to_bits(), x.to_bits(), "{tok}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "a \"quoted\" back\\slash\nnewline\ttab \u{1} control";
+        let doc = format!("{{\"s\":\"{}\"}}", escape(original));
+        let v = Value::parse(&doc).unwrap();
+        assert_eq!(v.str_of("s"), Some(original));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "{'single':1}",
+            "nul",
+        ] {
+            assert!(Value::parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_writes_as_null() {
+        assert_eq!(num_f64(f64::NAN), "null");
+        assert_eq!(num_f64(f64::INFINITY), "null");
+    }
+}

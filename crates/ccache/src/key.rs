@@ -1,0 +1,130 @@
+//! Canonical content-addressed keys.
+//!
+//! A cache key is a stable 128-bit hash of the exact canonical spec
+//! string describing a cell (the `kvspec` rendering of a `JobSpec`,
+//! plus any axis context — scenario segment boundaries, fleet shares
+//! and caps). Two SplitMix64 lanes (the same mixer `derive_seed` is
+//! built on) are seeded from [`CACHE_EPOCH`] and two distinct salts,
+//! fold the string's bytes eight at a time, and are finalized with the
+//! length — so a key is a pure function of `(epoch, spec)` and nothing
+//! else, identical across platforms, processes and sessions.
+
+use std::fmt;
+
+/// The cache generation. Bump whenever simulator semantics change in a
+/// way that alters any cached observable (report fields, analyzer
+/// windows, traffic models, seeding conventions): every key is salted
+/// with this epoch, so entries written under an older epoch can never
+/// alias a fresh result — they simply stop being addressable and age
+/// out via `gc`.
+pub const CACHE_EPOCH: u64 = 1;
+
+const HI_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+const LO_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// A 128-bit content-addressed cache key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    hi: u64,
+    lo: u64,
+}
+
+/// The SplitMix64 finalizer: a bijective 64-bit mixer.
+const fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One hash lane: fold the bytes eight at a time (little-endian,
+/// zero-padded tail), then finalize with the length so `"a"` and
+/// `"a\0"` cannot collide.
+fn lane(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = splitmix64(seed);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = splitmix64(h ^ u64::from_le_bytes(word));
+    }
+    splitmix64(h ^ bytes.len() as u64)
+}
+
+impl Key {
+    /// The key of `spec` under the current [`CACHE_EPOCH`].
+    #[must_use]
+    pub fn for_spec(spec: &str) -> Key {
+        Key::with_epoch(CACHE_EPOCH, spec)
+    }
+
+    /// The key of `spec` under an explicit epoch (the store uses this;
+    /// tests use it to prove epoch bumps invalidate).
+    #[must_use]
+    pub fn with_epoch(epoch: u64, spec: &str) -> Key {
+        let bytes = spec.as_bytes();
+        Key {
+            hi: lane(splitmix64(epoch ^ HI_SALT), bytes),
+            lo: lane(splitmix64(epoch ^ LO_SALT), bytes),
+        }
+    }
+
+    /// The key as 32 lowercase hex digits.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// The two-hex-digit shard directory this key lives in.
+    #[must_use]
+    pub fn shard(&self) -> String {
+        format!("{:02x}", self.hi >> 56)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", self.hex())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_across_calls() {
+        let a = Key::for_spec("benchmark=ipfwdr traffic=high");
+        let b = Key::for_spec("benchmark=ipfwdr traffic=high");
+        assert_eq!(a, b);
+        assert_eq!(a.hex(), b.hex());
+        assert_eq!(a.hex().len(), 32);
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_keys() {
+        let a = Key::for_spec("seed=1");
+        let b = Key::for_spec("seed=2");
+        assert_ne!(a, b);
+        // Length finalization: a trailing NUL is not free.
+        assert_ne!(Key::for_spec("a"), Key::for_spec("a\0"));
+        assert_ne!(Key::for_spec(""), Key::for_spec("\0"));
+    }
+
+    #[test]
+    fn epoch_salts_the_key() {
+        let spec = "benchmark=ipfwdr seed=42";
+        assert_ne!(Key::with_epoch(1, spec), Key::with_epoch(2, spec));
+    }
+
+    #[test]
+    fn shard_is_the_leading_byte() {
+        let k = Key::for_spec("anything");
+        assert_eq!(k.shard(), k.hex()[..2].to_owned());
+    }
+}

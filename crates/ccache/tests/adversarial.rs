@@ -1,0 +1,203 @@
+//! Adversarial paths of the result cache: corruption, truncation,
+//! epoch bumps, and racing writers. The invariant under attack is
+//! always the same — a damaged or stale cache degrades to a miss (the
+//! caller re-simulates), never to a wrong or torn result.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ccache::{Cache, CacheStats, Key};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("abdex-ccache-adv-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The on-disk path of a spec's entry (mirrors the store layout).
+fn entry_path(cache: &Cache, spec: &str) -> PathBuf {
+    let key = Key::with_epoch(cache.epoch(), spec);
+    cache
+        .root()
+        .join(key.shard())
+        .join(format!("{}.entry", key.hex()))
+}
+
+#[test]
+fn corrupted_entry_is_a_miss() {
+    let dir = temp_dir("corrupt");
+    let cache = Cache::open(&dir).unwrap();
+    let spec = "benchmark=ipfwdr traffic=high nodvs cycles=100 seed=1";
+    cache.publish(spec, "{\"v\":1,\"payload\":\"intact\"}");
+    assert!(cache.lookup(spec).is_some());
+
+    // Flip payload bytes: the header's length still matches but the
+    // caller's decode would see garbage — here we garble the header
+    // itself, which the store catches directly.
+    let path = entry_path(&cache, spec);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[0] ^= 0xff;
+    fs::write(&path, &bytes).unwrap();
+    assert_eq!(cache.lookup(spec), None, "garbled header must miss");
+
+    // Entirely bogus contents.
+    fs::write(&path, b"not an entry at all").unwrap();
+    assert_eq!(cache.lookup(spec), None);
+
+    // Re-publishing heals the cell.
+    cache.publish(spec, "{\"v\":1,\"payload\":\"healed\"}");
+    assert_eq!(
+        cache.lookup(spec).as_deref(),
+        Some("{\"v\":1,\"payload\":\"healed\"}")
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entry_is_a_miss() {
+    let dir = temp_dir("truncate");
+    let cache = Cache::open(&dir).unwrap();
+    let spec = "cell under test";
+    cache.publish(spec, &"x".repeat(4096));
+    let path = entry_path(&cache, spec);
+    let full = fs::read(&path).unwrap();
+
+    // Truncate mid-payload: the header's recorded length no longer
+    // matches what is on disk.
+    fs::write(&path, &full[..full.len() - 100]).unwrap();
+    assert_eq!(cache.lookup(spec), None, "short payload must miss");
+
+    // Truncate before the payload even starts.
+    fs::write(&path, &full[..10]).unwrap();
+    assert_eq!(cache.lookup(spec), None);
+
+    // Empty file.
+    fs::write(&path, b"").unwrap();
+    assert_eq!(cache.lookup(spec), None);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spec_echo_guards_against_key_collisions() {
+    let dir = temp_dir("echo");
+    let cache = Cache::open(&dir).unwrap();
+    cache.publish("spec a", "payload a");
+    // Copy a's entry into b's address: a simulated 128-bit collision
+    // (or a mis-filed entry). The spec echo line catches it.
+    let a = entry_path(&cache, "spec a");
+    let b = entry_path(&cache, "spec b");
+    fs::create_dir_all(b.parent().unwrap()).unwrap();
+    fs::copy(&a, &b).unwrap();
+    assert_eq!(cache.lookup("spec b"), None, "foreign spec echo must miss");
+    assert_eq!(cache.lookup("spec a").as_deref(), Some("payload a"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn epoch_bump_invalidates_old_entries() {
+    let dir = temp_dir("epoch");
+    let spec = "benchmark=ipfwdr traffic=high nodvs cycles=100 seed=1";
+
+    let old = Cache::open(&dir).unwrap().with_epoch(1);
+    old.publish(spec, "result from epoch 1");
+    assert!(old.lookup(spec).is_some());
+
+    // Same directory, bumped epoch: the old entry is unreachable (its
+    // key was salted differently), so the cell re-simulates.
+    let new = Cache::open(&dir).unwrap().with_epoch(2);
+    assert_eq!(new.lookup(spec), None, "epoch bump must invalidate");
+    new.publish(spec, "result from epoch 2");
+    assert_eq!(new.lookup(spec).as_deref(), Some("result from epoch 2"));
+
+    // Both generations coexist on disk (old ones age out via gc)...
+    assert_eq!(
+        new.stats(),
+        CacheStats {
+            entries: 2,
+            bytes: new.stats().bytes
+        }
+    );
+    // ...and the old handle still resolves its own generation.
+    assert_eq!(old.lookup(spec).as_deref(), Some("result from epoch 1"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_writers_leave_one_valid_entry() {
+    let dir = temp_dir("race");
+    let cache = Cache::open(&dir).unwrap();
+    let spec = "hot cell every worker wants";
+
+    // Two distinguishable (same-length) payloads: in production racers
+    // write identical bytes, but distinct ones prove atomicity — a torn
+    // write would interleave As and Bs.
+    let payload_a = "A".repeat(8192);
+    let payload_b = "B".repeat(8192);
+
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let cache = &cache;
+            let (payload_a, payload_b) = (&payload_a, &payload_b);
+            let payload = if worker % 2 == 0 {
+                payload_a
+            } else {
+                payload_b
+            };
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    cache.publish(spec, payload);
+                    // Interleave reads: a reader must never observe a
+                    // torn entry mid-publish.
+                    if let Some(seen) = cache.lookup(spec) {
+                        assert!(
+                            seen == *payload_a || seen == *payload_b,
+                            "torn entry observed"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Exactly one entry file remains, fully valid, no temp litter.
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 1);
+    let survivor = cache.lookup(spec).expect("final entry is intact");
+    assert!(survivor == payload_a || survivor == payload_b);
+    let shard = entry_path(&cache, spec);
+    let leftovers: Vec<_> = fs::read_dir(shard.parent().unwrap())
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_evicts_oldest_first_and_clear_empties() {
+    let dir = temp_dir("gc");
+    let cache = Cache::open(&dir).unwrap();
+    for i in 0..6 {
+        cache.publish(&format!("cell {i}"), &format!("{{\"cell\":{i}}}"));
+    }
+    let before = cache.stats();
+    assert_eq!(before.entries, 6);
+
+    let removed = cache.gc(before.bytes / 3);
+    assert!(removed.entries >= 1);
+    let after = cache.stats();
+    assert!(after.bytes <= before.bytes / 3, "{after:?} vs {before:?}");
+    assert_eq!(after.entries + removed.entries, 6);
+
+    // gc to zero then clear: nothing survives.
+    let _ = cache.gc(0);
+    assert_eq!(cache.stats().entries, 0);
+    cache.publish("one more", "x");
+    assert_eq!(cache.clear(), 1);
+    assert_eq!(cache.stats(), CacheStats::default());
+    let _ = fs::remove_dir_all(&dir);
+}

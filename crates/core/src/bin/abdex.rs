@@ -14,6 +14,8 @@
 //! abdex fleet     run [--chips N] [--dispatch SPEC] [--fleet-policy SPEC] [--seeds K] [--ci L] [--jobs N] [--json FILE|-]
 //! abdex fleet     dispatchers
 //! abdex fleet     policies
+//! abdex cache     stats|clear [--cache-dir DIR]
+//! abdex cache     gc --max-bytes N [--cache-dir DIR]
 //! abdex policies
 //! abdex traffics
 //! abdex trace     generate --traffic "stochastic:gap=pareto:alpha=1.3,size=lognormal:mu=6" -o t.trace
@@ -62,6 +64,15 @@
 //! per-chip power caps (see `abdex fleet policies`). Results are
 //! bit-identical for any `--jobs` value.
 //!
+//! `--cache` (or any `--cache-dir`) consults a content-addressed result
+//! store before simulating and publishes fresh results after: a warm
+//! re-run of `run`/`replicate`/`sweep`/`compare`/`scenario run`/
+//! `fleet run` performs zero simulations yet produces byte-identical
+//! stdout. Hit/miss/store tallies land on stderr; `abdex cache
+//! stats|gc|clear` manage the store. `--record` always re-simulates
+//! single-chip paths so exported recordings are first-hand (fleet runs
+//! cache their recordings alongside the reports).
+//!
 //! `--json -` writes the machine-readable document to **stdout** (the
 //! human-readable tables move to stderr), so any command's results pipe
 //! without a temp file: `abdex scenario run diurnal-day --json - | jq .`
@@ -108,7 +119,7 @@ const USAGE: &str = "\
 abdex — assertion-based design exploration of DVS in NPU architectures
 
 USAGE:
-    abdex <run|replicate|sweep|compare|scenario|fleet|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
+    abdex <run|replicate|sweep|compare|scenario|fleet|cache|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
 
 SCENARIOS:
     abdex scenario run <name|file.toml>  run a time-varying composite scenario
@@ -127,6 +138,14 @@ FLEETS:
                                          --seeds/--ci/--jobs/--progress/--json)
     abdex fleet dispatchers              list the registered dispatchers
     abdex fleet policies                 list the registered fleet policies
+
+CACHE:
+    abdex cache stats                    entry count, bytes and lifetime
+                                         hit/miss/store tallies of the store
+    abdex cache gc --max-bytes <N>       evict oldest entries until the store
+                                         fits in N bytes
+    abdex cache clear                    remove every cache entry
+                                         (all three honour --cache-dir)
 
 TRACES:
     abdex trace generate                 record --traffic's packet stream
@@ -189,6 +208,14 @@ OPTIONS (where applicable):
                                        scenario run); `-` writes the
                                        document to stdout and moves the
                                        human tables to stderr
+    --cache                            reuse cached results and cache fresh
+                                       ones (run/replicate/sweep/compare/
+                                       scenario run/fleet run); warm runs
+                                       skip simulation with byte-identical
+                                       stdout; tallies go to stderr
+    --no-cache                         force caching off
+    --cache-dir <dir>                  cache directory [.abdex-cache];
+                                       implies --cache
     --record    <file>                 also write the recorded per-window
                                        timeseries as JSONL (run/replicate/
                                        scenario run/fleet run); byte-
@@ -210,10 +237,11 @@ fn main() -> ExitCode {
     // `scenario`, `fleet` and `trace` take positional arguments
     // (`run <name|file>`, `analyze <file>`), so they dispatch before
     // the flag-only parser below.
-    if command == "scenario" || command == "fleet" || command == "trace" {
+    if command == "scenario" || command == "fleet" || command == "trace" || command == "cache" {
         let result = match command.as_str() {
             "scenario" => cmd_scenario(rest),
             "fleet" => cmd_fleet(rest),
+            "cache" => cmd_cache(rest),
             _ => cmd_trace_dispatch(rest),
         };
         return match result {
@@ -250,6 +278,9 @@ fn main() -> ExitCode {
                 "json",
                 "record",
                 "obs-stats",
+                "cache",
+                "no-cache",
+                "cache-dir",
             ],
         )
         .and_then(|()| cmd_run(&opts)),
@@ -268,6 +299,9 @@ fn main() -> ExitCode {
                 "json",
                 "record",
                 "obs-stats",
+                "cache",
+                "no-cache",
+                "cache-dir",
             ],
         )
         .and_then(|()| cmd_replicate(&opts)),
@@ -286,13 +320,26 @@ fn main() -> ExitCode {
                 "jobs",
                 "progress",
                 "json",
+                "cache",
+                "no-cache",
+                "cache-dir",
             ],
         )
         .and_then(|()| cmd_sweep(&opts)),
         "compare" => check_opts(
             &opts,
             &[
-                "traffics", "cycles", "seed", "seeds", "ci", "jobs", "progress", "json",
+                "traffics",
+                "cycles",
+                "seed",
+                "seeds",
+                "ci",
+                "jobs",
+                "progress",
+                "json",
+                "cache",
+                "no-cache",
+                "cache-dir",
             ],
         )
         .and_then(|()| cmd_compare(&opts)),
@@ -319,7 +366,7 @@ fn main() -> ExitCode {
 type Opts = HashMap<String, String>;
 
 /// The flags that are switches rather than `--flag value` pairs.
-const VALUELESS_FLAGS: &[&str] = &["obs-stats"];
+const VALUELESS_FLAGS: &[&str] = &["obs-stats", "cache", "no-cache"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = HashMap::new();
@@ -451,16 +498,58 @@ fn replication_opts(opts: &Opts, default_seeds: u64) -> Result<(u64, ConfidenceL
     Ok((seeds, level))
 }
 
-/// Builds the batch runner from `--jobs` and `--progress`.
+/// Builds the result cache from `--cache`/`--no-cache`/`--cache-dir`.
+/// Caching is off by default; `--cache` or a `--cache-dir` turns it on,
+/// `--no-cache` forces it off, and asking for both ways at once is
+/// rejected rather than silently resolved.
+fn cache(opts: &Opts) -> Result<Option<abdex::Cache>, String> {
+    if opts.contains_key("cache") && opts.contains_key("no-cache") {
+        return Err("--cache and --no-cache contradict each other".to_owned());
+    }
+    if opts.contains_key("no-cache")
+        || !(opts.contains_key("cache") || opts.contains_key("cache-dir"))
+    {
+        return Ok(None);
+    }
+    let dir = opts
+        .get("cache-dir")
+        .map(String::as_str)
+        .unwrap_or(abdex::ccache::DEFAULT_DIR);
+    abdex::Cache::open(dir).map(Some)
+}
+
+/// Attaches the `--cache` result store to a runner, when asked for.
+fn with_cache(runner: Runner, opts: &Opts) -> Result<Runner, String> {
+    match cache(opts)? {
+        None => Ok(runner),
+        Some(cache) => Ok(runner.with_cache(cache)),
+    }
+}
+
+/// Prints this invocation's cache tallies on stderr and folds them into
+/// the store's persisted lifetime counters (what `abdex cache stats`
+/// reads). Stdout stays byte-identical to an uncached run — the
+/// counters are deliberately stderr-only.
+fn report_cache(cache: Option<&abdex::Cache>) {
+    let Some(cache) = cache else { return };
+    eprintln!("cache: {}", cache.counters());
+    cache.flush_counters();
+}
+
+/// Builds the batch runner from `--jobs`, `--progress` and the cache
+/// flags.
 fn runner(opts: &Opts) -> Result<Runner, String> {
     let jobs: usize = number(opts, "jobs", 0)?;
     let progress: ProgressMode = match opts.get("progress") {
         None => ProgressMode::Quiet,
         Some(v) => v.parse()?,
     };
-    Ok(Runner::new()
-        .with_workers(jobs)
-        .with_progress_mode(progress))
+    with_cache(
+        Runner::new()
+            .with_workers(jobs)
+            .with_progress_mode(progress),
+        opts,
+    )
 }
 
 /// `true` when `--json -` claims stdout for the machine document (the
@@ -552,7 +641,12 @@ fn write_json(opts: &Opts, render: impl FnOnce() -> String) -> Result<(), String
 /// (always — even when the `--json` write also failed), then reports
 /// the first error. The completed cells were already rendered by the
 /// caller, so partial results survive any failure mode.
-fn finish_batch(json: Result<(), String>, errors: Vec<JobError>) -> Result<(), String> {
+fn finish_batch(
+    pool: &Runner,
+    json: Result<(), String>,
+    errors: Vec<JobError>,
+) -> Result<(), String> {
+    report_cache(pool.cache());
     for e in &errors {
         eprintln!("cell failed: {e}");
     }
@@ -577,10 +671,14 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         // `run` stays a deliberately serial command (no --jobs); the
         // replicates execute inline. `abdex replicate` is the parallel
         // form.
-        return finish_replicated_run(opts, &Runner::serial(), &experiment, seeds, level);
+        let pool = with_cache(Runner::serial(), opts)?;
+        return finish_replicated_run(opts, &pool, &experiment, seeds, level);
     }
     // The recorded path is taken only on request, so a plain `run`
-    // keeps the exact execution (and output bytes) it always had.
+    // keeps the exact execution (and output bytes) it always had. It
+    // also bypasses the cache: a recording export must come from a real
+    // simulation of this invocation.
+    let cache = cache(opts)?;
     let start = Instant::now();
     let (r, series) = if wants_recording(opts) {
         let (r, recording) = experiment.run_recorded();
@@ -594,7 +692,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             }],
         )
     } else {
-        (experiment.run(), Vec::new())
+        (abdex::run_cached(cache.as_ref(), &experiment), Vec::new())
     };
     let mut text = format!(
         "{} @ {} under {} for {} cycles (seed {})\n",
@@ -624,6 +722,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     ));
     text.push_str(&format!("  VF switches    : {:9}", r.sim.total_switches));
     emit(opts, &text);
+    report_cache(cache.as_ref());
     emit_obs_stats(opts, &series, experiment.cycles, start);
     write_record(opts, "run", &series)?;
     write_json(opts, || experiment_json(&r))
@@ -678,6 +777,7 @@ fn finish_replicated_run(
             render_replicated_run(&replicated, level),
         ),
     );
+    report_cache(pool.cache());
     emit_obs_stats(opts, &series, experiment.cycles, start);
     write_record(opts, "run", &series)?;
     write_json(opts, || replicated_run_json(&replicated, level))
@@ -734,14 +834,14 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             let json = write_json(opts, || {
                 replicated_traffic_sweep_json(&cells, seeds, ci, &errors)
             });
-            return finish_batch(json, errors);
+            return finish_batch(&pool, json, errors);
         }
         let (cells, errors) = partition_cells(try_sweep_traffics(
             &pool, bench, &traffics, &policy, cycles, seed,
         ));
         emit(opts, &render_traffic_sweep(&cells));
         let json = write_json(opts, || traffic_sweep_json(&cells, &errors));
-        return finish_batch(json, errors);
+        return finish_batch(&pool, json, errors);
     }
 
     // A `--policies` list runs a policy-spec sweep instead of the
@@ -755,13 +855,13 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             let json = write_json(opts, || {
                 replicated_spec_sweep_json(&cells, seeds, ci, &errors)
             });
-            return finish_batch(json, errors);
+            return finish_batch(&pool, json, errors);
         }
         let (cells, errors) =
             partition_cells(try_sweep_specs(&pool, bench, &level, &specs, cycles, seed));
         emit(opts, &render_spec_sweep(&cells));
         let json = write_json(opts, || spec_sweep_json(&cells, &errors));
-        return finish_batch(json, errors);
+        return finish_batch(&pool, json, errors);
     }
 
     if seeds > 1 {
@@ -778,7 +878,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         let json = write_json(opts, || {
             replicated_tdvs_sweep_json(&cells, seeds, ci, &errors)
         });
-        return finish_batch(json, errors);
+        return finish_batch(&pool, json, errors);
     }
 
     let (cells, errors) = partition_cells(try_sweep_tdvs(
@@ -816,7 +916,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         }
     }
     let json = write_json(opts, || tdvs_sweep_json(&cells, &errors));
-    finish_batch(json, errors)
+    finish_batch(&pool, json, errors)
 }
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {
@@ -843,12 +943,12 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         let (cmp, errors) = try_replicated_compare(&pool, &Benchmark::ALL, &traffics, &cfg, seeds);
         emit(opts, &render_replicated_comparison(&cmp, ci));
         let json = write_json(opts, || replicated_compare_json(&cmp, ci, &errors));
-        return finish_batch(json, errors);
+        return finish_batch(&pool, json, errors);
     }
     let (cmp, errors) = try_compare_policies(&pool, &Benchmark::ALL, &traffics, &cfg);
     emit(opts, &render_comparison(&cmp));
     let json = write_json(opts, || comparison_json(&cmp, &errors));
-    finish_batch(json, errors)
+    finish_batch(&pool, json, errors)
 }
 
 /// Dispatches the `scenario` command: `run <name|file>` and `list`.
@@ -875,7 +975,17 @@ fn cmd_scenario(rest: &[String]) -> Result<(), String> {
             check_opts(
                 &opts,
                 &[
-                    "cycles", "seed", "seeds", "ci", "jobs", "progress", "json", "record",
+                    "cycles",
+                    "seed",
+                    "seeds",
+                    "ci",
+                    "jobs",
+                    "progress",
+                    "json",
+                    "record",
+                    "cache",
+                    "no-cache",
+                    "cache-dir",
                 ],
             )?;
             cmd_scenario_run(target, &opts)
@@ -928,7 +1038,7 @@ fn cmd_scenario_run(target: &str, opts: &Opts) -> Result<(), String> {
     };
     emit(opts, &render_scenario(&run, ci));
     let json = write_json(opts, || scenario_json(&run, ci, &errors));
-    finish_batch(json, errors)
+    finish_batch(&pool, json, errors)
 }
 
 fn cmd_scenario_list() {
@@ -982,6 +1092,9 @@ fn cmd_fleet(rest: &[String]) -> Result<(), String> {
                     "progress",
                     "json",
                     "record",
+                    "cache",
+                    "no-cache",
+                    "cache-dir",
                 ],
             )?;
             cmd_fleet_run(&opts)
@@ -1036,7 +1149,63 @@ fn cmd_fleet_run(opts: &Opts) -> Result<(), String> {
     emit(opts, &render_fleet(&outcome.report, ci));
     write_record(opts, "fleet", &fleet_record_series(&outcome))?;
     let json = write_json(opts, || fleet_json(&outcome, ci));
-    finish_batch(json, outcome.errors)
+    finish_batch(&pool, json, outcome.errors)
+}
+
+/// Dispatches the `cache` command: `stats`, `gc --max-bytes N` and
+/// `clear`, all against `--cache-dir` (default `.abdex-cache/`).
+fn cmd_cache(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err(
+            "cache needs a subcommand: `stats`, `gc --max-bytes <N>` or `clear`".to_owned(),
+        );
+    };
+    let opts = parse_opts(rest)?;
+    let open = |opts: &Opts| -> Result<abdex::Cache, String> {
+        let dir = opts
+            .get("cache-dir")
+            .map(String::as_str)
+            .unwrap_or(abdex::ccache::DEFAULT_DIR);
+        abdex::Cache::open(dir)
+    };
+    match sub.as_str() {
+        "stats" => {
+            check_opts(&opts, &["cache-dir"])?;
+            let cache = open(&opts)?;
+            let stats = cache.stats();
+            println!("cache dir : {}", cache.root().display());
+            println!("epoch     : {}", cache.epoch());
+            println!("entries   : {}", stats.entries);
+            println!("bytes     : {}", stats.bytes);
+            println!("lifetime  : {}", cache.persisted_counters());
+            Ok(())
+        }
+        "gc" => {
+            check_opts(&opts, &["cache-dir", "max-bytes"])?;
+            if !opts.contains_key("max-bytes") {
+                return Err("cache gc needs --max-bytes <N>".to_owned());
+            }
+            let max_bytes: u64 = number(&opts, "max-bytes", 0)?;
+            let cache = open(&opts)?;
+            let removed = cache.gc(max_bytes);
+            let left = cache.stats();
+            println!(
+                "evicted {} entries ({} bytes); {} entries ({} bytes) remain",
+                removed.entries, removed.bytes, left.entries, left.bytes
+            );
+            Ok(())
+        }
+        "clear" => {
+            check_opts(&opts, &["cache-dir"])?;
+            let cache = open(&opts)?;
+            let removed = cache.clear();
+            println!("removed {removed} entries");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache subcommand '{other}' (expected `stats`, `gc` or `clear`)"
+        )),
+    }
 }
 
 fn cmd_fleet_dispatchers() {
@@ -1194,7 +1363,8 @@ fn cmd_trace_analyze(path: &str, opts: &Opts) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let trace = RecordedTrace::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
     let runner = runner(opts)?;
-    let analysis = analyze_trace(&trace, &runner);
+    let analysis =
+        analyze_trace(&trace, &runner).with_provenance(abdex::traceio::parse_provenance(&text));
     emit(opts, &render_trace_analysis(path, &analysis));
     write_json(opts, || trace_analysis_json(path, &analysis))
 }

@@ -149,14 +149,19 @@ impl From<JobSpec> for Experiment {
 /// ablation funnels through: each experiment becomes one runner job
 /// (simulate + analyze), so cells run on all available workers and a
 /// panicking cell surfaces as its own [`JobError`] while the rest of
-/// the batch completes.
+/// the batch completes. When the runner carries a result cache
+/// ([`Runner::cache`]), every cell consults it before simulating and
+/// publishes after ([`crate::cachefmt::run_cached`]) — a hit is
+/// bit-identical to a cold simulation, so the batch's results are
+/// unchanged by caching.
 pub fn run_experiments(
     runner: &Runner,
     experiments: Vec<Experiment>,
 ) -> Vec<Result<ExperimentResult, JobError>> {
+    let cache = runner.cache();
     let jobs: Vec<Job<'_, ExperimentResult>> = experiments
         .into_iter()
-        .map(|e| Job::new(e.label(), move || e.run()))
+        .map(|e| Job::new(e.label(), move || crate::cachefmt::run_cached(cache, &e)))
         .collect();
     runner.run(jobs).into_iter().map(|r| r.outcome).collect()
 }

@@ -65,10 +65,22 @@ use crate::traceio::{StreamStats, TraceAnalysis};
 /// `"queue_wait_us"`, a `{p50, p95, p99, n}` object of per-epoch mean
 /// forwarded-packet sojourn percentiles from the recorder's new
 /// `queue_wait_us` channel; `--record` exports carry that channel too.
+/// **8** — result cache & distribution fits: every document (and the
+/// `--record` meta line) gains `"cache_epoch"`, the
+/// [`ccache::CACHE_EPOCH`] the producing binary keys its result cache
+/// with — a constant per build, so cached and cold runs stay
+/// byte-identical while downstream tooling can partition archives by
+/// simulator-semantics generation; `trace_analysis` per-stream objects
+/// gain `"best_fit"`/`"fit_error"`/`"fits"` (method-of-moments
+/// distribution fits as round-trippable `dist:` spec strings) and the
+/// document gains a `"provenance"` object when the trace header
+/// recorded its generating spec/seed/cycles. Cache hit/miss tallies
+/// are deliberately **not** part of any document (they land on
+/// stderr): a document's bytes must not depend on cache state.
 ///
 /// [`TrafficSpec`]: traffic::TrafficSpec
 /// [`HistogramSketch`]: obs::HistogramSketch
-pub const SCHEMA_VERSION: u64 = 7;
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Escapes a string for a JSON string literal (without the quotes).
 pub(crate) fn escape(s: &str) -> String {
@@ -242,6 +254,7 @@ fn replicated_fields(obj: Obj, r: &ReplicatedResult, level: ConfidenceLevel) -> 
 fn replicated_header(kind: &str, seeds: u64, level: ConfidenceLevel) -> Obj {
     Obj::new()
         .int("schema_version", SCHEMA_VERSION)
+        .int("cache_epoch", ccache::CACHE_EPOCH)
         .str("kind", kind)
         .int("seeds", seeds)
         .int("ci_level", level.percent())
@@ -254,6 +267,7 @@ pub fn experiment_json(r: &ExperimentResult) -> String {
     result_fields(
         Obj::new()
             .int("schema_version", SCHEMA_VERSION)
+            .int("cache_epoch", ccache::CACHE_EPOCH)
             .str("kind", "experiment"),
         r,
     )
@@ -280,6 +294,7 @@ pub fn tdvs_sweep_json(cells: &[GridCell], failures: &[JobError]) -> String {
     failure_fields(
         Obj::new()
             .int("schema_version", SCHEMA_VERSION)
+            .int("cache_epoch", ccache::CACHE_EPOCH)
             .str("kind", "tdvs_sweep")
             .int("cells", rendered.len() as u64)
             .raw("grid", &array(&rendered)),
@@ -306,6 +321,7 @@ pub fn spec_sweep_json(cells: &[SpecCell], failures: &[JobError]) -> String {
     failure_fields(
         Obj::new()
             .int("schema_version", SCHEMA_VERSION)
+            .int("cache_epoch", ccache::CACHE_EPOCH)
             .str("kind", "spec_sweep")
             .int("cells", rendered.len() as u64)
             .raw("grid", &array(&rendered)),
@@ -328,6 +344,7 @@ pub fn traffic_sweep_json(cells: &[TrafficCell], failures: &[JobError]) -> Strin
     failure_fields(
         Obj::new()
             .int("schema_version", SCHEMA_VERSION)
+            .int("cache_epoch", ccache::CACHE_EPOCH)
             .str("kind", "traffic_sweep")
             .int("cells", rendered.len() as u64)
             .raw("grid", &array(&rendered)),
@@ -360,6 +377,7 @@ pub fn comparison_json(cmp: &PolicyComparison, failures: &[JobError]) -> String 
     failure_fields(
         Obj::new()
             .int("schema_version", SCHEMA_VERSION)
+            .int("cache_epoch", ccache::CACHE_EPOCH)
             .str("kind", "policy_comparison")
             .int("rows", rendered.len() as u64)
             .raw("table", &array(&rendered)),
@@ -671,27 +689,53 @@ pub fn fleet_json(outcome: &fleet::FleetOutcome, level: ConfidenceLevel) -> Stri
 /// invariant, so the document bytes are too.
 #[must_use]
 pub fn trace_analysis_json(path: &str, a: &TraceAnalysis) -> String {
-    let stream = |s: &Option<StreamStats>| match s {
+    let stream = |s: &Option<StreamStats>, fits: &[dist::fit::FitCandidate]| match s {
         None => "null".to_owned(),
-        Some(s) => Obj::new()
-            .num("mean", s.mean)
-            .num("cv", s.cv)
-            .num("p50", s.p50)
-            .num("p95", s.p95)
-            .num("p99", s.p99)
+        Some(s) => {
+            let ranked: Vec<String> = fits
+                .iter()
+                .map(|c| {
+                    Obj::new()
+                        .str("spec", &c.spec.spec_string())
+                        .num("error", c.error)
+                        .finish()
+                })
+                .collect();
+            let mut obj = Obj::new()
+                .num("mean", s.mean)
+                .num("cv", s.cv)
+                .num("p50", s.p50)
+                .num("p95", s.p95)
+                .num("p99", s.p99);
+            if let Some(best) = fits.first() {
+                obj = obj
+                    .str("best_fit", &best.spec.spec_string())
+                    .num("fit_error", best.error);
+            }
+            obj.raw("fits", &array(&ranked)).finish()
+        }
+    };
+    let provenance = match &a.provenance {
+        None => "null".to_owned(),
+        Some(p) => Obj::new()
+            .str("traffic", &p.traffic)
+            .int("seed", p.seed)
+            .int("cycles", p.cycles)
             .finish(),
     };
     Obj::new()
         .int("schema_version", SCHEMA_VERSION)
+        .int("cache_epoch", ccache::CACHE_EPOCH)
         .str("kind", "trace_analysis")
         .str("trace", path)
         .int("packets", a.packets)
         .num("duration_us", a.duration_us)
         .int("total_bytes", a.total_bytes)
         .num("mean_rate_mbps", a.mean_rate_mbps)
-        .raw("gap_us", &stream(&a.gap_us))
-        .raw("size_bytes", &stream(&a.size_bytes))
+        .raw("gap_us", &stream(&a.gap_us, &a.gap_fits))
+        .raw("size_bytes", &stream(&a.size_bytes, &a.size_fits))
         .num("hurst", a.hurst.unwrap_or(f64::NAN))
+        .raw("provenance", &provenance)
         .finish()
 }
 
@@ -764,7 +808,7 @@ mod tests {
         let json = experiment_json(&r);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":7",
+            "\"schema_version\":8",
             "\"kind\":\"experiment\"",
             "\"benchmark\":\"nat\"",
             "\"traffic\":\"low\"",
@@ -796,7 +840,7 @@ mod tests {
         let json = tdvs_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"tdvs_sweep\""));
-        assert!(json.contains("\"schema_version\":7"));
+        assert!(json.contains("\"schema_version\":8"));
         assert!(json.contains("\"cells\":2"));
         assert!(json.contains("\"failed\":0"));
         assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
@@ -843,7 +887,7 @@ mod tests {
         let json = traffic_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"traffic_sweep\""), "{json}");
-        assert!(json.contains("\"schema_version\":7"), "{json}");
+        assert!(json.contains("\"schema_version\":8"), "{json}");
         assert!(json.contains("\"cells\":2"), "{json}");
         // The exact spec string round-trips through the document.
         assert!(
@@ -864,7 +908,7 @@ mod tests {
         let json = comparison_json(&cmp, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"policy_comparison\""));
-        assert!(json.contains("\"schema_version\":7"));
+        assert!(json.contains("\"schema_version\":8"));
         assert!(json.contains("\"rows\":6"));
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
     }
@@ -884,7 +928,7 @@ mod tests {
         let json = replicated_run_json(&r, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":7",
+            "\"schema_version\":8",
             "\"kind\":\"replicated_run\"",
             "\"seeds\":3",
             "\"ci_level\":95",
@@ -979,7 +1023,7 @@ mod tests {
         let json = replicated_compare_json(&cmp, stats::ConfidenceLevel::P95, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"replicated_compare\""), "{json}");
-        assert!(json.contains("\"schema_version\":7"), "{json}");
+        assert!(json.contains("\"schema_version\":8"), "{json}");
         assert!(json.contains("\"seeds\":2"), "{json}");
         assert!(json.contains("\"rows\":6"), "{json}");
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
@@ -1042,7 +1086,7 @@ mod tests {
         let json = scenario_json(&run, stats::ConfidenceLevel::P95, &errors);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":7",
+            "\"schema_version\":8",
             "\"kind\":\"scenario\"",
             "\"scenario\":\"doc-test\"",
             "\"seeds\":2",
@@ -1076,7 +1120,7 @@ mod tests {
         let json = fleet_json(&outcome, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":7",
+            "\"schema_version\":8",
             "\"kind\":\"fleet\"",
             "\"seeds\":2",
             "\"ci_level\":95",

@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod cachefmt;
 pub mod compare;
 pub mod experiment;
 pub mod formulas;
@@ -69,6 +70,8 @@ pub use ablation::{
     sweep_edvs_idle_threshold, sweep_tdvs_hysteresis, try_sweep_edvs_idle_threshold,
     try_sweep_tdvs_hysteresis, AblationCell,
 };
+pub use cachefmt::run_cached;
+pub use ccache::{Cache, CacheCounters, CacheStats, CACHE_EPOCH};
 pub use compare::{compare_policies, try_compare_policies, ComparisonRow, PolicyComparison};
 pub use dvs::{DvsPolicy, PolicyKind, PolicyRegistry, PolicySpec};
 pub use experiment::{run_experiments, Experiment, ExperimentResult, PAPER_RUN_CYCLES};
@@ -101,11 +104,14 @@ pub use sweep::{
     sweep_specs, sweep_tdvs, sweep_traffics, try_sweep_specs, try_sweep_tdvs, try_sweep_traffics,
     GridCell, SpecCell, TdvsGrid, TrafficCell,
 };
-pub use traceio::{analyze_trace, generate_trace, StreamStats, TraceAnalysis};
+pub use traceio::{
+    analyze_trace, generate_trace, parse_provenance, StreamStats, TraceAnalysis, TraceProvenance,
+};
 pub use traffic::{TrafficModel, TrafficRegistry, TrafficSpec};
 pub use xrun::{Job, JobError, JobResult, JobSpec, ProgressMode, Runner};
 
 // Re-export the substrate crates so downstream users need only `abdex`.
+pub use ccache;
 pub use desim;
 pub use dvs;
 pub use fleet;

@@ -14,7 +14,7 @@
 //! recorded sample:
 //!
 //! ```text
-//! {"schema_version":7,"kind":"record","source":"run","series":["rep0"],"channels":["power_w",...]}
+//! {"schema_version":8,"kind":"record","source":"run","series":["rep0"],"channels":["power_w",...]}
 //! {"series":0,"channel":"power_w","cycle":40000,"value":2.0625}
 //! ...
 //! ```
@@ -158,6 +158,7 @@ pub fn record_jsonl(source: &str, series: &[RecordedSeries]) -> String {
         .collect();
     let mut out = Obj::new()
         .int("schema_version", SCHEMA_VERSION)
+        .int("cache_epoch", ccache::CACHE_EPOCH)
         .str("kind", "record")
         .str("source", source)
         .raw("series", &array(&labels))

@@ -13,6 +13,7 @@ use crate::replicate::{
 };
 use crate::sweep::{GridCell, SpecCell, TrafficCell};
 use crate::traceio::{StreamStats, TraceAnalysis};
+use dist::fit::FitCandidate;
 
 /// Renders a cumulative "fraction of instances ≤ x" curve (Fig. 6 style)
 /// sampled at `points` evenly spaced x values over `[lo, hi]`.
@@ -505,19 +506,37 @@ pub fn render_trace_analysis(path: &str, a: &TraceAnalysis) -> String {
         "trace {path}: {} packets, {:.1} us span, {} bytes, {:.1} Mbps mean rate\n",
         a.packets, a.duration_us, a.total_bytes, a.mean_rate_mbps
     );
+    if let Some(p) = &a.provenance {
+        out.push_str(&format!(
+            "generated by: --traffic {} --seed {} --cycles {}\n",
+            p.traffic, p.seed, p.cycles
+        ));
+    }
     out.push_str(&format!(
-        "{:<12} {:>12} {:>8} {:>12} {:>12} {:>12}\n",
-        "stream", "mean", "cv", "p50", "p95", "p99"
+        "{:<12} {:>12} {:>8} {:>12} {:>12} {:>12}  {:<40} {:>8}\n",
+        "stream", "mean", "cv", "p50", "p95", "p99", "best fit", "fit err"
     ));
-    let row = |out: &mut String, name: &str, s: &Option<StreamStats>| match s {
-        Some(s) => out.push_str(&format!(
-            "{name:<12} {:>12.4} {:>8.3} {:>12.4} {:>12.4} {:>12.4}\n",
-            s.mean, s.cv, s.p50, s.p95, s.p99
-        )),
-        None => out.push_str(&format!("{name:<12} {:>12}\n", "(empty)")),
+    let row = |out: &mut String, name: &str, s: &Option<StreamStats>, fits: &[FitCandidate]| {
+        let Some(s) = s else {
+            out.push_str(&format!("{name:<12} {:>12}\n", "(empty)"));
+            return;
+        };
+        let fit = match fits.first() {
+            Some(best) => format!("  {:<40} {:>8.4}", best.spec.spec_string(), best.error),
+            None => format!("  {:<40}", "(no fit)"),
+        };
+        out.push_str(&format!(
+            "{name:<12} {:>12.4} {:>8.3} {:>12.4} {:>12.4} {:>12.4}{}\n",
+            s.mean,
+            s.cv,
+            s.p50,
+            s.p95,
+            s.p99,
+            fit.trim_end()
+        ));
     };
-    row(&mut out, "gap_us", &a.gap_us);
-    row(&mut out, "size_bytes", &a.size_bytes);
+    row(&mut out, "gap_us", &a.gap_us, &a.gap_fits);
+    row(&mut out, "size_bytes", &a.size_bytes, &a.size_fits);
     match a.hurst {
         Some(h) => out.push_str(&format!(
             "hurst estimate {h:.3} (aggregated-variance proxy; 0.5 ~ Poisson, -> 1 long-range dependent)\n"

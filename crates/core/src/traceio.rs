@@ -19,6 +19,7 @@
 //! value, exactly like every other batch command.
 
 use desim::SimTime;
+use dist::fit::FitCandidate;
 use obs::HistogramSketch;
 use traffic::{Packet, RecordedTrace, ScheduleConfig, TrafficSpec};
 use xrun::{Job, Runner};
@@ -71,6 +72,46 @@ pub fn generate_trace(
     Ok((trace, text))
 }
 
+/// The generation provenance `generate` records in the trace header:
+/// enough to regenerate the file bit-for-bit (`abdex trace generate
+/// --traffic <traffic> --seed <seed> --cycles <cycles>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceProvenance {
+    /// Canonical traffic spec string the trace was generated from.
+    pub traffic: String,
+    /// Generation seed.
+    pub seed: u64,
+    /// Base-clock cycle horizon.
+    pub cycles: u64,
+}
+
+/// Parses the `# abdex-trace v1` provenance header back out of a trace
+/// file's text. Returns `None` for files without the full header
+/// (hand-written traces, other tools) — provenance is advisory, never
+/// required for analysis or replay.
+#[must_use]
+pub fn parse_provenance(text: &str) -> Option<TraceProvenance> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("# {TRACE_FORMAT_VERSION}") {
+        return None;
+    }
+    let (mut traffic, mut seed, mut cycles) = (None, None, None);
+    for line in lines.take_while(|l| l.starts_with('#')) {
+        if let Some(v) = line.strip_prefix("# traffic: ") {
+            traffic = Some(v.to_owned());
+        } else if let Some(v) = line.strip_prefix("# seed: ") {
+            seed = v.parse().ok();
+        } else if let Some(v) = line.strip_prefix("# cycles: ") {
+            cycles = v.parse().ok();
+        }
+    }
+    Some(TraceProvenance {
+        traffic: traffic?,
+        seed: seed?,
+        cycles: cycles?,
+    })
+}
+
 /// Mean, dispersion and percentiles of one per-packet stream (gaps or
 /// sizes).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +145,18 @@ pub struct TraceAnalysis {
     pub gap_us: Option<StreamStats>,
     /// Packet-size statistics, bytes (`None` for empty traces).
     pub size_bytes: Option<StreamStats>,
+    /// Method-of-moments gap fits ranked best-first (empty when there
+    /// are no gaps or the moments fit no family). Units are µs, so the
+    /// best fit's spec string drops straight into a
+    /// `stochastic:gap=...` traffic spec.
+    pub gap_fits: Vec<FitCandidate>,
+    /// Method-of-moments size fits ranked best-first, in bytes —
+    /// likewise ready for `stochastic:size=...`.
+    pub size_fits: Vec<FitCandidate>,
+    /// The generating spec/seed/cycles when the trace file's header
+    /// carried them (see [`parse_provenance`]); analysis itself never
+    /// needs it.
+    pub provenance: Option<TraceProvenance>,
     /// Hurst-style burstiness proxy from the aggregated-variance
     /// method: ~0.5 for Poisson-like arrivals, toward 1 for
     /// long-range-dependent ones. `None` when the trace is too short
@@ -240,6 +293,15 @@ fn hurst_aggregated_variance(bins: &[u64], packets: u64) -> Option<f64> {
     Some((1.0 + slope / 2.0).clamp(0.0, 1.0))
 }
 
+/// Ranks the moment-matched distribution fits of one stream against
+/// its sketch percentiles (empty for absent or unfittable streams).
+fn stream_fits(stats: &Option<StreamStats>) -> Vec<FitCandidate> {
+    match stats {
+        None => Vec::new(),
+        Some(s) => dist::fit::fit(s.mean, s.cv, &[(0.5, s.p50), (0.95, s.p95), (0.99, s.p99)]),
+    }
+}
+
 fn stream_stats(moments: &Moments, sketch: &HistogramSketch) -> Option<StreamStats> {
     if moments.n == 0 {
         return None;
@@ -296,14 +358,29 @@ pub fn analyze_trace(trace: &RecordedTrace, runner: &Runner) -> TraceAnalysis {
         (Some(first), Some(last)) => (last.arrival - first.arrival).as_us(),
         _ => 0.0,
     };
+    let gap_us = stream_stats(&total.gaps, &total.gap_sketch);
+    let size_bytes = stream_stats(&total.sizes, &total.size_sketch);
     TraceAnalysis {
         packets: packets.len() as u64,
         duration_us,
         total_bytes: total.total_bytes,
         mean_rate_mbps: trace.mean_rate_mbps(),
-        gap_us: stream_stats(&total.gaps, &total.gap_sketch),
-        size_bytes: stream_stats(&total.sizes, &total.size_sketch),
+        gap_fits: stream_fits(&gap_us),
+        size_fits: stream_fits(&size_bytes),
+        gap_us,
+        size_bytes,
         hurst: hurst_aggregated_variance(&total.bins, packets.len() as u64),
+        provenance: None,
+    }
+}
+
+impl TraceAnalysis {
+    /// Attaches header provenance (the analysis itself is provenance-
+    /// independent, so this is a plain builder on the finished value).
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: Option<TraceProvenance>) -> Self {
+        self.provenance = provenance;
+        self
     }
 }
 
@@ -398,6 +475,76 @@ mod tests {
             h_heavy > h_poisson + 0.05,
             "heavy-tailed gaps should raise the proxy: {h_heavy} vs {h_poisson}"
         );
+    }
+
+    #[test]
+    fn provenance_round_trips_through_the_header() {
+        let spec = spec("stochastic:gap=exponential:mean=3,size=constant:value=400");
+        let (_, text) = generate_trace(&spec, 500_000, 9).unwrap();
+        assert_eq!(
+            parse_provenance(&text),
+            Some(TraceProvenance {
+                traffic: spec.spec_string(),
+                seed: 9,
+                cycles: 500_000,
+            })
+        );
+        // Headerless and foreign files carry no provenance.
+        assert_eq!(parse_provenance("1000 40 0\n"), None);
+        assert_eq!(parse_provenance("# some-other-tool v9\n1000 40 0\n"), None);
+        // A version header without the full field set is also not
+        // provenance.
+        assert_eq!(
+            parse_provenance(&format!("# {TRACE_FORMAT_VERSION}\n# seed: 1\n1000 40 0\n")),
+            None
+        );
+    }
+
+    #[test]
+    fn exponential_gaps_fit_exponential_best() {
+        let (trace, _) = generate_trace(
+            &spec("stochastic:gap=exponential:mean=2,size=constant:value=500"),
+            30_000_000,
+            13,
+        )
+        .unwrap();
+        let a = analyze_trace(&trace, &Runner::serial());
+        // The reference quantiles come from the log2 sketch, so the
+        // light-tailed families (exponential, lognormal at cv ~ 1) can
+        // swap within the discretisation error — but both must beat
+        // the heavy-tailed Pareto, and the exponential must fit well.
+        let best = &a.gap_fits[0];
+        assert!(
+            ["exponential", "lognormal"].contains(&best.spec.name()),
+            "best {}",
+            best.spec.name()
+        );
+        assert!(best.error < 0.05, "error {}", best.error);
+        let expo = a
+            .gap_fits
+            .iter()
+            .find(|c| c.spec.name() == "exponential")
+            .expect("exponential always fits");
+        assert!(expo.error < 0.05, "error {}", expo.error);
+        let pareto = a
+            .gap_fits
+            .iter()
+            .find(|c| c.spec.name() == "pareto")
+            .expect("pareto fits at cv ~ 1");
+        assert!(expo.error < pareto.error);
+        let mean = a.gap_us.unwrap().mean;
+        assert!(
+            (expo.spec.mean() - mean).abs() / mean < 1e-9,
+            "moment match: {} vs {}",
+            expo.spec.mean(),
+            mean
+        );
+        // A constant size stream has cv = 0: no family fits it beyond
+        // the (poorly scoring) exponential.
+        assert_eq!(a.size_fits.len(), 1);
+        // The ranking is part of the analysis, so it must stay
+        // worker-count invariant like everything else.
+        assert_eq!(a, analyze_trace(&trace, &Runner::new().with_workers(3)));
     }
 
     #[test]

@@ -519,7 +519,7 @@ fn sweep_over_traffic_specs_renders_table_and_json() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"traffic_sweep\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":7"), "{doc}");
+    assert!(doc.contains("\"schema_version\":8"), "{doc}");
     assert!(doc.contains("\"traffic_model\":\"burst\""), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +568,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&run_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":7"), "{doc}");
+    assert!(doc.contains("\"schema_version\":8"), "{doc}");
 
     let sweep_json = dir.join("sweep.json");
     let out = abdex()
@@ -587,7 +587,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&sweep_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":7"), "{doc}");
+    assert!(doc.contains("\"schema_version\":8"), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -701,7 +701,7 @@ fn trace_generate_then_analyze_is_jobs_invariant() {
     let parallel = analyze("4");
     assert_eq!(serial, parallel, "analysis must not depend on --jobs");
     let doc = String::from_utf8_lossy(&serial);
-    assert!(doc.contains("\"schema_version\":7"), "{doc}");
+    assert!(doc.contains("\"schema_version\":8"), "{doc}");
     assert!(doc.contains("\"kind\":\"trace_analysis\""), "{doc}");
     assert!(doc.contains("\"gap_us\":{\"mean\":"), "{doc}");
     assert!(doc.contains("\"hurst\":"), "{doc}");
@@ -824,7 +824,7 @@ fn replicate_reports_per_metric_intervals() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"replicated_run\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":7"), "{doc}");
+    assert!(doc.contains("\"schema_version\":8"), "{doc}");
     assert!(doc.contains("\"seeds\":4"), "{doc}");
     assert!(doc.contains("\"ci_level\":99"), "{doc}");
     assert!(doc.contains("\"half_width\":"), "{doc}");
@@ -1036,7 +1036,7 @@ fn scenario_run_reports_segments_and_writes_schema_6_json() {
     assert!(serial_err.contains("policy nodvs"), "{serial_err}");
 
     for key in [
-        "\"schema_version\":7",
+        "\"schema_version\":8",
         "\"kind\":\"scenario\"",
         "\"scenario\":\"diurnal-day\"",
         "\"seeds\":4",
@@ -1196,7 +1196,7 @@ fn replicated_compare_is_bit_identical_across_jobs() {
         serial.contains("\"kind\":\"replicated_compare\""),
         "{serial}"
     );
-    assert!(serial.contains("\"schema_version\":7"), "{serial}");
+    assert!(serial.contains("\"schema_version\":8"), "{serial}");
     assert!(serial.contains("\"half_width\":"), "{serial}");
     assert_eq!(serial, parallel, "JSON documents diverged");
 
@@ -1312,7 +1312,7 @@ fn fleet_run_reports_table_and_writes_schema_6_json() {
     let doc = String::from_utf8_lossy(&out.stdout);
     assert!(doc.starts_with('{'), "{doc}");
     for key in [
-        "\"schema_version\":7",
+        "\"schema_version\":8",
         "\"kind\":\"fleet\"",
         "\"chips\":4",
         "\"dispatch\":\"least-loaded:flows=256\"",
@@ -1414,7 +1414,7 @@ fn run_record_exports_schema_6_jsonl_without_touching_stdout() {
     let doc = std::fs::read_to_string(&record_path).expect("JSONL written");
     let lines: Vec<&str> = doc.lines().collect();
     assert!(lines.len() > 1, "header plus at least one sample: {doc}");
-    assert!(lines[0].contains("\"schema_version\":7"), "{}", lines[0]);
+    assert!(lines[0].contains("\"schema_version\":8"), "{}", lines[0]);
     assert!(lines[0].contains("\"kind\":\"record\""), "{}", lines[0]);
     assert!(lines[0].contains("\"source\":\"run\""), "{}", lines[0]);
     assert!(lines[0].contains("\"power_w\""), "{}", lines[0]);
@@ -1549,4 +1549,137 @@ fn progress_stats_reports_worker_telemetry() {
     assert!(err.contains("4 jobs"), "{err}");
     assert!(err.contains("workers:"), "{err}");
     assert!(err.contains("queue wait"), "{err}");
+}
+
+#[test]
+fn cached_sweep_warm_pass_hits_everything_with_identical_stdout() {
+    // The ISSUE's acceptance gate: a warm re-run of a cached sweep
+    // performs zero simulations (all hits, zero misses on stderr) and
+    // its stdout — tables and `--json -` document alike — is
+    // byte-identical to the cold pass.
+    let dir = std::env::temp_dir().join(format!("abdex-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("store");
+    let pass = || {
+        abdex()
+            .args([
+                "sweep",
+                "--seeds",
+                "2",
+                "--cycles",
+                "200000",
+                "--json",
+                "-",
+                "--cache-dir",
+                cache_dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs")
+    };
+    let cold = pass();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(
+        cold_err.contains("cache: 0 hits, 32 misses, 32 stores"),
+        "{cold_err}"
+    );
+
+    let warm = pass();
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_err.contains("cache: 32 hits, 0 misses, 0 stores"),
+        "{warm_err}"
+    );
+    assert_eq!(cold.stdout, warm.stdout, "cached stdout diverged");
+
+    // The stats subcommand reports the persisted lifetime tallies.
+    let stats = abdex()
+        .args(["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("entries   : 32"), "{text}");
+    assert!(
+        text.contains("lifetime  : 32 hits, 32 misses, 32 stores"),
+        "{text}"
+    );
+
+    // gc to zero bytes evicts everything; clear on the empty store is
+    // benign.
+    let gc = abdex()
+        .args([
+            "cache",
+            "gc",
+            "--max-bytes",
+            "0",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(gc.status.success());
+    assert!(
+        String::from_utf8_lossy(&gc.stdout).contains("evicted 32 entries"),
+        "{}",
+        String::from_utf8_lossy(&gc.stdout)
+    );
+    let clear = abdex()
+        .args(["cache", "clear", "--cache-dir", cache_dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(clear.status.success());
+    assert!(
+        String::from_utf8_lossy(&clear.stdout).contains("removed 0 entries"),
+        "{}",
+        String::from_utf8_lossy(&clear.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_flag_conflicts_and_misuse_are_rejected() {
+    // --cache and --no-cache together is a contradiction.
+    let out = abdex()
+        .args(["run", "--cycles", "100000", "--cache", "--no-cache"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("contradict"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // gc without a budget has nothing to enforce.
+    let out = abdex().args(["cache", "gc"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--max-bytes"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Unknown cache subcommands are named in the error.
+    let out = abdex()
+        .args(["cache", "defrost"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("defrost"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

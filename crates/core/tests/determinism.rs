@@ -614,3 +614,104 @@ fn recorded_jsonl_is_byte_identical_across_worker_counts() {
     };
     assert_eq!(fleet_doc(1), fleet_doc(4), "fleet record diverged");
 }
+
+/// A throwaway cache rooted in the temp dir, cleaned before use.
+fn scratch_cache(tag: &str) -> abdex::Cache {
+    let dir = std::env::temp_dir().join(format!("abdex-determinism-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    abdex::Cache::open(dir).expect("cache dir")
+}
+
+#[test]
+fn cached_tdvs_sweep_is_byte_identical_to_cold() {
+    // The cache acceptance gate at the library level: an uncached
+    // sweep, a cold cached sweep and a warm cached sweep render the
+    // same table and the same JSON document byte-for-byte — and the
+    // warm pass simulates nothing.
+    let uncached = tdvs_cells(1);
+    let runner = Runner::serial().with_cache(scratch_cache("tdvs"));
+    let cells = |runner: &Runner| -> Vec<GridCell> {
+        try_sweep_tdvs(
+            runner,
+            Benchmark::Ipfwdr,
+            &TrafficLevel::High.into(),
+            &grid(),
+            CYCLES,
+            SEED,
+        )
+        .into_iter()
+        .map(|o| o.expect("no cell failed"))
+        .collect()
+    };
+    let cold = cells(&runner);
+    let warm = cells(&runner);
+    let counters = runner.cache().unwrap().counters();
+    assert_eq!(counters.hits, 4, "warm pass must hit every cell");
+    assert_eq!(counters.misses, 4, "cold pass must miss every cell");
+    assert_eq!(counters.stores, 4);
+    assert_eq!(render_sweep(&uncached), render_sweep(&cold));
+    assert_eq!(render_sweep(&cold), render_sweep(&warm));
+    assert_eq!(
+        abdex::json::tdvs_sweep_json(&uncached, &[]),
+        abdex::json::tdvs_sweep_json(&cold, &[])
+    );
+    assert_eq!(
+        abdex::json::tdvs_sweep_json(&cold, &[]),
+        abdex::json::tdvs_sweep_json(&warm, &[])
+    );
+    let _ = std::fs::remove_dir_all(runner.cache().unwrap().root());
+}
+
+#[test]
+fn cached_scenario_and_fleet_documents_are_byte_identical() {
+    // Scenario axis: cached cold and warm runs render the same
+    // `scenario` document as an uncached run.
+    let scenario = Scenario {
+        name: "cache-determinism".to_owned(),
+        summary: "two-window schedule".to_owned(),
+        benchmark: Benchmark::Ipfwdr,
+        traffic: "schedule:segments=[low@0..150000; constant:rate=1500@150000..]"
+            .parse()
+            .unwrap(),
+        policies: vec![PolicySpec::NoDvs, "tdvs:threshold=1200".parse().unwrap()],
+        cycles: CYCLES,
+        seed: SEED,
+        seeds: 2,
+    };
+    let doc = |runner: &Runner| {
+        let (run, errors) = try_run_scenario(runner, &scenario);
+        assert!(errors.is_empty(), "{errors:?}");
+        scenario_json(&run, ConfidenceLevel::default(), &errors)
+    };
+    let uncached = doc(&Runner::serial());
+    let runner = Runner::serial().with_cache(scratch_cache("scenario"));
+    assert_eq!(uncached, doc(&runner), "cold scenario doc diverged");
+    assert_eq!(uncached, doc(&runner), "warm scenario doc diverged");
+    let counters = runner.cache().unwrap().counters();
+    assert_eq!((counters.misses, counters.hits), (4, 4));
+    let _ = std::fs::remove_dir_all(runner.cache().unwrap().root());
+
+    // Fleet axis: the `fleet` document *and* the `--record` JSONL are
+    // byte-identical warm — the cache carries each chip's recording
+    // alongside its report.
+    use abdex::record::{fleet_record_series, record_jsonl};
+    let mut config = FleetConfig::new(3);
+    config.cycles = CYCLES;
+    config.seed = SEED;
+    config.dispatch = "hash:flows=64".parse().unwrap();
+    let docs = |runner: &Runner| {
+        let outcome = run_fleet(&config, 2, runner);
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        (
+            fleet_json(&outcome, ConfidenceLevel::default()),
+            record_jsonl("fleet", &fleet_record_series(&outcome)),
+        )
+    };
+    let uncached = docs(&Runner::serial());
+    let runner = Runner::serial().with_cache(scratch_cache("fleet"));
+    assert_eq!(uncached, docs(&runner), "cold fleet docs diverged");
+    assert_eq!(uncached, docs(&runner), "warm fleet docs diverged");
+    let counters = runner.cache().unwrap().counters();
+    assert_eq!((counters.misses, counters.hits), (6, 6));
+    let _ = std::fs::remove_dir_all(runner.cache().unwrap().root());
+}

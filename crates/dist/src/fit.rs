@@ -1,0 +1,208 @@
+//! Method-of-moments distribution fitting.
+//!
+//! Given a positive stream's first two moments (mean and coefficient
+//! of variation) this module produces one candidate [`DistSpec`] per
+//! fittable family — exponential, lognormal, Pareto, Weibull — each
+//! with its parameters solved in closed form (Weibull by bisection)
+//! from those moments alone. Candidates are then scored against
+//! reference quantiles of the empirical stream: the fit error is the
+//! mean absolute difference between the model CDF at each reference
+//! point and that point's nominal quantile level, so 0 is a perfect
+//! quantile match and 0.5 is as wrong as a CDF can be on average.
+//!
+//! Everything here is a pure function of its `f64` inputs — no
+//! sampling, no RNG — so a fit is bit-reproducible and safe to cache.
+
+use crate::{DistKind, DistSpec};
+
+/// One fitted candidate: the moment-matched spec plus its quantile
+/// error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitCandidate {
+    /// The moment-matched spec (round-trippable via
+    /// [`DistSpec::spec_string`]).
+    pub spec: DistSpec,
+    /// Mean absolute CDF error over the reference quantiles (0 = the
+    /// model reproduces every reference quantile exactly).
+    pub error: f64,
+}
+
+/// Mean absolute difference between `spec`'s CDF at each reference
+/// point and the point's nominal level. `points` holds `(level, x)`
+/// pairs, e.g. `(0.5, p50)`; an empty slice scores 0.
+#[must_use]
+pub fn fit_error(spec: &DistSpec, points: &[(f64, f64)]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = points
+        .iter()
+        .map(|&(q, x)| (spec.kind.cdf(x) - q).abs())
+        .sum();
+    sum / points.len() as f64
+}
+
+/// Moment-matched candidates for a positive stream with the given mean
+/// and (population) coefficient of variation, in a fixed family order:
+/// exponential, lognormal, Pareto, Weibull. Families whose moment
+/// equations have no solution for these inputs are omitted — a
+/// degenerate `cv = 0` stream fits none of them (it is a point mass),
+/// and a non-positive mean fits nothing.
+#[must_use]
+pub fn moment_candidates(mean: f64, cv: f64) -> Vec<DistSpec> {
+    if !mean.is_finite() || mean <= 0.0 || !cv.is_finite() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(4);
+    out.push(DistSpec::new(DistKind::Exponential { mean }));
+    if cv > 0.0 {
+        // Lognormal: cv² = e^{σ²} − 1, mean = e^{μ + σ²/2}.
+        let sigma_sq = (1.0 + cv * cv).ln();
+        out.push(DistSpec::new(DistKind::LogNormal {
+            mu: mean.ln() - 0.5 * sigma_sq,
+            sigma: sigma_sq.sqrt(),
+        }));
+        // Pareto: cv² = α / ((α−2)(α−1)²)·… solved as
+        // α = 1 + sqrt(1 + 1/cv²) (the finite-variance root, α > 2
+        // whenever cv < ∞), mean = α·scale/(α−1).
+        let alpha = 1.0 + (1.0 + 1.0 / (cv * cv)).sqrt();
+        out.push(DistSpec::new(DistKind::Pareto {
+            alpha,
+            scale: mean * (alpha - 1.0) / alpha,
+        }));
+        if let Some(shape) = weibull_shape_for_cv(cv) {
+            out.push(DistSpec::new(DistKind::Weibull {
+                shape,
+                scale: mean / crate::math::gamma(1.0 + 1.0 / shape),
+            }));
+        }
+    }
+    out
+}
+
+/// The squared coefficient of variation of a unit-scale Weibull with
+/// the given shape, via log-gamma for stability:
+/// `cv² = Γ(1+2/k)/Γ(1+1/k)² − 1`.
+fn weibull_cv_sq(shape: f64) -> f64 {
+    (crate::math::ln_gamma(1.0 + 2.0 / shape) - 2.0 * crate::math::ln_gamma(1.0 + 1.0 / shape))
+        .exp()
+        - 1.0
+}
+
+/// Solves `weibull_cv_sq(k) = cv²` for the shape `k` by bisection —
+/// the cv is strictly decreasing in the shape, so the root is unique.
+/// Returns `None` when the target lies outside the bracketed range
+/// (shapes in `[0.1, 64]` cover cv from ~0.02 up to ~1e5).
+fn weibull_shape_for_cv(cv: f64) -> Option<f64> {
+    let target = cv * cv;
+    let (mut lo, mut hi) = (0.1_f64, 64.0_f64);
+    if target > weibull_cv_sq(lo) || target < weibull_cv_sq(hi) {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if weibull_cv_sq(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Fits every moment-matchable family to `(mean, cv)` and ranks the
+/// candidates by quantile error, best first. Ranking ties keep the
+/// fixed family order of [`moment_candidates`], so the result — and
+/// the best fit — is deterministic.
+#[must_use]
+pub fn fit(mean: f64, cv: f64, points: &[(f64, f64)]) -> Vec<FitCandidate> {
+    let mut candidates: Vec<FitCandidate> = moment_candidates(mean, cv)
+        .into_iter()
+        .map(|spec| FitCandidate {
+            spec,
+            error: fit_error(&spec, points),
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.error.total_cmp(&b.error));
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_recovers_itself() {
+        // An exponential stream has cv = 1 and quantiles
+        // x_q = −mean·ln(1−q); feeding those back must rank the
+        // exponential candidate first with ~zero error.
+        let mean = 2.5;
+        let points: Vec<(f64, f64)> = [0.5, 0.95, 0.99]
+            .iter()
+            .map(|&q| (q, -mean * (1.0_f64 - q).ln()))
+            .collect();
+        let ranked = fit(mean, 1.0, &points);
+        assert_eq!(ranked[0].spec.name(), "exponential");
+        assert!(ranked[0].error < 1e-9, "error {}", ranked[0].error);
+        // Every candidate's moments match by construction.
+        for c in &ranked {
+            assert!(
+                (c.spec.mean() - mean).abs() / mean < 1e-6,
+                "{} mean {}",
+                c.spec.name(),
+                c.spec.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tail_prefers_pareto_over_exponential() {
+        // Quantiles of a Pareto(alpha=2.2, scale=1): x_q = (1−q)^(−1/α).
+        let alpha = 2.2_f64;
+        let scale = 1.0_f64;
+        let mean = alpha * scale / (alpha - 1.0);
+        let var = alpha * scale * scale / ((alpha - 1.0) * (alpha - 1.0) * (alpha - 2.0));
+        let cv = var.sqrt() / mean;
+        let points: Vec<(f64, f64)> = [0.5, 0.95, 0.99]
+            .iter()
+            .map(|&q| (q, scale * (1.0_f64 - q).powf(-1.0 / alpha)))
+            .collect();
+        let ranked = fit(mean, cv, &points);
+        assert_eq!(ranked[0].spec.name(), "pareto");
+        let expo = ranked
+            .iter()
+            .find(|c| c.spec.name() == "exponential")
+            .expect("exponential always fits");
+        assert!(ranked[0].error < expo.error);
+    }
+
+    #[test]
+    fn weibull_bisection_round_trips_the_cv() {
+        for shape in [0.4, 0.8, 1.0, 1.7, 3.0, 9.0] {
+            let cv = weibull_cv_sq(shape).sqrt();
+            let back = weibull_shape_for_cv(cv).expect("in range");
+            assert!((back - shape).abs() < 1e-9, "shape {shape} -> {back}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_fit_nothing_or_only_exponential() {
+        assert!(moment_candidates(0.0, 1.0).is_empty());
+        assert!(moment_candidates(-3.0, 1.0).is_empty());
+        assert!(moment_candidates(5.0, f64::NAN).is_empty());
+        // cv = 0 is a point mass: only the (wrong but defined)
+        // exponential remains, and its quantile error is visible.
+        let only = moment_candidates(5.0, 0.0);
+        assert_eq!(only.len(), 1);
+        assert_eq!(only[0].name(), "exponential");
+    }
+
+    #[test]
+    fn candidate_specs_round_trip_through_the_grammar() {
+        for c in fit(3.0, 1.4, &[(0.5, 1.9), (0.95, 9.0), (0.99, 20.0)]) {
+            let rendered = c.spec.spec_string();
+            let back = DistSpec::parse(&rendered).expect("round-trippable");
+            assert_eq!(back, c.spec, "{rendered}");
+        }
+    }
+}

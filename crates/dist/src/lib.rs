@@ -36,6 +36,7 @@ use rand::Rng;
 use kvspec::PVal;
 pub use kvspec::{ParamInfo, SpecError};
 
+pub mod fit;
 pub mod math;
 mod registry;
 

@@ -13,11 +13,12 @@
 //! give disjoint derived families, so chip streams never collide with
 //! replicate streams — the seed-quality suites pin this.
 
+use ccache::codec::{parse_recorded, recorded_payload};
 use desim::rng::derive_seed;
 use nepsim::{NpuConfig, SimReport, Simulator};
 use obs::{MemRecorder, Recording};
 use traffic::{Thinned, TrafficModel};
-use xrun::{Job, JobError, Runner};
+use xrun::{Job, JobError, JobSpec, Runner};
 
 use crate::policy::{cap_level, CapPlan, FleetTelemetry};
 use crate::{CappedPolicy, ChipDist, FleetConfig, FleetDist, FleetSample};
@@ -109,6 +110,7 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
         })
         .collect();
 
+    let cache = runner.cache();
     let mut jobs: Vec<Job<'_, (SimReport, Recording)>> = Vec::with_capacity(seeds * chips);
     for (r, &rep_seed) in rep_seeds.iter().enumerate() {
         for (c, &share) in shares.iter().enumerate() {
@@ -119,7 +121,21 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
             let config = config.clone();
             jobs.push(Job::new(
                 format!("fleet r{r} chip{c} seed={seed}"),
-                move || run_chip(&config, seed, share, chip_caps.as_ref()),
+                move || {
+                    let Some(cache) = cache else {
+                        return run_chip(&config, seed, share, chip_caps.as_ref());
+                    };
+                    let key = chip_key(&config, seed, share, chip_caps.as_ref());
+                    if let Some(payload) = cache.lookup(&key) {
+                        if let Some(cell) = parse_recorded(&payload) {
+                            return cell;
+                        }
+                        cache.demote_hit();
+                    }
+                    let cell = run_chip(&config, seed, share, chip_caps.as_ref());
+                    cache.publish(&key, &recorded_payload(&cell.0, &cell.1));
+                    cell
+                },
             ));
         }
     }
@@ -173,6 +189,30 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
         recordings,
         plans,
     }
+}
+
+/// The cache spec of one chip cell: the canonical single-chip spec
+/// rendering plus the fleet context that changes its simulation — the
+/// thinned share the dispatcher assigned and any per-epoch caps the
+/// fleet policy planned. Dispatcher and fleet-policy identity enter
+/// the key *through* those two quantities, which is exactly the set of
+/// inputs [`run_chip`] is a pure function of.
+fn chip_key(config: &FleetConfig, seed: u64, share: f64, caps: Option<&(u64, Vec<f64>)>) -> String {
+    let spec = JobSpec {
+        benchmark: config.benchmark,
+        traffic: config.traffic.clone(),
+        policy: config.policy.clone(),
+        cycles: config.cycles,
+        seed,
+    };
+    let caps = match caps {
+        None => "none".to_owned(),
+        Some((period, caps_w)) => {
+            let watts: Vec<String> = caps_w.iter().map(|w| format!("{w}")).collect();
+            format!("period={period};w=[{}]", watts.join(","))
+        }
+    };
+    format!("fleet|{}|share={share}|caps={caps}", spec.label())
 }
 
 /// Simulates one chip: its thinned sub-stream, its DVS policy, and —
@@ -343,6 +383,55 @@ mod tests {
                 b.mean_power_w.mean().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn cached_fleet_run_is_bit_identical_and_second_pass_hits() {
+        let dir = std::env::temp_dir().join(format!("abdex-fleet-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cfg = config(2);
+        cfg.dispatch = DispatchSpec::Hash { flows: 64 };
+        cfg.fleet_policy = FleetPolicySpec::CapRealloc {
+            budget_w: 4.0,
+            period_cycles: 100_000,
+            floor_w: 0.5,
+        };
+        let reference = run_fleet(&cfg, 2, &Runner::serial());
+
+        let cache = ccache::Cache::open(&dir).unwrap();
+        let runner = Runner::serial().with_cache(cache);
+        let cold = run_fleet(&cfg, 2, &runner);
+        let warm = run_fleet(&cfg, 2, &runner);
+
+        // 2 replicates x 2 chips: the cold pass misses and stores every
+        // cell, the warm pass hits every one.
+        let counters = runner.cache().unwrap().counters();
+        assert_eq!((counters.misses, counters.hits, counters.stores), (4, 4, 4));
+
+        for outcome in [&cold, &warm] {
+            assert!(outcome.errors.is_empty());
+            assert_eq!(
+                outcome.report.fleet.total_energy_uj.mean().to_bits(),
+                reference.report.fleet.total_energy_uj.mean().to_bits()
+            );
+            assert_eq!(
+                outcome.report.fleet.loss_ratio.mean().to_bits(),
+                reference.report.fleet.loss_ratio.mean().to_bits()
+            );
+            for (a, b) in outcome.report.chips.iter().zip(&reference.report.chips) {
+                assert_eq!(
+                    a.mean_power_w.mean().to_bits(),
+                    b.mean_power_w.mean().to_bits()
+                );
+                assert_eq!(
+                    a.queue_depth.p99().map(f64::to_bits),
+                    b.queue_depth.p99().map(f64::to_bits)
+                );
+            }
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -43,7 +43,62 @@ pub struct DistributionReport {
     total: u64,
 }
 
+/// The raw state of a [`DistributionReport`], decomposed for external
+/// persistence (the result cache serializes reports through this and
+/// rebuilds them bit-identically with
+/// [`DistributionReport::from_parts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistParts {
+    /// The distribution relation of the formula.
+    pub rel: DistRel,
+    /// Lower edge of the analysis period.
+    pub min: f64,
+    /// Upper edge of the analysis period.
+    pub max: f64,
+    /// Bin width.
+    pub step: f64,
+    /// Counts for `(-inf,min]`, interior bins, `(max,+inf)`.
+    pub counts: Vec<u64>,
+    /// All finite instance values, sorted ascending.
+    pub sorted_values: Vec<f64>,
+    /// Instances whose value was NaN.
+    pub nan_count: u64,
+    /// Total instances (including NaN ones).
+    pub total: u64,
+}
+
 impl DistributionReport {
+    /// Decomposes the report into its raw [`DistParts`].
+    #[must_use]
+    pub fn to_parts(&self) -> DistParts {
+        DistParts {
+            rel: self.rel,
+            min: self.min,
+            max: self.max,
+            step: self.step,
+            counts: self.counts.clone(),
+            sorted_values: self.sorted_values.clone(),
+            nan_count: self.nan_count,
+            total: self.total,
+        }
+    }
+
+    /// Rebuilds a report from [`DistParts`] — the exact inverse of
+    /// [`DistributionReport::to_parts`].
+    #[must_use]
+    pub fn from_parts(parts: DistParts) -> Self {
+        DistributionReport {
+            rel: parts.rel,
+            min: parts.min,
+            max: parts.max,
+            step: parts.step,
+            counts: parts.counts,
+            sorted_values: parts.sorted_values,
+            nan_count: parts.nan_count,
+            total: parts.total,
+        }
+    }
+
     /// Total number of formula instances evaluated (including NaN ones).
     #[must_use]
     pub fn total_instances(&self) -> u64 {

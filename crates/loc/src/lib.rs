@@ -58,7 +58,7 @@ mod lexer;
 mod parser;
 pub mod trace;
 
-pub use analyzer::{Analyzer, BinStat, DistributionReport};
+pub use analyzer::{Analyzer, BinStat, DistParts, DistributionReport};
 pub use ast::{AnnotKey, BinOp, BoolExpr, CmpOp, DistRel, Expr, Formula};
 pub use bank::{AnalyzerBank, BankResults};
 pub use checker::{CheckReport, Checker, Violation};

@@ -184,6 +184,13 @@ pub struct Recording {
 }
 
 impl Recording {
+    /// A recording from pre-collected samples (in emission order) —
+    /// the reconstruction path cache decoders use.
+    #[must_use]
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Recording { samples }
+    }
+
     /// Every sample, in emission order.
     #[must_use]
     pub fn samples(&self) -> &[Sample] {
@@ -244,6 +251,42 @@ impl KernelCounters {
     #[must_use]
     pub fn heap_ops(&self) -> u64 {
         self.events_scheduled + self.events_processed
+    }
+}
+
+/// Result-cache telemetry: how many cell lookups hit, missed, and how
+/// many fresh results were published.
+///
+/// Deliberately **not** part of any simulation report or JSON result
+/// document — whether a cell came from the cache is observability, not
+/// a result, and folding it into result documents would break the
+/// byte-identity invariant between warm and cold runs. The CLI prints
+/// these to stderr and `abdex cache stats` reads the persisted totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that returned an intact entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including decode demotions).
+    pub misses: u64,
+    /// Fresh results published to the store.
+    pub stores: u64,
+}
+
+impl CacheCounters {
+    /// Total lookups (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl fmt::Display for CacheCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} stores",
+            self.hits, self.misses, self.stores
+        )
     }
 }
 

@@ -16,6 +16,7 @@
 //! fails its *policy* (reported as the first failing replicate's
 //! [`JobError`]) while the other policies complete.
 
+use ccache::codec::{parse_snapshots, snapshots_payload};
 use dvs::PolicySpec;
 use nepsim::{MemRecorder, Recording, SimReport, Simulator};
 use xrun::{derive_seed, Job, JobError, JobSpec, Runner};
@@ -84,6 +85,15 @@ pub fn try_run_scenario_recorded(
     run_impl(runner, scenario, true)
 }
 
+/// The cache spec of one scenario replicate: the cell's canonical
+/// `JobSpec` rendering plus the segment boundaries the snapshots are
+/// taken at — the same spec cut at different boundaries is a different
+/// cell.
+fn cell_key(spec: &JobSpec, bounds: &[u64]) -> String {
+    let joined: Vec<String> = bounds.iter().map(u64::to_string).collect();
+    format!("scenario|{}|bounds=[{}]", spec.label(), joined.join(","))
+}
+
 fn run_impl(
     runner: &Runner,
     scenario: &Scenario,
@@ -92,6 +102,9 @@ fn run_impl(
     let plan = scenario.plan();
     let boundaries: Vec<u64> = plan.iter().map(|p| p.end_cycles).collect();
     let seeds = scenario.seeds;
+    // Recorded runs bypass the cache: their value *is* the per-window
+    // timeline, which only simulation produces.
+    let cache = if record { None } else { runner.cache() };
     let mut jobs: Vec<Job<'_, (Vec<SimReport>, Recording)>> = Vec::new();
     for policy in &scenario.policies {
         for replicate in 0..seeds {
@@ -105,6 +118,19 @@ fn run_impl(
             let label = format!("{}/{}", scenario.name, spec.label());
             let bounds = boundaries.clone();
             jobs.push(Job::new(label, move || {
+                if let Some(cache) = cache {
+                    let key = cell_key(&spec, &bounds);
+                    if let Some(payload) = cache.lookup(&key) {
+                        if let Some(snapshots) = parse_snapshots(&payload) {
+                            return (snapshots, Recording::default());
+                        }
+                        cache.demote_hit();
+                    }
+                    let mut sim = Simulator::new(spec.npu_config());
+                    let snapshots = sim.run_cycle_segments(&bounds);
+                    cache.publish(&key, &snapshots_payload(&snapshots));
+                    return (snapshots, sim.take_recording());
+                }
                 let mut sim = Simulator::new(spec.npu_config());
                 if record {
                     sim = sim.with_recorder(Box::new(MemRecorder::new()));
@@ -322,6 +348,51 @@ mod tests {
         // And the recordings themselves are worker-count invariant.
         let (_, _, parallel) = try_run_scenario_recorded(&Runner::new().with_workers(4), &scenario);
         assert_eq!(recordings, parallel);
+    }
+
+    #[test]
+    fn cached_scenario_run_is_bit_identical_and_second_pass_hits() {
+        let dir = std::env::temp_dir().join(format!("abdex-scenario-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenario = tiny_scenario();
+        let (reference, errors) = try_run_scenario(&Runner::serial(), &scenario);
+        assert!(errors.is_empty());
+
+        let cached = Runner::serial().with_cache(ccache::Cache::open(&dir).unwrap());
+        let (cold, _) = try_run_scenario(&cached, &scenario);
+        let (warm, _) = try_run_scenario(&cached, &scenario);
+        let counters = cached.cache().unwrap().counters();
+        // 2 policies × 2 replicates: all cold-missed, then all warm-hit.
+        assert_eq!((counters.misses, counters.hits, counters.stores), (4, 4, 4));
+
+        for ((a, b), c) in reference
+            .policies
+            .iter()
+            .zip(&cold.policies)
+            .zip(&warm.policies)
+        {
+            for (((name, r), (_, x)), (_, y)) in a
+                .whole
+                .fields()
+                .iter()
+                .zip(b.whole.fields())
+                .zip(c.whole.fields())
+            {
+                assert_eq!(r.mean().to_bits(), x.mean().to_bits(), "cold {name}");
+                assert_eq!(x.mean().to_bits(), y.mean().to_bits(), "warm {name}");
+            }
+            for (bseg, cseg) in b.segments.iter().zip(&c.segments) {
+                for ((name, x), (_, y)) in bseg.metrics.fields().iter().zip(cseg.metrics.fields()) {
+                    assert_eq!(
+                        x.mean().to_bits(),
+                        y.mean().to_bits(),
+                        "{} {name}",
+                        bseg.segment.label
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

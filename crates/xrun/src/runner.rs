@@ -26,9 +26,19 @@ use nepsim::SimReport;
 ///
 /// Worker threads are scoped to each [`run`](Runner::run) call: jobs may
 /// borrow from the caller's stack, and no threads outlive the batch.
+///
+/// A runner can carry a content-addressed result cache
+/// ([`with_cache`](Runner::with_cache)): the runner itself never
+/// consults it — jobs are opaque closures — but every execution layer
+/// built on the runner (`core::run_experiments`, the scenario and
+/// fleet runners) checks [`cache`](Runner::cache) before simulating a
+/// cell and publishes after. `ccache::Cache` is `Sync`, so the shared
+/// reference crosses into the scoped workers like the progress sink
+/// does.
 pub struct Runner {
     workers: usize,
     progress: Box<dyn ProgressSink>,
+    cache: Option<ccache::Cache>,
 }
 
 impl Runner {
@@ -39,6 +49,7 @@ impl Runner {
         Runner {
             workers: default_workers(),
             progress: Box::new(Quiet),
+            cache: None,
         }
     }
 
@@ -72,6 +83,20 @@ impl Runner {
     #[must_use]
     pub fn with_progress_mode(self, mode: ProgressMode) -> Self {
         self.with_progress(mode.sink())
+    }
+
+    /// Attaches a content-addressed result cache for the execution
+    /// layers to consult (see the type docs).
+    #[must_use]
+    pub fn with_cache(mut self, cache: ccache::Cache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached result cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&ccache::Cache> {
+        self.cache.as_ref()
     }
 
     /// The number of workers [`run`](Runner::run) will use (before
@@ -159,6 +184,7 @@ impl fmt::Debug for Runner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Runner")
             .field("workers", &self.workers)
+            .field("cached", &self.cache.is_some())
             .finish_non_exhaustive()
     }
 }
