@@ -16,6 +16,7 @@
 //! abdex fleet     policies
 //! abdex cache     stats|clear [--cache-dir DIR]
 //! abdex cache     gc --max-bytes N [--cache-dir DIR]
+//! abdex obs       summarize rec.jsonl [--json FILE|-] [--jobs N]
 //! abdex policies
 //! abdex traffics
 //! abdex trace     generate --traffic "stochastic:gap=pareto:alpha=1.3,size=lognormal:mu=6" -o t.trace
@@ -76,6 +77,16 @@
 //! `--json -` writes the machine-readable document to **stdout** (the
 //! human-readable tables move to stderr), so any command's results pipe
 //! without a temp file: `abdex scenario run diurnal-day --json - | jq .`
+//!
+//! `--profile FILE` (any command) writes a Chrome Trace Event JSON of
+//! the invocation's phases — parse/plan/simulate/fold/render spans,
+//! per-job worker spans, cache-lookup hit/miss spans — viewable in
+//! Perfetto or `chrome://tracing`; `--profile-summary` prints the
+//! per-phase wall-time table on stderr. Both are pure observability:
+//! stdout stays byte-identical to an unprofiled invocation. `abdex obs
+//! summarize <record.jsonl>` closes the `--record` loop, folding an
+//! exported recording back into per-channel statistics (bit-identical
+//! for any `--jobs`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -119,7 +130,7 @@ const USAGE: &str = "\
 abdex — assertion-based design exploration of DVS in NPU architectures
 
 USAGE:
-    abdex <run|replicate|sweep|compare|scenario|fleet|cache|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
+    abdex <run|replicate|sweep|compare|scenario|fleet|cache|obs|policies|traffics|trace|check|analyze|codegen> [OPTIONS]
 
 SCENARIOS:
     abdex scenario run <name|file.toml>  run a time-varying composite scenario
@@ -146,6 +157,12 @@ CACHE:
                                          fits in N bytes
     abdex cache clear                    remove every cache entry
                                          (all three honour --cache-dir)
+
+OBSERVABILITY:
+    abdex obs summarize <record.jsonl>   per-channel n/min/mean/max and sketch
+                                         p50/p95/p99 of a --record export
+                                         (--json FILE|-, --jobs N; output is
+                                         byte-identical for any worker count)
 
 TRACES:
     abdex trace generate                 record --traffic's packet stream
@@ -223,6 +240,13 @@ OPTIONS (where applicable):
     --obs-stats                        print event-kernel counters and
                                        simulated-cycles-per-second on
                                        stderr (run/replicate)
+    --profile   <file>                 write a Chrome Trace Event JSON of
+                                       this invocation's phases (every
+                                       command; open in Perfetto or
+                                       chrome://tracing); stdout stays
+                                       byte-identical to an unprofiled run
+    --profile-summary                  print a per-phase wall-time table
+                                       (count/total/self/mean) on stderr
     --formula   <text>                 LOC formula (check/analyze/codegen)
     --trace     <file>                 trace file in NePSim text format
     --out       <file>                 output path (trace)
@@ -230,26 +254,76 @@ OPTIONS (where applicable):
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Arm the profiler before any work so the `parse` span and every
+    // later phase land in the trace. The raw-args scan (rather than the
+    // per-command option parser) is deliberate: the flags are global,
+    // and the export must happen even when a command fails early.
+    let profiling = args
+        .iter()
+        .any(|a| a == "--profile" || a == "--profile-summary");
+    if profiling {
+        abdex::obs::prof::set_enabled(true);
+    }
+    let mut result = dispatch(&args);
+    if profiling {
+        // The command's work is over; exporting now captures every
+        // span, including the worker threads' (already flushed — the
+        // pools are scoped). A failed export fails the invocation, but
+        // never eats the command's own error.
+        if let Err(e) = finish_profile(&args) {
+            result = result.and(Err(e));
+        }
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // An empty message means usage was already printed.
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Writes the drained profile: the Chrome trace to the `--profile`
+/// path and/or the per-phase summary table to stderr. Everything lands
+/// on stderr or the file — stdout stays byte-identical to an
+/// unprofiled invocation.
+fn finish_profile(args: &[String]) -> Result<(), String> {
+    let profile = abdex::obs::prof::drain();
+    if let Some(i) = args.iter().position(|a| a == "--profile") {
+        let path = args
+            .get(i + 1)
+            .ok_or_else(|| "--profile needs a value".to_owned())?;
+        std::fs::write(path, profile.chrome_trace_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote Chrome trace of {} span(s) to {path} (open in Perfetto or chrome://tracing)",
+            profile.spans.len()
+        );
+    }
+    if args.iter().any(|a| a == "--profile-summary") {
+        eprint!("{}", profile.summary_table());
+    }
+    Ok(())
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         eprint!("{USAGE}");
-        return ExitCode::FAILURE;
+        return Err(String::new());
     };
-    // `scenario`, `fleet` and `trace` take positional arguments
-    // (`run <name|file>`, `analyze <file>`), so they dispatch before
-    // the flag-only parser below.
-    if command == "scenario" || command == "fleet" || command == "trace" || command == "cache" {
-        let result = match command.as_str() {
+    // `scenario`, `fleet`, `trace` and `obs` take positional arguments
+    // (`run <name|file>`, `analyze <file>`, `summarize <file>`), so
+    // they dispatch before the flag-only parser below.
+    if ["scenario", "fleet", "trace", "cache", "obs"].contains(&command.as_str()) {
+        return match command.as_str() {
             "scenario" => cmd_scenario(rest),
             "fleet" => cmd_fleet(rest),
             "cache" => cmd_cache(rest),
+            "obs" => cmd_obs(rest),
             _ => cmd_trace_dispatch(rest),
-        };
-        return match result {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
         };
     }
     let opts = match parse_opts(rest) {
@@ -257,7 +331,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{USAGE}");
-            return ExitCode::FAILURE;
+            return Err(String::new());
         }
     };
     // Every command rejects options it would otherwise silently ignore
@@ -354,21 +428,20 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'")),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    result
 }
 
 type Opts = HashMap<String, String>;
 
 /// The flags that are switches rather than `--flag value` pairs.
-const VALUELESS_FLAGS: &[&str] = &["obs-stats", "cache", "no-cache"];
+const VALUELESS_FLAGS: &[&str] = &["obs-stats", "cache", "no-cache", "profile-summary"];
+
+/// The global profiling flags, accepted by every command (see
+/// [`check_opts`]).
+const PROFILE_FLAGS: &[&str] = &["profile", "profile-summary"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let _prof = abdex::obs::prof::span("parse");
     let mut opts = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -386,10 +459,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn check_opts(opts: &Opts, allowed: &[&str]) -> Result<(), String> {
+    // The profiling flags are global: every command accepts them, so
+    // they are allowed by construction rather than listed per command.
     let mut stray: Vec<&str> = opts
         .keys()
         .map(String::as_str)
-        .filter(|key| !allowed.contains(key))
+        .filter(|key| !allowed.contains(key) && !PROFILE_FLAGS.contains(key))
         .collect();
     stray.sort_unstable();
     match stray.first() {
@@ -561,6 +636,7 @@ fn json_to_stdout(opts: &Opts) -> bool {
 /// Prints a block of human-readable output: stdout normally, stderr
 /// when `--json -` reserves stdout for the JSON document.
 fn emit(opts: &Opts, text: &str) {
+    let _prof = abdex::obs::prof::span("render");
     if json_to_stdout(opts) {
         eprintln!("{text}");
     } else {
@@ -568,12 +644,13 @@ fn emit(opts: &Opts, text: &str) {
     }
 }
 
-/// Fails fast when the `--json` or `--record` path is unwritable,
+/// Fails fast when the `--json`, `--record` or `--profile` path is
+/// unwritable,
 /// *before* a potentially minutes-long batch runs. Opens in append
 /// mode so an existing file is probed without being truncated. `-`
 /// (stdout) needs no probe.
 fn preflight_json(opts: &Opts) -> Result<(), String> {
-    for key in ["json", "record"] {
+    for key in ["json", "record", "profile"] {
         if let Some(path) = opts.get(key) {
             if key == "json" && path == "-" {
                 continue;
@@ -622,6 +699,10 @@ fn emit_obs_stats(opts: &Opts, series: &[RecordedSeries], cycles: u64, start: In
 /// `-` prints the document to stdout (and nothing else lands there —
 /// see [`emit`]), so results pipe without a temp file.
 fn write_json(opts: &Opts, render: impl FnOnce() -> String) -> Result<(), String> {
+    let render = || {
+        let _prof = abdex::obs::prof::span("render");
+        render()
+    };
     match opts.get("json").map(String::as_str) {
         None => Ok(()),
         Some("-") => {
@@ -658,6 +739,7 @@ fn finish_batch(
 }
 
 fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let plan = abdex::obs::prof::span("plan");
     let experiment = Experiment {
         benchmark: benchmark(opts)?,
         traffic: traffic(opts)?,
@@ -667,6 +749,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     };
     let (seeds, level) = replication_opts(opts, 1)?;
     preflight_json(opts)?;
+    drop(plan);
     if seeds > 1 {
         // `run` stays a deliberately serial command (no --jobs); the
         // replicates execute inline. `abdex replicate` is the parallel
@@ -731,6 +814,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 /// Replicates one cell `--seeds` times: the interval-estimate form of
 /// `run`, with `--jobs`/`--progress` since the replicates are a batch.
 fn cmd_replicate(opts: &Opts) -> Result<(), String> {
+    let plan = abdex::obs::prof::span("plan");
     let experiment = Experiment {
         benchmark: benchmark(opts)?,
         traffic: traffic(opts)?,
@@ -744,6 +828,7 @@ fn cmd_replicate(opts: &Opts) -> Result<(), String> {
     }
     let pool = runner(opts)?;
     preflight_json(opts)?;
+    drop(plan);
     finish_replicated_run(opts, &pool, &experiment, seeds, level)
 }
 
@@ -787,6 +872,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     // Validate every flag — including the optional spec lists — before
     // preflight_json touches the disk, so a bad option never leaves a
     // stray empty output file.
+    let plan = abdex::obs::prof::span("plan");
     let pool = runner(opts)?;
     let bench = benchmark(opts)?;
     let level = traffic(opts)?;
@@ -822,6 +908,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         return Err("--traffic does not apply with --traffics (the list is the axis)".to_owned());
     }
     preflight_json(opts)?;
+    drop(plan);
 
     // A `--traffics` list sweeps the traffic axis under one policy.
     if let Some(traffics) = traffics {
@@ -1012,6 +1099,7 @@ fn resolve_scenario(target: &str) -> Result<Scenario, String> {
 }
 
 fn cmd_scenario_run(target: &str, opts: &Opts) -> Result<(), String> {
+    let plan = abdex::obs::prof::span("plan");
     let mut scenario = resolve_scenario(target)?;
     // CLI flags override the scenario's own run parameters.
     scenario.cycles = number(opts, "cycles", scenario.cycles)?;
@@ -1023,6 +1111,7 @@ fn cmd_scenario_run(target: &str, opts: &Opts) -> Result<(), String> {
     scenario.seeds = seeds;
     let pool = runner(opts)?;
     preflight_json(opts)?;
+    drop(plan);
     // The recorded runner is taken only with `--record`, so a plain
     // `scenario run` keeps the exact execution it always had.
     let (run, errors) = if opts.contains_key("record") {
@@ -1124,6 +1213,7 @@ fn cmd_fleet(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fleet_run(opts: &Opts) -> Result<(), String> {
+    let plan = abdex::obs::prof::span("plan");
     let mut config = FleetConfig::new(number(opts, "chips", 8)?);
     if config.chips == 0 {
         return Err("--chips needs at least one chip".to_owned());
@@ -1145,6 +1235,7 @@ fn cmd_fleet_run(opts: &Opts) -> Result<(), String> {
     let (seeds, ci) = replication_opts(opts, 1)?;
     let pool = runner(opts)?;
     preflight_json(opts)?;
+    drop(plan);
     let outcome = run_fleet(&config, seeds as usize, &pool);
     emit(opts, &render_fleet(&outcome.report, ci));
     write_record(opts, "fleet", &fleet_record_series(&outcome))?;
@@ -1206,6 +1297,47 @@ fn cmd_cache(rest: &[String]) -> Result<(), String> {
             "unknown cache subcommand '{other}' (expected `stats`, `gc` or `clear`)"
         )),
     }
+}
+
+/// Dispatches the `obs` command: `summarize <record.jsonl>`.
+fn cmd_obs(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("obs needs a subcommand: `summarize <record.jsonl>`".to_owned());
+    };
+    match sub.as_str() {
+        "summarize" => {
+            let Some((path, flags)) = rest.split_first() else {
+                return Err(
+                    "obs summarize needs a recording: `abdex obs summarize <record.jsonl> \
+                     [--json FILE|-] [--jobs N]`"
+                        .to_owned(),
+                );
+            };
+            if path.starts_with("--") {
+                return Err(format!(
+                    "obs summarize takes the record file first, found flag '{path}'"
+                ));
+            }
+            let opts = parse_opts(flags)?;
+            check_opts(&opts, &["json", "jobs", "progress"])?;
+            cmd_obs_summarize(path, &opts)
+        }
+        other => Err(format!(
+            "unknown obs subcommand '{other}' (expected `summarize`)"
+        )),
+    }
+}
+
+/// `obs summarize`: fold a `--record` JSONL export back into
+/// per-channel statistics (table and/or `obs_summary` JSON document).
+fn cmd_obs_summarize(path: &str, opts: &Opts) -> Result<(), String> {
+    preflight_json(opts)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let pool = runner(opts)?;
+    let summary =
+        abdex::summarize::summarize_record(&text, &pool).map_err(|e| format!("{path}: {e}"))?;
+    emit(opts, abdex::summarize::render_summary(&summary).trim_end());
+    write_json(opts, || abdex::summarize::render_summary_json(&summary))
 }
 
 fn cmd_fleet_dispatchers() {

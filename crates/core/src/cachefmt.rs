@@ -126,11 +126,33 @@ pub fn run_cached(cache: Option<&Cache>, experiment: &Experiment) -> ExperimentR
         return experiment.run();
     };
     let key = experiment_key(experiment);
-    if let Some(payload) = cache.lookup(&key) {
-        if let Some(result) = decode_result(experiment, &payload) {
-            return result;
+    // The probe is one profiler span that renames itself once resolved:
+    // `cache.lookup` becomes `cache.lookup.hit` on an intact entry and
+    // `cache.lookup.miss` otherwise (including decode demotions), with running
+    // hit/miss counter events alongside.
+    let cached = {
+        let mut prof = obs::prof::span("cache.lookup");
+        match cache.lookup(&key).and_then(|p| {
+            let decoded = decode_result(experiment, &p);
+            if decoded.is_none() {
+                cache.demote_hit();
+            }
+            decoded
+        }) {
+            Some(result) => {
+                prof.set_name("cache.lookup.hit");
+                obs::prof::count("cache.hits", 1.0);
+                Some(result)
+            }
+            None => {
+                prof.set_name("cache.lookup.miss");
+                obs::prof::count("cache.misses", 1.0);
+                None
+            }
         }
-        cache.demote_hit();
+    };
+    if let Some(result) = cached {
+        return result;
     }
     let result = experiment.run();
     cache.publish(&key, &encode_result(&result));

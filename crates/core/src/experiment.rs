@@ -99,6 +99,7 @@ impl Experiment {
         let report = sim.run_cycles(self.cycles);
 
         // Both paper formulas evaluate in one pass over the trace.
+        let _prof = obs::prof::span("analyze");
         let mut bank = AnalyzerBank::new();
         let power = bank
             .add_analyzer(&power_distribution(PACKET_WINDOW))

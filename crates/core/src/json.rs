@@ -77,10 +77,20 @@ use crate::traceio::{StreamStats, TraceAnalysis};
 /// recorded its generating spec/seed/cycles. Cache hit/miss tallies
 /// are deliberately **not** part of any document (they land on
 /// stderr): a document's bytes must not depend on cache state.
+/// **9** — recording analyzer & profiler: new `obs_summary` document
+/// (`abdex obs summarize <record.jsonl>`: per-channel
+/// n/min/mean/max/p50/p95/p99 re-derived from a `--record` export via
+/// the deterministic log2 [`HistogramSketch`]; chunked fold in fixed
+/// chunk order, so the document is bit-identical for any `--jobs`);
+/// existing documents are unchanged in shape. The `--profile` Chrome
+/// trace introduced alongside is wall-clock observability and is
+/// deliberately **unversioned** — like the cache tallies it never
+/// enters a result document, and stdout stays byte-identical with and
+/// without it.
 ///
 /// [`TrafficSpec`]: traffic::TrafficSpec
 /// [`HistogramSketch`]: obs::HistogramSketch
-pub const SCHEMA_VERSION: u64 = 8;
+pub const SCHEMA_VERSION: u64 = 9;
 
 /// Escapes a string for a JSON string literal (without the quotes).
 pub(crate) fn escape(s: &str) -> String {
@@ -808,7 +818,7 @@ mod tests {
         let json = experiment_json(&r);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":8",
+            "\"schema_version\":9",
             "\"kind\":\"experiment\"",
             "\"benchmark\":\"nat\"",
             "\"traffic\":\"low\"",
@@ -840,7 +850,7 @@ mod tests {
         let json = tdvs_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"tdvs_sweep\""));
-        assert!(json.contains("\"schema_version\":8"));
+        assert!(json.contains("\"schema_version\":9"));
         assert!(json.contains("\"cells\":2"));
         assert!(json.contains("\"failed\":0"));
         assert_eq!(json.matches("\"threshold_mbps\":").count(), 2);
@@ -887,7 +897,7 @@ mod tests {
         let json = traffic_sweep_json(&cells, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"traffic_sweep\""), "{json}");
-        assert!(json.contains("\"schema_version\":8"), "{json}");
+        assert!(json.contains("\"schema_version\":9"), "{json}");
         assert!(json.contains("\"cells\":2"), "{json}");
         // The exact spec string round-trips through the document.
         assert!(
@@ -908,7 +918,7 @@ mod tests {
         let json = comparison_json(&cmp, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"policy_comparison\""));
-        assert!(json.contains("\"schema_version\":8"));
+        assert!(json.contains("\"schema_version\":9"));
         assert!(json.contains("\"rows\":6"));
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
     }
@@ -928,7 +938,7 @@ mod tests {
         let json = replicated_run_json(&r, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":8",
+            "\"schema_version\":9",
             "\"kind\":\"replicated_run\"",
             "\"seeds\":3",
             "\"ci_level\":95",
@@ -1023,7 +1033,7 @@ mod tests {
         let json = replicated_compare_json(&cmp, stats::ConfidenceLevel::P95, &[]);
         assert_balanced(&json);
         assert!(json.contains("\"kind\":\"replicated_compare\""), "{json}");
-        assert!(json.contains("\"schema_version\":8"), "{json}");
+        assert!(json.contains("\"schema_version\":9"), "{json}");
         assert!(json.contains("\"seeds\":2"), "{json}");
         assert!(json.contains("\"rows\":6"), "{json}");
         assert_eq!(json.matches("\"saving_vs_nodvs\":").count(), 6);
@@ -1086,7 +1096,7 @@ mod tests {
         let json = scenario_json(&run, stats::ConfidenceLevel::P95, &errors);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":8",
+            "\"schema_version\":9",
             "\"kind\":\"scenario\"",
             "\"scenario\":\"doc-test\"",
             "\"seeds\":2",
@@ -1120,7 +1130,7 @@ mod tests {
         let json = fleet_json(&outcome, stats::ConfidenceLevel::P95);
         assert_balanced(&json);
         for key in [
-            "\"schema_version\":8",
+            "\"schema_version\":9",
             "\"kind\":\"fleet\"",
             "\"seeds\":2",
             "\"ci_level\":95",

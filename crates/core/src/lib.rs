@@ -62,6 +62,7 @@ pub mod optimal;
 pub mod record;
 pub mod reference;
 pub mod replicate;
+pub mod summarize;
 pub mod sweep;
 pub mod tables;
 pub mod traceio;
@@ -100,6 +101,7 @@ pub use scenario::{
 pub use stats::{
     welch_t, ConfidenceInterval, ConfidenceLevel, ReplicatedMetrics, Replication, Summary, WelchT,
 };
+pub use summarize::{summarize_record, ChannelSummary, RecordSummary};
 pub use sweep::{
     sweep_specs, sweep_tdvs, sweep_traffics, try_sweep_specs, try_sweep_tdvs, try_sweep_traffics,
     GridCell, SpecCell, TdvsGrid, TrafficCell,

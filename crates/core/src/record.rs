@@ -14,7 +14,7 @@
 //! recorded sample:
 //!
 //! ```text
-//! {"schema_version":8,"kind":"record","source":"run","series":["rep0"],"channels":["power_w",...]}
+//! {"schema_version":9,"cache_epoch":3,"kind":"record","source":"run","series":["rep0"],"channels":["power_w",...]}
 //! {"series":0,"channel":"power_w","cycle":40000,"value":2.0625}
 //! ...
 //! ```

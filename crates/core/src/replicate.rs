@@ -77,6 +77,7 @@ pub fn run_replicated_experiments(
         .flat_map(|r| r.specs().into_iter().map(Experiment::from))
         .collect();
     let mut outcomes = run_experiments(runner, jobs).into_iter();
+    let _prof = obs::prof::span("fold");
     experiments
         .into_iter()
         .zip(&replications)

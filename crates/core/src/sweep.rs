@@ -108,7 +108,9 @@ pub fn try_sweep_tdvs(
     seed: u64,
 ) -> Vec<Result<GridCell, JobError>> {
     let (params, experiments) = tdvs_experiments(benchmark, traffic, grid, cycles, seed);
-    run_experiments(runner, experiments)
+    let outcomes = run_experiments(runner, experiments);
+    let _prof = obs::prof::span("fold");
+    outcomes
         .into_iter()
         .zip(params)
         .map(|(outcome, (threshold_mbps, window_cycles))| {
@@ -220,7 +222,9 @@ pub fn try_sweep_specs(
             seed,
         })
         .collect();
-    run_experiments(runner, experiments)
+    let outcomes = run_experiments(runner, experiments);
+    let _prof = obs::prof::span("fold");
+    outcomes
         .into_iter()
         .zip(specs)
         .map(|(outcome, spec)| {
@@ -300,7 +304,9 @@ pub fn try_sweep_traffics(
             seed,
         })
         .collect();
-    run_experiments(runner, experiments)
+    let outcomes = run_experiments(runner, experiments);
+    let _prof = obs::prof::span("fold");
+    outcomes
         .into_iter()
         .zip(traffics)
         .map(|(outcome, spec)| {

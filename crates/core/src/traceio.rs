@@ -341,6 +341,7 @@ pub fn analyze_trace(trace: &RecordedTrace, runner: &Runner) -> TraceAnalysis {
         })
         .collect();
     let mut results = runner.run(jobs);
+    let _prof = obs::prof::span("fold");
     results.sort_by_key(|r| r.index);
     let mut total = ChunkStats::new();
     for result in results {

@@ -519,7 +519,7 @@ fn sweep_over_traffic_specs_renders_table_and_json() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"traffic_sweep\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":8"), "{doc}");
+    assert!(doc.contains("\"schema_version\":9"), "{doc}");
     assert!(doc.contains("\"traffic_model\":\"burst\""), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +568,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&run_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":8"), "{doc}");
+    assert!(doc.contains("\"schema_version\":9"), "{doc}");
 
     let sweep_json = dir.join("sweep.json");
     let out = abdex()
@@ -587,7 +587,7 @@ fn every_json_document_carries_the_schema_version() {
         .expect("binary runs");
     assert!(out.status.success());
     let doc = std::fs::read_to_string(&sweep_json).expect("JSON written");
-    assert!(doc.contains("\"schema_version\":8"), "{doc}");
+    assert!(doc.contains("\"schema_version\":9"), "{doc}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -701,7 +701,7 @@ fn trace_generate_then_analyze_is_jobs_invariant() {
     let parallel = analyze("4");
     assert_eq!(serial, parallel, "analysis must not depend on --jobs");
     let doc = String::from_utf8_lossy(&serial);
-    assert!(doc.contains("\"schema_version\":8"), "{doc}");
+    assert!(doc.contains("\"schema_version\":9"), "{doc}");
     assert!(doc.contains("\"kind\":\"trace_analysis\""), "{doc}");
     assert!(doc.contains("\"gap_us\":{\"mean\":"), "{doc}");
     assert!(doc.contains("\"hurst\":"), "{doc}");
@@ -824,7 +824,7 @@ fn replicate_reports_per_metric_intervals() {
 
     let doc = std::fs::read_to_string(&json_path).expect("JSON written");
     assert!(doc.contains("\"kind\":\"replicated_run\""), "{doc}");
-    assert!(doc.contains("\"schema_version\":8"), "{doc}");
+    assert!(doc.contains("\"schema_version\":9"), "{doc}");
     assert!(doc.contains("\"seeds\":4"), "{doc}");
     assert!(doc.contains("\"ci_level\":99"), "{doc}");
     assert!(doc.contains("\"half_width\":"), "{doc}");
@@ -1036,7 +1036,7 @@ fn scenario_run_reports_segments_and_writes_schema_6_json() {
     assert!(serial_err.contains("policy nodvs"), "{serial_err}");
 
     for key in [
-        "\"schema_version\":8",
+        "\"schema_version\":9",
         "\"kind\":\"scenario\"",
         "\"scenario\":\"diurnal-day\"",
         "\"seeds\":4",
@@ -1196,7 +1196,7 @@ fn replicated_compare_is_bit_identical_across_jobs() {
         serial.contains("\"kind\":\"replicated_compare\""),
         "{serial}"
     );
-    assert!(serial.contains("\"schema_version\":8"), "{serial}");
+    assert!(serial.contains("\"schema_version\":9"), "{serial}");
     assert!(serial.contains("\"half_width\":"), "{serial}");
     assert_eq!(serial, parallel, "JSON documents diverged");
 
@@ -1312,7 +1312,7 @@ fn fleet_run_reports_table_and_writes_schema_6_json() {
     let doc = String::from_utf8_lossy(&out.stdout);
     assert!(doc.starts_with('{'), "{doc}");
     for key in [
-        "\"schema_version\":8",
+        "\"schema_version\":9",
         "\"kind\":\"fleet\"",
         "\"chips\":4",
         "\"dispatch\":\"least-loaded:flows=256\"",
@@ -1414,7 +1414,7 @@ fn run_record_exports_schema_6_jsonl_without_touching_stdout() {
     let doc = std::fs::read_to_string(&record_path).expect("JSONL written");
     let lines: Vec<&str> = doc.lines().collect();
     assert!(lines.len() > 1, "header plus at least one sample: {doc}");
-    assert!(lines[0].contains("\"schema_version\":8"), "{}", lines[0]);
+    assert!(lines[0].contains("\"schema_version\":9"), "{}", lines[0]);
     assert!(lines[0].contains("\"kind\":\"record\""), "{}", lines[0]);
     assert!(lines[0].contains("\"source\":\"run\""), "{}", lines[0]);
     assert!(lines[0].contains("\"power_w\""), "{}", lines[0]);
@@ -1585,7 +1585,7 @@ fn cached_sweep_warm_pass_hits_everything_with_identical_stdout() {
     );
     let cold_err = String::from_utf8_lossy(&cold.stderr);
     assert!(
-        cold_err.contains("cache: 0 hits, 32 misses, 32 stores"),
+        cold_err.contains("cache: 0 hits, 32 misses, 32 stores (0.0% hit rate)"),
         "{cold_err}"
     );
 
@@ -1597,7 +1597,7 @@ fn cached_sweep_warm_pass_hits_everything_with_identical_stdout() {
     );
     let warm_err = String::from_utf8_lossy(&warm.stderr);
     assert!(
-        warm_err.contains("cache: 32 hits, 0 misses, 0 stores"),
+        warm_err.contains("cache: 32 hits, 0 misses, 0 stores (100.0% hit rate)"),
         "{warm_err}"
     );
     assert_eq!(cold.stdout, warm.stdout, "cached stdout diverged");
@@ -1611,7 +1611,7 @@ fn cached_sweep_warm_pass_hits_everything_with_identical_stdout() {
     let text = String::from_utf8_lossy(&stats.stdout);
     assert!(text.contains("entries   : 32"), "{text}");
     assert!(
-        text.contains("lifetime  : 32 hits, 32 misses, 32 stores"),
+        text.contains("lifetime  : 32 hits, 32 misses, 32 stores (50.0% hit rate)"),
         "{text}"
     );
 
@@ -1682,4 +1682,271 @@ fn cache_flag_conflicts_and_misuse_are_rejected() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+#[test]
+fn profile_never_touches_stdout_on_run_sweep_or_fleet() {
+    // The profiler's hard invariant: arming `--profile` (and
+    // `--profile-summary`) changes nothing on stdout — the trace goes
+    // to its file, the summary to stderr. Pinned across the three
+    // execution shapes: a serial run, a pooled sweep (with a cold
+    // cache, so cache-lookup spans exist), and a fleet run.
+    let dir = std::env::temp_dir().join(format!("abdex-cli-prof-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let compare = |label: &str, args: &[&str], extra: &[&str]| {
+        let plain = abdex().args(args).output().expect("binary runs");
+        assert!(
+            plain.status.success(),
+            "{label}: {}",
+            String::from_utf8_lossy(&plain.stderr)
+        );
+        let profiled = abdex()
+            .args(args)
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        assert!(
+            profiled.status.success(),
+            "{label}: {}",
+            String::from_utf8_lossy(&profiled.stderr)
+        );
+        assert_eq!(
+            plain.stdout, profiled.stdout,
+            "{label}: stdout changed under --profile"
+        );
+        String::from_utf8_lossy(&profiled.stderr).into_owned()
+    };
+
+    let run_trace = dir.join("run.prof.json");
+    let err = compare(
+        "run",
+        &["run", "--traffic", "low", "--cycles", "150000"],
+        &[
+            "--profile",
+            run_trace.to_str().unwrap(),
+            "--profile-summary",
+        ],
+    );
+    assert!(err.contains("wrote Chrome trace"), "{err}");
+    assert!(err.contains("profile:"), "{err}");
+    assert!(err.contains("phase"), "{err}");
+
+    let sweep_trace = dir.join("sweep.prof.json");
+    let cache_dir = dir.join("store");
+    compare(
+        "sweep",
+        &[
+            "sweep",
+            "--policies",
+            "nodvs;tdvs:threshold=1400",
+            "--cycles",
+            "120000",
+        ],
+        &[
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+            "--profile",
+            sweep_trace.to_str().unwrap(),
+        ],
+    );
+    // The sweep trace is a structurally valid Chrome Trace Event
+    // document carrying the pipeline's phases.
+    let doc = std::fs::read_to_string(&sweep_trace).expect("trace written");
+    assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(doc.trim_end().ends_with("]}"), "{doc}");
+    for span in [
+        "parse",
+        "plan",
+        "simulate",
+        "fold",
+        "render",
+        "cache.lookup",
+    ] {
+        assert!(
+            doc.contains(&format!("\"name\":\"{span}")),
+            "no {span} span: {doc}"
+        );
+    }
+    assert!(doc.contains("\"ph\":\"X\""), "{doc}");
+    assert!(
+        doc.contains("\"ph\":\"C\""),
+        "counter events missing: {doc}"
+    );
+    assert!(doc.contains("\"dur\":"), "{doc}");
+
+    let fleet_trace = dir.join("fleet.prof.json");
+    compare(
+        "fleet",
+        &["fleet", "run", "--chips", "2", "--cycles", "120000"],
+        &["--profile", fleet_trace.to_str().unwrap()],
+    );
+    let doc = std::fs::read_to_string(&fleet_trace).expect("trace written");
+    assert!(doc.contains("\"name\":\"simulate\""), "{doc}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_flag_is_global_and_preflighted() {
+    // Every subcommand accepts the pair — including the flagless
+    // listing commands.
+    let out = abdex()
+        .args(["policies", "--profile-summary"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("profile:"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An unwritable trace path fails in the preflight, before a
+    // potentially long batch runs.
+    let out = abdex()
+        .args([
+            "run",
+            "--cycles",
+            "100000",
+            "--profile",
+            "/no/such/dir/p.json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot write"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn obs_summarize_json_is_byte_identical_across_jobs() {
+    // The analyzer acceptance gate: `obs summarize --json -` emits a
+    // schema-9 document bit-identical between --jobs 1 and --jobs 4.
+    let dir = std::env::temp_dir().join(format!("abdex-cli-summ-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let record_path = dir.join("rec.jsonl");
+
+    let out = abdex()
+        .args([
+            "replicate",
+            "--traffic",
+            "low",
+            "--cycles",
+            "200000",
+            "--seeds",
+            "3",
+            "--record",
+            record_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let summarize = |jobs: &str| {
+        let out = abdex()
+            .args([
+                "obs",
+                "summarize",
+                record_path.to_str().unwrap(),
+                "--json",
+                "-",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // `--json -` moves the human table to stderr.
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("record summary"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let serial = summarize("1");
+    let parallel = summarize("4");
+    assert_eq!(serial, parallel, "obs_summary diverged across --jobs");
+    assert!(serial.contains("\"schema_version\":9"), "{serial}");
+    assert!(serial.contains("\"kind\":\"obs_summary\""), "{serial}");
+    assert!(serial.contains("\"channel\":\"power_w\""), "{serial}");
+    assert!(serial.contains("\"p99\":"), "{serial}");
+
+    // The human table stands alone too.
+    let table = abdex()
+        .args(["obs", "summarize", record_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(table.status.success());
+    let text = String::from_utf8_lossy(&table.stdout);
+    assert!(
+        text.contains("record summary: source run, 3 series"),
+        "{text}"
+    );
+    assert!(text.contains("power_w"), "{text}");
+
+    // Damaged or non-record input is rejected with a pointed error.
+    let bogus = dir.join("bogus.jsonl");
+    std::fs::write(&bogus, "{\"kind\":\"other\"}\n").unwrap();
+    let out = abdex()
+        .args(["obs", "summarize", bogus.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not a record document"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn progress_stats_reports_kernel_tallies() {
+    // `--progress stats` pairs the runner-level telemetry with the
+    // summed kernel counters of the batch's simulations.
+    let out = abdex()
+        .args([
+            "replicate",
+            "--traffic",
+            "low",
+            "--cycles",
+            "150000",
+            "--seeds",
+            "4",
+            "--jobs",
+            "2",
+            "--progress",
+            "stats",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("kernel:"), "{err}");
+    assert!(err.contains("events processed"), "{err}");
+    assert!(err.contains("summed peak heap"), "{err}");
 }

@@ -715,3 +715,49 @@ fn cached_scenario_and_fleet_documents_are_byte_identical() {
     assert_eq!((counters.misses, counters.hits), (6, 6));
     let _ = std::fs::remove_dir_all(runner.cache().unwrap().root());
 }
+
+#[test]
+fn profiling_is_pure_observation_and_summaries_are_jobs_invariant() {
+    // Arm the global span profiler, run the sweep, disarm, drain: the
+    // rendered table must be byte-identical to the unprofiled baseline.
+    // Profiling is wall-clock observability — it must never leak into
+    // results. (cli.rs pins the same invariant on full-process stdout
+    // for run/sweep/fleet.)
+    let baseline = render_sweep(&tdvs_cells(1));
+    abdex::obs::prof::set_enabled(true);
+    let profiled = render_sweep(&tdvs_cells(2));
+    abdex::obs::prof::set_enabled(false);
+    let profile = abdex::obs::prof::drain();
+    assert_eq!(baseline, profiled, "profiling changed the table");
+    assert!(
+        profile.spans.iter().any(|s| s.name == "simulate"),
+        "armed sweep recorded no simulate spans"
+    );
+    assert!(profile.spans.iter().any(|s| s.name == "fold"));
+    // The export is structurally a Chrome Trace Event document.
+    let doc = profile.chrome_trace_json();
+    assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(doc.contains("\"ph\":\"X\""));
+
+    // The recording analyzer is a deterministic fold: the obs_summary
+    // document is byte-identical for any worker count.
+    use abdex::record::{record_jsonl, try_replicated_run_recorded};
+    let experiment = abdex::Experiment {
+        benchmark: Benchmark::Ipfwdr,
+        traffic: TrafficLevel::High.into(),
+        policy: PolicySpec::NoDvs,
+        cycles: CYCLES,
+        seed: SEED,
+    };
+    let (_, series) = try_replicated_run_recorded(&Runner::serial(), &experiment, 3).unwrap();
+    let jsonl = record_jsonl("run", &series);
+    let doc = |workers: usize| {
+        let summary =
+            abdex::summarize::summarize_record(&jsonl, &Runner::new().with_workers(workers))
+                .expect("valid recording");
+        abdex::summarize::render_summary_json(&summary)
+    };
+    let serial = doc(1);
+    assert_eq!(serial, doc(4), "obs_summary diverged across workers");
+    assert!(serial.contains("\"kind\":\"obs_summary\""));
+}

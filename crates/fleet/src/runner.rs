@@ -126,11 +126,29 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
                         return run_chip(&config, seed, share, chip_caps.as_ref());
                     };
                     let key = chip_key(&config, seed, share, chip_caps.as_ref());
-                    if let Some(payload) = cache.lookup(&key) {
-                        if let Some(cell) = parse_recorded(&payload) {
-                            return cell;
+                    // One profiler span per probe, renamed to its
+                    // hit/miss outcome, with running counters (mirrors
+                    // `core::cachefmt::run_cached`).
+                    let cached = {
+                        let mut prof = obs::prof::span("cache.lookup");
+                        let found = cache.lookup(&key).and_then(|payload| {
+                            let parsed = parse_recorded(&payload);
+                            if parsed.is_none() {
+                                cache.demote_hit();
+                            }
+                            parsed
+                        });
+                        if found.is_some() {
+                            prof.set_name("cache.lookup.hit");
+                            obs::prof::count("cache.hits", 1.0);
+                        } else {
+                            prof.set_name("cache.lookup.miss");
+                            obs::prof::count("cache.misses", 1.0);
                         }
-                        cache.demote_hit();
+                        found
+                    };
+                    if let Some(cell) = cached {
+                        return cell;
                     }
                     let cell = run_chip(&config, seed, share, chip_caps.as_ref());
                     cache.publish(&key, &recorded_payload(&cell.0, &cell.1));
@@ -141,6 +159,9 @@ pub fn run_fleet(config: &FleetConfig, seeds: usize, runner: &Runner) -> FleetOu
     }
 
     let results = runner.run(jobs);
+    // Folding chip reports into fleet/chip distributions is its own
+    // profiler phase — pure host-side work after the batch.
+    let _prof = obs::prof::span("fold");
     let mut errors = Vec::new();
     let mut fleet = FleetDist::default();
     let mut chip_dists: Vec<ChipDist> = shares.iter().map(|&s| ChipDist::new(s)).collect();

@@ -278,10 +278,13 @@ impl Simulator {
     ///
     /// Panics if called twice — a simulator instance models one run.
     pub fn run_for(&mut self, dur: SimTime) -> SimReport {
+        let _prof = obs::prof::span("simulate");
         self.start(dur);
         self.drain_until(dur);
         self.close_accounting(dur);
-        self.build_report(dur)
+        let report = self.build_report(dur);
+        obs::tally_kernel(&report.kernel);
+        report
     }
 
     /// Runs one simulation to each of the strictly increasing cycle
@@ -310,6 +313,7 @@ impl Simulator {
             boundaries.windows(2).all(|w| w[0] < w[1]),
             "boundaries must be strictly increasing"
         );
+        let _prof = obs::prof::span("simulate");
         let times: Vec<SimTime> = boundaries
             .iter()
             .map(|&c| self.config.base_freq().cycles_to_time(c))
@@ -320,6 +324,11 @@ impl Simulator {
             self.drain_until(t);
             self.close_accounting(t);
             reports.push(self.build_report(t));
+        }
+        // Snapshots are cumulative, so only the final (whole-run) one
+        // enters the process-wide kernel tally.
+        if let Some(last) = reports.last() {
+            obs::tally_kernel(&last.kernel);
         }
         reports
     }

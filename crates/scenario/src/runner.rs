@@ -120,11 +120,29 @@ fn run_impl(
             jobs.push(Job::new(label, move || {
                 if let Some(cache) = cache {
                     let key = cell_key(&spec, &bounds);
-                    if let Some(payload) = cache.lookup(&key) {
-                        if let Some(snapshots) = parse_snapshots(&payload) {
-                            return (snapshots, Recording::default());
+                    // One profiler span per probe, renamed to its
+                    // hit/miss outcome, with running counters (mirrors
+                    // `core::cachefmt::run_cached`).
+                    let cached = {
+                        let mut prof = obs::prof::span("cache.lookup");
+                        let found = cache.lookup(&key).and_then(|payload| {
+                            let parsed = parse_snapshots(&payload);
+                            if parsed.is_none() {
+                                cache.demote_hit();
+                            }
+                            parsed
+                        });
+                        if found.is_some() {
+                            prof.set_name("cache.lookup.hit");
+                            obs::prof::count("cache.hits", 1.0);
+                        } else {
+                            prof.set_name("cache.lookup.miss");
+                            obs::prof::count("cache.misses", 1.0);
                         }
-                        cache.demote_hit();
+                        found
+                    };
+                    if let Some(snapshots) = cached {
+                        return (snapshots, Recording::default());
                     }
                     let mut sim = Simulator::new(spec.npu_config());
                     let snapshots = sim.run_cycle_segments(&bounds);
@@ -147,6 +165,9 @@ fn run_impl(
         .collect::<Vec<_>>()
         .into_iter();
 
+    // The per-segment fold is a distinct profiler phase: it walks every
+    // replicate's snapshots and is pure host-side work.
+    let _prof = obs::prof::span("fold");
     let mut policies = Vec::with_capacity(scenario.policies.len());
     let mut errors = Vec::new();
     let mut recordings = Vec::new();

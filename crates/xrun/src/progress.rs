@@ -139,12 +139,16 @@ struct StatsState {
     busy: std::collections::HashMap<std::thread::ThreadId, Duration>,
     queue_wait: Duration,
     picked_up: usize,
+    /// The process-wide kernel tally when the batch started, so the
+    /// summary can report this batch's kernel work as a delta.
+    kernel_before: Option<obs::KernelCounters>,
 }
 
 impl ProgressSink for Stats {
     fn job_started(&self, _index: usize, _total: usize, _name: &str) {
         let mut state = self.state.lock().expect("progress state poisoned");
         let waited = state.start.get_or_insert_with(Instant::now).elapsed();
+        state.kernel_before.get_or_insert_with(obs::kernel_tally);
         state.queue_wait += waited;
         state.picked_up += 1;
     }
@@ -194,6 +198,24 @@ impl ProgressSink for Stats {
             utilisation * 100.0
         );
         eprintln!("  mean queue wait: {mean_wait:.2}s");
+        // Kernel-level work next to the runner-level rates: the delta of
+        // the process-wide tally over this batch (sums across all jobs;
+        // peak heap is the sum of per-run peaks).
+        let before = state.kernel_before.unwrap_or_default();
+        let after = obs::kernel_tally();
+        let processed = after
+            .events_processed
+            .saturating_sub(before.events_processed);
+        let peak = after.peak_heap_len.saturating_sub(before.peak_heap_len);
+        let event_rate = if secs > 0.0 {
+            processed as f64 / secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  kernel: {processed} events processed ({event_rate:.0} events/s), \
+             {peak} summed peak heap"
+        );
     }
 }
 
